@@ -1,0 +1,38 @@
+//! Naive degree-threshold baseline — the sanity floor.
+//!
+//! Fraud accounts in campaign abuse make more purchases than the median
+//! honest account, so raw degree has *some* signal; any structural method
+//! that cannot beat it is not exploiting the graph. Kept deliberately
+//! trivial.
+
+use ensemfdet_graph::{BipartiteGraph, UserId};
+
+/// Scores each user by its degree.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DegreeBaseline;
+
+impl DegreeBaseline {
+    /// Per-user degree as a fraud score.
+    pub fn score_users(&self, g: &BipartiteGraph) -> Vec<f64> {
+        (0..g.num_users())
+            .map(|u| g.user_degree(UserId(u as u32)) as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scores_are_degrees() {
+        let g = BipartiteGraph::from_edges(3, 2, vec![(0, 0), (0, 1), (2, 0)]).unwrap();
+        assert_eq!(DegreeBaseline.score_users(&g), vec![2.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = BipartiteGraph::from_edges(2, 2, vec![]).unwrap();
+        assert_eq!(DegreeBaseline.score_users(&g), vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,71 @@
+#![warn(missing_docs)]
+
+//! The comparison methods of the paper's evaluation (Section V-B2):
+//!
+//! - [`fraudar`] — **Fraudar** (Hooi et al., KDD 2016), the strongest
+//!   baseline: greedy log-weighted densest-subgraph peeling, iterated to a
+//!   caller-fixed number of blocks `K`. It detects whole blocks at once,
+//!   which is exactly why its precision–recall trace is a coarse polyline
+//!   (the diamond points of Figures 3–4) rather than a smooth curve.
+//! - [`spoken`] — **SpokEn** (Prakash et al., PAKDD 2010): "eigenspokes" in
+//!   the top-k singular vectors of the adjacency matrix; nodes with large
+//!   components in any spoke are suspicious.
+//! - [`fbox`] — **FBox** (Shah et al., ICDM 2014): nodes whose degree is
+//!   poorly explained by the top-k SVD reconstruction (small-scale attacks
+//!   are invisible to the leading spectral structure).
+//!
+//! Both spectral methods emit per-user scores so the evaluation sweeps
+//! thresholds; Fraudar emits cumulative block detections per `k`.
+//!
+//! Beyond the paper's three comparison methods, [`hits`] implements the
+//! HITS-style suspiciousness the related-work section surveys (Kleinberg's
+//! hubs/authorities with CatchSync-style degree normalization) and
+//! [`degree`] a trivial degree-threshold sanity floor.
+
+pub mod degree;
+pub mod fbox;
+pub mod fraudar;
+pub mod hits;
+pub mod kcore;
+pub mod spoken;
+
+pub use degree::DegreeBaseline;
+pub use fbox::{FBox, FBoxConfig};
+pub use fraudar::{Fraudar, FraudarConfig, FraudarResult};
+pub use hits::{Hits, HitsConfig, HitsScores};
+pub use kcore::KCoreBaseline;
+pub use spoken::{Spoken, SpokenConfig};
+
+/// Assembles the sparse user×merchant adjacency matrix of a bipartite
+/// graph (binary on unweighted graphs, weighted otherwise).
+pub fn adjacency_matrix(g: &ensemfdet_graph::BipartiteGraph) -> ensemfdet_linalg::CsrMatrix {
+    let triplets: Vec<(u32, u32, f64)> = g.edges().map(|(_, u, v, w)| (u.0, v.0, w)).collect();
+    ensemfdet_linalg::CsrMatrix::from_triplets(g.num_users(), g.num_merchants(), &triplets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ensemfdet_graph::BipartiteGraph;
+
+    #[test]
+    fn adjacency_matches_graph() {
+        let g = BipartiteGraph::from_edges(3, 2, vec![(0, 0), (1, 1), (2, 0)]).unwrap();
+        let a = adjacency_matrix(&g);
+        assert_eq!(a.rows(), 3);
+        assert_eq!(a.cols(), 2);
+        assert_eq!(a.nnz(), 3);
+        let d = a.to_dense();
+        assert_eq!(d[(0, 0)], 1.0);
+        assert_eq!(d[(1, 1)], 1.0);
+        assert_eq!(d[(2, 0)], 1.0);
+        assert_eq!(d[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn weighted_graph_adjacency_keeps_weights() {
+        let g = BipartiteGraph::from_weighted_edges(1, 1, vec![(0, 0)], vec![2.5]).unwrap();
+        let a = adjacency_matrix(&g);
+        assert_eq!(a.to_dense()[(0, 0)], 2.5);
+    }
+}

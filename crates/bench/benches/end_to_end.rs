@@ -1,0 +1,50 @@
+//! End-to-end scaling: EnsemFDet (`S = 0.1`, `N = 20`) vs Fraudar
+//! (`k = 30`) on growing synthetic JD-like datasets — the Criterion
+//! rendition of Table III's shape. Both scale near-linearly in `|E|`; on a
+//! multicore box the ensemble's samples overlap, which wall-clock Criterion
+//! numbers on this 1-core sandbox cannot show (see the table3_timing
+//! binary's ideal-parallel column for that leg).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ensemfdet::{EnsemFdet, EnsemFdetConfig};
+use ensemfdet_baselines::{Fraudar, FraudarConfig};
+use ensemfdet_datagen::presets::{jd_preset, JdDataset};
+use ensemfdet_datagen::{generate, Dataset};
+use std::hint::black_box;
+
+fn dataset(scale: u32) -> Dataset {
+    generate(&jd_preset(JdDataset::Jd1, scale, 9))
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    for scale in [400u32, 100] {
+        let ds = dataset(scale);
+        let edges = ds.graph.num_edges();
+        group.bench_with_input(
+            BenchmarkId::new("ensemfdet_s0.1_n20", edges),
+            &ds,
+            |b, ds| {
+                let det = EnsemFdet::new(EnsemFdetConfig {
+                    num_samples: 20,
+                    sample_ratio: 0.1,
+                    seed: 1,
+                    ..Default::default()
+                });
+                b.iter(|| black_box(det.detect(&ds.graph)))
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("fraudar_k30", edges), &ds, |b, ds| {
+            let det = Fraudar::new(FraudarConfig {
+                k: 30,
+                ..Default::default()
+            });
+            b.iter(|| black_box(det.run(&ds.graph)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(end_to_end, bench_end_to_end);
+criterion_main!(end_to_end);

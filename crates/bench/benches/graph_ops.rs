@@ -1,0 +1,46 @@
+//! Graph-substrate benchmarks: dual-CSR construction, connected
+//! components, and k-core decomposition as |E| grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ensemfdet_graph::{components::connected_components, core_decomposition, BipartiteGraph};
+use std::hint::black_box;
+
+fn edges(n: u32) -> (usize, usize, Vec<(u32, u32)>) {
+    let nu = (n / 2).max(1);
+    let nv = (n / 8).max(1);
+    let e: Vec<(u32, u32)> = (0..n)
+        .map(|i| (i % nu, i.wrapping_mul(2654435761) % nv))
+        .collect();
+    (nu as usize, nv as usize, e)
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_construction");
+    for n in [50_000u32, 200_000] {
+        let (nu, nv, e) = edges(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &e, |b, e| {
+            b.iter(|| black_box(BipartiteGraph::from_edges(nu, nv, e.clone()).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_algorithms");
+    for n in [50_000u32, 200_000] {
+        let (nu, nv, e) = edges(n);
+        let g = BipartiteGraph::from_edges(nu, nv, e).unwrap();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("kcore", n), &g, |b, g| {
+            b.iter(|| black_box(core_decomposition(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("components", n), &g, |b, g| {
+            b.iter(|| black_box(connected_components(g)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(graph_ops, bench_construction, bench_algorithms);
+criterion_main!(graph_ops);

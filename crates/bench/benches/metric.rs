@@ -1,0 +1,80 @@
+//! The density metric ablation: peel cost under the log-weighted metric
+//! (Definition 2) vs the plain average-degree metric, and a once-per-run
+//! quality assertion that only the log metric survives camouflage — the
+//! reason Definition 2 penalizes popular merchants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ensemfdet::metric::{AverageDegreeMetric, LogWeightedMetric};
+use ensemfdet::peel::peel_densest_full;
+use ensemfdet_graph::{BipartiteGraph, GraphBuilder, MerchantId, UserId};
+use std::hint::black_box;
+
+/// Fraud block whose users camouflage heavily behind a popular merchant.
+fn camouflaged_graph(background: u32) -> BipartiteGraph {
+    let mut b = GraphBuilder::new();
+    // Fraud: 40 users × 8 ring merchants, complete; 4 camouflage edges each
+    // to the single popular merchant 8.
+    for u in 0..40u32 {
+        for v in 0..8u32 {
+            b.add_edge(UserId(u), MerchantId(v));
+        }
+        for _ in 0..4 {
+            b.add_edge(UserId(u), MerchantId(8));
+        }
+    }
+    // Honest traffic concentrated on merchant 8 plus a sparse tail.
+    for u in 40..40 + background {
+        b.add_edge(UserId(u), MerchantId(8));
+        b.add_edge(UserId(u), MerchantId(9 + u % 50));
+    }
+    b.build_with(ensemfdet_graph::builder::DuplicatePolicy::MergeBinary)
+}
+
+/// The quality claim behind Definition 2, asserted once per bench run: the
+/// log metric keeps the detected block on the fraud core; the un-penalized
+/// metric gets dragged into the popular merchant's star.
+fn assert_camouflage_resistance() {
+    let g = camouflaged_graph(4_000);
+    let log_block = peel_densest_full(&g, &LogWeightedMetric::paper_default()).unwrap();
+    let fraud_in_log = log_block.users.iter().filter(|u| u.0 < 40).count();
+    assert!(
+        fraud_in_log >= 35 && log_block.users.len() <= 60,
+        "log metric lost the fraud core: {} fraud of {} detected",
+        fraud_in_log,
+        log_block.users.len()
+    );
+    let avg_block = peel_densest_full(&g, &AverageDegreeMetric).unwrap();
+    // The popular merchant pulls thousands of honest users into the
+    // average-degree block (or the block misses the fraud core entirely).
+    let honest_in_avg = avg_block.users.iter().filter(|u| u.0 >= 40).count();
+    assert!(
+        honest_in_avg > 100 || avg_block.merchants.iter().any(|v| v.0 == 8),
+        "expected the un-penalized metric to chase the popular merchant"
+    );
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("peel_by_metric");
+    for background in [2_000u32, 8_000] {
+        let g = camouflaged_graph(background);
+        group.bench_with_input(
+            BenchmarkId::new("log_weighted", background),
+            &g,
+            |b, g| b.iter(|| black_box(peel_densest_full(g, &LogWeightedMetric::paper_default()))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("average_degree", background),
+            &g,
+            |b, g| b.iter(|| black_box(peel_densest_full(g, &AverageDegreeMetric))),
+        );
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    assert_camouflage_resistance();
+    bench_metrics(c);
+}
+
+criterion_group!(metric, benches);
+criterion_main!(metric);

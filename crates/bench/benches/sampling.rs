@@ -1,0 +1,49 @@
+//! Sampler throughput: RES / ONS / TNS cost as `|E|` grows, and RES cost as
+//! the ratio `S` shrinks (per-sample work should track the *sample* size,
+//! not the graph size — that is what makes `S = 0.01` ensembles cheap).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ensemfdet_graph::BipartiteGraph;
+use ensemfdet_sampling::{Sampler, SamplingMethod};
+use std::hint::black_box;
+
+fn graph(num_edges: u32) -> BipartiteGraph {
+    let nu = num_edges / 2;
+    let nv = num_edges / 8;
+    let edges: Vec<(u32, u32)> = (0..num_edges)
+        .map(|i| (i % nu, (i.wrapping_mul(2654435761)) % nv))
+        .collect();
+    BipartiteGraph::from_edges(nu as usize, nv as usize, edges).unwrap()
+}
+
+fn bench_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampler_throughput");
+    for edges in [50_000u32, 200_000] {
+        let g = graph(edges);
+        group.throughput(Throughput::Elements(edges as u64));
+        for method in SamplingMethod::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(method.name(), edges),
+                &g,
+                |b, g| b.iter(|| black_box(method.sample(g, 0.1, 42))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_res_ratio(c: &mut Criterion) {
+    let g = graph(200_000);
+    let mut group = c.benchmark_group("res_by_ratio");
+    for ratio in [0.01f64, 0.05, 0.1, 0.5] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(ratio),
+            &ratio,
+            |b, &ratio| b.iter(|| black_box(SamplingMethod::RandomEdge.sample(&g, ratio, 7))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(sampling, bench_methods, bench_res_ratio);
+criterion_main!(sampling);

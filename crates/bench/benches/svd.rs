@@ -1,0 +1,91 @@
+//! Randomized truncated SVD: cost vs rank `k` and vs power iterations `q`,
+//! plus the accuracy/cost trade-off of `q` (the subspace sharpening the
+//! SpokEn/FBox baselines rely on).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ensemfdet_linalg::{lanczos_svd, randomized_svd, CsrMatrix, SvdOptions};
+use std::hint::black_box;
+
+/// Low-rank-plus-noise sparse matrix shaped like a transaction graph.
+fn matrix(rows: u32, cols: u32, nnz: u32) -> CsrMatrix {
+    let triplets: Vec<(u32, u32, f64)> = (0..nnz)
+        .map(|i| {
+            let r = i % rows;
+            let c = if i % 7 == 0 {
+                r % 8 % cols // 8 dense columns: the planted spectrum
+            } else {
+                i.wrapping_mul(2654435761) % cols
+            };
+            (r, c, 1.0)
+        })
+        .collect();
+    CsrMatrix::from_triplets(rows as usize, cols as usize, &triplets)
+}
+
+fn bench_rank(c: &mut Criterion) {
+    let a = matrix(20_000, 3_000, 60_000);
+    let mut group = c.benchmark_group("randomized_svd_by_k");
+    group.sample_size(10);
+    for k in [5usize, 25, 50] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                black_box(randomized_svd(
+                    &a,
+                    k,
+                    SvdOptions {
+                        power_iters: 2,
+                        ..Default::default()
+                    },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_power_iters(c: &mut Criterion) {
+    let a = matrix(20_000, 3_000, 60_000);
+    let mut group = c.benchmark_group("randomized_svd_by_q");
+    group.sample_size(10);
+    for q in [0usize, 1, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
+            b.iter(|| {
+                black_box(randomized_svd(
+                    &a,
+                    25,
+                    SvdOptions {
+                        power_iters: q,
+                        ..Default::default()
+                    },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Randomized vs Lanczos at matched rank — the two truncated-SVD routes.
+fn bench_algorithms(c: &mut Criterion) {
+    let a = matrix(20_000, 3_000, 60_000);
+    let mut group = c.benchmark_group("svd_algorithm");
+    group.sample_size(10);
+    group.bench_function("randomized_q2", |b| {
+        b.iter(|| {
+            black_box(randomized_svd(
+                &a,
+                25,
+                SvdOptions {
+                    power_iters: 2,
+                    ..Default::default()
+                },
+            ))
+        })
+    });
+    group.bench_function("lanczos_extra8", |b| {
+        b.iter(|| black_box(lanczos_svd(&a, 25, 8)))
+    });
+    group.finish();
+}
+
+criterion_group!(svd, bench_rank, bench_power_iters, bench_algorithms);
+criterion_main!(svd);

@@ -1,0 +1,88 @@
+//! **Ablation (beyond the paper)** — why Definition 2 penalizes popular
+//! merchants: detection quality under increasing camouflage, for the
+//! log-weighted metric vs the un-penalized average-degree metric, under
+//! both camouflage targeting strategies (random and popularity-biased,
+//! after Fraudar's attack models).
+//!
+//! Expected: the log-weighted metric's F1 degrades gracefully as fraud
+//! accounts bury their rings under camouflage purchases; the plain
+//! average-degree metric collapses much faster, especially under biased
+//! camouflage into the busiest merchants.
+
+use ensemfdet::metric::{DensityMetric, MetricKind};
+use ensemfdet::EnsemFdetConfig;
+use ensemfdet_bench::{methods, output, resolve_scale};
+use ensemfdet_datagen::presets::{jd_preset, JdDataset};
+use ensemfdet_datagen::{generate, CamouflageTargeting};
+use ensemfdet_eval::Table;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Cell {
+    camouflage_per_user: usize,
+    targeting: String,
+    metric: String,
+    best_f1: f64,
+    auc_pr: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = resolve_scale(&args);
+    println!("== Ablation: metric robustness under camouflage (Dataset #1 at 1/{scale}) ==\n");
+
+    let mut cells = Vec::new();
+    let mut table = Table::new(&["camo/user", "targeting", "log-weighted F1", "avg-degree F1"]);
+    for targeting in [
+        CamouflageTargeting::UniformRandom,
+        CamouflageTargeting::PopularityBiased,
+    ] {
+        for camo in [0usize, 2, 6, 12] {
+            let mut cfg = jd_preset(JdDataset::Jd1, scale, 0xCA30);
+            for g in &mut cfg.fraud_groups {
+                g.camouflage_per_user = camo;
+                g.camouflage = targeting;
+            }
+            let ds = generate(&cfg);
+            let labels = ds.labels();
+
+            let mut f1s = Vec::new();
+            for metric in [MetricKind::LogWeighted { c: 5.0 }, MetricKind::AverageDegree] {
+                let outcome = methods::run_ensemfdet(
+                    &ds.graph,
+                    EnsemFdetConfig {
+                        num_samples: 40,
+                        sample_ratio: 0.1,
+                        metric,
+                        seed: 0xCA31,
+                        ..Default::default()
+                    },
+                );
+                let curve = methods::ensemfdet_curve(&outcome, &labels);
+                f1s.push(curve.best_f1());
+                cells.push(Cell {
+                    camouflage_per_user: camo,
+                    targeting: format!("{targeting:?}"),
+                    metric: metric.name().to_string(),
+                    best_f1: curve.best_f1(),
+                    auc_pr: curve.auc_pr(),
+                });
+            }
+            table.row(&[
+                camo.to_string(),
+                format!("{targeting:?}"),
+                format!("{:.3}", f1s[0]),
+                format!("{:.3}", f1s[1]),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "(expected: log-weighted ≥ average-degree at every camouflage level.\n\
+         Note the un-penalized metric is not merely worse under camouflage —\n\
+         it is worse even without it, because popular-merchant stars crowd\n\
+         out true blocks; biased camouflage can even *raise* its F1 by\n\
+         accident, by fusing fraud users into the popular hubs it chases.)"
+    );
+    output::save("ablation_camouflage", &cells);
+}

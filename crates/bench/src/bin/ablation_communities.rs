@@ -1,0 +1,98 @@
+//! **Ablation (beyond the paper)** — false-positive pressure from honest
+//! community structure.
+//!
+//! Real shoppers cluster (region, interest); legitimate communities are
+//! mildly dense bipartite regions that every dense-subgraph detector can
+//! mistake for rings. This experiment turns the generator's community knob
+//! and reports, for each detector, per-account best F1 **and group-level
+//! recall at best F1** (fraction of rings with ≥50% of members caught —
+//! what a risk-control team actually acts on).
+
+use ensemfdet::EnsemFdetConfig;
+use ensemfdet_bench::{methods, output, resolve_scale};
+use ensemfdet_datagen::presets::{jd_preset, JdDataset};
+use ensemfdet_datagen::generate;
+use ensemfdet_eval::{group_recall, Table};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    communities: usize,
+    method: String,
+    best_f1: f64,
+    group_recall_at_best_f1: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = resolve_scale(&args);
+    println!(
+        "== Ablation: honest community structure (Dataset #1 at 1/{scale}) ==\n"
+    );
+
+    let mut rows = Vec::new();
+    let mut table = Table::new(&["communities", "method", "best F1", "group recall@bestF1"]);
+    for communities in [0usize, 8, 32] {
+        let mut cfg = jd_preset(JdDataset::Jd1, scale, 0xC0_33);
+        cfg.honest_communities = communities;
+        cfg.community_affinity = 0.8;
+        let ds = generate(&cfg);
+        let labels = ds.labels();
+        let groups: Vec<Vec<u32>> = ds.groups.iter().map(|g| g.users.clone()).collect();
+
+        let outcome = methods::run_ensemfdet(
+            &ds.graph,
+            EnsemFdetConfig {
+                num_samples: 40,
+                sample_ratio: 0.1,
+                seed: 0xC0_34,
+                ..Default::default()
+            },
+        );
+        let ens = methods::ensemfdet_curve(&outcome, &labels);
+        let fra = methods::fraudar_curve(&ds.graph, &labels, 30);
+
+        for (name, curve) in [("EnsemFDet", &ens), ("Fraudar", &fra)] {
+            // Group recall at the best-F1 operating point.
+            let gr = curve
+                .best_point()
+                .map(|best| {
+                    let detected: Vec<u32> = if name == "EnsemFDet" {
+                        outcome
+                            .votes
+                            .detected_users(best.threshold as u32)
+                            .into_iter()
+                            .map(|u| u.0)
+                            .collect()
+                    } else {
+                        // Re-run cheaply: cumulative set after k blocks.
+                        ensemfdet_baselines::Fraudar::default()
+                            .run(&ds.graph)
+                            .detected_users_after(best.threshold as usize)
+                    };
+                    group_recall(&groups, &detected, 0.5)
+                })
+                .unwrap_or(0.0);
+            table.row(&[
+                communities.to_string(),
+                name.to_string(),
+                format!("{:.3}", curve.best_f1()),
+                format!("{gr:.3}"),
+            ]);
+            rows.push(Row {
+                communities,
+                method: name.to_string(),
+                best_f1: curve.best_f1(),
+                group_recall_at_best_f1: gr,
+            });
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "(expected: per-account F1 erodes as legitimate communities add\n\
+         false-positive pressure, but group-level recall — rings with ≥50%\n\
+         of members caught — stays near 1.0: rings remain qualitatively\n\
+         denser than organic communities)"
+    );
+    output::save("ablation_communities", &rows);
+}

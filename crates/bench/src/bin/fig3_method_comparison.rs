@@ -1,0 +1,94 @@
+//! **Figure 3 (a–c)** — Precision–Recall of SpokEn, FBox, Fraudar and
+//! EnsemFDet on all three datasets.
+//!
+//! Expected shape (paper): EnsemFDet and Fraudar close together at the top;
+//! the SVD methods unstable across datasets (FBox nearly invalid on
+//! Dataset #1); EnsemFDet's curve smooth, Fraudar's a coarse polyline.
+
+use ensemfdet::EnsemFdetConfig;
+use ensemfdet_bench::{datasets, methods, output, resolve_scale};
+use ensemfdet_eval::{PrCurve, Table};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct MethodResult {
+    method: String,
+    best_f1: f64,
+    auc_pr: f64,
+    points: Vec<ensemfdet_eval::PrPoint>,
+}
+
+#[derive(Serialize)]
+struct DatasetResult {
+    dataset: String,
+    methods: Vec<MethodResult>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = resolve_scale(&args);
+    println!("== Figure 3: method comparison on all datasets (1/{scale}) ==");
+
+    let mut all = Vec::new();
+    for (which, ds) in datasets::load_all(scale) {
+        let labels = ds.labels();
+        println!(
+            "\n-- {} ({} users, {} edges, {} blacklisted) --",
+            which.name(),
+            ds.graph.num_users(),
+            ds.graph.num_edges(),
+            ds.blacklist.len()
+        );
+
+        let outcome = methods::run_ensemfdet(
+            &ds.graph,
+            EnsemFdetConfig {
+                num_samples: 80,
+                sample_ratio: 0.1,
+                seed: 0xF163,
+                ..Default::default()
+            },
+        );
+        let curves: Vec<(&str, PrCurve)> = vec![
+            ("SPOKEN", methods::spoken_curve(&ds.graph, &labels)),
+            ("FBox", methods::fbox_curve(&ds.graph, &labels)),
+            ("FRAUDAR", methods::fraudar_curve(&ds.graph, &labels, 30)),
+            ("EnsemFDet", methods::ensemfdet_curve(&outcome, &labels)),
+        ];
+
+        let mut table = Table::new(&["method", "points", "best F1", "P@bestF1", "R@bestF1", "AUC-PR"]);
+        let mut methods_out = Vec::new();
+        for (name, curve) in curves {
+            let best = curve.best_point().cloned();
+            table.row(&[
+                name.to_string(),
+                curve.points.len().to_string(),
+                format!("{:.3}", curve.best_f1()),
+                best.map(|b| format!("{:.3}", b.precision)).unwrap_or_default(),
+                curve
+                    .best_point()
+                    .map(|b| format!("{:.3}", b.recall))
+                    .unwrap_or_default(),
+                format!("{:.3}", curve.auc_pr()),
+            ]);
+            methods_out.push(MethodResult {
+                method: name.to_string(),
+                best_f1: curve.best_f1(),
+                auc_pr: curve.auc_pr(),
+                points: curve.points,
+            });
+        }
+        println!("{}", table.render());
+        all.push(DatasetResult {
+            dataset: which.name().to_string(),
+            methods: methods_out,
+        });
+    }
+
+    println!(
+        "(paper shape: EnsemFDet ≈ Fraudar on every dataset; SVD methods\n\
+         unstable — FBox nearly invalid on Dataset #1; EnsemFDet sweeps a\n\
+         smooth curve where Fraudar gives a handful of diamond points)"
+    );
+    output::save("fig3_method_comparison", &all);
+}

@@ -1,0 +1,105 @@
+//! **Figure 4 (a–f)** — F1 and Precision against the number of detected
+//! PINs, EnsemFDet vs Fraudar, on all three datasets.
+//!
+//! The paper's practicality argument: EnsemFDet's detection count moves
+//! almost continuously with `T`, so any operating size is reachable;
+//! Fraudar jumps in coarse, uncontrollable steps (thousands of nodes per
+//! block).
+
+use ensemfdet::EnsemFdetConfig;
+use ensemfdet_bench::{datasets, methods, output, resolve_scale};
+use ensemfdet_eval::Table;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SeriesPoint {
+    detected: usize,
+    precision: f64,
+    f1: f64,
+}
+
+#[derive(Serialize)]
+struct DatasetSeries {
+    dataset: String,
+    ensemfdet: Vec<SeriesPoint>,
+    fraudar: Vec<SeriesPoint>,
+    max_step_ensemfdet: usize,
+    max_step_fraudar: usize,
+}
+
+fn steps(points: &[SeriesPoint]) -> usize {
+    let mut sizes: Vec<usize> = points.iter().map(|p| p.detected).collect();
+    sizes.sort_unstable();
+    sizes
+        .windows(2)
+        .map(|w| w[1] - w[0])
+        .max()
+        .unwrap_or(0)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = resolve_scale(&args);
+    println!("== Figure 4: EnsemFDet vs Fraudar by number of detected PINs (1/{scale}) ==");
+
+    let mut all = Vec::new();
+    for (which, ds) in datasets::load_all(scale) {
+        let labels = ds.labels();
+        let outcome = methods::run_ensemfdet(
+            &ds.graph,
+            EnsemFdetConfig {
+                num_samples: 80,
+                sample_ratio: 0.1,
+                seed: 0xF164,
+                ..Default::default()
+            },
+        );
+        let ens = methods::ensemfdet_curve(&outcome, &labels);
+        let fra = methods::fraudar_curve(&ds.graph, &labels, 30);
+
+        let to_series = |c: &ensemfdet_eval::PrCurve| {
+            c.points
+                .iter()
+                .map(|p| SeriesPoint {
+                    detected: p.detected,
+                    precision: p.precision,
+                    f1: p.f1,
+                })
+                .collect::<Vec<_>>()
+        };
+        let e = to_series(&ens);
+        let f = to_series(&fra);
+        let (se, sf) = (steps(&e), steps(&f));
+
+        println!("\n-- {} --", which.name());
+        let mut table = Table::new(&["method", "operating points", "max detection-size jump"]);
+        table.row(&["EnsemFDet".into(), e.len().to_string(), se.to_string()]);
+        table.row(&["Fraudar".into(), f.len().to_string(), sf.to_string()]);
+        println!("{}", table.render());
+
+        println!("EnsemFDet (T sweep):  detected → F1/Precision");
+        for p in e.iter().step_by((e.len() / 8).max(1)) {
+            println!("  {:>7}  F1 {:.3}  P {:.3}", p.detected, p.f1, p.precision);
+        }
+        println!("Fraudar (k sweep, diamond points):");
+        for p in f.iter().step_by((f.len() / 8).max(1)) {
+            println!("  {:>7}  F1 {:.3}  P {:.3}", p.detected, p.f1, p.precision);
+        }
+
+        all.push(DatasetSeries {
+            dataset: which.name().to_string(),
+            ensemfdet: e,
+            fraudar: f,
+            max_step_ensemfdet: se,
+            max_step_fraudar: sf,
+        });
+    }
+
+    println!(
+        "\n(paper shape: comparable F1 envelopes, but Fraudar's detection\n\
+         sizes jump by whole blocks — 'a huge span is unacceptable in the\n\
+         business' — while EnsemFDet's T sweep covers sizes almost\n\
+         continuously)"
+    );
+    output::save("fig4_vs_fraudar", &all);
+}

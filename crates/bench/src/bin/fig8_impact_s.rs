@@ -1,0 +1,78 @@
+//! **Figure 8 (a–d)** — impact of the sample ratio `S ∈ {0.01, 0.05, 0.1}`
+//! at fixed repetition rate `R = S·N = 1` on Dataset #3.
+//!
+//! Expected shape (paper): larger `S` helps somewhat, but `S = 0.01` stays
+//! close to `S = 0.1` — the stability that lets operators shrink samples
+//! to fit memory/core budgets.
+
+use ensemfdet::EnsemFdetConfig;
+use ensemfdet_bench::{datasets, methods, output, resolve_scale};
+use ensemfdet_datagen::presets::JdDataset;
+use ensemfdet_eval::Table;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SSeries {
+    s: f64,
+    n: usize,
+    best_f1: f64,
+    auc_pr: f64,
+    points: Vec<ensemfdet_eval::PrPoint>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    // Small S compounds with the dataset's own 1/scale reduction (S = 0.01
+    // of a 1/40 graph is 0.025% of the paper's data), so this experiment
+    // runs on a 4x larger graph than the others to keep the S = 0.01
+    // samples meaningfully sized.
+    let scale = (resolve_scale(&args) / 4).max(1);
+    println!("== Figure 8: impact of S at fixed R = S·N = 1 (Dataset #3 at 1/{scale}) ==\n");
+
+    let ds = datasets::load(JdDataset::Jd3, scale);
+    let labels = ds.labels();
+
+    let mut out = Vec::new();
+    for (s, n) in [(0.1f64, 10usize), (0.05, 20), (0.01, 100)] {
+        let outcome = methods::run_ensemfdet(
+            &ds.graph,
+            EnsemFdetConfig {
+                num_samples: n,
+                sample_ratio: s,
+                seed: 0xF168,
+                ..Default::default()
+            },
+        );
+        let curve = methods::ensemfdet_curve(&outcome, &labels);
+        out.push(SSeries {
+            s,
+            n,
+            best_f1: curve.best_f1(),
+            auc_pr: curve.auc_pr(),
+            points: curve.points,
+        });
+    }
+
+    let mut table = Table::new(&["S", "N", "best F1", "AUC-PR", "max recall"]);
+    for series in &out {
+        let max_recall = series
+            .points
+            .iter()
+            .map(|p| p.recall)
+            .fold(0.0f64, f64::max);
+        table.row(&[
+            format!("{}", series.s),
+            series.n.to_string(),
+            format!("{:.3}", series.best_f1),
+            format!("{:.3}", series.auc_pr),
+            format!("{max_recall:.3}"),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "(paper: S = 0.1 best but S = 0.01 close behind — sample far below\n\
+         memory limits without losing much; trade S against N by available\n\
+         cores)"
+    );
+    output::save("fig8_impact_s", &out);
+}

@@ -1,0 +1,45 @@
+//! Runs the beyond-the-paper ablation experiments in sequence, forwarding
+//! `--scale`.
+//!
+//! ```text
+//! cargo run --release -p ensemfdet-bench --bin run_ablations [-- --scale 40]
+//! ```
+
+use std::process::Command;
+
+const ABLATIONS: &[&str] = &[
+    "ablation_camouflage",
+    "ablation_stability",
+    "ablation_periods",
+    "ablation_communities",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .expect("current_exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+
+    let mut failures = Vec::new();
+    for name in ABLATIONS {
+        println!("\n════════════════════════════════════════════════════════");
+        println!("  {name}");
+        println!("════════════════════════════════════════════════════════");
+        let status = Command::new(exe_dir.join(name))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        if !status.success() {
+            eprintln!("ablation {name} FAILED: {status}");
+            failures.push(*name);
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall {} ablations completed; JSON in results/", ABLATIONS.len());
+    } else {
+        eprintln!("\nFAILED ablations: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,59 @@
+//! Runs every experiment binary in paper order, forwarding `--scale`.
+//!
+//! ```text
+//! cargo run --release -p ensemfdet-bench --bin run_all [-- --scale 40]
+//! ```
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "table1_datasets",
+    "fig1_block_scores",
+    "fig3_method_comparison",
+    "fig4_vs_fraudar",
+    "table3_timing",
+    "fig5_sampling_methods",
+    "fig6_truncation",
+    "fig7_impact_n",
+    "fig8_impact_s",
+    "fig9_impact_t",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .expect("current_exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        println!("\n════════════════════════════════════════════════════════");
+        println!("  {name}");
+        println!("════════════════════════════════════════════════════════");
+        let status = Command::new(exe_dir.join(name))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        if !status.success() {
+            eprintln!("experiment {name} FAILED: {status}");
+            failures.push(*name);
+        }
+    }
+    // Figures, if the viz renderer was built alongside (best-effort).
+    let renderer = exe_dir.join("render_figures");
+    if renderer.exists() {
+        println!("\n════════════════════════════════════════════════════════");
+        println!("  render_figures");
+        println!("════════════════════════════════════════════════════════");
+        let _ = Command::new(renderer).status();
+    }
+
+    if failures.is_empty() {
+        println!("\nall {} experiments completed; JSON in results/", EXPERIMENTS.len());
+    } else {
+        eprintln!("\nFAILED experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,47 @@
+//! Dataset construction for the experiments.
+
+use ensemfdet_datagen::presets::{jd_preset, JdDataset};
+use ensemfdet_datagen::{generate, Dataset};
+
+/// Per-dataset deterministic seed so every experiment binary sees the same
+/// three graphs at a given scale.
+pub fn dataset_seed(which: JdDataset) -> u64 {
+    match which {
+        JdDataset::Jd1 => 0xD5_0001,
+        JdDataset::Jd2 => 0xD5_0002,
+        JdDataset::Jd3 => 0xD5_0003,
+    }
+}
+
+/// Generates one Table I dataset model at `1/scale`.
+pub fn load(which: JdDataset, scale: u32) -> Dataset {
+    generate(&jd_preset(which, scale, dataset_seed(which)))
+}
+
+/// Generates all three datasets.
+pub fn load_all(scale: u32) -> Vec<(JdDataset, Dataset)> {
+    JdDataset::ALL
+        .into_iter()
+        .map(|w| (w, load(w, scale)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_is_deterministic() {
+        let a = load(JdDataset::Jd1, 400);
+        let b = load(JdDataset::Jd1, 400);
+        assert_eq!(a.graph.edge_slice(), b.graph.edge_slice());
+        assert_eq!(a.blacklist, b.blacklist);
+    }
+
+    #[test]
+    fn datasets_differ() {
+        let a = load(JdDataset::Jd1, 400);
+        let b = load(JdDataset::Jd2, 400);
+        assert_ne!(a.graph.num_users(), b.graph.num_users());
+    }
+}

@@ -1,0 +1,72 @@
+#![warn(missing_docs)]
+
+//! Experiment harness reproducing every table and figure of the EnsemFDet
+//! paper's evaluation (Section V) on synthetic Table I-scale datasets.
+//!
+//! One binary per experiment (see `src/bin/`); each prints the paper's
+//! rows/series as text tables and writes a JSON artifact under `results/`.
+//! The dataset scale is `1/ENSEMFDET_SCALE` of the paper's populations
+//! (default 40; set the environment variable or pass `--scale N` to grow
+//! or shrink every experiment consistently).
+//!
+//! Criterion microbenches live in `benches/` and cover the ablations noted
+//! in DESIGN.md: heap-based vs naive peeling, sampler throughput, SVD
+//! accuracy/cost, metric robustness under camouflage, and end-to-end
+//! EnsemFDet vs Fraudar scaling.
+
+pub mod datasets;
+pub mod methods;
+pub mod output;
+
+/// Default population divisor relative to the paper's Table I.
+pub const DEFAULT_SCALE: u32 = 40;
+
+/// Resolves the experiment scale: `--scale N` argument, else the
+/// `ENSEMFDET_SCALE` environment variable, else [`DEFAULT_SCALE`].
+pub fn resolve_scale(args: &[String]) -> u32 {
+    if let Some(i) = args.iter().position(|a| a == "--scale") {
+        if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+            return v;
+        }
+    }
+    if let Some(v) = std::env::var("ENSEMFDET_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+    {
+        return v;
+    }
+    DEFAULT_SCALE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_from_args_wins() {
+        let args: Vec<String> = ["prog", "--scale", "123"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(resolve_scale(&args), 123);
+    }
+
+    #[test]
+    fn malformed_scale_falls_back() {
+        let args: Vec<String> = ["prog", "--scale", "abc"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        // Falls through to env/default path.
+        let got = resolve_scale(&args);
+        assert!(got == DEFAULT_SCALE || got > 0);
+    }
+
+    #[test]
+    fn default_scale_without_args() {
+        // Only deterministic when the env var is unset in the test runner.
+        if std::env::var("ENSEMFDET_SCALE").is_err() {
+            assert_eq!(resolve_scale(&[]), DEFAULT_SCALE);
+        }
+    }
+}

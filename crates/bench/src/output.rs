@@ -1,0 +1,71 @@
+//! Result persistence for the experiment binaries.
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// `results/` at the workspace root (created on demand), overridable via
+/// `ENSEMFDET_RESULTS`.
+pub fn results_dir() -> PathBuf {
+    std::env::var("ENSEMFDET_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"))
+}
+
+/// Writes `<results>/<name>.json` and reports the path on stdout.
+pub fn save<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    match ensemfdet_eval::write_json(value, &path) {
+        Ok(()) => println!("\n[saved {}]", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+/// Curve → rows helper for text tables: `(threshold, detected, P, R, F1)`.
+pub fn curve_rows(curve: &ensemfdet_eval::PrCurve) -> Vec<Vec<String>> {
+    curve
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.0}", p.threshold),
+                p.detected.to_string(),
+                format!("{:.3}", p.precision),
+                format!("{:.3}", p.recall),
+                format!("{:.3}", p.f1),
+            ]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn save_writes_json() {
+        let dir = std::env::temp_dir().join("ensemfdet_bench_output_test");
+        std::env::set_var("ENSEMFDET_RESULTS", &dir);
+        save("smoke", &serde_json::json!({"x": 1}));
+        let content = std::fs::read_to_string(dir.join("smoke.json")).unwrap();
+        assert!(content.contains("\"x\": 1"));
+        std::env::remove_var("ENSEMFDET_RESULTS");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn curve_rows_format() {
+        let curve = ensemfdet_eval::PrCurve {
+            points: vec![ensemfdet_eval::PrPoint {
+                threshold: 3.0,
+                detected: 10,
+                precision: 0.5,
+                recall: 0.25,
+                f1: 1.0 / 3.0,
+            }],
+        };
+        let rows = curve_rows(&curve);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], "3");
+        assert_eq!(rows[0][4], "0.333");
+    }
+}

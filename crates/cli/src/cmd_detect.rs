@@ -1,0 +1,259 @@
+//! `ensemfdet detect` — run a detector and write flagged users.
+
+use crate::args::Args;
+use ensemfdet::{EnsemFdet, EnsemFdetConfig, SamplingMethodConfig};
+use ensemfdet_baselines::{DegreeBaseline, FBox, FBoxConfig, Fraudar, FraudarConfig, Hits, KCoreBaseline, Spoken, SpokenConfig};
+use ensemfdet_graph::{io, BipartiteGraph};
+use std::io::Write;
+
+const HELP: &str = "\
+ensemfdet detect — run a detector and write the flagged user ids
+
+OPTIONS:
+    --graph FILE          the edge list to scan (required)
+    --method NAME         ensemfdet | fraudar | spoken | fbox | hits | kcore | degree
+                          [default: ensemfdet]
+    --out FILE            write flagged user ids, one per line
+    --scores FILE         also write `user<TAB>score` for every user
+  ensemfdet:
+    --samples N           ensemble size N [default: 80]
+    --ratio S             sample ratio S [default: 0.1]
+    --threshold T         vote threshold [default: N/2]
+    --sampling M          res | ons-user | ons-merchant | tns [default: res]
+    --seed N              RNG seed [default: 42]
+  fraudar:
+    --k N                 number of blocks [default: 30]
+  spoken / fbox:
+    --components N        SVD rank [default: 25]
+  score methods (spoken, fbox, hits, kcore, degree):
+    --top N               flag the N highest-scoring users [default: 100]
+";
+
+/// Per-user fraud scores for the score-based methods. `method` must be one
+/// of `spoken`, `fbox`, `hits`, `degree`.
+pub(crate) fn score_users(
+    method: &str,
+    g: &BipartiteGraph,
+    args: &Args,
+) -> Result<Vec<f64>, String> {
+    match method {
+        "spoken" => Ok(Spoken::new(SpokenConfig {
+            components: args.get_or("components", 25)?,
+            ..Default::default()
+        })
+        .score_users(g)),
+        "fbox" => Ok(FBox::new(FBoxConfig {
+            components: args.get_or("components", 25)?,
+            ..Default::default()
+        })
+        .score_users(g)),
+        "hits" => Ok(Hits::default().score_users(g)),
+        "kcore" => Ok(KCoreBaseline.score_users(g)),
+        "degree" => Ok(DegreeBaseline.score_users(g)),
+        other => Err(format!("`{other}` is not a score-based method")),
+    }
+}
+
+pub(crate) fn sampling_method(args: &Args) -> Result<SamplingMethodConfig, String> {
+    match args.get("sampling").as_deref().unwrap_or("res") {
+        "res" => Ok(SamplingMethodConfig::RandomEdge),
+        "ons-user" => Ok(SamplingMethodConfig::OneSideUser),
+        "ons-merchant" => Ok(SamplingMethodConfig::OneSideMerchant),
+        "tns" => Ok(SamplingMethodConfig::TwoSide),
+        other => Err(format!(
+            "unknown sampling `{other}` (res|ons-user|ons-merchant|tns)"
+        )),
+    }
+}
+
+pub(crate) fn ensemfdet_config(args: &Args) -> Result<EnsemFdetConfig, String> {
+    Ok(EnsemFdetConfig {
+        num_samples: args.get_or("samples", 80)?,
+        sample_ratio: args.get_or("ratio", 0.1)?,
+        method: sampling_method(args)?,
+        seed: args.get_or("seed", 42)?,
+        ..Default::default()
+    })
+}
+
+/// Runs the command.
+pub fn run(args: &Args) -> Result<String, String> {
+    if args.flag("help") {
+        return Ok(HELP.to_string());
+    }
+    let path = args.require("graph")?;
+    let method = args.get("method").unwrap_or_else(|| "ensemfdet".into());
+    let out_path = args.get("out");
+    let scores_path = args.get("scores");
+
+    let g = io::load_edge_list(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+
+    let (detected, scores): (Vec<u32>, Option<Vec<f64>>) = match method.as_str() {
+        "ensemfdet" => {
+            let cfg = ensemfdet_config(args)?;
+            let threshold: u32 = args.get_or("threshold", (cfg.num_samples as u32).div_ceil(2))?;
+            args.finish()?;
+            let outcome = EnsemFdet::new(cfg).detect(&g);
+            let detected = outcome
+                .votes
+                .detected_users(threshold.max(1))
+                .into_iter()
+                .map(|u| u.0)
+                .collect();
+            (detected, Some(outcome.votes.user_scores()))
+        }
+        "fraudar" => {
+            let k: usize = args.get_or("k", 30)?;
+            args.finish()?;
+            let result = Fraudar::new(FraudarConfig {
+                k,
+                ..Default::default()
+            })
+            .run(&g);
+            (result.detected_users_after(k), None)
+        }
+        m @ ("spoken" | "fbox" | "hits" | "kcore" | "degree") => {
+            let top: usize = args.get_or("top", 100)?;
+            let scores = score_users(m, &g, args)?;
+            args.finish()?;
+            let mut order: Vec<u32> = (0..g.num_users() as u32).collect();
+            order.sort_by(|&a, &b| {
+                scores[b as usize]
+                    .partial_cmp(&scores[a as usize])
+                    .expect("finite scores")
+                    .then(a.cmp(&b))
+            });
+            let detected = order
+                .into_iter()
+                .take(top)
+                .filter(|&u| scores[u as usize] > 0.0)
+                .collect();
+            (detected, Some(scores))
+        }
+        other => return Err(format!("unknown method `{other}`\n\n{HELP}")),
+    };
+
+    if let Some(p) = &out_path {
+        io::save_labels(&detected, p).map_err(|e| format!("cannot write {p}: {e}"))?;
+    }
+    if let Some(p) = &scores_path {
+        let scores = scores
+            .as_ref()
+            .ok_or_else(|| format!("method `{method}` does not produce per-user scores"))?;
+        let f = std::fs::File::create(p).map_err(|e| format!("cannot write {p}: {e}"))?;
+        let mut w = std::io::BufWriter::new(f);
+        for (u, s) in scores.iter().enumerate() {
+            writeln!(w, "{u}\t{s}").map_err(|e| format!("cannot write {p}: {e}"))?;
+        }
+    }
+
+    let mut report = format!(
+        "{method}: detected {} of {} users on {path}",
+        detected.len(),
+        g.num_users()
+    );
+    if let Some(p) = out_path {
+        report.push_str(&format!("\nflagged ids written to {p}"));
+    }
+    if let Some(p) = scores_path {
+        report.push_str(&format!("\nscores written to {p}"));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ensemfdet_graph::{GraphBuilder, MerchantId, UserId};
+
+    fn args(parts: &[&str]) -> Args {
+        Args::parse(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn graph_file() -> String {
+        let dir = std::env::temp_dir().join("ensemfdet_cli_detect");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.edges");
+        let mut b = GraphBuilder::new();
+        for u in 0..8u32 {
+            for v in 0..4u32 {
+                b.add_edge(UserId(u), MerchantId(v));
+            }
+        }
+        for u in 8..60u32 {
+            b.add_edge(UserId(u), MerchantId(4 + u % 20));
+        }
+        io::save_edge_list(&b.build(), &path).unwrap();
+        path.to_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn ensemfdet_detects_block() {
+        let gf = graph_file();
+        let out = run(&args(&[
+            "--graph", &gf, "--samples", "10", "--ratio", "0.5", "--threshold", "8",
+        ]))
+        .unwrap();
+        assert!(out.contains("detected"));
+    }
+
+    #[test]
+    fn every_method_runs() {
+        let gf = graph_file();
+        let out = run(&args(&["--graph", &gf, "--method", "fraudar", "--k", "5"])).unwrap();
+        assert!(out.contains("detected"), "fraudar: {out}");
+        for m in ["spoken", "fbox", "hits", "kcore", "degree"] {
+            let out = run(&args(&["--graph", &gf, "--method", m, "--top", "8"])).unwrap();
+            assert!(out.contains("detected"), "{m}: {out}");
+        }
+    }
+
+    #[test]
+    fn out_and_scores_files_are_written() {
+        let gf = graph_file();
+        let dir = std::env::temp_dir().join("ensemfdet_cli_detect");
+        let flagged = dir.join("flagged.txt");
+        let scores = dir.join("scores.tsv");
+        run(&args(&[
+            "--graph",
+            &gf,
+            "--method",
+            "degree",
+            "--top",
+            "5",
+            "--out",
+            flagged.to_str().unwrap(),
+            "--scores",
+            scores.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let flagged_ids = io::load_labels(&flagged).unwrap();
+        assert_eq!(flagged_ids.len(), 5);
+        let scored = std::fs::read_to_string(&scores).unwrap();
+        assert_eq!(scored.lines().count(), 60);
+    }
+
+    #[test]
+    fn unknown_method_rejected() {
+        let gf = graph_file();
+        let err = run(&args(&["--graph", &gf, "--method", "magic"])).unwrap_err();
+        assert!(err.contains("magic"));
+    }
+
+    #[test]
+    fn unknown_option_rejected() {
+        let gf = graph_file();
+        let err = run(&args(&["--graph", &gf, "--threshhold", "3"])).unwrap_err();
+        assert!(err.contains("threshhold"));
+    }
+
+    #[test]
+    fn fraudar_scores_request_is_an_error() {
+        let gf = graph_file();
+        let err = run(&args(&[
+            "--graph", &gf, "--method", "fraudar", "--scores", "/tmp/s.tsv",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("does not produce"));
+    }
+}

@@ -1,0 +1,218 @@
+//! `ensemfdet sweep` — a detector's full operating curve against labels.
+
+use crate::args::Args;
+use crate::cmd_detect::{ensemfdet_config, score_users};
+use ensemfdet::EnsemFdet;
+use ensemfdet_baselines::{Fraudar, FraudarConfig};
+use ensemfdet_eval::{PrCurve, RocCurve, Table};
+use ensemfdet_graph::io;
+
+const HELP: &str = "\
+ensemfdet sweep — evaluate a detector across its whole threshold range
+
+OPTIONS:
+    --graph FILE          the edge list to scan (required)
+    --labels FILE         blacklist user ids (required)
+    --method NAME         ensemfdet | fraudar | spoken | fbox | hits | kcore | degree
+                          [default: ensemfdet]
+    --json FILE           also write the curve as JSON
+  ensemfdet:
+    --samples N  --ratio S  --sampling M  --seed N    (as in `detect`)
+  fraudar:
+    --k N                 blocks to sweep [default: 30]
+  spoken / fbox:
+    --components N        SVD rank [default: 25]
+";
+
+/// Runs the command.
+pub fn run(args: &Args) -> Result<String, String> {
+    if args.flag("help") {
+        return Ok(HELP.to_string());
+    }
+    let graph_path = args.require("graph")?;
+    let labels_path = args.require("labels")?;
+    let method = args.get("method").unwrap_or_else(|| "ensemfdet".into());
+    let json_path = args.get("json");
+
+    let g = io::load_edge_list(&graph_path)
+        .map_err(|e| format!("cannot read {graph_path}: {e}"))?;
+    let blacklist =
+        io::load_labels(&labels_path).map_err(|e| format!("cannot read {labels_path}: {e}"))?;
+    let mut labels = vec![false; g.num_users()];
+    for &u in &blacklist {
+        *labels
+            .get_mut(u as usize)
+            .ok_or_else(|| format!("label id {u} exceeds the graph's {} users", g.num_users()))? =
+            true;
+    }
+
+    let (pr, roc): (PrCurve, RocCurve) = match method.as_str() {
+        "ensemfdet" => {
+            let cfg = ensemfdet_config(args)?;
+            args.finish()?;
+            let outcome = EnsemFdet::new(cfg).detect(&g);
+            let sets: Vec<(f64, Vec<u32>)> = (1..=outcome.votes.max_user_votes())
+                .map(|t| {
+                    (
+                        t as f64,
+                        outcome
+                            .votes
+                            .detected_users(t)
+                            .into_iter()
+                            .map(|u| u.0)
+                            .collect(),
+                    )
+                })
+                .collect();
+            (
+                PrCurve::from_threshold_sets(sets.iter().map(|(t, d)| (*t, d.as_slice())), &labels),
+                RocCurve::from_threshold_sets(sets.iter().map(|(t, d)| (*t, d.as_slice())), &labels),
+            )
+        }
+        "fraudar" => {
+            let k: usize = args.get_or("k", 30)?;
+            args.finish()?;
+            let result = Fraudar::new(FraudarConfig {
+                k,
+                ..Default::default()
+            })
+            .run(&g);
+            let points = result.operating_points();
+            (
+                PrCurve::from_threshold_sets(
+                    points.iter().map(|(k, d)| (*k as f64, d.as_slice())),
+                    &labels,
+                ),
+                RocCurve::from_threshold_sets(
+                    points.iter().map(|(k, d)| (*k as f64, d.as_slice())),
+                    &labels,
+                ),
+            )
+        }
+        m @ ("spoken" | "fbox" | "hits" | "kcore" | "degree") => {
+            let scores = score_users(m, &g, args)?;
+            args.finish()?;
+            (
+                PrCurve::from_scores(&scores, &labels),
+                RocCurve::from_scores(&scores, &labels),
+            )
+        }
+        other => return Err(format!("unknown method `{other}`\n\n{HELP}")),
+    };
+
+    if let Some(p) = &json_path {
+        ensemfdet_eval::write_json(&pr, p).map_err(|e| format!("cannot write {p}: {e}"))?;
+    }
+
+    let mut t = Table::new(&["threshold", "detected", "precision", "recall", "F1"]);
+    let step = (pr.points.len() / 20).max(1);
+    for p in pr.points.iter().step_by(step) {
+        t.row(&[
+            format!("{:.3}", p.threshold),
+            p.detected.to_string(),
+            format!("{:.3}", p.precision),
+            format!("{:.3}", p.recall),
+            format!("{:.3}", p.f1),
+        ]);
+    }
+    let mut report = t.render();
+    report.push_str(&format!(
+        "\nbest F1: {:.4}   AUC-PR: {:.4}   AUC-ROC: {:.4}   max TPR jump: {:.4}\n",
+        pr.best_f1(),
+        pr.auc_pr(),
+        roc.auc(),
+        roc.max_tpr_jump()
+    ));
+    if let Some(p) = json_path {
+        report.push_str(&format!("curve written to {p}\n"));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ensemfdet_graph::{GraphBuilder, MerchantId, UserId};
+
+    fn args(parts: &[&str]) -> Args {
+        Args::parse(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn dataset_files() -> (String, String) {
+        let dir = std::env::temp_dir().join("ensemfdet_cli_sweep");
+        std::fs::create_dir_all(&dir).unwrap();
+        let gpath = dir.join("g.edges");
+        let lpath = dir.join("g.labels");
+        let mut b = GraphBuilder::new();
+        for u in 0..8u32 {
+            for v in 0..4u32 {
+                b.add_edge(UserId(u), MerchantId(v));
+            }
+        }
+        for u in 8..80u32 {
+            b.add_edge(UserId(u), MerchantId(4 + u % 30));
+        }
+        io::save_edge_list(&b.build(), &gpath).unwrap();
+        io::save_labels(&(0..8).collect::<Vec<u32>>(), &lpath).unwrap();
+        (
+            gpath.to_str().unwrap().to_string(),
+            lpath.to_str().unwrap().to_string(),
+        )
+    }
+
+    #[test]
+    fn ensemfdet_sweep_reports_best_f1() {
+        let (g, l) = dataset_files();
+        let out = run(&args(&[
+            "--graph", &g, "--labels", &l, "--samples", "8", "--ratio", "0.5",
+        ]))
+        .unwrap();
+        assert!(out.contains("best F1"), "{out}");
+        assert!(out.contains("AUC-ROC"));
+    }
+
+    #[test]
+    fn fraudar_sweep_shows_jumpiness() {
+        let (g, l) = dataset_files();
+        let out = run(&args(&["--graph", &g, "--labels", &l, "--method", "fraudar", "--k", "4"]))
+            .unwrap();
+        assert!(out.contains("max TPR jump"));
+    }
+
+    #[test]
+    fn score_method_sweep_and_json() {
+        let (g, l) = dataset_files();
+        let dir = std::env::temp_dir().join("ensemfdet_cli_sweep");
+        let json = dir.join("curve.json");
+        let out = run(&args(&[
+            "--graph",
+            &g,
+            "--labels",
+            &l,
+            "--method",
+            "degree",
+            "--json",
+            json.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("curve written"));
+        let content = std::fs::read_to_string(&json).unwrap();
+        assert!(content.contains("precision"));
+    }
+
+    #[test]
+    fn label_out_of_range_rejected() {
+        let (g, _) = dataset_files();
+        let dir = std::env::temp_dir().join("ensemfdet_cli_sweep");
+        let bad = dir.join("bad.labels");
+        io::save_labels(&[10_000], &bad).unwrap();
+        let err = run(&args(&[
+            "--graph",
+            &g,
+            "--labels",
+            bad.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("exceeds"));
+    }
+}

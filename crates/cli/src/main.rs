@@ -1,0 +1,12 @@
+//! Binary entry point: thin wrapper over [`ensemfdet_cli::run`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match ensemfdet_cli::run(&argv) {
+        Ok(report) => println!("{report}"),
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    }
+}

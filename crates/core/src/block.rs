@@ -1,0 +1,59 @@
+//! A detected dense block.
+
+use ensemfdet_graph::{EdgeId, MerchantId, UserId};
+
+/// One dense subgraph detected by a peel: the vertex subset `S_i` of the
+/// problem definition, its density score, and the edges it contains (which
+/// FDET removes before searching for the next block, Algorithm 1 line 11).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Block {
+    /// User-side members.
+    pub users: Vec<UserId>,
+    /// Merchant-side members.
+    pub merchants: Vec<MerchantId>,
+    /// Density score `φ` of the block at detection time.
+    pub score: f64,
+    /// Edge ids (into the peeled graph) with both endpoints in the block.
+    pub edges: Vec<EdgeId>,
+}
+
+impl Block {
+    /// Total node count `|S_i|`.
+    pub fn num_nodes(&self) -> usize {
+        self.users.len() + self.merchants.len()
+    }
+
+    /// `true` when the block contains no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty() && self.merchants.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_count_sums_sides() {
+        let b = Block {
+            users: vec![UserId(0), UserId(1)],
+            merchants: vec![MerchantId(0)],
+            score: 1.5,
+            edges: vec![0, 1],
+        };
+        assert_eq!(b.num_nodes(), 3);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn empty_block() {
+        let b = Block {
+            users: vec![],
+            merchants: vec![],
+            score: 0.0,
+            edges: vec![],
+        };
+        assert!(b.is_empty());
+        assert_eq!(b.num_nodes(), 0);
+    }
+}

@@ -1,0 +1,381 @@
+//! ENSEMFDET (Algorithm 2): sample → FDET in parallel → vote.
+//!
+//! The `N` sampled runs are independent, so they map perfectly onto rayon's
+//! work-stealing pool — this is the parallelism behind the paper's
+//! `Time(EnsemFDet) < S × Time(Fraudar)` claim. Per-sample seeds are derived
+//! deterministically from the master seed, so the outcome is identical
+//! regardless of thread count or scheduling.
+
+use crate::aggregate::VoteTally;
+use crate::evidence::EvidenceTally;
+use crate::fdet::{fdet, Truncation};
+use crate::metric::MetricKind;
+use ensemfdet_graph::BipartiteGraph;
+use ensemfdet_sampling::{seed, Sampler, SamplingMethod};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+use std::time::Instant;
+
+/// Configuration of an ENSEMFDET run (the parameters of Table II).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct EnsemFdetConfig {
+    /// `N` — number of sampled graphs.
+    pub num_samples: usize,
+    /// `S` — sample ratio in `(0, 1]`.
+    pub sample_ratio: f64,
+    /// `M` — the structural sampling method.
+    pub method: SamplingMethodConfig,
+    /// Density metric `φ` (Definition 2 by default).
+    pub metric: MetricKind,
+    /// Block truncation strategy (Definition 3 by default).
+    pub truncation: Truncation,
+    /// Master RNG seed.
+    pub seed: u64,
+}
+
+/// Serializable mirror of [`SamplingMethod`] (the sampling crate keeps its
+/// enum serde-free).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SamplingMethodConfig {
+    /// Random Edge Sampling.
+    RandomEdge,
+    /// One-side sampling of the user/PIN side.
+    OneSideUser,
+    /// One-side sampling of the merchant side.
+    OneSideMerchant,
+    /// Two-sides node sampling.
+    TwoSide,
+}
+
+impl From<SamplingMethodConfig> for SamplingMethod {
+    fn from(c: SamplingMethodConfig) -> Self {
+        match c {
+            SamplingMethodConfig::RandomEdge => SamplingMethod::RandomEdge,
+            SamplingMethodConfig::OneSideUser => SamplingMethod::OneSideUser,
+            SamplingMethodConfig::OneSideMerchant => SamplingMethod::OneSideMerchant,
+            SamplingMethodConfig::TwoSide => SamplingMethod::TwoSide,
+        }
+    }
+}
+
+impl Default for EnsemFdetConfig {
+    /// The paper's headline configuration: RES, `S = 0.1`, `N = 80`,
+    /// log-weighted metric, auto-truncation.
+    fn default() -> Self {
+        EnsemFdetConfig {
+            num_samples: 80,
+            sample_ratio: 0.1,
+            method: SamplingMethodConfig::RandomEdge,
+            metric: MetricKind::default(),
+            truncation: Truncation::default(),
+            seed: 0x0115_ED,
+        }
+    }
+}
+
+/// Per-sample diagnostics.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SampleSummary {
+    /// Index of the sample (0-based).
+    pub index: usize,
+    /// Nodes in the sampled graph.
+    pub sample_nodes: usize,
+    /// Edges in the sampled graph.
+    pub sample_edges: usize,
+    /// Blocks peeled before truncation.
+    pub blocks_peeled: usize,
+    /// `k̂` for this sample.
+    pub k_hat: usize,
+    /// Per-block scores (the Figure 1 curve of this sample).
+    pub scores: Vec<f64>,
+    /// Users detected in this sample.
+    pub detected_users: usize,
+    /// Merchants detected in this sample.
+    pub detected_merchants: usize,
+    /// Wall-clock spent sampling + detecting this sample.
+    pub elapsed: Duration,
+}
+
+/// The full outcome of one ensemble run.
+#[derive(Clone, Debug)]
+pub struct EnsembleOutcome {
+    /// Vote counts per parent-graph node; threshold with
+    /// [`VoteTally::detected_users`] or sweep with
+    /// [`VoteTally::user_detection_curve`].
+    pub votes: VoteTally,
+    /// Block-score-weighted evidence per node (the continuous alternative
+    /// aggregation of Section IV-C's flexibility remark).
+    pub evidence: EvidenceTally,
+    /// Per-sample diagnostics, in sample order.
+    pub samples: Vec<SampleSummary>,
+    /// Total wall-clock of the run.
+    pub elapsed: Duration,
+}
+
+impl EnsembleOutcome {
+    /// Sum of per-sample wall-clock — what a fully parallel machine
+    /// overlaps; `sum / elapsed` is the realized speedup, `sum / max` the
+    /// ideal one.
+    pub fn total_sample_time(&self) -> Duration {
+        self.samples.iter().map(|s| s.elapsed).sum()
+    }
+
+    /// The slowest sample — the critical path under perfect parallelism.
+    pub fn max_sample_time(&self) -> Duration {
+        self.samples
+            .iter()
+            .map(|s| s.elapsed)
+            .max()
+            .unwrap_or_default()
+    }
+}
+
+/// The ENSEMFDET detector.
+#[derive(Clone, Debug)]
+pub struct EnsemFdet {
+    config: EnsemFdetConfig,
+}
+
+impl EnsemFdet {
+    /// Builds a detector from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_samples == 0` or `sample_ratio ∉ (0, 1]`.
+    pub fn new(config: EnsemFdetConfig) -> Self {
+        assert!(config.num_samples > 0, "N must be at least 1");
+        assert!(
+            config.sample_ratio > 0.0 && config.sample_ratio <= 1.0,
+            "S must be in (0, 1], got {}",
+            config.sample_ratio
+        );
+        EnsemFdet { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EnsemFdetConfig {
+        &self.config
+    }
+
+    /// Runs Algorithm 2 on `g`: sample `N` subgraphs, run FDET on each in
+    /// parallel, and tally votes in the parent id space.
+    pub fn detect(&self, g: &BipartiteGraph) -> EnsembleOutcome {
+        let start = Instant::now();
+        let cfg = &self.config;
+        let method: SamplingMethod = cfg.method.into();
+
+        let per_sample: Vec<(VoteTally, EvidenceTally, SampleSummary)> = (0..cfg.num_samples)
+            .into_par_iter()
+            .map(|i| {
+                let t0 = Instant::now();
+                let sample_seed = seed::derive(cfg.seed, i as u64);
+                let sampled = method.sample(g, cfg.sample_ratio, sample_seed);
+                let result = fdet(&sampled.graph, &cfg.metric, cfg.truncation);
+
+                let users: Vec<_> = result
+                    .detected_users()
+                    .into_iter()
+                    .map(|lu| sampled.parent_user(lu))
+                    .collect();
+                let merchants: Vec<_> = result
+                    .detected_merchants()
+                    .into_iter()
+                    .map(|lv| sampled.parent_merchant(lv))
+                    .collect();
+
+                let summary = SampleSummary {
+                    index: i,
+                    sample_nodes: sampled.graph.num_nodes(),
+                    sample_edges: sampled.graph.num_edges(),
+                    blocks_peeled: result.blocks.len(),
+                    k_hat: result.k_hat,
+                    scores: result.scores.clone(),
+                    detected_users: users.len(),
+                    detected_merchants: merchants.len(),
+                    elapsed: t0.elapsed(),
+                };
+                let mut tally = VoteTally::new(g.num_users(), g.num_merchants());
+                tally.add_sample(users, merchants);
+
+                // Evidence: each detected node carries its block's score.
+                // FDET blocks are node-disjoint, so a node appears at most
+                // once per sample.
+                let mut evidence = EvidenceTally::new(g.num_users(), g.num_merchants());
+                let sampled_ref = &sampled;
+                evidence.add_sample(
+                    result.detected_blocks().iter().flat_map(|b| {
+                        b.users
+                            .iter()
+                            .map(move |&lu| (sampled_ref.parent_user(lu), b.score))
+                    }),
+                    result.detected_blocks().iter().flat_map(|b| {
+                        b.merchants
+                            .iter()
+                            .map(move |&lv| (sampled_ref.parent_merchant(lv), b.score))
+                    }),
+                );
+                (tally, evidence, summary)
+            })
+            .collect();
+
+        let mut votes = VoteTally::new(g.num_users(), g.num_merchants());
+        let mut evidence = EvidenceTally::new(g.num_users(), g.num_merchants());
+        let mut samples = Vec::with_capacity(per_sample.len());
+        for (tally, ev, summary) in per_sample {
+            votes.merge(&tally);
+            evidence.merge(&ev);
+            samples.push(summary);
+        }
+
+        EnsembleOutcome {
+            votes,
+            evidence,
+            samples,
+            elapsed: start.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ensemfdet_graph::{GraphBuilder, MerchantId, UserId};
+
+    /// Dense planted block + sparse background.
+    fn planted(nu_fraud: u32, nv_fraud: u32, nu_honest: u32) -> BipartiteGraph {
+        let mut b = GraphBuilder::new();
+        for u in 0..nu_fraud {
+            for v in 0..nv_fraud {
+                b.add_edge(UserId(u), MerchantId(v));
+            }
+        }
+        for u in nu_fraud..(nu_fraud + nu_honest) {
+            b.add_edge(UserId(u), MerchantId(nv_fraud + u % 23));
+            b.add_edge(UserId(u), MerchantId(nv_fraud + (u * 7) % 23));
+        }
+        b.build()
+    }
+
+    fn quick_config(n: usize, s: f64) -> EnsemFdetConfig {
+        EnsemFdetConfig {
+            num_samples: n,
+            sample_ratio: s,
+            seed: 7,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn detects_planted_fraud_users() {
+        let g = planted(10, 4, 100);
+        let det = EnsemFdet::new(quick_config(12, 0.4));
+        let out = det.detect(&g);
+        // Fraud users should out-vote honest ones decisively.
+        let frauds = out.votes.detected_users(6);
+        assert!(!frauds.is_empty());
+        assert!(
+            frauds.iter().all(|u| u.0 < 10),
+            "false positives at high T: {frauds:?}"
+        );
+        // At T=1 recall of the block should be near-total.
+        let loose = out.votes.detected_users(1);
+        let fraud_hits = loose.iter().filter(|u| u.0 < 10).count();
+        assert!(fraud_hits >= 9, "only {fraud_hits}/10 fraud users seen");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = planted(8, 3, 60);
+        let det = EnsemFdet::new(quick_config(8, 0.3));
+        let a = det.detect(&g);
+        let b = det.detect(&g);
+        assert_eq!(a.votes, b.votes);
+    }
+
+    #[test]
+    fn seed_changes_votes() {
+        let g = planted(8, 3, 60);
+        let mut c1 = quick_config(6, 0.3);
+        c1.seed = 1;
+        let mut c2 = c1;
+        c2.seed = 2;
+        let a = EnsemFdet::new(c1).detect(&g);
+        let b = EnsemFdet::new(c2).detect(&g);
+        assert_ne!(a.votes.user_votes, b.votes.user_votes);
+    }
+
+    #[test]
+    fn sample_summaries_are_complete() {
+        let g = planted(8, 3, 40);
+        let out = EnsemFdet::new(quick_config(5, 0.5)).detect(&g);
+        assert_eq!(out.samples.len(), 5);
+        for (i, s) in out.samples.iter().enumerate() {
+            assert_eq!(s.index, i);
+            assert!(s.sample_edges > 0);
+            assert!(s.k_hat <= s.blocks_peeled);
+            assert_eq!(s.scores.len(), s.blocks_peeled);
+        }
+        assert_eq!(out.votes.num_samples, 5);
+        assert!(out.total_sample_time() >= out.max_sample_time());
+    }
+
+    #[test]
+    fn full_ratio_single_sample_equals_plain_fdet() {
+        let g = planted(8, 3, 40);
+        let cfg = EnsemFdetConfig {
+            num_samples: 1,
+            sample_ratio: 1.0,
+            seed: 3,
+            ..Default::default()
+        };
+        let out = EnsemFdet::new(cfg).detect(&g);
+        let direct = crate::fdet::fdet(&g, &MetricKind::default(), Truncation::default());
+        let ensemble_users = out.votes.detected_users(1);
+        assert_eq!(ensemble_users, direct.detected_users());
+    }
+
+    #[test]
+    #[should_panic(expected = "N must be at least 1")]
+    fn zero_samples_rejected() {
+        EnsemFdet::new(EnsemFdetConfig {
+            num_samples: 0,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "S must be in (0, 1]")]
+    fn invalid_ratio_rejected() {
+        EnsemFdet::new(EnsemFdetConfig {
+            sample_ratio: 1.5,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn evidence_tracks_votes() {
+        let g = planted(10, 4, 100);
+        let out = EnsemFdet::new(quick_config(12, 0.4)).detect(&g);
+        assert_eq!(out.evidence.num_samples, 12);
+        // A node with votes has evidence and vice versa.
+        for (u, &v) in out.votes.user_votes.iter().enumerate() {
+            let e = out.evidence.user_evidence[u];
+            assert_eq!(v > 0, e > 0.0, "user {u}: votes {v}, evidence {e}");
+        }
+        // Evidence separates the planted block at least as well as votes:
+        // its fraud-user mean exceeds the honest mean by a wide margin.
+        let fraud_mean: f64 =
+            out.evidence.user_evidence[..10].iter().sum::<f64>() / 10.0;
+        let honest_mean: f64 =
+            out.evidence.user_evidence[10..].iter().sum::<f64>() / 100.0;
+        assert!(fraud_mean > 3.0 * honest_mean);
+    }
+
+    #[test]
+    fn works_on_edgeless_graph() {
+        let g = BipartiteGraph::from_edges(5, 5, vec![]).unwrap();
+        let out = EnsemFdet::new(quick_config(3, 0.5)).detect(&g);
+        assert_eq!(out.votes.max_user_votes(), 0);
+    }
+}

@@ -1,0 +1,311 @@
+//! Indexed binary min-heap with update-key.
+//!
+//! The greedy peel removes, at every step, the node with the smallest
+//! incident suspiciousness and *decreases* the keys of its neighbors. A
+//! binary heap with a position index supports both in O(log n), giving the
+//! paper's `O(|E| log(|U|+|V|))` per detected block (Section IV-B, after
+//! Fraudar \[13\]).
+//!
+//! Keys are `f64` priorities (never NaN — asserted on insert); ties break by
+//! element id so the peel order, and therefore the whole detection, is
+//! deterministic.
+
+/// Slot value marking an element as not in the heap.
+const ABSENT: usize = usize::MAX;
+
+/// A min-heap over elements `0..capacity` with `f64` keys and O(log n)
+/// arbitrary-element key updates.
+#[derive(Clone, Debug)]
+pub struct IndexedMinHeap {
+    /// Heap array of element ids.
+    heap: Vec<usize>,
+    /// `pos[element] = index into heap`, or `ABSENT`.
+    pos: Vec<usize>,
+    /// `key[element]` — valid only while the element is in the heap.
+    key: Vec<f64>,
+}
+
+impl IndexedMinHeap {
+    /// An empty heap that can hold elements `0..capacity`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        IndexedMinHeap {
+            heap: Vec::with_capacity(capacity),
+            pos: vec![ABSENT; capacity],
+            key: vec![0.0; capacity],
+        }
+    }
+
+    /// Builds a heap containing every element with the given keys, in O(n).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any key is NaN.
+    pub fn from_keys(keys: &[f64]) -> Self {
+        for (i, k) in keys.iter().enumerate() {
+            assert!(!k.is_nan(), "NaN key for element {i}");
+        }
+        let n = keys.len();
+        let mut h = IndexedMinHeap {
+            heap: (0..n).collect(),
+            pos: (0..n).collect(),
+            key: keys.to_vec(),
+        };
+        if n > 1 {
+            for i in (0..n / 2).rev() {
+                h.sift_down(i);
+            }
+        }
+        h
+    }
+
+    /// Number of elements currently in the heap.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when the heap holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// `true` when `element` is currently in the heap.
+    #[inline]
+    pub fn contains(&self, element: usize) -> bool {
+        self.pos.get(element).is_some_and(|&p| p != ABSENT)
+    }
+
+    /// Current key of `element` (meaningful only if [`contains`](Self::contains)).
+    #[inline]
+    pub fn key_of(&self, element: usize) -> f64 {
+        self.key[element]
+    }
+
+    /// Inserts `element` with `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element is already present, out of capacity, or NaN-keyed.
+    pub fn push(&mut self, element: usize, key: f64) {
+        assert!(!key.is_nan(), "NaN key for element {element}");
+        assert!(element < self.pos.len(), "element {element} out of capacity");
+        assert!(!self.contains(element), "element {element} already in heap");
+        self.key[element] = key;
+        self.pos[element] = self.heap.len();
+        self.heap.push(element);
+        self.sift_up(self.heap.len() - 1);
+    }
+
+    /// Removes and returns the minimum `(element, key)`.
+    pub fn pop_min(&mut self) -> Option<(usize, f64)> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let min = self.heap[0];
+        let key = self.key[min];
+        self.remove_at(0);
+        Some((min, key))
+    }
+
+    /// Peeks the minimum without removing it.
+    pub fn peek_min(&self) -> Option<(usize, f64)> {
+        self.heap.first().map(|&e| (e, self.key[e]))
+    }
+
+    /// Changes the key of a present element (up or down).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element is absent or the key is NaN.
+    pub fn update_key(&mut self, element: usize, key: f64) {
+        assert!(!key.is_nan(), "NaN key for element {element}");
+        assert!(self.contains(element), "element {element} not in heap");
+        let old = self.key[element];
+        self.key[element] = key;
+        let p = self.pos[element];
+        if key < old {
+            self.sift_up(p);
+        } else if key > old {
+            self.sift_down(p);
+        }
+    }
+
+    /// Removes an arbitrary present element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element is absent.
+    pub fn remove(&mut self, element: usize) {
+        assert!(self.contains(element), "element {element} not in heap");
+        let p = self.pos[element];
+        self.remove_at(p);
+    }
+
+    /// Heap-order comparison: by key, ties by element id (determinism).
+    #[inline]
+    fn less(&self, a: usize, b: usize) -> bool {
+        let (ka, kb) = (self.key[a], self.key[b]);
+        ka < kb || (ka == kb && a < b)
+    }
+
+    fn remove_at(&mut self, p: usize) {
+        let last = self.heap.len() - 1;
+        let removed = self.heap[p];
+        self.heap.swap(p, last);
+        self.pos[self.heap[p]] = p;
+        self.heap.pop();
+        self.pos[removed] = ABSENT;
+        if p < self.heap.len() {
+            self.sift_down(p);
+            self.sift_up(p);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.less(self.heap[i], self.heap[parent]) {
+                self.swap_slots(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && self.less(self.heap[l], self.heap[best]) {
+                best = l;
+            }
+            if r < self.heap.len() && self.less(self.heap[r], self.heap[best]) {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap_slots(i, best);
+            i = best;
+        }
+    }
+
+    #[inline]
+    fn swap_slots(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a]] = a;
+        self.pos[self.heap[b]] = b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_keys_pops_in_order() {
+        let mut h = IndexedMinHeap::from_keys(&[5.0, 1.0, 3.0, 2.0, 4.0]);
+        let mut out = Vec::new();
+        while let Some((e, k)) = h.pop_min() {
+            out.push((e, k));
+        }
+        assert_eq!(
+            out,
+            vec![(1, 1.0), (3, 2.0), (2, 3.0), (4, 4.0), (0, 5.0)]
+        );
+    }
+
+    #[test]
+    fn push_and_pop_interleaved() {
+        let mut h = IndexedMinHeap::with_capacity(4);
+        h.push(0, 2.0);
+        h.push(1, 1.0);
+        assert_eq!(h.pop_min(), Some((1, 1.0)));
+        h.push(2, 0.5);
+        h.push(3, 3.0);
+        assert_eq!(h.pop_min(), Some((2, 0.5)));
+        assert_eq!(h.pop_min(), Some((0, 2.0)));
+        assert_eq!(h.pop_min(), Some((3, 3.0)));
+        assert_eq!(h.pop_min(), None);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn update_key_decrease_moves_to_front() {
+        let mut h = IndexedMinHeap::from_keys(&[5.0, 6.0, 7.0]);
+        h.update_key(2, 0.0);
+        assert_eq!(h.peek_min(), Some((2, 0.0)));
+    }
+
+    #[test]
+    fn update_key_increase_moves_back() {
+        let mut h = IndexedMinHeap::from_keys(&[1.0, 2.0, 3.0]);
+        h.update_key(0, 10.0);
+        assert_eq!(h.pop_min(), Some((1, 2.0)));
+        assert_eq!(h.pop_min(), Some((2, 3.0)));
+        assert_eq!(h.pop_min(), Some((0, 10.0)));
+    }
+
+    #[test]
+    fn remove_arbitrary_element() {
+        let mut h = IndexedMinHeap::from_keys(&[4.0, 1.0, 3.0, 2.0]);
+        h.remove(3);
+        assert!(!h.contains(3));
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.pop_min(), Some((1, 1.0)));
+        assert_eq!(h.pop_min(), Some((2, 3.0)));
+        assert_eq!(h.pop_min(), Some((0, 4.0)));
+    }
+
+    #[test]
+    fn ties_break_by_element_id() {
+        let mut h = IndexedMinHeap::from_keys(&[1.0, 1.0, 1.0]);
+        assert_eq!(h.pop_min(), Some((0, 1.0)));
+        assert_eq!(h.pop_min(), Some((1, 1.0)));
+        assert_eq!(h.pop_min(), Some((2, 1.0)));
+    }
+
+    #[test]
+    fn contains_and_key_of() {
+        let h = IndexedMinHeap::from_keys(&[2.0, 9.0]);
+        assert!(h.contains(1));
+        assert_eq!(h.key_of(1), 9.0);
+        assert!(!h.contains(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "already in heap")]
+    fn double_push_panics() {
+        let mut h = IndexedMinHeap::with_capacity(2);
+        h.push(0, 1.0);
+        h.push(0, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN key")]
+    fn nan_key_panics() {
+        let mut h = IndexedMinHeap::with_capacity(1);
+        h.push(0, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in heap")]
+    fn update_absent_panics() {
+        let mut h = IndexedMinHeap::with_capacity(2);
+        h.push(0, 1.0);
+        h.update_key(1, 2.0);
+    }
+
+    #[test]
+    fn empty_heap_behaves() {
+        let mut h = IndexedMinHeap::with_capacity(0);
+        assert!(h.is_empty());
+        assert_eq!(h.pop_min(), None);
+        assert_eq!(h.peek_min(), None);
+        let mut h2 = IndexedMinHeap::from_keys(&[]);
+        assert_eq!(h2.pop_min(), None);
+    }
+}

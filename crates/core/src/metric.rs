@@ -1,0 +1,173 @@
+//! Density metrics (Definition 2).
+//!
+//! The peel maximizes `φ(S) = f(S) / |S|` where
+//! `f(S) = Σ_{(i,j) ∈ E(S)} w_ij · cw(d_j)` sums per-edge suspiciousness:
+//! the edge's own weight `w_ij` times a **column weight** `cw(d_j)` derived
+//! from the merchant endpoint's total degree `d_j` in the graph being peeled
+//! (fixed before peeling starts, per Fraudar \[13\]).
+//!
+//! The paper's Definition 2 uses the Fraudar logarithmic column weight
+//! `cw(d) = 1 / log(d + c)`: edges into popular merchants are cheap, so
+//! fraudsters cannot hide a dense block behind camouflage edges to busy
+//! legitimate merchants. [`AverageDegreeMetric`] (`cw ≡ 1`, Charikar's
+//! greedy objective) is provided as the un-penalized ablation.
+
+use serde::{Deserialize, Serialize};
+
+/// A column-weighted density metric.
+///
+/// Implementations map a merchant's (weighted) degree to the suspiciousness
+/// weight of each edge incident to it. They must be cheap: the peel calls
+/// this once per merchant at setup.
+pub trait DensityMetric: Send + Sync {
+    /// Suspiciousness multiplier for edges into a merchant of total degree
+    /// `degree` (weighted degree on weighted graphs).
+    fn column_weight(&self, degree: f64) -> f64;
+
+    /// Display name for experiment output.
+    fn name(&self) -> &'static str;
+}
+
+/// Definition 2: `cw(d) = 1 / log(d + c)` with a small constant `c`
+/// preventing a zero/negative denominator. Fraudar's choice is `c = 5`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LogWeightedMetric {
+    /// The smoothing constant `c` in `1/log(d + c)`. Must exceed 1 so the
+    /// logarithm is positive for every degree ≥ 0.
+    pub c: f64,
+}
+
+impl LogWeightedMetric {
+    /// The paper's (and Fraudar's) default, `c = 5`.
+    pub fn paper_default() -> Self {
+        LogWeightedMetric { c: 5.0 }
+    }
+}
+
+impl Default for LogWeightedMetric {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl DensityMetric for LogWeightedMetric {
+    #[inline]
+    fn column_weight(&self, degree: f64) -> f64 {
+        debug_assert!(self.c > 1.0, "c must exceed 1 for a positive log");
+        1.0 / (degree.max(0.0) + self.c).ln()
+    }
+
+    fn name(&self) -> &'static str {
+        "log_weighted"
+    }
+}
+
+/// Charikar's plain average-degree objective: every edge counts 1, so
+/// `φ(S) = |E(S)| / |S|`. No camouflage resistance — the ablation baseline.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct AverageDegreeMetric;
+
+impl DensityMetric for AverageDegreeMetric {
+    #[inline]
+    fn column_weight(&self, _degree: f64) -> f64 {
+        1.0
+    }
+
+    fn name(&self) -> &'static str {
+        "average_degree"
+    }
+}
+
+/// Serializable metric selector for configs; dispatches to the trait impls.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// [`LogWeightedMetric`] with the given `c`.
+    LogWeighted {
+        /// Smoothing constant.
+        c: f64,
+    },
+    /// [`AverageDegreeMetric`].
+    AverageDegree,
+}
+
+impl Default for MetricKind {
+    fn default() -> Self {
+        MetricKind::LogWeighted { c: 5.0 }
+    }
+}
+
+impl DensityMetric for MetricKind {
+    #[inline]
+    fn column_weight(&self, degree: f64) -> f64 {
+        match self {
+            MetricKind::LogWeighted { c } => LogWeightedMetric { c: *c }.column_weight(degree),
+            MetricKind::AverageDegree => AverageDegreeMetric.column_weight(degree),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            MetricKind::LogWeighted { .. } => "log_weighted",
+            MetricKind::AverageDegree => "average_degree",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_weight_penalizes_high_degree() {
+        let m = LogWeightedMetric::paper_default();
+        let low = m.column_weight(1.0);
+        let high = m.column_weight(10_000.0);
+        assert!(low > high);
+        assert!(high > 0.0);
+    }
+
+    #[test]
+    fn log_weight_is_monotone_decreasing() {
+        let m = LogWeightedMetric::paper_default();
+        let mut prev = f64::INFINITY;
+        for d in 0..100 {
+            let w = m.column_weight(d as f64 * 3.0);
+            assert!(w < prev || d == 0 && w <= prev);
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn log_weight_zero_degree_is_finite() {
+        let m = LogWeightedMetric { c: 5.0 };
+        let w = m.column_weight(0.0);
+        assert!((w - 1.0 / 5.0f64.ln()).abs() < 1e-12);
+        // Negative degrees (impossible, but defensive) are clamped.
+        assert!(m.column_weight(-3.0).is_finite());
+    }
+
+    #[test]
+    fn average_degree_is_constant_one() {
+        assert_eq!(AverageDegreeMetric.column_weight(0.0), 1.0);
+        assert_eq!(AverageDegreeMetric.column_weight(1e9), 1.0);
+    }
+
+    #[test]
+    fn metric_kind_dispatch_matches_impls() {
+        let k = MetricKind::LogWeighted { c: 5.0 };
+        assert_eq!(
+            k.column_weight(7.0),
+            LogWeightedMetric { c: 5.0 }.column_weight(7.0)
+        );
+        assert_eq!(k.name(), "log_weighted");
+        let k = MetricKind::AverageDegree;
+        assert_eq!(k.column_weight(7.0), 1.0);
+        assert_eq!(k.name(), "average_degree");
+    }
+
+    #[test]
+    fn default_is_paper_default() {
+        assert_eq!(MetricKind::default(), MetricKind::LogWeighted { c: 5.0 });
+        assert_eq!(LogWeightedMetric::default(), LogWeightedMetric { c: 5.0 });
+    }
+}

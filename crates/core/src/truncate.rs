@@ -1,0 +1,108 @@
+//! The truncating point (Definition 3).
+//!
+//! FDET must stop extracting blocks once they stop being meaningful. The
+//! paper adapts the elbow method: treat the cumulative density
+//! `F(k) = Σ_{i≤k} φ(G(S_i))` as a function of `k` and stop where adding a
+//! block stops improving it — `k̂ = argmin Δ²F`. Since `ΔF(k) = φ_{k+1}`,
+//! the second difference of the cumulative curve is the *first* difference
+//! of the per-block scores, so the truncating point sits just before the
+//! largest single-step drop of `φ`:
+//!
+//! ```text
+//! k̂ = 1 + argmin_i ( φ_{i+1} − φ_i )        (0-based i)
+//! ```
+//!
+//! Blocks `0..k̂` are kept; everything after the cliff is noise (Figure 1
+//! of the paper shows all sampled curves collapsing after the elbow).
+
+/// Number of leading blocks to keep for a per-block score curve.
+///
+/// Curves with fewer than 3 points have no interior drop to measure; all
+/// blocks are kept.
+pub fn truncation_point(scores: &[f64]) -> usize {
+    if scores.len() <= 2 {
+        return scores.len();
+    }
+    let mut best_i = 0usize;
+    let mut best_drop = f64::INFINITY;
+    for i in 0..scores.len() - 1 {
+        let drop = scores[i + 1] - scores[i];
+        if drop < best_drop {
+            best_drop = drop;
+            best_i = i;
+        }
+    }
+    best_i + 1
+}
+
+/// The raw second-order finite differences `Δ²φ_i = φ_{i+1} − 2φ_i + φ_{i−1}`
+/// of a score curve, for diagnostics/plots (defined on interior points).
+pub fn second_differences(scores: &[f64]) -> Vec<f64> {
+    if scores.len() < 3 {
+        return Vec::new();
+    }
+    scores
+        .windows(3)
+        .map(|w| w[2] - 2.0 * w[1] + w[0])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_curves_keep_everything() {
+        assert_eq!(truncation_point(&[]), 0);
+        assert_eq!(truncation_point(&[1.0]), 1);
+        assert_eq!(truncation_point(&[1.0, 0.5]), 2);
+    }
+
+    #[test]
+    fn cliff_after_first_block() {
+        assert_eq!(truncation_point(&[1.0, 0.3, 0.28, 0.27]), 1);
+    }
+
+    #[test]
+    fn cliff_after_third_block() {
+        assert_eq!(truncation_point(&[1.0, 0.95, 0.9, 0.3, 0.28, 0.27]), 3);
+    }
+
+    #[test]
+    fn gentle_decay_truncates_at_largest_drop() {
+        // Monotone decay with the biggest drop between indexes 1 and 2.
+        let scores = [1.0, 0.9, 0.6, 0.5, 0.45];
+        assert_eq!(truncation_point(&scores), 2);
+    }
+
+    #[test]
+    fn flat_curve_keeps_one() {
+        // All drops equal (zero): argmin is the first, keep 1 block. A flat
+        // curve means no block distinguishes itself; keeping the first is
+        // the conservative choice.
+        assert_eq!(truncation_point(&[0.5, 0.5, 0.5, 0.5]), 1);
+    }
+
+    #[test]
+    fn non_monotone_curve_handled() {
+        // A rebound after a dip: the largest drop still wins.
+        let scores = [1.0, 0.2, 0.8, 0.75];
+        assert_eq!(truncation_point(&scores), 1);
+    }
+
+    #[test]
+    fn second_differences_match_definition() {
+        let d2 = second_differences(&[1.0, 0.5, 0.4, 0.39]);
+        assert_eq!(d2.len(), 2);
+        assert!((d2[0] - 0.4).abs() < 1e-12); // 0.4 − 2·0.5 + 1.0
+        assert!((d2[1] - 0.09).abs() < 1e-12); // 0.39 − 2·0.4 + 0.5
+        assert!(second_differences(&[1.0, 2.0]).is_empty());
+    }
+
+    #[test]
+    fn truncation_never_exceeds_len() {
+        let scores = [0.9, 0.8, 0.7];
+        let k = truncation_point(&scores);
+        assert!(k >= 1 && k <= scores.len());
+    }
+}

@@ -1,0 +1,214 @@
+//! Property-based tests for the detection core: the Charikar approximation
+//! guarantee, peel/FDET invariants, and vote-aggregation laws.
+
+use ensemfdet::peel::{density_of_subset, peel_densest_full};
+use ensemfdet::{
+    fdet, AverageDegreeMetric, Block, EnsemFdet, EnsemFdetConfig, LogWeightedMetric, Truncation,
+    VoteTally,
+};
+use ensemfdet_graph::{BipartiteGraph, MerchantId, UserId};
+use proptest::prelude::*;
+
+fn arb_graph(max_side: u32, max_edges: usize) -> impl Strategy<Value = BipartiteGraph> {
+    (1..=max_side, 1..=max_side).prop_flat_map(move |(nu, nv)| {
+        prop::collection::vec((0..nu, 0..nv), 1..=max_edges).prop_map(move |mut edges| {
+            edges.sort_unstable();
+            edges.dedup();
+            BipartiteGraph::from_edges(nu as usize, nv as usize, edges).unwrap()
+        })
+    })
+}
+
+/// Brute-force densest subgraph under the average-degree metric, over all
+/// node subsets of a tiny graph.
+fn brute_force_densest(g: &BipartiteGraph) -> f64 {
+    let nu = g.num_users();
+    let nv = g.num_merchants();
+    assert!(nu + nv <= 12, "brute force only for tiny graphs");
+    let mut best = 0.0f64;
+    for umask in 0u32..(1 << nu) {
+        for vmask in 0u32..(1 << nv) {
+            if umask == 0 && vmask == 0 {
+                continue;
+            }
+            let size = (umask.count_ones() + vmask.count_ones()) as f64;
+            let mut edges = 0usize;
+            for (_, u, v, _) in g.edges() {
+                if umask >> u.0 & 1 == 1 && vmask >> v.0 & 1 == 1 {
+                    edges += 1;
+                }
+            }
+            best = best.max(edges as f64 / size);
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Charikar's 2-approximation: greedy peel density ≥ optimum / 2.
+    #[test]
+    fn peel_is_half_approximation(g in arb_graph(6, 18)) {
+        let Some(block) = peel_densest_full(&g, &AverageDegreeMetric) else { return Ok(()); };
+        let opt = brute_force_densest(&g);
+        prop_assert!(
+            block.score >= opt / 2.0 - 1e-9,
+            "greedy {} < opt/2 = {}", block.score, opt / 2.0
+        );
+        // And it can never exceed the optimum.
+        prop_assert!(block.score <= opt + 1e-9);
+    }
+
+    /// The block's reported score equals the density of its reported nodes.
+    #[test]
+    fn peel_score_is_consistent(g in arb_graph(8, 30)) {
+        for metric_log in [false, true] {
+            let (score, users, merchants) = if metric_log {
+                let m = LogWeightedMetric::paper_default();
+                let Some(b) = peel_densest_full(&g, &m) else { continue };
+                (b.score, b.users, b.merchants)
+            } else {
+                let Some(b) = peel_densest_full(&g, &AverageDegreeMetric) else { continue };
+                (b.score, b.users, b.merchants)
+            };
+            let oracle = if metric_log {
+                density_of_subset(&g, &LogWeightedMetric::paper_default(), &users, &merchants)
+            } else {
+                density_of_subset(&g, &AverageDegreeMetric, &users, &merchants)
+            };
+            prop_assert!((score - oracle).abs() < 1e-9, "score {score} vs oracle {oracle}");
+        }
+    }
+
+    /// FDET blocks partition (a subset of) the edges: disjoint and within cap.
+    #[test]
+    fn fdet_blocks_are_edge_disjoint(g in arb_graph(8, 40)) {
+        let r = fdet(&g, &AverageDegreeMetric, Truncation::KeepAll { k_max: 30 });
+        let mut seen = std::collections::HashSet::new();
+        let mut total = 0usize;
+        for b in &r.blocks {
+            for &e in &b.edges {
+                prop_assert!(seen.insert(e));
+                total += 1;
+            }
+        }
+        prop_assert!(total <= g.num_edges());
+        prop_assert!(r.k_hat <= r.blocks.len());
+        // Nodes never repeat across blocks either.
+        let mut seen_u = std::collections::HashSet::new();
+        for b in &r.blocks {
+            for u in &b.users {
+                prop_assert!(seen_u.insert(u.0));
+            }
+        }
+    }
+
+    /// Vote curve: counts are non-increasing in T and match direct queries.
+    #[test]
+    fn vote_curve_is_monotone(
+        votes in prop::collection::vec(0u32..20, 1..60)
+    ) {
+        let mut tally = VoteTally::new(votes.len(), 0);
+        tally.user_votes = votes;
+        tally.num_samples = 20;
+        let curve = tally.user_detection_curve();
+        for w in curve.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+        for (i, &c) in curve.iter().enumerate() {
+            prop_assert_eq!(c, tally.detected_users(i as u32 + 1).len());
+        }
+    }
+
+    /// Weighted graphs: the peel's reported score always matches the
+    /// density oracle, and uniformly up-weighting every edge can only
+    /// raise (never lower) the detected block's score under the
+    /// average-degree metric (where weights enter f(S) linearly).
+    #[test]
+    fn peel_on_weighted_graphs_is_consistent(
+        g in arb_graph(8, 30),
+        scale in 1.5f64..4.0
+    ) {
+        let edges = g.edge_slice().to_vec();
+        let weights = vec![scale; edges.len()];
+        let gw = BipartiteGraph::from_weighted_edges(
+            g.num_users(), g.num_merchants(), edges, weights
+        ).unwrap();
+        let Some(base) = peel_densest_full(&g, &AverageDegreeMetric) else { return Ok(()); };
+        let weighted = peel_densest_full(&gw, &AverageDegreeMetric).expect("same edges");
+        // Uniform scaling scales f(S) for every S, so the *optimal value*
+        // scales exactly. (The chosen set may differ between ties, so set
+        // equality is not asserted.)
+        prop_assert!((weighted.score - scale * base.score).abs() < 1e-9 * (1.0 + weighted.score),
+            "weighted {} vs {} × base {}", weighted.score, scale, base.score);
+        let oracle = density_of_subset(&gw, &AverageDegreeMetric, &weighted.users, &weighted.merchants);
+        prop_assert!((weighted.score - oracle).abs() < 1e-9);
+    }
+
+    /// FDET truncation bounds: k̂ never exceeds block count and the kept
+    /// scores are a prefix of the full curve.
+    #[test]
+    fn fdet_truncation_is_a_prefix(g in arb_graph(8, 40), k_max in 1usize..12) {
+        let r = fdet(&g, &AverageDegreeMetric, Truncation::Auto { k_max, patience: 3 });
+        prop_assert!(r.k_hat <= r.blocks.len());
+        prop_assert!(r.blocks.len() <= k_max);
+        prop_assert_eq!(r.scores.len(), r.blocks.len());
+        for (b, s) in r.blocks.iter().zip(&r.scores) {
+            prop_assert!((b.score - s).abs() < 1e-12);
+        }
+    }
+
+    /// Ensemble determinism for arbitrary graphs and configs.
+    #[test]
+    fn ensemble_is_deterministic(g in arb_graph(10, 60), n in 1usize..6, seed in 0u64..100) {
+        let cfg = EnsemFdetConfig {
+            num_samples: n,
+            sample_ratio: 0.5,
+            seed,
+            ..Default::default()
+        };
+        let a = EnsemFdet::new(cfg).detect(&g);
+        let b = EnsemFdet::new(cfg).detect(&g);
+        prop_assert_eq!(a.votes, b.votes);
+    }
+
+    /// Votes never exceed N, and detected sets shrink as T grows.
+    #[test]
+    fn votes_bounded_by_n(g in arb_graph(10, 60), n in 1usize..8) {
+        let cfg = EnsemFdetConfig {
+            num_samples: n,
+            sample_ratio: 0.4,
+            seed: 11,
+            ..Default::default()
+        };
+        let out = EnsemFdet::new(cfg).detect(&g);
+        prop_assert!(out.votes.user_votes.iter().all(|&v| v as usize <= n));
+        prop_assert!(out.votes.merchant_votes.iter().all(|&v| v as usize <= n));
+        let mut prev = usize::MAX;
+        for t in 1..=(n as u32) {
+            let c = out.votes.detected_users(t).len();
+            prop_assert!(c <= prev);
+            prev = c;
+        }
+    }
+}
+
+/// Deterministic regression: the peel exactly recovers a planted
+/// quasi-clique against brute force on a handmade instance.
+#[test]
+fn peel_matches_brute_force_on_known_graph() {
+    let edges = vec![(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1), (3, 2)];
+    let g = BipartiteGraph::from_edges(4, 3, edges).unwrap();
+    let block = peel_densest_full(&g, &AverageDegreeMetric).unwrap();
+    let opt = brute_force_densest(&g);
+    assert!((block.score - opt).abs() < 1e-12, "greedy is optimal here");
+    assert_eq!(block.users, vec![UserId(0), UserId(1), UserId(2)]);
+    assert_eq!(block.merchants, vec![MerchantId(0), MerchantId(1)]);
+    let _ = Block {
+        users: vec![],
+        merchants: vec![],
+        score: 0.0,
+        edges: vec![],
+    };
+}

@@ -1,0 +1,421 @@
+//! The dataset generator.
+//!
+//! Layout of the generated id spaces: honest users occupy
+//! `0..num_honest_users`, then each fraud group's users consecutively;
+//! likewise honest merchants first, then fraud-ring merchants. (Detection
+//! algorithms never see ids as features, so the layout is harmless — and it
+//! makes ground-truth bookkeeping trivial and the generator testable.)
+
+use crate::config::GeneratorConfig;
+use crate::dataset::{Dataset, FraudGroupInfo};
+use crate::zipf::Zipf;
+use ensemfdet_graph::{GraphBuilder, MerchantId, UserId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generates a dataset from a recipe. Deterministic in the config (the seed
+/// is part of it).
+///
+/// # Panics
+///
+/// Panics if the configuration fails [`GeneratorConfig::validate`].
+pub fn generate(cfg: &GeneratorConfig) -> Dataset {
+    cfg.validate();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let total_users = cfg.total_users();
+    let total_merchants = cfg.total_merchants();
+    let mut builder = GraphBuilder::with_min_sizes(total_users, total_merchants);
+
+    // --- Background traffic -------------------------------------------------
+    // Honest user degrees: 1 + Zipf-activity scaled so the mean lands near
+    // `mean_user_degree`; merchant choice follows the popularity law.
+    let popularity = Zipf::new(cfg.num_honest_merchants, cfg.merchant_popularity_alpha);
+    let activity = Zipf::new(cfg.max_user_degree, cfg.user_activity_alpha);
+    // Expected value of the activity law, to calibrate the scale.
+    let activity_mean: f64 = (0..cfg.max_user_degree)
+        .map(|k| k as f64 * activity.probability(k))
+        .sum();
+    let extra_mean = (cfg.mean_user_degree - 1.0).max(0.0);
+    // Accept each activity draw with probability `keep` so that the final
+    // mean of the extra degree is `extra_mean` even when the law's own mean
+    // exceeds it; if the law's mean is below target, add deterministic
+    // extra draws.
+    let ratio = if activity_mean > 0.0 {
+        extra_mean / activity_mean
+    } else {
+        0.0
+    };
+
+    // Community structure (optional): merchants are sliced into
+    // `honest_communities` contiguous ranges; each honest user mostly shops
+    // inside its own slice via a community-local popularity law.
+    let communities = cfg.honest_communities;
+    let community_popularity = if communities > 0 {
+        let slice = (cfg.num_honest_merchants / communities).max(1);
+        Some((slice, Zipf::new(slice, cfg.merchant_popularity_alpha)))
+    } else {
+        None
+    };
+
+    for u in 0..cfg.num_honest_users as u32 {
+        let mut extra = 0usize;
+        let mut budget = ratio;
+        while budget >= 1.0 {
+            extra += activity.sample(&mut rng);
+            budget -= 1.0;
+        }
+        if budget > 0.0 && rng.random::<f64>() < budget {
+            extra += activity.sample(&mut rng);
+        }
+        let degree = (1 + extra).min(cfg.max_user_degree);
+        let home = if communities > 0 {
+            (u as usize) % communities
+        } else {
+            0
+        };
+        for _ in 0..degree {
+            let v = match &community_popularity {
+                Some((slice, local)) if rng.random::<f64>() < cfg.community_affinity => {
+                    let offset = home * slice;
+                    ((offset + local.sample(&mut rng)) % cfg.num_honest_merchants) as u32
+                }
+                _ => popularity.sample(&mut rng) as u32,
+            };
+            builder.add_edge(UserId(u), MerchantId(v));
+        }
+    }
+
+    // --- Fraud groups --------------------------------------------------------
+    let mut next_user = cfg.num_honest_users as u32;
+    let mut next_merchant = cfg.num_honest_merchants as u32;
+    let mut groups = Vec::with_capacity(cfg.fraud_groups.len());
+    let mut true_fraud_users = Vec::new();
+    let mut fraud_merchants = Vec::new();
+
+    for gcfg in &cfg.fraud_groups {
+        let users: Vec<u32> = (next_user..next_user + gcfg.num_users as u32).collect();
+        let merchants: Vec<u32> =
+            (next_merchant..next_merchant + gcfg.num_merchants as u32).collect();
+        next_user += gcfg.num_users as u32;
+        next_merchant += gcfg.num_merchants as u32;
+
+        let mut internal_edges = 0usize;
+        for &u in &users {
+            let mut hit_any = false;
+            for &v in &merchants {
+                if rng.random::<f64>() < gcfg.density {
+                    builder.add_edge(UserId(u), MerchantId(v));
+                    internal_edges += 1;
+                    hit_any = true;
+                }
+            }
+            if !hit_any {
+                // A fraud account always hits at least one ring merchant —
+                // it exists for the campaign.
+                let v = merchants[rng.random_range(0..merchants.len())];
+                builder.add_edge(UserId(u), MerchantId(v));
+                internal_edges += 1;
+            }
+            // Camouflage: purchases at honest merchants, targeted per the
+            // group's strategy.
+            for _ in 0..gcfg.camouflage_per_user {
+                let v = match gcfg.camouflage {
+                    crate::config::CamouflageTargeting::UniformRandom => {
+                        rng.random_range(0..cfg.num_honest_merchants) as u32
+                    }
+                    crate::config::CamouflageTargeting::PopularityBiased => {
+                        popularity.sample(&mut rng) as u32
+                    }
+                };
+                builder.add_edge(UserId(u), MerchantId(v));
+            }
+        }
+
+        true_fraud_users.extend_from_slice(&users);
+        fraud_merchants.extend_from_slice(&merchants);
+        groups.push(FraudGroupInfo {
+            users,
+            merchants,
+            internal_edges,
+        });
+    }
+
+    // Abused stores are real stores: honest customers shop there too, which
+    // is what keeps the detected blocks from being perfectly separable.
+    for &v in &fraud_merchants {
+        for _ in 0..cfg.ring_background_per_merchant {
+            let u = rng.random_range(0..cfg.num_honest_users) as u32;
+            builder.add_edge(UserId(u), MerchantId(v));
+        }
+    }
+
+    // Diffuse fraud: blacklisted accounts whose purchase behaviour is
+    // indistinguishable from the honest background — off-graph fraud that
+    // caps every graph method's recall.
+    for i in 0..cfg.diffuse_fraud_users {
+        let u = next_user + i as u32;
+        let degree = 1 + activity.sample(&mut rng).min(3);
+        for _ in 0..degree {
+            let v = popularity.sample(&mut rng) as u32;
+            builder.add_edge(UserId(u), MerchantId(v));
+        }
+        true_fraud_users.push(u);
+    }
+
+    // --- Expert blacklist (noisy ground truth) ------------------------------
+    let mut blacklist: Vec<u32> = true_fraud_users
+        .iter()
+        .copied()
+        .filter(|_| rng.random::<f64>() >= cfg.blacklist_miss_rate)
+        .collect();
+    for u in 0..cfg.num_honest_users as u32 {
+        if rng.random::<f64>() < cfg.blacklist_false_rate {
+            blacklist.push(u);
+        }
+    }
+    blacklist.sort_unstable();
+
+    // Duplicate purchases collapse to simple edges: the paper's graphs are
+    // unweighted purchase-relationship graphs.
+    let graph = builder.build_with(ensemfdet_graph::builder::DuplicatePolicy::MergeBinary);
+
+    Dataset {
+        graph,
+        blacklist,
+        true_fraud_users,
+        fraud_merchants,
+        groups,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CamouflageTargeting, FraudGroupConfig};
+
+    fn small_cfg() -> GeneratorConfig {
+        GeneratorConfig {
+            num_honest_users: 2_000,
+            num_honest_merchants: 600,
+            mean_user_degree: 2.0,
+            max_user_degree: 30,
+            fraud_groups: vec![
+                FraudGroupConfig {
+                    num_users: 40,
+                    num_merchants: 6,
+                    density: 0.7,
+                    camouflage_per_user: 2,
+                    camouflage: CamouflageTargeting::PopularityBiased,
+                },
+                FraudGroupConfig {
+                    num_users: 25,
+                    num_merchants: 4,
+                    density: 0.8,
+                    camouflage_per_user: 1,
+                    camouflage: CamouflageTargeting::PopularityBiased,
+                },
+            ],
+            seed: 99,
+            diffuse_fraud_users: 15,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn shape_matches_config() {
+        let cfg = small_cfg();
+        let ds = generate(&cfg);
+        assert_eq!(ds.graph.num_users(), cfg.total_users());
+        assert_eq!(ds.graph.num_merchants(), cfg.total_merchants());
+        assert_eq!(ds.groups.len(), 2);
+        assert_eq!(ds.true_fraud_users.len(), 65 + 15);
+        assert_eq!(ds.fraud_merchants.len(), 10);
+    }
+
+    #[test]
+    fn diffuse_fraud_users_look_honest() {
+        let cfg = small_cfg();
+        let ds = generate(&cfg);
+        // Diffuse fraud occupies the tail of the user id space with low
+        // degree and no ring edges.
+        let diffuse_start = (cfg.total_users() - cfg.diffuse_fraud_users) as u32;
+        let ring: std::collections::HashSet<u32> = ds.fraud_merchants.iter().copied().collect();
+        for u in diffuse_start..cfg.total_users() as u32 {
+            assert!(ds.true_fraud_users.contains(&u));
+            assert!(ds.graph.user_degree(UserId(u)) <= 8);
+            for (v, _, _) in ds.graph.merchants_of(UserId(u)) {
+                assert!(!ring.contains(&v.0), "diffuse user {u} touched a ring");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = small_cfg();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.graph.edge_slice(), b.graph.edge_slice());
+        assert_eq!(a.blacklist, b.blacklist);
+        let mut cfg2 = cfg.clone();
+        cfg2.seed = 100;
+        let c = generate(&cfg2);
+        assert_ne!(a.graph.edge_slice(), c.graph.edge_slice());
+    }
+
+    #[test]
+    fn mean_degree_is_calibrated() {
+        let ds = generate(&small_cfg());
+        // Honest users only: degree mean should be near the target. Use the
+        // pre-dedup expectation loosely (dedup can only reduce).
+        let mut total = 0usize;
+        for u in 0..2_000u32 {
+            total += ds.graph.user_degree(UserId(u));
+        }
+        let mean = total as f64 / 2_000.0;
+        assert!(
+            (1.2..=2.5).contains(&mean),
+            "honest mean degree {mean} not near 2.0"
+        );
+    }
+
+    #[test]
+    fn fraud_blocks_are_dense() {
+        let ds = generate(&small_cfg());
+        for g in &ds.groups {
+            let possible = g.users.len() * g.merchants.len();
+            let density = g.internal_edges as f64 / possible as f64;
+            assert!(density > 0.5, "group density {density}");
+            // Every fraud user touches the ring.
+            for &u in &g.users {
+                let deg = ds.graph.user_degree(UserId(u));
+                assert!(deg >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn merchant_popularity_is_heavy_tailed() {
+        let ds = generate(&small_cfg());
+        let mut degs: Vec<usize> = (0..600)
+            .map(|v| ds.graph.merchant_degree(MerchantId(v)))
+            .collect();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: usize = degs[..10].iter().sum();
+        let total: usize = degs.iter().sum();
+        assert!(
+            top10 as f64 > 0.2 * total as f64,
+            "top-10 merchants hold only {top10}/{total} honest edges"
+        );
+    }
+
+    #[test]
+    fn blacklist_has_misses_and_false_positives() {
+        let mut cfg = small_cfg();
+        cfg.blacklist_miss_rate = 0.2;
+        cfg.blacklist_false_rate = 0.01;
+        let ds = generate(&cfg);
+        let fraud: std::collections::HashSet<u32> =
+            ds.true_fraud_users.iter().copied().collect();
+        let listed: std::collections::HashSet<u32> = ds.blacklist.iter().copied().collect();
+        let missed = fraud.difference(&listed).count();
+        let false_pos = listed.difference(&fraud).count();
+        assert!(missed > 0, "no fraud user was missed at 20% miss rate");
+        assert!(false_pos > 0, "no honest user blacklisted at 1% rate");
+    }
+
+    #[test]
+    fn zero_noise_blacklist_is_exact() {
+        let mut cfg = small_cfg();
+        cfg.blacklist_miss_rate = 0.0;
+        cfg.blacklist_false_rate = 0.0;
+        let ds = generate(&cfg);
+        let mut fraud = ds.true_fraud_users.clone();
+        fraud.sort_unstable();
+        assert_eq!(ds.blacklist, fraud);
+    }
+
+    #[test]
+    fn communities_localize_honest_traffic() {
+        let mut cfg = small_cfg();
+        cfg.honest_communities = 6;
+        cfg.community_affinity = 0.9;
+        let ds = generate(&cfg);
+        // A user's modal merchant slice should be its home slice: check
+        // that in-community edges dominate for a sample of users.
+        let slice = 600 / 6;
+        let mut in_home = 0usize;
+        let mut total = 0usize;
+        for u in 0..500u32 {
+            let home = (u as usize) % 6;
+            for (v, _, _) in ds.graph.merchants_of(UserId(u)) {
+                let m = v.0 as usize;
+                if m < 600 {
+                    total += 1;
+                    if m / slice == home {
+                        in_home += 1;
+                    }
+                }
+            }
+        }
+        let frac = in_home as f64 / total.max(1) as f64;
+        assert!(frac > 0.7, "in-community fraction {frac:.2}");
+        // Disabled communities → near-uniform slice membership.
+        let ds0 = generate(&small_cfg());
+        let mut in_home0 = 0usize;
+        let mut total0 = 0usize;
+        for u in 0..500u32 {
+            let home = (u as usize) % 6;
+            for (v, _, _) in ds0.graph.merchants_of(UserId(u)) {
+                let m = v.0 as usize;
+                if m < 600 {
+                    total0 += 1;
+                    if m / slice == home {
+                        in_home0 += 1;
+                    }
+                }
+            }
+        }
+        let frac0 = in_home0 as f64 / total0.max(1) as f64;
+        assert!(frac0 < 0.4, "baseline in-community fraction {frac0:.2}");
+    }
+
+    #[test]
+    fn uniform_camouflage_spreads_targets() {
+        let mut cfg = small_cfg();
+        for g in &mut cfg.fraud_groups {
+            g.camouflage = CamouflageTargeting::UniformRandom;
+            g.camouflage_per_user = 4;
+        }
+        let ds = generate(&cfg);
+        let mut cfg_pop = small_cfg();
+        for g in &mut cfg_pop.fraud_groups {
+            g.camouflage = CamouflageTargeting::PopularityBiased;
+            g.camouflage_per_user = 4;
+        }
+        let ds_pop = generate(&cfg_pop);
+        // Biased camouflage concentrates on the busiest honest merchants;
+        // compare the top-10 merchants' total degree between the variants.
+        let top10_edges = |d: &crate::Dataset| -> usize {
+            let mut degs: Vec<usize> = (0..600)
+                .map(|v| d.graph.merchant_degree(MerchantId(v)))
+                .collect();
+            degs.sort_unstable_by(|a, b| b.cmp(a));
+            degs[..10].iter().sum()
+        };
+        assert!(
+            top10_edges(&ds_pop) > top10_edges(&ds),
+            "biased camouflage should concentrate on popular merchants"
+        );
+    }
+
+    #[test]
+    fn graph_is_simple_after_dedup() {
+        let ds = generate(&small_cfg());
+        let mut seen = std::collections::HashSet::new();
+        for &e in ds.graph.edge_slice() {
+            assert!(seen.insert(e), "duplicate edge {e:?}");
+        }
+        assert!(!ds.graph.is_weighted());
+    }
+}

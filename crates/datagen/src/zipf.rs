@@ -1,0 +1,128 @@
+//! Truncated Zipf (power-law) sampling over `0..n`.
+//!
+//! Merchant popularity and user activity in e-commerce logs are heavy
+//! tailed; a cumulative-table sampler with binary search gives exact draws
+//! from `P(k) ∝ (k + 1)^{-alpha}` in O(log n) per sample after O(n) setup.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Sampler for `P(k) ∝ (k+1)^{-alpha}` over `k ∈ 0..n`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    /// Cumulative (unnormalized) mass; `cum[k]` = Σ_{j ≤ k} (j+1)^-α.
+    cum: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `alpha < 0`.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf needs a nonempty support");
+        assert!(alpha >= 0.0, "alpha must be nonnegative");
+        let mut cum = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += (k as f64 + 1.0).powf(-alpha);
+            cum.push(acc);
+        }
+        Zipf { cum }
+    }
+
+    /// Support size.
+    pub fn len(&self) -> usize {
+        self.cum.len()
+    }
+
+    /// `true` iff the support is empty (never: the constructor forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.cum.is_empty()
+    }
+
+    /// Draws one rank; rank 0 is the most probable.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cum.last().expect("nonempty support");
+        let target = rng.random::<f64>() * total;
+        // First index with cum[k] >= target.
+        match self
+            .cum
+            .binary_search_by(|c| c.partial_cmp(&target).expect("finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cum.len() - 1),
+        }
+    }
+
+    /// Exact probability of rank `k`.
+    pub fn probability(&self, k: usize) -> f64 {
+        let total = *self.cum.last().expect("nonempty support");
+        let lo = if k == 0 { 0.0 } else { self.cum[k - 1] };
+        (self.cum[k] - lo) / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let z = Zipf::new(50, 1.2);
+        let sum: f64 = (0..50).map(|k| z.probability(k)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_zero_is_most_probable() {
+        let z = Zipf::new(100, 1.0);
+        for k in 1..100 {
+            assert!(z.probability(0) >= z.probability(k));
+        }
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.probability(k) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn samples_match_probabilities() {
+        let z = Zipf::new(5, 1.5);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0usize; 5];
+        let trials = 50_000;
+        for _ in 0..trials {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for k in 0..5 {
+            let freq = counts[k] as f64 / trials as f64;
+            let p = z.probability(k);
+            assert!(
+                (freq - p).abs() < 0.01,
+                "rank {k}: freq {freq:.3} vs p {p:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn samples_are_in_range() {
+        let z = Zipf::new(7, 2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty support")]
+    fn empty_support_panics() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Run-to-run stability statistics.
+//!
+//! The paper repeatedly claims EnsemFDet is *stable* — across `N`, across
+//! `S`, across datasets — but reports single runs. This module provides the
+//! machinery to quantify that: collect a metric over repeated seeded runs
+//! and summarize its spread.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of repeated measurements.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Spread {
+    /// Number of measurements.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator; 0 for n < 2).
+    pub std_dev: f64,
+    /// Smallest measurement.
+    pub min: f64,
+    /// Largest measurement.
+    pub max: f64,
+}
+
+impl Spread {
+    /// Computes the spread of a measurement series.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty series or non-finite values.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "no measurements");
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "non-finite measurement"
+        );
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = if n < 2 {
+            0.0
+        } else {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        };
+        Spread {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min: values.iter().cloned().fold(f64::INFINITY, f64::min),
+            max: values.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// Coefficient of variation `std_dev / |mean|`; infinite for zero mean.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            if self.std_dev == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.std_dev / self.mean.abs()
+        }
+    }
+
+    /// `mean ± std` rendering for tables.
+    pub fn display(&self, decimals: usize) -> String {
+        format!(
+            "{:.d$} ± {:.d$}",
+            self.mean,
+            self.std_dev,
+            d = decimals
+        )
+    }
+}
+
+/// Runs `measure(seed)` for each seed and summarizes the results.
+pub fn across_seeds(seeds: impl IntoIterator<Item = u64>, mut measure: impl FnMut(u64) -> f64) -> Spread {
+    let values: Vec<f64> = seeds.into_iter().map(&mut measure).collect();
+    Spread::of(&values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spread_of_constant_series() {
+        let s = Spread::of(&[2.0, 2.0, 2.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 2.0);
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn spread_of_known_series() {
+        let s = Spread::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean, 2.5);
+        assert!((s.std_dev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn single_measurement() {
+        let s = Spread::of(&[7.0]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no measurements")]
+    fn empty_series_panics() {
+        Spread::of(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn nan_rejected() {
+        Spread::of(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn across_seeds_passes_each_seed() {
+        let s = across_seeds(0..5, |seed| seed as f64);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.mean, 2.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = Spread::of(&[1.0, 2.0]);
+        assert_eq!(s.display(2), "1.50 ± 0.71");
+    }
+
+    #[test]
+    fn cv_of_zero_mean() {
+        assert_eq!(Spread::of(&[0.0, 0.0]).cv(), 0.0);
+        assert!(Spread::of(&[-1.0, 1.0]).cv().is_infinite());
+    }
+}

@@ -1,0 +1,39 @@
+//! Wall-clock measurement helpers for the experiment harness.
+
+use std::time::{Duration, Instant};
+
+/// Runs `f`, returning its result and the elapsed wall-clock time.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Formats a duration as the paper's tables do (seconds, 3 decimals).
+pub fn seconds(d: Duration) -> String {
+    format!("{:.3} sec", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_it_returns_value_and_positive_duration() {
+        let (v, d) = time_it(|| {
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert_eq!(v, (0..10_000u64).map(|i| i * i).fold(0u64, u64::wrapping_add));
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn seconds_formats_three_decimals() {
+        assert_eq!(seconds(Duration::from_millis(1234)), "1.234 sec");
+        assert_eq!(seconds(Duration::ZERO), "0.000 sec");
+    }
+}

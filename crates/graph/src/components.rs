@@ -1,0 +1,162 @@
+//! Connected components of a bipartite graph.
+//!
+//! Fraud groups in the paper form (near-)disjoint dense subgraphs; component
+//! analysis is useful for diagnostics (how fragmented is a detection?) and
+//! for tests that plant disjoint blocks.
+
+use crate::graph::BipartiteGraph;
+use crate::ids::{MerchantId, UserId};
+
+/// Component labelling of both sides of a bipartite graph.
+#[derive(Clone, Debug)]
+pub struct Components {
+    /// Component id per user; `usize::MAX` never appears.
+    pub user_comp: Vec<usize>,
+    /// Component id per merchant.
+    pub merchant_comp: Vec<usize>,
+    /// Number of components (isolated nodes each count as their own).
+    pub count: usize,
+}
+
+impl Components {
+    /// Component id of user `u`.
+    #[inline]
+    pub fn of_user(&self, u: UserId) -> usize {
+        self.user_comp[u.index()]
+    }
+
+    /// Component id of merchant `v`.
+    #[inline]
+    pub fn of_merchant(&self, v: MerchantId) -> usize {
+        self.merchant_comp[v.index()]
+    }
+
+    /// Sizes (user count, merchant count, edge-endpoint-free) per component.
+    pub fn sizes(&self) -> Vec<(usize, usize)> {
+        let mut sizes = vec![(0usize, 0usize); self.count];
+        for &c in &self.user_comp {
+            sizes[c].0 += 1;
+        }
+        for &c in &self.merchant_comp {
+            sizes[c].1 += 1;
+        }
+        sizes
+    }
+}
+
+/// Labels connected components with an iterative BFS (no recursion: degree
+/// and component sizes are unbounded in transaction graphs).
+pub fn connected_components(g: &BipartiteGraph) -> Components {
+    const UNSEEN: usize = usize::MAX;
+    let mut user_comp = vec![UNSEEN; g.num_users()];
+    let mut merchant_comp = vec![UNSEEN; g.num_merchants()];
+    let mut count = 0usize;
+    let mut queue: Vec<(bool, u32)> = Vec::new();
+
+    let assign_from_user = |start: u32,
+                                user_comp: &mut Vec<usize>,
+                                merchant_comp: &mut Vec<usize>,
+                                queue: &mut Vec<(bool, u32)>,
+                                comp: usize| {
+        queue.clear();
+        queue.push((true, start));
+        user_comp[start as usize] = comp;
+        while let Some((is_user, n)) = queue.pop() {
+            if is_user {
+                for (v, _, _) in g.merchants_of(UserId(n)) {
+                    if merchant_comp[v.index()] == UNSEEN {
+                        merchant_comp[v.index()] = comp;
+                        queue.push((false, v.0));
+                    }
+                }
+            } else {
+                for (u, _, _) in g.users_of(MerchantId(n)) {
+                    if user_comp[u.index()] == UNSEEN {
+                        user_comp[u.index()] = comp;
+                        queue.push((true, u.0));
+                    }
+                }
+            }
+        }
+    };
+
+    for u in 0..g.num_users() as u32 {
+        if user_comp[u as usize] == UNSEEN {
+            assign_from_user(u, &mut user_comp, &mut merchant_comp, &mut queue, count);
+            count += 1;
+        }
+    }
+    // Merchants unreachable from any user are isolated merchant components.
+    for v in 0..g.num_merchants() {
+        if merchant_comp[v] == UNSEEN {
+            merchant_comp[v] = count;
+            count += 1;
+        }
+    }
+
+    Components {
+        user_comp,
+        merchant_comp,
+        count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_blocks_are_two_components() {
+        // Block A: u0,u1 × m0; Block B: u2 × m1,m2.
+        let g =
+            BipartiteGraph::from_edges(3, 3, vec![(0, 0), (1, 0), (2, 1), (2, 2)]).unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.count, 2);
+        assert_eq!(c.of_user(UserId(0)), c.of_user(UserId(1)));
+        assert_ne!(c.of_user(UserId(0)), c.of_user(UserId(2)));
+        assert_eq!(c.of_merchant(MerchantId(1)), c.of_merchant(MerchantId(2)));
+        let sizes = c.sizes();
+        let mut totals: Vec<(usize, usize)> = sizes.clone();
+        totals.sort();
+        assert_eq!(totals, vec![(1, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn isolated_nodes_form_singleton_components() {
+        let g = BipartiteGraph::from_edges(2, 2, vec![(0, 0)]).unwrap();
+        let c = connected_components(&g);
+        // {u0, m0}, {u1}, {m1}
+        assert_eq!(c.count, 3);
+        assert_ne!(c.of_user(UserId(1)), c.of_user(UserId(0)));
+        assert_ne!(c.of_merchant(MerchantId(1)), c.of_merchant(MerchantId(0)));
+    }
+
+    #[test]
+    fn fully_connected_is_one_component() {
+        let mut edges = Vec::new();
+        for u in 0..4u32 {
+            for v in 0..3u32 {
+                edges.push((u, v));
+            }
+        }
+        let g = BipartiteGraph::from_edges(4, 3, edges).unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.count, 1);
+        assert_eq!(c.sizes(), vec![(4, 3)]);
+    }
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let g = BipartiteGraph::from_edges(0, 0, vec![]).unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.count, 0);
+    }
+
+    #[test]
+    fn chain_is_single_component() {
+        // u0-m0-u1-m1-u2: a path alternating sides.
+        let g = BipartiteGraph::from_edges(3, 2, vec![(0, 0), (1, 0), (1, 1), (2, 1)]).unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.count, 1);
+    }
+}

@@ -1,0 +1,213 @@
+//! String-keyed graph construction.
+//!
+//! Production transaction logs identify accounts and merchants by opaque
+//! strings (PINs, store codes), not dense integer indexes. The
+//! [`TransactionInterner`] maps those keys to the contiguous ids the
+//! detection stack uses and back, and [`read_transactions_csv`] ingests a
+//! delimited log (`user,merchant` per line) directly into a
+//! [`BipartiteGraph`] plus its id maps.
+
+use crate::builder::{DuplicatePolicy, GraphBuilder};
+use crate::error::GraphError;
+use crate::graph::BipartiteGraph;
+use crate::ids::{MerchantId, UserId};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read};
+
+/// Bidirectional mapping between string keys and dense node ids.
+#[derive(Clone, Debug, Default)]
+pub struct TransactionInterner {
+    user_ids: HashMap<String, u32>,
+    merchant_ids: HashMap<String, u32>,
+    user_keys: Vec<String>,
+    merchant_keys: Vec<String>,
+}
+
+impl TransactionInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns (possibly allocating) the dense id of a user key.
+    pub fn user(&mut self, key: &str) -> UserId {
+        if let Some(&id) = self.user_ids.get(key) {
+            return UserId(id);
+        }
+        let id = self.user_keys.len() as u32;
+        self.user_ids.insert(key.to_string(), id);
+        self.user_keys.push(key.to_string());
+        UserId(id)
+    }
+
+    /// Returns (possibly allocating) the dense id of a merchant key.
+    pub fn merchant(&mut self, key: &str) -> MerchantId {
+        if let Some(&id) = self.merchant_ids.get(key) {
+            return MerchantId(id);
+        }
+        let id = self.merchant_keys.len() as u32;
+        self.merchant_ids.insert(key.to_string(), id);
+        self.merchant_keys.push(key.to_string());
+        MerchantId(id)
+    }
+
+    /// Looks up an existing user key without allocating.
+    pub fn find_user(&self, key: &str) -> Option<UserId> {
+        self.user_ids.get(key).map(|&id| UserId(id))
+    }
+
+    /// Looks up an existing merchant key without allocating.
+    pub fn find_merchant(&self, key: &str) -> Option<MerchantId> {
+        self.merchant_ids.get(key).map(|&id| MerchantId(id))
+    }
+
+    /// The original key of a user id.
+    pub fn user_key(&self, u: UserId) -> &str {
+        &self.user_keys[u.index()]
+    }
+
+    /// The original key of a merchant id.
+    pub fn merchant_key(&self, v: MerchantId) -> &str {
+        &self.merchant_keys[v.index()]
+    }
+
+    /// Number of distinct users seen.
+    pub fn num_users(&self) -> usize {
+        self.user_keys.len()
+    }
+
+    /// Number of distinct merchants seen.
+    pub fn num_merchants(&self) -> usize {
+        self.merchant_keys.len()
+    }
+
+    /// Translates a detected user set back to keys (e.g. for reporting to
+    /// a risk-control console).
+    pub fn user_keys_of(&self, detected: &[UserId]) -> Vec<&str> {
+        detected.iter().map(|&u| self.user_key(u)).collect()
+    }
+}
+
+/// Reads a delimited transaction log: one `user<DELIM>merchant` record per
+/// line, `#` comments and blank lines skipped, extra fields ignored (real
+/// logs carry amounts/timestamps we don't need). Returns the deduplicated
+/// purchase graph and the interner for translating results back.
+///
+/// # Errors
+///
+/// Fails on I/O errors or records with fewer than two fields.
+pub fn read_transactions_csv<R: Read>(
+    r: R,
+    delimiter: char,
+) -> Result<(BipartiteGraph, TransactionInterner), GraphError> {
+    let r = BufReader::new(r);
+    let mut interner = TransactionInterner::new();
+    let mut builder = GraphBuilder::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split(delimiter);
+        let user = fields.next().map(str::trim).filter(|s| !s.is_empty());
+        let merchant = fields.next().map(str::trim).filter(|s| !s.is_empty());
+        let (Some(user), Some(merchant)) = (user, merchant) else {
+            return Err(GraphError::Parse {
+                line: lineno + 1,
+                message: format!("expected `user{delimiter}merchant[{delimiter}…]`"),
+            });
+        };
+        let u = interner.user(user);
+        let v = interner.merchant(merchant);
+        builder.add_edge(u, v);
+    }
+    let graph = builder.build_with(DuplicatePolicy::MergeBinary);
+    Ok((graph, interner))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interner_round_trips_keys() {
+        let mut i = TransactionInterner::new();
+        let a = i.user("PIN-alice");
+        let b = i.user("PIN-bob");
+        let a2 = i.user("PIN-alice");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.user_key(a), "PIN-alice");
+        assert_eq!(i.num_users(), 2);
+        let m = i.merchant("store-1");
+        assert_eq!(i.merchant_key(m), "store-1");
+        assert_eq!(i.find_user("PIN-bob"), Some(b));
+        assert_eq!(i.find_user("PIN-carol"), None);
+        assert_eq!(i.find_merchant("store-1"), Some(m));
+    }
+
+    #[test]
+    fn user_and_merchant_namespaces_are_disjoint() {
+        let mut i = TransactionInterner::new();
+        let u = i.user("same-key");
+        let v = i.merchant("same-key");
+        assert_eq!(u.0, 0);
+        assert_eq!(v.0, 0); // separate id spaces, no collision
+        assert_eq!(i.num_users(), 1);
+        assert_eq!(i.num_merchants(), 1);
+    }
+
+    #[test]
+    fn csv_ingestion_builds_graph() {
+        let log = "\
+# ts omitted
+alice,storeA,12.50
+bob,storeA
+alice,storeB
+alice,storeA
+";
+        let (g, interner) = read_transactions_csv(log.as_bytes(), ',').unwrap();
+        assert_eq!(g.num_users(), 2);
+        assert_eq!(g.num_merchants(), 2);
+        // Duplicate alice→storeA deduplicated.
+        assert_eq!(g.num_edges(), 3);
+        let alice = interner.find_user("alice").unwrap();
+        assert_eq!(g.user_degree(alice), 2);
+    }
+
+    #[test]
+    fn tab_delimited_logs_work() {
+        let log = "u1\tm1\nu2\tm1\n";
+        let (g, _) = read_transactions_csv(log.as_bytes(), '\t').unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn malformed_record_reports_line() {
+        let log = "alice,storeA\njust-one-field\n";
+        let err = read_transactions_csv(log.as_bytes(), ',').unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn detected_ids_translate_back_to_keys() {
+        let log = "alice,s1\nbob,s1\ncarol,s2\n";
+        let (_, interner) = read_transactions_csv(log.as_bytes(), ',').unwrap();
+        let detected = vec![
+            interner.find_user("alice").unwrap(),
+            interner.find_user("carol").unwrap(),
+        ];
+        assert_eq!(interner.user_keys_of(&detected), vec!["alice", "carol"]);
+    }
+
+    #[test]
+    fn empty_log_is_empty_graph() {
+        let (g, i) = read_transactions_csv("".as_bytes(), ',').unwrap();
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(i.num_users(), 0);
+    }
+}

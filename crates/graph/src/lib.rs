@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! Bipartite graph substrate for the EnsemFDet fraud-detection system.
+//!
+//! The paper operates on a *"who buy-from where"* graph `G = (U ∪ V, E)`:
+//! user (PIN) nodes on one side, merchant nodes on the other, and an edge for
+//! every purchase relationship. This crate provides the storage and
+//! manipulation layer every other crate builds on:
+//!
+//! - [`BipartiteGraph`]: immutable CSR storage indexed from *both* sides, so
+//!   peeling algorithms can walk `u → {v}` and `v → {u}` in O(degree).
+//! - [`GraphBuilder`]: incremental, duplicate-merging construction.
+//! - [`SampledGraph`]: a compacted subgraph plus index maps back to the
+//!   parent graph, the unit of work for the ensemble.
+//! - [`io`]: plain-text edge-list and label-file round-trips.
+//! - [`stats`]: the dataset statistics reported in Table I of the paper.
+//! - [`components`]: connected components, used by tests and diagnostics.
+//!
+//! # Example
+//!
+//! ```
+//! use ensemfdet_graph::{GraphBuilder, UserId, MerchantId};
+//!
+//! let mut b = GraphBuilder::new();
+//! b.add_edge(UserId(0), MerchantId(0));
+//! b.add_edge(UserId(0), MerchantId(1));
+//! b.add_edge(UserId(1), MerchantId(1));
+//! let g = b.build();
+//! assert_eq!(g.num_users(), 2);
+//! assert_eq!(g.num_merchants(), 2);
+//! assert_eq!(g.num_edges(), 3);
+//! assert_eq!(g.user_degree(UserId(0)), 2);
+//! ```
+
+pub mod builder;
+pub mod components;
+pub mod error;
+pub mod graph;
+pub mod ids;
+pub mod interner;
+pub mod io;
+pub mod kcore;
+pub mod sampled;
+pub mod stats;
+
+pub use builder::GraphBuilder;
+pub use error::GraphError;
+pub use graph::{BipartiteGraph, EdgeId, NeighborIter};
+pub use ids::{MerchantId, NodeRef, UserId};
+pub use interner::{read_transactions_csv, TransactionInterner};
+pub use kcore::{core_decomposition, CoreDecomposition};
+pub use sampled::SampledGraph;
+pub use stats::GraphStats;

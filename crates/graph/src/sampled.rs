@@ -1,0 +1,270 @@
+//! Subgraphs that remember where they came from.
+//!
+//! Every sampled graph in the ensemble is a compacted [`BipartiteGraph`]
+//! (node ids renumbered to `0..n`) plus index maps back to the parent, so
+//! that FDET's detections on the sample can be voted in the parent's id
+//! space (Algorithm 2 lines 6–7).
+
+use crate::graph::{BipartiteGraph, EdgeId};
+use crate::ids::{MerchantId, UserId};
+
+/// A compacted subgraph of a parent [`BipartiteGraph`] with back-maps.
+#[derive(Clone, Debug)]
+pub struct SampledGraph {
+    /// The compacted subgraph; node ids are local.
+    pub graph: BipartiteGraph,
+    /// `orig_users[local_u] = parent user id`.
+    pub orig_users: Vec<u32>,
+    /// `orig_merchants[local_v] = parent merchant id`.
+    pub orig_merchants: Vec<u32>,
+}
+
+impl SampledGraph {
+    /// Subgraph induced by a set of parent edge ids (Random Edge Sampling's
+    /// shape): nodes are exactly the endpoints of the chosen edges.
+    ///
+    /// `weight_scale` multiplies every copied edge weight; pass `1.0` for a
+    /// plain subgraph, or `1/p` for the ε-approximation of Theorem 1.
+    pub fn from_edge_subset(parent: &BipartiteGraph, edge_ids: &[EdgeId], weight_scale: f64) -> Self {
+        let mut u_map = vec![u32::MAX; parent.num_users()];
+        let mut v_map = vec![u32::MAX; parent.num_merchants()];
+        let mut orig_users = Vec::new();
+        let mut orig_merchants = Vec::new();
+        let mut edges = Vec::with_capacity(edge_ids.len());
+        let mut weights = Vec::with_capacity(edge_ids.len());
+        let carry_weights = parent.is_weighted() || weight_scale != 1.0;
+
+        for &e in edge_ids {
+            let (u, v) = parent.edge_endpoints(e);
+            let lu = intern(&mut u_map, &mut orig_users, u.0);
+            let lv = intern(&mut v_map, &mut orig_merchants, v.0);
+            edges.push((lu, lv));
+            if carry_weights {
+                weights.push(parent.edge_weight(e) * weight_scale);
+            }
+        }
+
+        let graph = if carry_weights {
+            BipartiteGraph::from_weighted_edges(orig_users.len(), orig_merchants.len(), edges, weights)
+        } else {
+            BipartiteGraph::from_edges(orig_users.len(), orig_merchants.len(), edges)
+        }
+        .expect("interned indexes are dense by construction");
+
+        SampledGraph {
+            graph,
+            orig_users,
+            orig_merchants,
+        }
+    }
+
+    /// Subgraph induced by a set of parent users (One-side Node Sampling on
+    /// the PIN side): keeps *all* edges incident to the chosen users; the
+    /// merchant side is whatever those edges touch.
+    pub fn from_user_subset(parent: &BipartiteGraph, users: &[UserId]) -> Self {
+        let mut edge_ids = Vec::new();
+        for &u in users {
+            edge_ids.extend(parent.user_edge_ids(u));
+        }
+        Self::from_edge_subset(parent, &edge_ids, 1.0)
+    }
+
+    /// Subgraph induced by a set of parent merchants (One-side Node Sampling
+    /// on the merchant side).
+    pub fn from_merchant_subset(parent: &BipartiteGraph, merchants: &[MerchantId]) -> Self {
+        let mut edge_ids = Vec::new();
+        for &v in merchants {
+            edge_ids.extend(parent.merchant_edge_ids(v));
+        }
+        Self::from_edge_subset(parent, &edge_ids, 1.0)
+    }
+
+    /// Subgraph induced by node subsets on *both* sides (Two-side Node
+    /// Sampling): keeps only edges whose both endpoints were chosen.
+    ///
+    /// Chosen nodes that end up isolated are still materialized, so the
+    /// sample's node count reflects the sampling ratio, as in the paper's
+    /// adjacency-matrix cross-section description.
+    pub fn from_node_subsets(
+        parent: &BipartiteGraph,
+        users: &[UserId],
+        merchants: &[MerchantId],
+    ) -> Self {
+        let mut u_map = vec![u32::MAX; parent.num_users()];
+        let mut v_map = vec![u32::MAX; parent.num_merchants()];
+        let mut orig_users = Vec::with_capacity(users.len());
+        let mut orig_merchants = Vec::with_capacity(merchants.len());
+        for &u in users {
+            intern(&mut u_map, &mut orig_users, u.0);
+        }
+        for &v in merchants {
+            intern(&mut v_map, &mut orig_merchants, v.0);
+        }
+
+        let mut edges = Vec::new();
+        let mut weights = Vec::new();
+        let carry_weights = parent.is_weighted();
+        // Iterate the smaller side's adjacency to find crossing edges.
+        for &u in users {
+            let lu = u_map[u.index()];
+            for (v, _e, w) in parent.merchants_of(u) {
+                let lv = v_map[v.index()];
+                if lv != u32::MAX {
+                    edges.push((lu, lv));
+                    if carry_weights {
+                        weights.push(w);
+                    }
+                }
+            }
+        }
+
+        let graph = if carry_weights {
+            BipartiteGraph::from_weighted_edges(orig_users.len(), orig_merchants.len(), edges, weights)
+        } else {
+            BipartiteGraph::from_edges(orig_users.len(), orig_merchants.len(), edges)
+        }
+        .expect("interned indexes are dense by construction");
+
+        SampledGraph {
+            graph,
+            orig_users,
+            orig_merchants,
+        }
+    }
+
+    /// A whole-graph "sample" with identity maps. Lets callers run the
+    /// ensemble pipeline with sampling disabled (N = 1, S = 1.0).
+    pub fn identity(parent: &BipartiteGraph) -> Self {
+        SampledGraph {
+            graph: parent.clone(),
+            orig_users: (0..parent.num_users() as u32).collect(),
+            orig_merchants: (0..parent.num_merchants() as u32).collect(),
+        }
+    }
+
+    /// Maps a local user id back to the parent graph.
+    #[inline]
+    pub fn parent_user(&self, local: UserId) -> UserId {
+        UserId(self.orig_users[local.index()])
+    }
+
+    /// Maps a local merchant id back to the parent graph.
+    #[inline]
+    pub fn parent_merchant(&self, local: MerchantId) -> MerchantId {
+        MerchantId(self.orig_merchants[local.index()])
+    }
+}
+
+/// Assigns `raw` the next dense local index if unseen; returns its local id.
+#[inline]
+fn intern(map: &mut [u32], originals: &mut Vec<u32>, raw: u32) -> u32 {
+    let slot = &mut map[raw as usize];
+    if *slot == u32::MAX {
+        *slot = originals.len() as u32;
+        originals.push(raw);
+    }
+    *slot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parent() -> BipartiteGraph {
+        // u0-{m0,m1}, u1-{m1}, u2-{m1,m2}, u3-{m3}
+        BipartiteGraph::from_edges(4, 4, vec![(0, 0), (0, 1), (1, 1), (2, 1), (2, 2), (3, 3)])
+            .unwrap()
+    }
+
+    #[test]
+    fn edge_subset_compacts_and_maps_back() {
+        let p = parent();
+        let s = SampledGraph::from_edge_subset(&p, &[1, 2, 3], 1.0); // edges into m1
+        assert_eq!(s.graph.num_edges(), 3);
+        assert_eq!(s.graph.num_users(), 3); // u0, u1, u2
+        assert_eq!(s.graph.num_merchants(), 1); // m1
+        assert_eq!(s.parent_merchant(MerchantId(0)), MerchantId(1));
+        let parents: Vec<u32> = (0..3).map(|i| s.parent_user(UserId(i)).0).collect();
+        assert_eq!(parents, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn edge_subset_weight_scaling() {
+        let p = parent();
+        let s = SampledGraph::from_edge_subset(&p, &[0, 5], 4.0);
+        assert!(s.graph.is_weighted());
+        assert_eq!(s.graph.edge_weight(0), 4.0);
+        assert_eq!(s.graph.total_weight(), 8.0);
+    }
+
+    #[test]
+    fn edge_subset_unit_scale_stays_unweighted() {
+        let p = parent();
+        let s = SampledGraph::from_edge_subset(&p, &[0], 1.0);
+        assert!(!s.graph.is_weighted());
+    }
+
+    #[test]
+    fn user_subset_keeps_all_incident_edges() {
+        let p = parent();
+        let s = SampledGraph::from_user_subset(&p, &[UserId(0), UserId(2)]);
+        assert_eq!(s.graph.num_users(), 2);
+        assert_eq!(s.graph.num_edges(), 4); // (0,0),(0,1),(2,1),(2,2)
+        assert_eq!(s.graph.num_merchants(), 3); // m0, m1, m2
+    }
+
+    #[test]
+    fn merchant_subset_keeps_all_incident_edges() {
+        let p = parent();
+        let s = SampledGraph::from_merchant_subset(&p, &[MerchantId(1)]);
+        assert_eq!(s.graph.num_merchants(), 1);
+        assert_eq!(s.graph.num_users(), 3);
+        assert_eq!(s.graph.num_edges(), 3);
+    }
+
+    #[test]
+    fn two_side_subset_keeps_only_crossing_edges() {
+        let p = parent();
+        let s = SampledGraph::from_node_subsets(
+            &p,
+            &[UserId(0), UserId(3)],
+            &[MerchantId(1), MerchantId(2)],
+        );
+        // Only (u0, m1) crosses; u3 and m2 are materialized but isolated.
+        assert_eq!(s.graph.num_users(), 2);
+        assert_eq!(s.graph.num_merchants(), 2);
+        assert_eq!(s.graph.num_edges(), 1);
+        let (lu, lv) = s.graph.edge_endpoints(0);
+        assert_eq!(s.parent_user(lu), UserId(0));
+        assert_eq!(s.parent_merchant(lv), MerchantId(1));
+    }
+
+    #[test]
+    fn identity_sample_is_whole_graph() {
+        let p = parent();
+        let s = SampledGraph::identity(&p);
+        assert_eq!(s.graph.num_edges(), p.num_edges());
+        assert_eq!(s.parent_user(UserId(3)), UserId(3));
+        assert_eq!(s.parent_merchant(MerchantId(2)), MerchantId(2));
+    }
+
+    #[test]
+    fn duplicate_edge_ids_yield_multi_edges() {
+        // Samplers sample edges without replacement, but the subgraph type
+        // itself tolerates repeats (weighted samplers may pass them).
+        let p = parent();
+        let s = SampledGraph::from_edge_subset(&p, &[0, 0], 1.0);
+        assert_eq!(s.graph.num_edges(), 2);
+        assert_eq!(s.graph.num_users(), 1);
+    }
+
+    #[test]
+    fn weighted_parent_weights_are_carried() {
+        let p = BipartiteGraph::from_weighted_edges(2, 1, vec![(0, 0), (1, 0)], vec![3.0, 7.0])
+            .unwrap();
+        let s = SampledGraph::from_edge_subset(&p, &[1], 1.0);
+        assert_eq!(s.graph.edge_weight(0), 7.0);
+        let s2 = SampledGraph::from_node_subsets(&p, &[UserId(1)], &[MerchantId(0)]);
+        assert_eq!(s2.graph.edge_weight(0), 7.0);
+    }
+}

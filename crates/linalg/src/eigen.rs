@@ -1,0 +1,176 @@
+//! Cyclic Jacobi eigensolver for small symmetric matrices.
+//!
+//! The randomized SVD reduces the big sparse problem to the eigenproblem of
+//! an `l × l` Gram matrix with `l = k + oversampling ≲ 60`. Cyclic Jacobi is
+//! the textbook choice at this size: unconditionally convergent, simple, and
+//! accurate to machine precision for symmetric input.
+
+use crate::dense::Matrix;
+
+/// Eigendecomposition of a symmetric matrix: `a = V · diag(λ) · Vᵀ`,
+/// eigenvalues sorted **descending**, eigenvectors as the columns of `V`.
+#[derive(Clone, Debug)]
+pub struct SymmetricEigen {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors; column `i` pairs with `values[i]`.
+    pub vectors: Matrix,
+}
+
+/// Computes the eigendecomposition of a symmetric matrix by cyclic Jacobi
+/// rotations.
+///
+/// Only the lower triangle is read; the matrix is assumed symmetric.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn symmetric_eigen(a: &Matrix) -> SymmetricEigen {
+    assert_eq!(a.rows(), a.cols(), "symmetric_eigen: matrix must be square");
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+
+    if n > 0 {
+        let scale = (0..n)
+            .flat_map(|i| (0..n).map(move |j| (i, j)))
+            .fold(0.0f64, |s, (i, j)| s.max(m[(i, j)].abs()))
+            .max(f64::MIN_POSITIVE);
+        let tol = 1e-14 * scale;
+
+        // Cyclic sweeps over the strict upper triangle until off-diagonal
+        // mass is negligible. 30 sweeps is far beyond what l ≤ 60 needs
+        // (quadratic convergence kicks in after ~3).
+        for _sweep in 0..30 {
+            let mut off = 0.0f64;
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    off = off.max(m[(p, q)].abs());
+                }
+            }
+            if off <= tol {
+                break;
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = m[(p, q)];
+                    if apq.abs() <= tol {
+                        continue;
+                    }
+                    let app = m[(p, p)];
+                    let aqq = m[(q, q)];
+                    // Rotation angle zeroing m[p][q] (Golub & Van Loan 8.4).
+                    let theta = (aqq - app) / (2.0 * apq);
+                    let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                    let c = 1.0 / (t * t + 1.0).sqrt();
+                    let s = t * c;
+
+                    for i in 0..n {
+                        let mip = m[(i, p)];
+                        let miq = m[(i, q)];
+                        m[(i, p)] = c * mip - s * miq;
+                        m[(i, q)] = s * mip + c * miq;
+                    }
+                    for j in 0..n {
+                        let mpj = m[(p, j)];
+                        let mqj = m[(q, j)];
+                        m[(p, j)] = c * mpj - s * mqj;
+                        m[(q, j)] = s * mpj + c * mqj;
+                    }
+                    for i in 0..n {
+                        let vip = v[(i, p)];
+                        let viq = v[(i, q)];
+                        v[(i, p)] = c * vip - s * viq;
+                        v[(i, q)] = s * vip + c * viq;
+                    }
+                }
+            }
+        }
+    }
+
+    // Sort eigenpairs by descending eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| m[(j, j)].partial_cmp(&m[(i, i)]).expect("eigenvalues are finite"));
+    let values: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
+    let vectors = Matrix::from_fn(n, n, |r, c| v[(r, order[c])]);
+
+    SymmetricEigen { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qr::orthonormality_error;
+
+    fn reconstruct(e: &SymmetricEigen) -> Matrix {
+        let n = e.values.len();
+        let lam = Matrix::from_fn(n, n, |r, c| if r == c { e.values[r] } else { 0.0 });
+        e.vectors.matmul(&lam).matmul(&e.vectors.transpose())
+    }
+
+    #[test]
+    fn diagonal_matrix_eigen() {
+        let mut a = Matrix::zeros(3, 3);
+        a[(0, 0)] = 1.0;
+        a[(1, 1)] = 5.0;
+        a[(2, 2)] = 3.0;
+        let e = symmetric_eigen(&a);
+        assert_eq!(e.values, vec![5.0, 3.0, 1.0]);
+        assert!(orthonormality_error(&e.vectors) < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let e = symmetric_eigen(&a);
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+        assert!(reconstruct(&e).max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_on_random_symmetric() {
+        let b = Matrix::from_fn(8, 8, |r, c| (((r * 13 + c * 7) % 17) as f64 - 8.0) / 4.0);
+        let a = {
+            // a = b + bᵀ is symmetric.
+            let bt = b.transpose();
+            Matrix::from_fn(8, 8, |r, c| b[(r, c)] + bt[(r, c)])
+        };
+        let e = symmetric_eigen(&a);
+        assert!(reconstruct(&e).max_abs_diff(&a) < 1e-10);
+        assert!(orthonormality_error(&e.vectors) < 1e-11);
+        // Sorted descending.
+        for w in e.values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn psd_matrix_has_nonnegative_eigenvalues() {
+        // G = Mᵀ M is positive semidefinite.
+        let m = Matrix::from_fn(5, 3, |r, c| ((r + 2 * c) % 5) as f64 - 2.0);
+        let g = m.transpose().matmul(&m);
+        let e = symmetric_eigen(&g);
+        for &l in &e.values {
+            assert!(l > -1e-10, "PSD eigenvalue went negative: {l}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = symmetric_eigen(&Matrix::zeros(0, 0));
+        assert!(e.values.is_empty());
+        let mut a = Matrix::zeros(1, 1);
+        a[(0, 0)] = -4.0;
+        let e = symmetric_eigen(&a);
+        assert_eq!(e.values, vec![-4.0]);
+        assert_eq!(e.vectors[(0, 0)].abs(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be square")]
+    fn non_square_panics() {
+        symmetric_eigen(&Matrix::zeros(2, 3));
+    }
+}

@@ -1,0 +1,114 @@
+//! Power iteration for the dominant singular triplet.
+//!
+//! A one-line sanity oracle for the randomized SVD: alternate `u ← A v`,
+//! `v ← Aᵀ u` with normalization until the Rayleigh quotient stabilizes.
+
+use crate::sparse::CsrMatrix;
+use crate::vector::{norm2, normalize};
+
+/// Result of [`power_iteration`].
+#[derive(Clone, Debug)]
+pub struct DominantTriplet {
+    /// Dominant singular value σ₁.
+    pub sigma: f64,
+    /// Left singular vector (length = rows).
+    pub u: Vec<f64>,
+    /// Right singular vector (length = cols).
+    pub v: Vec<f64>,
+    /// Iterations actually performed.
+    pub iterations: usize,
+}
+
+/// Estimates the dominant singular triplet of `a` by alternating power
+/// iteration, stopping when σ changes by less than `tol` (relative) or after
+/// `max_iters`.
+pub fn power_iteration(a: &CsrMatrix, max_iters: usize, tol: f64) -> DominantTriplet {
+    let n = a.cols();
+    if n == 0 || a.rows() == 0 || a.nnz() == 0 {
+        return DominantTriplet {
+            sigma: 0.0,
+            u: vec![0.0; a.rows()],
+            v: vec![0.0; n],
+            iterations: 0,
+        };
+    }
+
+    // Deterministic non-degenerate start: varying positive entries so the
+    // iterate is never orthogonal to a nonnegative matrix's dominant vector.
+    let mut v: Vec<f64> = (0..n).map(|i| 1.0 + ((i * 2654435761) % 97) as f64 / 97.0).collect();
+    normalize(&mut v);
+
+    let mut sigma_prev = 0.0;
+    let mut u = vec![0.0; a.rows()];
+    let mut iterations = 0;
+    for it in 0..max_iters {
+        iterations = it + 1;
+        u = a.matvec(&v);
+        let un = normalize(&mut u);
+        if un == 0.0 {
+            break;
+        }
+        v = a.matvec_transpose(&u);
+        let sigma = norm2(&v);
+        normalize(&mut v);
+        if sigma > 0.0 && (sigma - sigma_prev).abs() <= tol * sigma {
+            sigma_prev = sigma;
+            break;
+        }
+        sigma_prev = sigma;
+    }
+
+    DominantTriplet {
+        sigma: sigma_prev,
+        u,
+        v,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominant_value_of_diagonal() {
+        let a = CsrMatrix::from_triplets(3, 3, &[(0, 0, 2.0), (1, 1, 9.0), (2, 2, 4.0)]);
+        let t = power_iteration(&a, 500, 1e-12);
+        assert!((t.sigma - 9.0).abs() < 1e-6, "sigma = {}", t.sigma);
+        // Right vector concentrates on coordinate 1.
+        assert!(t.v[1].abs() > 0.999);
+    }
+
+    #[test]
+    fn all_ones_block() {
+        // m×n all-ones has σ₁ = √(m·n).
+        let triplets: Vec<(u32, u32, f64)> = (0..12u32).map(|i| (i / 4, i % 4, 1.0)).collect();
+        let a = CsrMatrix::from_triplets(3, 4, &triplets);
+        let t = power_iteration(&a, 200, 1e-12);
+        assert!((t.sigma - 12f64.sqrt()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn empty_matrix_returns_zero() {
+        let a = CsrMatrix::from_triplets(3, 3, &[]);
+        let t = power_iteration(&a, 100, 1e-9);
+        assert_eq!(t.sigma, 0.0);
+        assert_eq!(t.iterations, 0);
+    }
+
+    #[test]
+    fn agrees_with_randomized_svd() {
+        let triplets: Vec<(u32, u32, f64)> = (0..60u32)
+            .map(|i| (i % 10, (i * 7) % 6, 1.0 + (i % 4) as f64))
+            .collect();
+        let a = CsrMatrix::from_triplets(10, 6, &triplets);
+        let t = power_iteration(&a, 1000, 1e-13);
+        let svd = crate::svd::randomized_svd(&a, 1, crate::svd::SvdOptions::default());
+        assert!(
+            (t.sigma - svd.s[0]).abs() < 1e-6,
+            "power {} vs svd {}",
+            t.sigma,
+            svd.s[0]
+        );
+    }
+}

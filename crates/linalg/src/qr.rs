@@ -1,0 +1,143 @@
+//! Orthonormalization of tall-skinny matrices.
+//!
+//! The randomized SVD only needs an orthonormal basis `Q` of the range of a
+//! tall matrix `Y` (m × l, l small). Modified Gram–Schmidt with a second
+//! re-orthogonalization pass ("MGS2") is numerically adequate for this use
+//! ("twice is enough", Giraud et al.), and degenerate columns — which occur
+//! when the underlying operator has rank < l — are replaced by deterministic
+//! pseudo-random directions so `Q` always has exactly orthonormal columns.
+
+use crate::dense::Matrix;
+use crate::vector::{axpy, dot, normalize, norm2};
+
+/// Relative norm threshold below which a column counts as linearly dependent.
+const DEGENERACY_TOL: f64 = 1e-10;
+
+/// Orthonormalizes the columns of `y` in place (modified Gram–Schmidt with
+/// re-orthogonalization). Returns the number of columns that had to be
+/// replaced because they were linearly dependent on earlier ones.
+pub fn orthonormalize(y: &mut Matrix) -> usize {
+    let l = y.cols();
+    let mut replaced = 0usize;
+    // Column-major scratch: MGS works column-wise; `Matrix` is row-major, so
+    // pull the columns out once instead of striding on every dot product.
+    let mut cols: Vec<Vec<f64>> = (0..l).map(|c| y.col(c)).collect();
+
+    for j in 0..l {
+        let original_norm = norm2(&cols[j]).max(f64::MIN_POSITIVE);
+        let mut attempt = 0usize;
+        loop {
+            // Two MGS passes against all previous columns.
+            for _pass in 0..2 {
+                for i in 0..j {
+                    let (head, tail) = cols.split_at_mut(j);
+                    let qi = &head[i];
+                    let cj = &mut tail[0];
+                    let r = dot(qi, cj);
+                    axpy(-r, qi, cj);
+                }
+            }
+            let n = normalize(&mut cols[j]);
+            if n > DEGENERACY_TOL * original_norm && n > 0.0 {
+                break;
+            }
+            // Column was (numerically) in the span of its predecessors:
+            // substitute a deterministic pseudo-random direction and retry.
+            replaced += 1;
+            attempt += 1;
+            let col = &mut cols[j];
+            for (r, v) in col.iter_mut().enumerate() {
+                *v = pseudo_random(j as u64, attempt as u64, r as u64);
+            }
+            if attempt > 4 {
+                // Pathological (e.g. more columns than rows): zero it out.
+                for v in cols[j].iter_mut() {
+                    *v = 0.0;
+                }
+                break;
+            }
+        }
+    }
+
+    for (c, colv) in cols.iter().enumerate() {
+        y.set_col(c, colv);
+    }
+    replaced
+}
+
+/// SplitMix64-based deterministic value in (-1, 1).
+fn pseudo_random(a: u64, b: u64, c: u64) -> f64 {
+    let mut z = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(c.wrapping_mul(0x94D0_49BB_1331_11EB))
+        .wrapping_add(0x2545_F491_4F6C_DD1D);
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z as f64 / u64::MAX as f64) * 2.0 - 1.0
+}
+
+/// Max deviation of `QᵀQ` from the identity — a test/diagnostic helper.
+pub fn orthonormality_error(q: &Matrix) -> f64 {
+    let g = q.transpose().matmul(q);
+    g.max_abs_diff(&Matrix::identity(q.cols()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::Matrix;
+
+    #[test]
+    fn orthonormalizes_random_tall_matrix() {
+        let y = Matrix::from_fn(20, 5, |r, c| pseudo_random(7, r as u64, c as u64));
+        let mut q = y.clone();
+        let replaced = orthonormalize(&mut q);
+        assert_eq!(replaced, 0);
+        assert!(orthonormality_error(&q) < 1e-12);
+    }
+
+    #[test]
+    fn span_is_preserved_for_full_rank_input() {
+        // Q must satisfy Y = Q (QᵀY): projection of Y onto span(Q) equals Y.
+        let y = Matrix::from_fn(12, 3, |r, c| ((r * 3 + c * 5) % 11) as f64 - 5.0);
+        let mut q = y.clone();
+        orthonormalize(&mut q);
+        let proj = q.matmul(&q.transpose().matmul(&y));
+        assert!(proj.max_abs_diff(&y) < 1e-9);
+    }
+
+    #[test]
+    fn dependent_columns_are_replaced() {
+        // Second column is 2× the first: rank 1 input, 3 columns.
+        let mut y = Matrix::from_fn(8, 3, |r, c| match c {
+            0 => (r + 1) as f64,
+            1 => 2.0 * (r + 1) as f64,
+            _ => (r + 1) as f64 * -1.0,
+        });
+        let replaced = orthonormalize(&mut y);
+        assert!(replaced >= 2, "two dependent columns must be replaced");
+        assert!(orthonormality_error(&y) < 1e-10);
+    }
+
+    #[test]
+    fn zero_matrix_becomes_orthonormal() {
+        let mut y = Matrix::zeros(6, 2);
+        orthonormalize(&mut y);
+        assert!(orthonormality_error(&y) < 1e-10);
+    }
+
+    #[test]
+    fn already_orthonormal_is_stable() {
+        let mut q = Matrix::zeros(4, 2);
+        q[(0, 0)] = 1.0;
+        q[(1, 1)] = 1.0;
+        let before = q.clone();
+        let replaced = orthonormalize(&mut q);
+        assert_eq!(replaced, 0);
+        assert!(q.max_abs_diff(&before) < 1e-12);
+    }
+}

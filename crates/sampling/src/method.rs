@@ -1,0 +1,166 @@
+//! The [`Sampler`] trait and the [`SamplingMethod`] enum dispatching over
+//! the paper's three strategies.
+
+use crate::ons::{OneSideNodeSampling, Side};
+use crate::res::RandomEdgeSampling;
+use crate::tns::TwoSideNodeSampling;
+use ensemfdet_graph::{BipartiteGraph, SampledGraph};
+use std::fmt;
+
+/// A structural sampling method for bipartite graphs.
+///
+/// Implementations must be deterministic functions of
+/// `(graph, ratio, seed)` — the ensemble relies on this for reproducible
+/// parallel runs.
+///
+/// ```
+/// use ensemfdet_sampling::{Sampler, SamplingMethod};
+/// use ensemfdet_graph::BipartiteGraph;
+///
+/// let g = BipartiteGraph::from_edges(
+///     10, 10, (0..40u32).map(|i| (i % 10, (i * 3) % 10)).collect(),
+/// ).unwrap();
+/// let sample = SamplingMethod::RandomEdge.sample(&g, 0.25, 42);
+/// assert_eq!(sample.graph.num_edges(), 10); // S · |E|
+/// // Local ids map back to the parent graph:
+/// let (lu, _) = sample.graph.edge_endpoints(0);
+/// assert!(sample.parent_user(lu).0 < 10);
+/// ```
+pub trait Sampler {
+    /// Draws one sampled subgraph at the given ratio `S ∈ (0, 1]`.
+    fn sample(&self, g: &BipartiteGraph, ratio: f64, seed: u64) -> SampledGraph;
+
+    /// Human-readable name (used in experiment output).
+    fn name(&self) -> &'static str;
+}
+
+/// Enum-dispatched sampling method, mirroring the paper's four "bagging"
+/// variants in Figure 5.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SamplingMethod {
+    /// Random Edge Sampling (Section IV-A2) — "Random_Edge_Bagging".
+    RandomEdge,
+    /// One-side sampling of the user/PIN side — "Node_PIN_Bagging".
+    OneSideUser,
+    /// One-side sampling of the merchant side — "Node_Merchant_Bagging".
+    OneSideMerchant,
+    /// Two-sides node sampling (Section IV-A4) — "Two_sides_Bagging".
+    TwoSide,
+}
+
+impl SamplingMethod {
+    /// All four variants, in the order Figure 5 plots them.
+    pub const ALL: [SamplingMethod; 4] = [
+        SamplingMethod::TwoSide,
+        SamplingMethod::OneSideMerchant,
+        SamplingMethod::OneSideUser,
+        SamplingMethod::RandomEdge,
+    ];
+}
+
+impl Sampler for SamplingMethod {
+    fn sample(&self, g: &BipartiteGraph, ratio: f64, seed: u64) -> SampledGraph {
+        match self {
+            SamplingMethod::RandomEdge => RandomEdgeSampling.sample(g, ratio, seed),
+            SamplingMethod::OneSideUser => {
+                OneSideNodeSampling::new(Side::User).sample(g, ratio, seed)
+            }
+            SamplingMethod::OneSideMerchant => {
+                OneSideNodeSampling::new(Side::Merchant).sample(g, ratio, seed)
+            }
+            SamplingMethod::TwoSide => TwoSideNodeSampling.sample(g, ratio, seed),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            SamplingMethod::RandomEdge => "Random_Edge_Bagging",
+            SamplingMethod::OneSideUser => "Node_PIN_Bagging",
+            SamplingMethod::OneSideMerchant => "Node_Merchant_Bagging",
+            SamplingMethod::TwoSide => "Two_sides_Bagging",
+        }
+    }
+}
+
+impl fmt::Display for SamplingMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Number of items to draw for ratio `S` over a population of `n`:
+/// `round(S·n)` clamped to `[min(1, n), n]` so a nonempty population never
+/// yields an empty (useless) sample.
+pub(crate) fn sample_count(n: usize, ratio: f64) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    let raw = (ratio * n as f64).round() as usize;
+    raw.clamp(1, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ensemfdet_graph::GraphBuilder;
+    use ensemfdet_graph::{MerchantId, UserId};
+
+    fn grid_graph(nu: u32, nv: u32) -> BipartiteGraph {
+        let mut b = GraphBuilder::with_min_sizes(nu as usize, nv as usize);
+        for u in 0..nu {
+            for v in 0..nv {
+                if (u + v) % 3 != 0 {
+                    b.add_edge(UserId(u), MerchantId(v));
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn names_match_paper_labels() {
+        assert_eq!(SamplingMethod::RandomEdge.name(), "Random_Edge_Bagging");
+        assert_eq!(SamplingMethod::OneSideUser.name(), "Node_PIN_Bagging");
+        assert_eq!(
+            SamplingMethod::OneSideMerchant.name(),
+            "Node_Merchant_Bagging"
+        );
+        assert_eq!(SamplingMethod::TwoSide.name(), "Two_sides_Bagging");
+        assert_eq!(format!("{}", SamplingMethod::TwoSide), "Two_sides_Bagging");
+    }
+
+    #[test]
+    fn all_methods_sample_deterministically() {
+        let g = grid_graph(20, 15);
+        for m in SamplingMethod::ALL {
+            let a = m.sample(&g, 0.3, 99);
+            let b = m.sample(&g, 0.3, 99);
+            assert_eq!(a.graph.edge_slice(), b.graph.edge_slice(), "{m}");
+            assert_eq!(a.orig_users, b.orig_users, "{m}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_samples() {
+        let g = grid_graph(20, 15);
+        for m in SamplingMethod::ALL {
+            let a = m.sample(&g, 0.3, 1);
+            let b = m.sample(&g, 0.3, 2);
+            // With 200 edges at 30% the chance of identical draws is nil.
+            assert_ne!(
+                (a.graph.edge_slice(), &a.orig_users),
+                (b.graph.edge_slice(), &b.orig_users),
+                "{m}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_count_clamps() {
+        assert_eq!(sample_count(0, 0.5), 0);
+        assert_eq!(sample_count(10, 0.0), 1);
+        assert_eq!(sample_count(10, 0.5), 5);
+        assert_eq!(sample_count(10, 2.0), 10);
+        assert_eq!(sample_count(3, 0.01), 1);
+    }
+}

@@ -1,0 +1,157 @@
+//! One-side Node Sampling (ONS, Section IV-A3).
+//!
+//! Samples `S·|side|` nodes from one chosen side uniformly and keeps *all*
+//! their incident edges. The paper's "retain topology" principle: when
+//! `D_avg(V) ≫ D_avg(U)` (merchants much busier than PINs, as in the JD
+//! datasets), sampling the *merchant* side preserves dense components —
+//! one sampled high-degree merchant drags its whole user neighborhood into
+//! the sample — whereas sampling the PIN side shatters them. Figure 5
+//! demonstrates exactly this gap.
+
+use crate::method::{sample_count, Sampler};
+use crate::res::floyd_sample;
+use crate::seed::splitmix64;
+use ensemfdet_graph::{BipartiteGraph, MerchantId, SampledGraph, UserId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which side of the bipartite graph to sample.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Side {
+    /// Sample user (PIN) nodes.
+    User,
+    /// Sample merchant nodes.
+    Merchant,
+}
+
+/// Uniform node sampler over one side, keeping all incident edges.
+#[derive(Clone, Copy, Debug)]
+pub struct OneSideNodeSampling {
+    side: Side,
+}
+
+impl OneSideNodeSampling {
+    /// Sampler for the given side.
+    pub fn new(side: Side) -> Self {
+        OneSideNodeSampling { side }
+    }
+
+    /// The sampled side.
+    pub fn side(&self) -> Side {
+        self.side
+    }
+
+    /// Task-oriented default (Section IV-A3): for dense-subgraph detection,
+    /// sample the side with the *higher* average degree so dense topology is
+    /// retained.
+    pub fn auto(g: &BipartiteGraph) -> Self {
+        if g.avg_merchant_degree() >= g.avg_user_degree() {
+            Self::new(Side::Merchant)
+        } else {
+            Self::new(Side::User)
+        }
+    }
+}
+
+impl Sampler for OneSideNodeSampling {
+    fn sample(&self, g: &BipartiteGraph, ratio: f64, seed: u64) -> SampledGraph {
+        let mut rng = StdRng::seed_from_u64(splitmix64(seed ^ 0x0115));
+        match self.side {
+            Side::User => {
+                let take = sample_count(g.num_users(), ratio);
+                let picks: Vec<UserId> = floyd_sample(g.num_users(), take, &mut rng)
+                    .into_iter()
+                    .map(|i| UserId(i as u32))
+                    .collect();
+                SampledGraph::from_user_subset(g, &picks)
+            }
+            Side::Merchant => {
+                let take = sample_count(g.num_merchants(), ratio);
+                let picks: Vec<MerchantId> = floyd_sample(g.num_merchants(), take, &mut rng)
+                    .into_iter()
+                    .map(|i| MerchantId(i as u32))
+                    .collect();
+                SampledGraph::from_merchant_subset(g, &picks)
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self.side {
+            Side::User => "Node_PIN_Bagging",
+            Side::Merchant => "Node_Merchant_Bagging",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skewed_graph() -> BipartiteGraph {
+        // 60 users × 6 merchants, each user buys from 2 merchants:
+        // D_avg(V) = 20 ≫ D_avg(U) = 2.
+        let mut edges = Vec::new();
+        for u in 0..60u32 {
+            edges.push((u, u % 6));
+            edges.push((u, (u + 1) % 6));
+        }
+        BipartiteGraph::from_edges(60, 6, edges).unwrap()
+    }
+
+    #[test]
+    fn user_side_sample_size() {
+        let g = skewed_graph();
+        let s = OneSideNodeSampling::new(Side::User).sample(&g, 0.25, 3);
+        assert_eq!(s.graph.num_users(), 15);
+        // All incident edges of sampled users are kept: 2 per user.
+        assert_eq!(s.graph.num_edges(), 30);
+    }
+
+    #[test]
+    fn merchant_side_sample_keeps_neighborhoods() {
+        let g = skewed_graph();
+        let s = OneSideNodeSampling::new(Side::Merchant).sample(&g, 0.5, 3);
+        assert_eq!(s.graph.num_merchants(), 3);
+        // Each merchant has 20 incident edges.
+        assert_eq!(s.graph.num_edges(), 60);
+        // Merchant-side ONS retains the high merchant degree exactly.
+        let max_deg = s.graph.merchant_degrees().into_iter().max().unwrap();
+        assert_eq!(max_deg, 20);
+    }
+
+    #[test]
+    fn auto_picks_the_denser_side() {
+        let g = skewed_graph();
+        assert_eq!(OneSideNodeSampling::auto(&g).side(), Side::Merchant);
+        // Flip the graph: users dense, merchants sparse.
+        let flipped_edges: Vec<(u32, u32)> =
+            g.edge_slice().iter().map(|&(u, v)| (v, u)).collect();
+        let gf = BipartiteGraph::from_edges(6, 60, flipped_edges).unwrap();
+        assert_eq!(OneSideNodeSampling::auto(&gf).side(), Side::User);
+    }
+
+    #[test]
+    fn sampled_nodes_map_back() {
+        let g = skewed_graph();
+        let s = OneSideNodeSampling::new(Side::User).sample(&g, 0.1, 9);
+        for (local, _) in s.orig_users.iter().enumerate() {
+            let pu = s.parent_user(UserId(local as u32));
+            assert!(pu.0 < 60);
+            // Degree is preserved for sampled users (all edges kept).
+            assert_eq!(
+                s.graph.user_degree(UserId(local as u32)),
+                g.user_degree(pu)
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = skewed_graph();
+        let s1 = OneSideNodeSampling::new(Side::Merchant).sample(&g, 0.4, 17);
+        let s2 = OneSideNodeSampling::new(Side::Merchant).sample(&g, 0.4, 17);
+        assert_eq!(s1.orig_merchants, s2.orig_merchants);
+        assert_eq!(s1.graph.edge_slice(), s2.graph.edge_slice());
+    }
+}

@@ -1,0 +1,144 @@
+//! Random Edge Sampling (RES, Section IV-A2).
+//!
+//! Selects `S·|E|` edges uniformly **without replacement** and induces the
+//! subgraph on their endpoints. Per Lemma 1 this samples high-degree nodes
+//! at a higher rate than node sampling, so the dense (fraud-suspicious)
+//! components survive sampling disproportionately often — exactly the bias
+//! the ensemble wants.
+
+use crate::method::{sample_count, Sampler};
+use crate::seed::splitmix64;
+use ensemfdet_graph::{BipartiteGraph, SampledGraph};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashSet;
+
+/// Uniform without-replacement edge sampler.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RandomEdgeSampling;
+
+impl Sampler for RandomEdgeSampling {
+    fn sample(&self, g: &BipartiteGraph, ratio: f64, seed: u64) -> SampledGraph {
+        let m = g.num_edges();
+        let take = sample_count(m, ratio);
+        let mut rng = StdRng::seed_from_u64(splitmix64(seed));
+        let ids = floyd_sample(m, take, &mut rng);
+        SampledGraph::from_edge_subset(g, &ids, 1.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "Random_Edge_Bagging"
+    }
+}
+
+/// Floyd's algorithm: `k` distinct values from `0..n` in O(k) expected time
+/// and memory — per-sample cost stays proportional to the sample, not the
+/// graph, which is what makes `S = 0.01` runs cheap.
+pub(crate) fn floyd_sample(n: usize, k: usize, rng: &mut StdRng) -> Vec<usize> {
+    debug_assert!(k <= n);
+    let mut chosen: HashSet<usize> = HashSet::with_capacity(k);
+    let mut out = Vec::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.random_range(0..=j);
+        let pick = if chosen.contains(&t) { j } else { t };
+        chosen.insert(pick);
+        out.push(pick);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ensemfdet_graph::BipartiteGraph;
+
+    fn big_graph() -> BipartiteGraph {
+        let edges: Vec<(u32, u32)> = (0..500u32).map(|i| (i % 50, (i * 7) % 40)).collect();
+        BipartiteGraph::from_edges(50, 40, edges).unwrap()
+    }
+
+    #[test]
+    fn sample_size_matches_ratio() {
+        let g = big_graph();
+        let s = RandomEdgeSampling.sample(&g, 0.1, 7);
+        assert_eq!(s.graph.num_edges(), 50);
+    }
+
+    #[test]
+    fn sampled_edges_exist_in_parent() {
+        let g = big_graph();
+        let s = RandomEdgeSampling.sample(&g, 0.2, 11);
+        let parent_edges: std::collections::HashSet<(u32, u32)> =
+            g.edge_slice().iter().copied().collect();
+        for (_, lu, lv, _) in s.graph.edges() {
+            let pe = (s.parent_user(lu).0, s.parent_merchant(lv).0);
+            assert!(parent_edges.contains(&pe));
+        }
+    }
+
+    #[test]
+    fn no_duplicate_edges() {
+        let g = big_graph();
+        let s = RandomEdgeSampling.sample(&g, 0.5, 3);
+        // Without replacement over distinct parent edge ids: mapped-back
+        // endpoint multiset has no more copies of an edge than the parent.
+        let mut seen: std::collections::HashMap<(u32, u32), usize> = Default::default();
+        for (_, lu, lv, _) in s.graph.edges() {
+            *seen
+                .entry((s.parent_user(lu).0, s.parent_merchant(lv).0))
+                .or_insert(0) += 1;
+        }
+        let mut parent_count: std::collections::HashMap<(u32, u32), usize> = Default::default();
+        for &e in g.edge_slice() {
+            *parent_count.entry(e).or_insert(0) += 1;
+        }
+        for (e, c) in seen {
+            assert!(c <= parent_count[&e], "edge {e:?} oversampled");
+        }
+    }
+
+    #[test]
+    fn full_ratio_returns_whole_edge_set() {
+        let g = big_graph();
+        let s = RandomEdgeSampling.sample(&g, 1.0, 5);
+        assert_eq!(s.graph.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn empty_graph_samples_empty() {
+        let g = BipartiteGraph::from_edges(0, 0, vec![]).unwrap();
+        let s = RandomEdgeSampling.sample(&g, 0.5, 1);
+        assert_eq!(s.graph.num_edges(), 0);
+    }
+
+    #[test]
+    fn floyd_sample_is_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for k in [0usize, 1, 10, 100] {
+            let ids = floyd_sample(100, k, &mut rng);
+            assert_eq!(ids.len(), k);
+            let set: HashSet<usize> = ids.iter().copied().collect();
+            assert_eq!(set.len(), k, "duplicates at k={k}");
+            assert!(ids.iter().all(|&i| i < 100));
+        }
+    }
+
+    #[test]
+    fn floyd_sample_is_roughly_uniform() {
+        // Draw 30 of 100, many times; each index should appear ~30% of draws.
+        let mut counts = vec![0usize; 100];
+        for seed in 0..400u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for i in floyd_sample(100, 30, &mut rng) {
+                counts[i] += 1;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / 400.0;
+            assert!(
+                (0.15..=0.45).contains(&freq),
+                "index {i} frequency {freq} deviates from 0.30"
+            );
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Sampling theory: the Eq. 3 degree expectations and the Lemma 1 crossover.
+//!
+//! For a node of original degree `q`:
+//!
+//! - Node Sampling includes it with probability `p_v`, so the expected count
+//!   of sampled degree-`q` nodes is `E_NS[d_q] = f_D(q) · p_v`.
+//! - Edge Sampling includes it iff *any* of its `q` edges is drawn, so
+//!   `E_ES[d_q] = f_D(q) · (1 − (1 − p_e)^q)`.
+//!
+//! Lemma 1: for `q > log(1 − p_v) / log(1 − p_e)`, edge sampling includes
+//! degree-`q` nodes at a higher rate than node sampling — the formal reason
+//! RES is biased toward the dense, suspicious parts of the graph.
+
+/// `E_NS[d_q]` of Eq. 3: expected number of sampled nodes of original degree
+/// `q` under node sampling with node-probability `pv`.
+pub fn expected_ns(f_d_q: usize, pv: f64) -> f64 {
+    f_d_q as f64 * pv
+}
+
+/// `E_ES[d_q]` of Eq. 3: expected number of nodes of original degree `q`
+/// that appear in an edge sample with edge-probability `pe`.
+pub fn expected_es(f_d_q: usize, pe: f64, q: u32) -> f64 {
+    f_d_q as f64 * (1.0 - (1.0 - pe).powi(q as i32))
+}
+
+/// The Lemma 1 crossover degree `q* = log(1 − p_v) / log(1 − p_e)`:
+/// for `q > q*`, `E_ES[d_q] > E_NS[d_q]`.
+///
+/// Returns `f64::INFINITY` when `pe = 0` (edge sampling never selects
+/// anything) and `0.0` when `pv = 0`.
+pub fn lemma1_crossover(pv: f64, pe: f64) -> f64 {
+    assert!((0.0..1.0).contains(&pv), "pv must be in [0, 1)");
+    assert!((0.0..1.0).contains(&pe), "pe must be in [0, 1)");
+    if pv == 0.0 {
+        return 0.0;
+    }
+    if pe == 0.0 {
+        return f64::INFINITY;
+    }
+    (1.0 - pv).ln() / (1.0 - pe).ln()
+}
+
+/// Per-node inclusion probability under edge sampling:
+/// `1 − (1 − pe)^q` — the complement of missing all `q` edges.
+pub fn es_inclusion_probability(pe: f64, q: u32) -> f64 {
+    1.0 - (1.0 - pe).powi(q as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_expectation_is_linear_in_count() {
+        assert_eq!(expected_ns(100, 0.1), 10.0);
+        assert_eq!(expected_ns(0, 0.5), 0.0);
+    }
+
+    #[test]
+    fn es_expectation_saturates_with_degree() {
+        // High-degree nodes are almost surely included.
+        let low = expected_es(100, 0.1, 1);
+        let high = expected_es(100, 0.1, 100);
+        assert!(low < high);
+        assert!((low - 10.0).abs() < 1e-9); // q=1: exactly pe
+        assert!(high > 99.9);
+    }
+
+    #[test]
+    fn lemma1_holds_on_both_sides_of_crossover() {
+        let (pv, pe) = (0.2, 0.1);
+        let qstar = lemma1_crossover(pv, pe);
+        assert!(qstar > 1.0 && qstar.is_finite());
+        let q_below = qstar.floor().max(1.0) as u32;
+        let q_above = qstar.ceil() as u32 + 1;
+        // Below the crossover NS wins (or ties); above, ES wins.
+        assert!(expected_es(1000, pe, q_below) <= expected_ns(1000, pv) + 1e-6);
+        assert!(expected_es(1000, pe, q_above) > expected_ns(1000, pv));
+    }
+
+    #[test]
+    fn equal_probabilities_cross_at_degree_one() {
+        // pv = pe ⇒ q* = 1: ES over-represents every node of degree ≥ 2.
+        let qstar = lemma1_crossover(0.15, 0.15);
+        assert!((qstar - 1.0).abs() < 1e-12);
+        assert!(expected_es(10, 0.15, 2) > expected_ns(10, 0.15));
+    }
+
+    #[test]
+    fn degenerate_probabilities() {
+        assert_eq!(lemma1_crossover(0.0, 0.5), 0.0);
+        assert_eq!(lemma1_crossover(0.5, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn inclusion_probability_bounds() {
+        assert_eq!(es_inclusion_probability(0.3, 0), 0.0);
+        assert!((es_inclusion_probability(0.3, 1) - 0.3).abs() < 1e-12);
+        assert!(es_inclusion_probability(0.3, 50) <= 1.0);
+        // Monotone in q.
+        let mut prev = 0.0;
+        for q in 0..20 {
+            let p = es_inclusion_probability(0.2, q);
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pv must be in")]
+    fn crossover_rejects_pv_one() {
+        lemma1_crossover(1.0, 0.5);
+    }
+}

@@ -1,0 +1,113 @@
+//! Two-sides Node Sampling (TNS, Section IV-A4).
+//!
+//! Samples `S·|U|` users *and* `S·|V|` merchants and keeps only the crossing
+//! edges — the cross-section of the sampled rows and columns of the
+//! adjacency matrix `W`. A ratio-`S` TNS sample therefore keeps only ≈ `S²`
+//! of the edges, which is why the paper recommends enlarging `S` or `N`
+//! when using it.
+
+use crate::method::{sample_count, Sampler};
+use crate::res::floyd_sample;
+use crate::seed::splitmix64;
+use ensemfdet_graph::{BipartiteGraph, MerchantId, SampledGraph, UserId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Uniform node sampler over both sides, keeping crossing edges only.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TwoSideNodeSampling;
+
+impl Sampler for TwoSideNodeSampling {
+    fn sample(&self, g: &BipartiteGraph, ratio: f64, seed: u64) -> SampledGraph {
+        let mut rng = StdRng::seed_from_u64(splitmix64(seed ^ 0x2_0115));
+        let take_u = sample_count(g.num_users(), ratio);
+        let take_v = sample_count(g.num_merchants(), ratio);
+        let users: Vec<UserId> = floyd_sample(g.num_users(), take_u, &mut rng)
+            .into_iter()
+            .map(|i| UserId(i as u32))
+            .collect();
+        let merchants: Vec<MerchantId> = floyd_sample(g.num_merchants(), take_v, &mut rng)
+            .into_iter()
+            .map(|i| MerchantId(i as u32))
+            .collect();
+        SampledGraph::from_node_subsets(g, &users, &merchants)
+    }
+
+    fn name(&self) -> &'static str {
+        "Two_sides_Bagging"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete_graph(nu: u32, nv: u32) -> BipartiteGraph {
+        let mut edges = Vec::new();
+        for u in 0..nu {
+            for v in 0..nv {
+                edges.push((u, v));
+            }
+        }
+        BipartiteGraph::from_edges(nu as usize, nv as usize, edges).unwrap()
+    }
+
+    #[test]
+    fn node_counts_follow_ratio_on_both_sides() {
+        let g = complete_graph(40, 20);
+        let s = TwoSideNodeSampling.sample(&g, 0.25, 5);
+        assert_eq!(s.graph.num_users(), 10);
+        assert_eq!(s.graph.num_merchants(), 5);
+    }
+
+    #[test]
+    fn complete_graph_keeps_exactly_cross_section() {
+        // On K(nu, nv) a TNS sample keeps every crossing pair: edges = s_u·s_v.
+        let g = complete_graph(40, 20);
+        let s = TwoSideNodeSampling.sample(&g, 0.25, 5);
+        assert_eq!(s.graph.num_edges(), 10 * 5);
+    }
+
+    #[test]
+    fn edge_fraction_is_roughly_ratio_squared() {
+        // Average over seeds: kept-edge fraction on a sparse random-ish
+        // graph ≈ S² (Section IV-A4's sizing caveat).
+        let edges: Vec<(u32, u32)> = (0..2000u32).map(|i| (i % 100, (i * 13) % 80)).collect();
+        let g = BipartiteGraph::from_edges(100, 80, edges).unwrap();
+        let ratio = 0.3;
+        let mut total = 0usize;
+        let trials = 40;
+        for seed in 0..trials {
+            total += TwoSideNodeSampling.sample(&g, ratio, seed).graph.num_edges();
+        }
+        let frac = total as f64 / (trials as f64 * g.num_edges() as f64);
+        let expect = ratio * ratio;
+        assert!(
+            (frac - expect).abs() < 0.03,
+            "kept fraction {frac:.3} vs S² = {expect:.3}"
+        );
+    }
+
+    #[test]
+    fn crossing_edges_only() {
+        let g = complete_graph(10, 10);
+        let s = TwoSideNodeSampling.sample(&g, 0.5, 1);
+        let users: std::collections::HashSet<u32> = s.orig_users.iter().copied().collect();
+        let merchants: std::collections::HashSet<u32> =
+            s.orig_merchants.iter().copied().collect();
+        for (_, lu, lv, _) in s.graph.edges() {
+            assert!(users.contains(&s.parent_user(lu).0));
+            assert!(merchants.contains(&s.parent_merchant(lv).0));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = complete_graph(20, 20);
+        let a = TwoSideNodeSampling.sample(&g, 0.4, 123);
+        let b = TwoSideNodeSampling.sample(&g, 0.4, 123);
+        assert_eq!(a.orig_users, b.orig_users);
+        assert_eq!(a.orig_merchants, b.orig_merchants);
+        assert_eq!(a.graph.edge_slice(), b.graph.edge_slice());
+    }
+}

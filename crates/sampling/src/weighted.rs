@@ -1,0 +1,134 @@
+//! Weighted ε-approximation edge sampling (Theorem 1).
+//!
+//! Theorem 1 (after Gao et al. \[9\]): sampling each edge independently with
+//! probability `p` and re-weighting the kept edges by `1/p` yields a
+//! subgraph whose density score is within `(1 ± ε)` of the original, with
+//! high probability, provided `p ≥ 3(d+2)·ln n / (ε²·c)` where `n` is the
+//! node count, `c = Ω(ln n)` the minimum degree, and `d` a confidence
+//! parameter.
+//!
+//! This is the theoretical justification that sampling does not destroy the
+//! density signal; the production samplers in [`crate::res`] use fixed-size
+//! without-replacement draws for predictable per-sample cost, but this
+//! module provides the literal construction so the guarantee can be checked
+//! empirically (see the crate's property tests).
+
+use crate::seed::splitmix64;
+use ensemfdet_graph::{BipartiteGraph, EdgeId, SampledGraph};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The Theorem 1 edge-keeping probability
+/// `p = min(1, 3(d+2)·ln n / (ε²·c))`.
+///
+/// `n`: number of vertices; `c`: minimum node degree (the theorem requires
+/// `c = Ω(ln n)`); `d`: confidence exponent (failure probability `n^{-d}`);
+/// `epsilon`: target relative error.
+pub fn theorem1_probability(n: usize, c: f64, d: f64, epsilon: f64) -> f64 {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    assert!(c > 0.0, "minimum degree must be positive");
+    if n < 2 {
+        return 1.0;
+    }
+    let p = 3.0 * (d + 2.0) * (n as f64).ln() / (epsilon * epsilon * c);
+    p.min(1.0)
+}
+
+/// Samples each edge independently with probability `p`, scaling kept edge
+/// weights by `1/p` — the ε-approximation construction of Theorem 1.
+pub fn epsilon_approx_sample(g: &BipartiteGraph, p: f64, seed: u64) -> SampledGraph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    if p <= 0.0 {
+        return SampledGraph::from_edge_subset(g, &[], 1.0);
+    }
+    let mut rng = StdRng::seed_from_u64(splitmix64(seed ^ 0xE95));
+    let kept: Vec<EdgeId> = (0..g.num_edges())
+        .filter(|_| rng.random::<f64>() < p)
+        .collect();
+    SampledGraph::from_edge_subset(g, &kept, 1.0 / p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_graph() -> BipartiteGraph {
+        let mut edges = Vec::new();
+        for u in 0..40u32 {
+            for v in 0..30u32 {
+                if (u * 31 + v * 17) % 3 != 0 {
+                    edges.push((u, v));
+                }
+            }
+        }
+        BipartiteGraph::from_edges(40, 30, edges).unwrap()
+    }
+
+    #[test]
+    fn probability_formula_monotonicity() {
+        let p1 = theorem1_probability(1000, 50.0, 1.0, 0.5);
+        let p2 = theorem1_probability(1000, 50.0, 1.0, 0.25);
+        assert!(p2 >= p1, "smaller epsilon needs more edges");
+        let p3 = theorem1_probability(1000, 100.0, 1.0, 0.5);
+        assert!(p3 <= p1, "denser graphs can sample more aggressively");
+        assert!(theorem1_probability(2, 1.0, 5.0, 0.01) <= 1.0);
+        assert_eq!(theorem1_probability(1, 1.0, 1.0, 0.5), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn zero_epsilon_rejected() {
+        theorem1_probability(100, 10.0, 1.0, 0.0);
+    }
+
+    #[test]
+    fn kept_weight_is_unbiased() {
+        // E[total weight of sample] = |E| because each edge contributes
+        // p · (1/p) = 1 in expectation.
+        let g = dense_graph();
+        let p = 0.3;
+        let trials = 60;
+        let mut total = 0.0;
+        for seed in 0..trials {
+            total += epsilon_approx_sample(&g, p, seed).graph.total_weight();
+        }
+        let mean = total / trials as f64;
+        let expect = g.num_edges() as f64;
+        assert!(
+            (mean - expect).abs() / expect < 0.05,
+            "mean sampled weight {mean:.1} vs |E| = {expect}"
+        );
+    }
+
+    #[test]
+    fn kept_edges_carry_inverse_probability_weight() {
+        let g = dense_graph();
+        let s = epsilon_approx_sample(&g, 0.25, 7);
+        assert!(s.graph.is_weighted());
+        for (e, _, _, w) in s.graph.edges() {
+            let _ = e;
+            assert!((w - 4.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn p_one_keeps_everything() {
+        let g = dense_graph();
+        let s = epsilon_approx_sample(&g, 1.0, 3);
+        assert_eq!(s.graph.num_edges(), g.num_edges());
+        assert!((s.graph.total_weight() - g.num_edges() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p_zero_keeps_nothing() {
+        let g = dense_graph();
+        let s = epsilon_approx_sample(&g, 0.0, 3);
+        assert_eq!(s.graph.num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a probability")]
+    fn invalid_probability_rejected() {
+        epsilon_approx_sample(&dense_graph(), 1.5, 0);
+    }
+}

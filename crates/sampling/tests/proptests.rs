@@ -1,0 +1,117 @@
+//! Property-based tests for the samplers: containment, ratio, determinism,
+//! and the empirical validation of Lemma 1 / Theorem 1.
+
+use ensemfdet_graph::BipartiteGraph;
+use ensemfdet_sampling::theory::{es_inclusion_probability, lemma1_crossover};
+use ensemfdet_sampling::weighted::epsilon_approx_sample;
+use ensemfdet_sampling::{Sampler, SamplingMethod};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = BipartiteGraph> {
+    (2u32..30, 2u32..30).prop_flat_map(|(nu, nv)| {
+        prop::collection::vec((0..nu, 0..nv), 1..200).prop_map(move |edges| {
+            BipartiteGraph::from_edges(nu as usize, nv as usize, edges).unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn samples_are_subgraphs(g in arb_graph(), ratio in 0.05f64..1.0, seed in 0u64..500) {
+        let parent_edges: std::collections::HashMap<(u32, u32), usize> = {
+            let mut m = std::collections::HashMap::new();
+            for &e in g.edge_slice() { *m.entry(e).or_insert(0) += 1; }
+            m
+        };
+        for method in SamplingMethod::ALL {
+            let s = method.sample(&g, ratio, seed);
+            // Node maps are injective into the parent id space.
+            let users: std::collections::HashSet<u32> = s.orig_users.iter().copied().collect();
+            prop_assert_eq!(users.len(), s.orig_users.len());
+            prop_assert!(s.orig_users.iter().all(|&u| (u as usize) < g.num_users()));
+            prop_assert!(s.orig_merchants.iter().all(|&v| (v as usize) < g.num_merchants()));
+            // Every sampled edge exists in the parent with enough multiplicity.
+            let mut seen: std::collections::HashMap<(u32, u32), usize> = Default::default();
+            for (_, lu, lv, _) in s.graph.edges() {
+                let key = (s.orig_users[lu.index()], s.orig_merchants[lv.index()]);
+                *seen.entry(key).or_insert(0) += 1;
+            }
+            for (e, c) in seen {
+                prop_assert!(parent_edges.get(&e).copied().unwrap_or(0) >= c,
+                    "{}: edge {:?} not in parent", method, e);
+            }
+        }
+    }
+
+    #[test]
+    fn res_edge_count_tracks_ratio(g in arb_graph(), ratio in 0.1f64..1.0, seed in 0u64..100) {
+        let s = SamplingMethod::RandomEdge.sample(&g, ratio, seed);
+        let want = ((ratio * g.num_edges() as f64).round() as usize).clamp(1, g.num_edges());
+        prop_assert_eq!(s.graph.num_edges(), want);
+    }
+
+    #[test]
+    fn ons_preserves_degrees_of_sampled_users(g in arb_graph(), seed in 0u64..100) {
+        let s = SamplingMethod::OneSideUser.sample(&g, 0.5, seed);
+        for lu in 0..s.graph.num_users() {
+            let local_deg = s.graph.user_degree(ensemfdet_graph::UserId(lu as u32));
+            let parent_deg = g.user_degree(ensemfdet_graph::UserId(s.orig_users[lu]));
+            prop_assert_eq!(local_deg, parent_deg);
+        }
+    }
+
+    #[test]
+    fn epsilon_sample_total_weight_is_unbiased_smoke(g in arb_graph(), p in 0.2f64..0.9) {
+        // Single draw: weight within a loose multiple of |E| (law of large
+        // numbers is checked in the unit tests with many trials).
+        let s = epsilon_approx_sample(&g, p, 42);
+        let w = s.graph.total_weight();
+        prop_assert!(w <= g.num_edges() as f64 / p + 1e-9);
+    }
+
+    #[test]
+    fn lemma1_crossover_separates_expectations(pv in 0.01f64..0.9, pe in 0.01f64..0.9) {
+        let qstar = lemma1_crossover(pv, pe);
+        if qstar.is_finite() && qstar < 200.0 {
+            let q_above = qstar.ceil() as u32 + 1;
+            prop_assert!(es_inclusion_probability(pe, q_above) > pv);
+            if qstar >= 1.0 {
+                let q_below = qstar.floor() as u32;
+                prop_assert!(es_inclusion_probability(pe, q_below) <= pv + 1e-9);
+            }
+        }
+    }
+}
+
+/// Empirical Lemma 1: on a graph with both low- and high-degree merchants,
+/// RES includes high-degree merchants more often than merchant-node sampling
+/// at matched ratios.
+#[test]
+fn res_oversamples_high_degree_nodes_vs_ons() {
+    // 1 popular merchant (degree 60), 60 unpopular (degree 1 each).
+    let mut edges = Vec::new();
+    for u in 0..60u32 {
+        edges.push((u, 0));
+        edges.push((u, 1 + u));
+    }
+    let g = BipartiteGraph::from_edges(60, 61, edges).unwrap();
+    let ratio = 0.2;
+    let trials = 200u64;
+    let mut res_hits = 0usize;
+    let mut ons_hits = 0usize;
+    for seed in 0..trials {
+        let res = SamplingMethod::RandomEdge.sample(&g, ratio, seed);
+        if res.orig_merchants.contains(&0) {
+            res_hits += 1;
+        }
+        let ons = SamplingMethod::OneSideMerchant.sample(&g, ratio, seed);
+        if ons.orig_merchants.contains(&0) {
+            ons_hits += 1;
+        }
+    }
+    // RES: P(include m0) = 1 - (1-0.2)^60 ≈ 1. ONS: P = 0.2.
+    assert!(res_hits as f64 / trials as f64 > 0.95, "res {res_hits}/{trials}");
+    assert!((ons_hits as f64 / trials as f64) < 0.4, "ons {ons_hits}/{trials}");
+}

@@ -1,0 +1,188 @@
+//! Hand-rolled HTTP/1.1 request parsing and response serialization —
+//! just enough for a JSON API driven by `curl` and tests.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Maximum accepted body size (1 MiB of JSON records per request).
+pub const MAX_BODY: usize = 1 << 20;
+
+/// A parsed request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// Path component, e.g. `/health` (query strings are not split off).
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// A response to serialize.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body bytes; content type is always `application/json`.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, value: &serde_json::Value) -> Self {
+        Response {
+            status,
+            body: value.to_string().into_bytes(),
+        }
+    }
+
+    /// A JSON error `{ "error": message }`.
+    pub fn error(status: u16, message: &str) -> Self {
+        Self::json(status, &serde_json::json!({ "error": message }))
+    }
+}
+
+/// Reads one request from a stream.
+///
+/// # Errors
+///
+/// Returns a human-readable error for malformed requests, oversized
+/// bodies, or I/O failures.
+pub fn read_request<R: Read>(stream: R) -> Result<Request, String> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader
+        .read_line(&mut request_line)
+        .map_err(|e| format!("i/o error: {e}"))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| "empty request line".to_string())?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| "missing request path".to_string())?
+        .to_string();
+
+    // Headers: we only care about Content-Length.
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("i/o error: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-headers".to_string());
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad content-length `{}`", value.trim()))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(format!("body of {content_length} bytes exceeds limit"));
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("short body: {e}"))?;
+    Ok(Request { method, path, body })
+}
+
+/// Writes a response to a stream.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_response<W: Write>(mut stream: W, response: &Response) -> std::io::Result<()> {
+    let reason = match response.status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        response.status,
+        reason,
+        response.body.len()
+    )?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_get_without_body() {
+        let raw = b"GET /health HTTP/1.1\r\nhost: x\r\n\r\n";
+        let r = read_request(&raw[..]).unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/health");
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = b"POST /scan HTTP/1.1\r\nContent-Length: 7\r\n\r\n{\"a\":1}";
+        let r = read_request(&raw[..]).unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body, b"{\"a\":1}");
+    }
+
+    #[test]
+    fn content_length_is_case_insensitive() {
+        let raw = b"POST /x HTTP/1.1\r\ncontent-LENGTH: 2\r\n\r\nhi";
+        let r = read_request(&raw[..]).unwrap();
+        assert_eq!(r.body, b"hi");
+    }
+
+    #[test]
+    fn rejects_oversized_body() {
+        let raw = format!("POST /x HTTP/1.1\r\ncontent-length: {}\r\n\r\n", MAX_BODY + 1);
+        let err = read_request(raw.as_bytes()).unwrap_err();
+        assert!(err.contains("exceeds limit"));
+    }
+
+    #[test]
+    fn rejects_truncated_body() {
+        let raw = b"POST /x HTTP/1.1\r\ncontent-length: 10\r\n\r\nshort";
+        assert!(read_request(&raw[..]).unwrap_err().contains("short body"));
+    }
+
+    #[test]
+    fn rejects_garbage_request_line() {
+        let raw = b"\r\n\r\n";
+        assert!(read_request(&raw[..]).is_err());
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let resp = Response::json(200, &serde_json::json!({"ok": true}));
+        let mut out = Vec::new();
+        write_response(&mut out, &resp).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 11"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn error_helper_shapes_body() {
+        let resp = Response::error(404, "no such route");
+        assert_eq!(resp.status, 404);
+        assert!(String::from_utf8(resp.body).unwrap().contains("no such route"));
+    }
+}

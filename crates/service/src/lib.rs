@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! A minimal HTTP façade over the live campaign monitor — the deployment
+//! surface the paper alludes to ("ENSEMFDET has been deployed in the risk
+//! control department of JD.com").
+//!
+//! Endpoints (all JSON):
+//!
+//! | Method & path        | Body                                   | Effect |
+//! |----------------------|----------------------------------------|--------|
+//! | `GET /health`        | —                                      | liveness + transaction count |
+//! | `POST /transactions` | `{"records": [["user","merchant"],…]}` | ingest purchases; returns any auto-scan alerts |
+//! | `POST /scan`         | —                                      | force a detection pass; returns flagged accounts |
+//! | `GET /stats`         | —                                      | current graph statistics |
+//!
+//! The HTTP layer is deliberately tiny (hand-rolled HTTP/1.1, one thread
+//! per connection, no TLS): it exists so the detector can be driven by
+//! `curl` and integration-tested over a real socket, not to compete with a
+//! production web stack. All routing logic is a pure function
+//! ([`Api::handle`]) from request to response, so the interesting parts
+//! are testable without sockets.
+
+pub mod api;
+pub mod http;
+pub mod server;
+
+pub use api::{Api, ApiConfig};
+pub use server::Server;

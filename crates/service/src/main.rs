@@ -1,0 +1,40 @@
+//! `ensemfdet-serve` — run the live-monitoring HTTP service.
+//!
+//! ```text
+//! ensemfdet-serve [ADDR] [N] [S] [T] [SCAN_INTERVAL] [MIN_TRANSACTIONS]
+//! # defaults:       127.0.0.1:7878  20  0.2  10  5000  2000
+//! ```
+
+use ensemfdet::{EnsemFdetConfig, MonitorConfig};
+use ensemfdet_service::{Api, ApiConfig, Server};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = args.first().cloned().unwrap_or_else(|| "127.0.0.1:7878".into());
+    let parse = |i: usize, default: f64| -> f64 {
+        args.get(i).and_then(|s| s.parse().ok()).unwrap_or(default)
+    };
+    let config = ApiConfig {
+        monitor: MonitorConfig {
+            detector: EnsemFdetConfig {
+                num_samples: parse(1, 20.0) as usize,
+                sample_ratio: parse(2, 0.2),
+                ..Default::default()
+            },
+            alert_threshold: parse(3, 10.0) as u32,
+            scan_interval: parse(4, 5_000.0) as usize,
+            min_transactions: parse(5, 2_000.0) as usize,
+        },
+    };
+
+    let server = Server::bind(&addr, Api::new(config)).unwrap_or_else(|e| {
+        eprintln!("cannot bind {addr}: {e}");
+        std::process::exit(2);
+    });
+    println!(
+        "ensemfdet-serve listening on http://{}",
+        server.local_addr().expect("bound address")
+    );
+    println!("endpoints: GET /health, GET /stats, POST /transactions, POST /scan");
+    server.run();
+}

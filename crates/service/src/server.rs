@@ -1,0 +1,163 @@
+//! TCP accept loop: one thread per connection, close after each response.
+
+use crate::api::Api;
+use crate::http::{read_request, write_response, Response};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+/// A bound, running-on-demand HTTP server.
+pub struct Server {
+    listener: TcpListener,
+    api: Arc<Api>,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral test port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(addr: &str, api: Api) -> std::io::Result<Self> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            api: Arc::new(api),
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves forever on the current thread.
+    pub fn run(self) -> ! {
+        for stream in self.listener.incoming() {
+            match stream {
+                Ok(stream) => {
+                    let api = Arc::clone(&self.api);
+                    std::thread::spawn(move || handle_connection(stream, &api));
+                }
+                Err(e) => eprintln!("accept error: {e}"),
+            }
+        }
+        unreachable!("TcpListener::incoming never returns None")
+    }
+
+    /// Serves on a background thread; returns the bound address. The
+    /// thread runs until the process exits — intended for tests and
+    /// examples.
+    pub fn run_background(self) -> std::io::Result<std::net::SocketAddr> {
+        let addr = self.local_addr()?;
+        std::thread::spawn(move || self.run());
+        Ok(addr)
+    }
+}
+
+fn handle_connection(stream: TcpStream, api: &Api) {
+    let peer = stream.peer_addr().ok();
+    let response = match read_request(&stream) {
+        Ok(request) => api.handle(&request),
+        Err(message) => Response::error(400, &message),
+    };
+    if let Err(e) = write_response(&stream, &response) {
+        eprintln!("write error to {peer:?}: {e}");
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::ApiConfig;
+    use ensemfdet::{EnsemFdetConfig, MonitorConfig};
+    use std::io::{Read, Write};
+
+    fn spawn_server() -> std::net::SocketAddr {
+        let api = Api::new(ApiConfig {
+            monitor: MonitorConfig {
+                detector: EnsemFdetConfig {
+                    num_samples: 6,
+                    sample_ratio: 0.5,
+                    seed: 2,
+                    ..Default::default()
+                },
+                scan_interval: 1_000_000,
+                alert_threshold: 3,
+                min_transactions: 0,
+            },
+        });
+        Server::bind("127.0.0.1:0", api)
+            .expect("bind")
+            .run_background()
+            .expect("addr")
+    }
+
+    fn roundtrip(addr: std::net::SocketAddr, raw: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(raw.as_bytes()).expect("send");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("recv");
+        out
+    }
+
+    #[test]
+    fn health_over_a_real_socket() {
+        let addr = spawn_server();
+        let resp = roundtrip(addr, "GET /health HTTP/1.1\r\nhost: t\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+        assert!(resp.contains("\"status\":\"ok\""));
+    }
+
+    #[test]
+    fn full_ingest_scan_workflow_over_socket() {
+        let addr = spawn_server();
+        // Build a ring + background in one POST.
+        let mut records = Vec::new();
+        for b in 0..6 {
+            for s in 0..4 {
+                records.push(format!("[\"bot-{b}\",\"ring-{s}\"]"));
+            }
+        }
+        for p in 0..40 {
+            records.push(format!("[\"pin-{p}\",\"store-{}\"]", p % 15));
+        }
+        let body = format!("{{\"records\":[{}]}}", records.join(","));
+        let post = format!(
+            "POST /transactions HTTP/1.1\r\ncontent-length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let resp = roundtrip(addr, &post);
+        assert!(resp.contains("\"ingested\":64"), "{resp}");
+
+        let resp = roundtrip(addr, "POST /scan HTTP/1.1\r\ncontent-length: 0\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        assert!(resp.contains("bot-"), "no bot flagged: {resp}");
+
+        let resp = roundtrip(addr, "GET /stats HTTP/1.1\r\n\r\n");
+        assert!(resp.contains("\"users\":46"), "{resp}");
+    }
+
+    #[test]
+    fn malformed_request_gets_400_over_socket() {
+        let addr = spawn_server();
+        let resp = roundtrip(addr, "POST /transactions HTTP/1.1\r\ncontent-length: 3\r\n\r\nxyz");
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+    }
+
+    #[test]
+    fn concurrent_requests_are_served() {
+        let addr = spawn_server();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    roundtrip(addr, "GET /health HTTP/1.1\r\n\r\n")
+                })
+            })
+            .collect();
+        for h in handles {
+            let resp = h.join().expect("thread");
+            assert!(resp.starts_with("HTTP/1.1 200"));
+        }
+    }
+}

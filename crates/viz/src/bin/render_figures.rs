@@ -1,0 +1,23 @@
+//! Renders SVG figures from the experiment artifacts in `results/`
+//! (override with `ENSEMFDET_RESULTS` or a path argument).
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .or_else(|| std::env::var("ENSEMFDET_RESULTS").ok())
+        .unwrap_or_else(|| "results".into());
+    match ensemfdet_viz::figures::render_all(std::path::Path::new(&dir)) {
+        Ok(written) if written.is_empty() => {
+            println!("no renderable artifacts found in {dir}/ — run the experiments first");
+        }
+        Ok(written) => {
+            for f in written {
+                println!("wrote {f}");
+            }
+        }
+        Err(e) => {
+            eprintln!("render failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Head-to-head comparison of every method in the paper's evaluation:
+//! EnsemFDet vs Fraudar vs SpokEn vs FBox on one synthetic JD-like dataset
+//! (a miniature of Figure 3).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p ensemfdet-examples --bin compare_methods
+//! ```
+
+use ensemfdet::{EnsemFdet, EnsemFdetConfig};
+use ensemfdet_baselines::{FBox, Fraudar, Spoken};
+use ensemfdet_datagen::generate;
+use ensemfdet_datagen::presets::{jd_preset, JdDataset};
+use ensemfdet_eval::{time_it, PrCurve, Table};
+
+fn main() {
+    let dataset = generate(&jd_preset(JdDataset::Jd1, 100, 11));
+    let labels = dataset.labels();
+    let g = &dataset.graph;
+    println!(
+        "dataset: {} users / {} merchants / {} edges, {} blacklisted\n",
+        g.num_users(),
+        g.num_merchants(),
+        g.num_edges(),
+        dataset.blacklist.len()
+    );
+
+    let mut table = Table::new(&["method", "best F1", "precision@bestF1", "recall@bestF1", "AUC-PR", "time"]);
+
+    // EnsemFDet: vote-threshold sweep.
+    let (ens_curve, ens_time) = time_it(|| {
+        let outcome = EnsemFdet::new(EnsemFdetConfig {
+            num_samples: 40,
+            sample_ratio: 0.1,
+            seed: 3,
+            ..Default::default()
+        })
+        .detect(g);
+        let sets: Vec<(f64, Vec<u32>)> = (1..=outcome.votes.max_user_votes())
+            .map(|t| {
+                (
+                    t as f64,
+                    outcome
+                        .votes
+                        .detected_users(t)
+                        .into_iter()
+                        .map(|u| u.0)
+                        .collect(),
+                )
+            })
+            .collect();
+        PrCurve::from_threshold_sets(sets.iter().map(|(t, d)| (*t, d.as_slice())), &labels)
+    });
+    push_row(&mut table, "EnsemFDet", &ens_curve, ens_time);
+
+    // Fraudar: cumulative-block sweep (its coarse polyline).
+    let (fra_curve, fra_time) = time_it(|| {
+        let result = Fraudar::default().run(g);
+        let points = result.operating_points();
+        PrCurve::from_threshold_sets(
+            points.iter().map(|(k, d)| (*k as f64, d.as_slice())),
+            &labels,
+        )
+    });
+    push_row(&mut table, "Fraudar", &fra_curve, fra_time);
+
+    // SpokEn / FBox: score-threshold sweeps.
+    let (spk_curve, spk_time) =
+        time_it(|| PrCurve::from_scores(&Spoken::default().score_users(g), &labels));
+    push_row(&mut table, "SpokEn", &spk_curve, spk_time);
+
+    let (fbx_curve, fbx_time) =
+        time_it(|| PrCurve::from_scores(&FBox::default().score_users(g), &labels));
+    push_row(&mut table, "FBox", &fbx_curve, fbx_time);
+
+    println!("{}", table.render());
+    println!(
+        "expected shape (paper Figure 3): EnsemFDet ≈ Fraudar at the top, \
+         both clearly above the SVD methods; EnsemFDet's curve is smooth \
+         while Fraudar offers only a handful of operating points."
+    );
+}
+
+fn push_row(table: &mut Table, name: &str, curve: &PrCurve, time: std::time::Duration) {
+    let best = curve.best_point().cloned().unwrap_or(ensemfdet_eval::PrPoint {
+        threshold: 0.0,
+        detected: 0,
+        precision: 0.0,
+        recall: 0.0,
+        f1: 0.0,
+    });
+    table.row(&[
+        name.to_string(),
+        format!("{:.3}", best.f1),
+        format!("{:.3}", best.precision),
+        format!("{:.3}", best.recall),
+        format!("{:.3}", curve.auc_pr()),
+        format!("{:.2?}", time),
+    ]);
+}

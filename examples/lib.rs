@@ -1,0 +1,2 @@
+//! The examples are standalone binaries; this library target exists only so
+//! the package has a build anchor. See `quickstart.rs` first.

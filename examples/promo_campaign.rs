@@ -1,0 +1,74 @@
+//! Promotion-campaign scenario: the workload the paper's introduction
+//! motivates — groups of fraud accounts abusing a discount campaign, with
+//! camouflage purchases and a noisy expert blacklist — generated
+//! synthetically, detected with EnsemFDet, and evaluated against the
+//! blacklist exactly as the paper evaluates on JD.com data.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p ensemfdet-examples --bin promo_campaign
+//! ```
+
+use ensemfdet::{EnsemFdet, EnsemFdetConfig};
+use ensemfdet_datagen::presets::{jd_preset, JdDataset};
+use ensemfdet_datagen::generate;
+use ensemfdet_eval::{confusion, Table};
+
+fn main() {
+    // A 1:100 model of the paper's Dataset #1 (fraud-heavy: 5.3% of PINs).
+    let cfg = jd_preset(JdDataset::Jd1, 100, 42);
+    let dataset = generate(&cfg);
+    let (users, blacklisted, merchants, edges) = dataset.table1_row();
+    println!(
+        "campaign dataset: {users} PINs ({blacklisted} blacklisted), \
+         {merchants} merchants, {edges} purchase edges"
+    );
+    println!(
+        "planted: {} fraud groups, {} fraud accounts, {} ring merchants\n",
+        dataset.groups.len(),
+        dataset.true_fraud_users.len(),
+        dataset.fraud_merchants.len()
+    );
+
+    let detector = EnsemFdet::new(EnsemFdetConfig {
+        num_samples: 40,
+        sample_ratio: 0.1,
+        seed: 7,
+        ..Default::default()
+    });
+    let outcome = detector.detect(&dataset.graph);
+    println!(
+        "EnsemFDet: N = 40 samples at S = 0.1 in {:?} \
+         (Σ per-sample {:?} — the parallel headroom)",
+        outcome.elapsed,
+        outcome.total_sample_time()
+    );
+
+    // Evaluate the full T sweep against the expert blacklist.
+    let labels = dataset.labels();
+    let mut table = Table::new(&["T", "detected", "precision", "recall", "F1"]);
+    let max_t = outcome.votes.max_user_votes();
+    for t in 1..=max_t {
+        let detected: Vec<u32> = outcome
+            .votes
+            .detected_users(t)
+            .into_iter()
+            .map(|u| u.0)
+            .collect();
+        let c = confusion(&detected, &labels);
+        if t == 1 || t == max_t || t % 5 == 0 {
+            table.row(&[
+                t.to_string(),
+                c.detected().to_string(),
+                format!("{:.3}", c.precision()),
+                format!("{:.3}", c.recall()),
+                format!("{:.3}", c.f1()),
+            ]);
+        }
+    }
+    println!("\n{}", table.render());
+    println!(
+        "pick T from the table to match your risk appetite: precision \
+         climbs and recall falls monotonically with T (Figure 9 of the paper)."
+    );
+}

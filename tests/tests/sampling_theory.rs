@@ -1,0 +1,115 @@
+//! Cross-crate validation of the sampling theory on realistic graphs:
+//! Theorem 1's ε-approximation of the density score, and the Lemma 1 bias
+//! measured on generated data.
+
+use ensemfdet::metric::LogWeightedMetric;
+use ensemfdet::peel::density_of_subset;
+use ensemfdet_datagen::generate;
+use ensemfdet_datagen::presets::{jd_preset, JdDataset};
+use ensemfdet_graph::{MerchantId, UserId};
+use ensemfdet_sampling::weighted::epsilon_approx_sample;
+use ensemfdet_sampling::{Sampler, SamplingMethod};
+
+/// Theorem 1 (empirically): the weighted edge sample's density score of the
+/// planted block converges to the original as p grows.
+#[test]
+fn weighted_sampling_approximates_block_density() {
+    let ds = generate(&jd_preset(JdDataset::Jd1, 300, 13));
+    let g = &ds.graph;
+    let metric = LogWeightedMetric::paper_default();
+
+    // Reference: density of the first planted group in the full graph.
+    let group = &ds.groups[0];
+    let users: Vec<UserId> = group.users.iter().map(|&u| UserId(u)).collect();
+    let merchants: Vec<MerchantId> = group.merchants.iter().map(|&v| MerchantId(v)).collect();
+    let phi_full = density_of_subset(g, &metric, &users, &merchants);
+    assert!(phi_full > 0.0);
+
+    let p = 0.5;
+    let trials = 20u64;
+    let mut phis = Vec::new();
+    for seed in 0..trials {
+        let s = epsilon_approx_sample(g, p, seed);
+        // Map the group into the sample's local id space.
+        let u_map: std::collections::HashMap<u32, u32> = s
+            .orig_users
+            .iter()
+            .enumerate()
+            .map(|(l, &p)| (p, l as u32))
+            .collect();
+        let v_map: std::collections::HashMap<u32, u32> = s
+            .orig_merchants
+            .iter()
+            .enumerate()
+            .map(|(l, &p)| (p, l as u32))
+            .collect();
+        let lu: Vec<UserId> = group
+            .users
+            .iter()
+            .filter_map(|u| u_map.get(u).map(|&l| UserId(l)))
+            .collect();
+        let lv: Vec<MerchantId> = group
+            .merchants
+            .iter()
+            .filter_map(|v| v_map.get(v).map(|&l| MerchantId(l)))
+            .collect();
+        phis.push(density_of_subset(&s.graph, &metric, &lu, &lv));
+    }
+    let mean: f64 = phis.iter().sum::<f64>() / phis.len() as f64;
+    // The 1/p re-weighting makes f(S) unbiased; |S| shrinks slightly (some
+    // nodes drop out entirely), so the mean density lands near φ_full.
+    let rel = (mean - phi_full).abs() / phi_full;
+    assert!(
+        rel < 0.35,
+        "mean sampled block density {mean:.4} vs full {phi_full:.4} (rel {rel:.2})"
+    );
+}
+
+/// Lemma 1 on generated data: RES includes the popular (high-degree)
+/// merchants at a higher rate than merchant-node sampling at the same
+/// ratio.
+#[test]
+fn res_bias_toward_hubs_holds_on_generated_data() {
+    let ds = generate(&jd_preset(JdDataset::Jd1, 300, 14));
+    let g = &ds.graph;
+    // The 5 most popular merchants.
+    let mut by_degree: Vec<(usize, u32)> = (0..g.num_merchants())
+        .map(|v| (g.merchant_degree(MerchantId(v as u32)), v as u32))
+        .collect();
+    by_degree.sort_unstable_by(|a, b| b.cmp(a));
+    let hubs: Vec<u32> = by_degree[..5].iter().map(|&(_, v)| v).collect();
+
+    let ratio = 0.1;
+    let trials = 60u64;
+    let mut res_hits = 0usize;
+    let mut ons_hits = 0usize;
+    for seed in 0..trials {
+        let res = SamplingMethod::RandomEdge.sample(g, ratio, seed);
+        let ons = SamplingMethod::OneSideMerchant.sample(g, ratio, seed);
+        let in_sample = |s: &ensemfdet_graph::SampledGraph, v: u32| s.orig_merchants.contains(&v);
+        res_hits += hubs.iter().filter(|&&v| in_sample(&res, v)).count();
+        ons_hits += hubs.iter().filter(|&&v| in_sample(&ons, v)).count();
+    }
+    // RES includes every hub almost surely; ONS only at the 10% base rate.
+    assert!(res_hits as f64 > 0.95 * (trials as f64 * 5.0), "res {res_hits}");
+    assert!((ons_hits as f64) < 0.3 * (trials as f64 * 5.0), "ons {ons_hits}");
+}
+
+/// TNS keeps ≈ S² of the edges on generated data (Section IV-A4).
+#[test]
+fn tns_edge_fraction_on_generated_data() {
+    let ds = generate(&jd_preset(JdDataset::Jd1, 300, 15));
+    let g = &ds.graph;
+    let ratio = 0.3;
+    let trials = 30u64;
+    let mut kept = 0usize;
+    for seed in 0..trials {
+        kept += SamplingMethod::TwoSide.sample(g, ratio, seed).graph.num_edges();
+    }
+    let frac = kept as f64 / (trials as f64 * g.num_edges() as f64);
+    assert!(
+        (frac - ratio * ratio).abs() < 0.05,
+        "TNS kept fraction {frac:.3}, expected ≈ {:.3}",
+        ratio * ratio
+    );
+}
