@@ -81,7 +81,7 @@ impl FBox {
 
         let mut scores = vec![0.0f64; nu];
         let mut row = Vec::new();
-        for u in 0..nu {
+        for (u, score) in scores.iter_mut().enumerate() {
             let degree = g.user_degree(UserId(u as u32));
             if degree < self.config.min_degree {
                 continue;
@@ -100,7 +100,7 @@ impl FBox {
                 proj_sq += dot * dot;
             }
             let residual = (1.0 - proj_sq / norm_sq.max(f64::MIN_POSITIVE)).clamp(0.0, 1.0);
-            scores[u] = residual * (1.0 + degree as f64).ln();
+            *score = residual * (1.0 + degree as f64).ln();
         }
         scores
     }

@@ -124,8 +124,13 @@ mod tests {
     #[test]
     fn block_users_outscore_background() {
         let g = planted();
+        // Only the dominant component: the block owns it outright
+        // (σ₀ = √32 vs √2 for the background's two-user stars). Deeper
+        // components belong to those stars, whose exact singular vectors
+        // have entries 1/√2 — larger than the block's 1/√8 — so a
+        // max-over-many-components score would NOT separate the block.
         let scores = Spoken::new(SpokenConfig {
-            components: 5,
+            components: 1,
             ..Default::default()
         })
         .score_users(&g);
@@ -140,8 +145,9 @@ mod tests {
     #[test]
     fn block_merchants_outscore_background() {
         let g = planted();
+        // See block_users_outscore_background for the components: 1 choice.
         let scores = Spoken::new(SpokenConfig {
-            components: 5,
+            components: 1,
             ..Default::default()
         })
         .score_merchants(&g);

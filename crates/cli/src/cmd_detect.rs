@@ -1,7 +1,7 @@
 //! `ensemfdet detect` — run a detector and write flagged users.
 
 use crate::args::Args;
-use ensemfdet::{EnsemFdet, EnsemFdetConfig, SamplingMethodConfig};
+use ensemfdet::{EnsemFdet, EnsemFdetConfig, EnsembleOutcome, SamplingMethodConfig};
 use ensemfdet_baselines::{DegreeBaseline, FBox, FBoxConfig, Fraudar, FraudarConfig, Hits, KCoreBaseline, Spoken, SpokenConfig};
 use ensemfdet_graph::{io, BipartiteGraph};
 use std::io::Write;
@@ -21,6 +21,7 @@ OPTIONS:
     --threshold T         vote threshold [default: N/2]
     --sampling M          res | ons-user | ons-merchant | tns [default: res]
     --seed N              RNG seed [default: 42]
+    --timing              print the ensemble's wall-clock breakdown
   fraudar:
     --k N                 number of blocks [default: 30]
   spoken / fbox:
@@ -66,6 +67,22 @@ pub(crate) fn sampling_method(args: &Args) -> Result<SamplingMethodConfig, Strin
     }
 }
 
+/// One line of ensemble timing: total wall-clock, per-sample mean/max, and
+/// the speedup rayon actually realized (sum of sample times / wall-clock).
+pub(crate) fn timing_summary(outcome: &EnsembleOutcome) -> String {
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    let n = outcome.samples.len().max(1);
+    let total = outcome.total_sample_time();
+    format!(
+        "timing: {:.1} ms wall-clock over {} samples; per-sample mean {:.1} ms, max {:.1} ms; realized speedup {:.1}x",
+        ms(outcome.elapsed),
+        n,
+        ms(total) / n as f64,
+        ms(outcome.max_sample_time()),
+        ms(total) / ms(outcome.elapsed).max(1e-9),
+    )
+}
+
 pub(crate) fn ensemfdet_config(args: &Args) -> Result<EnsemFdetConfig, String> {
     Ok(EnsemFdetConfig {
         num_samples: args.get_or("samples", 80)?,
@@ -88,12 +105,17 @@ pub fn run(args: &Args) -> Result<String, String> {
 
     let g = io::load_edge_list(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
 
+    let mut timing_note: Option<String> = None;
     let (detected, scores): (Vec<u32>, Option<Vec<f64>>) = match method.as_str() {
         "ensemfdet" => {
             let cfg = ensemfdet_config(args)?;
             let threshold: u32 = args.get_or("threshold", (cfg.num_samples as u32).div_ceil(2))?;
+            let timing = args.flag("timing");
             args.finish()?;
             let outcome = EnsemFdet::new(cfg).detect(&g);
+            if timing {
+                timing_note = Some(timing_summary(&outcome));
+            }
             let detected = outcome
                 .votes
                 .detected_users(threshold.max(1))
@@ -152,6 +174,10 @@ pub fn run(args: &Args) -> Result<String, String> {
         detected.len(),
         g.num_users()
     );
+    if let Some(t) = timing_note {
+        report.push('\n');
+        report.push_str(&t);
+    }
     if let Some(p) = out_path {
         report.push_str(&format!("\nflagged ids written to {p}"));
     }
@@ -195,6 +221,17 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("detected"));
+    }
+
+    #[test]
+    fn timing_flag_reports_breakdown() {
+        let gf = graph_file();
+        let out = run(&args(&[
+            "--graph", &gf, "--samples", "6", "--ratio", "0.5", "--timing",
+        ]))
+        .unwrap();
+        assert!(out.contains("wall-clock over 6 samples"), "{out}");
+        assert!(out.contains("per-sample mean"), "{out}");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! `ensemfdet sweep` — a detector's full operating curve against labels.
 
 use crate::args::Args;
-use crate::cmd_detect::{ensemfdet_config, score_users};
+use crate::cmd_detect::{ensemfdet_config, score_users, timing_summary};
 use ensemfdet::EnsemFdet;
 use ensemfdet_baselines::{Fraudar, FraudarConfig};
 use ensemfdet_eval::{PrCurve, RocCurve, Table};
@@ -18,6 +18,7 @@ OPTIONS:
     --json FILE           also write the curve as JSON
   ensemfdet:
     --samples N  --ratio S  --sampling M  --seed N    (as in `detect`)
+    --timing              print the ensemble's wall-clock breakdown
   fraudar:
     --k N                 blocks to sweep [default: 30]
   spoken / fbox:
@@ -46,11 +47,16 @@ pub fn run(args: &Args) -> Result<String, String> {
             true;
     }
 
+    let mut timing_note: Option<String> = None;
     let (pr, roc): (PrCurve, RocCurve) = match method.as_str() {
         "ensemfdet" => {
             let cfg = ensemfdet_config(args)?;
+            let timing = args.flag("timing");
             args.finish()?;
             let outcome = EnsemFdet::new(cfg).detect(&g);
+            if timing {
+                timing_note = Some(timing_summary(&outcome));
+            }
             let sets: Vec<(f64, Vec<u32>)> = (1..=outcome.votes.max_user_votes())
                 .map(|t| {
                     (
@@ -123,6 +129,10 @@ pub fn run(args: &Args) -> Result<String, String> {
         roc.auc(),
         roc.max_tpr_jump()
     ));
+    if let Some(t) = timing_note {
+        report.push_str(&t);
+        report.push('\n');
+    }
     if let Some(p) = json_path {
         report.push_str(&format!("curve written to {p}\n"));
     }
@@ -169,6 +179,16 @@ mod tests {
         .unwrap();
         assert!(out.contains("best F1"), "{out}");
         assert!(out.contains("AUC-ROC"));
+    }
+
+    #[test]
+    fn timing_flag_reports_breakdown() {
+        let (g, l) = dataset_files();
+        let out = run(&args(&[
+            "--graph", &g, "--labels", &l, "--samples", "8", "--ratio", "0.5", "--timing",
+        ]))
+        .unwrap();
+        assert!(out.contains("wall-clock over 8 samples"), "{out}");
     }
 
     #[test]

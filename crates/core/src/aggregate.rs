@@ -149,8 +149,10 @@ impl VoteTally {
                 return Some(i as u32 + 1);
             }
         }
-        if curve.is_empty() && budget < usize::MAX {
-            // No votes at all: T = 1 detects nothing, which fits any budget.
+        if curve.is_empty() {
+            // No votes at all: T = 1 detects nothing, which fits any budget
+            // — including `usize::MAX` (the gate that used to exclude it
+            // made an unlimited budget the one budget that "overflowed").
             return Some(1);
         }
         None
@@ -254,6 +256,17 @@ mod tests {
     fn threshold_for_budget_on_empty_tally() {
         let t = VoteTally::new(3, 0);
         assert_eq!(t.threshold_for_budget(0), Some(1));
+    }
+
+    #[test]
+    fn threshold_for_budget_unlimited_budget_on_empty_curve() {
+        // Regression: the empty-curve branch was gated on
+        // `budget < usize::MAX`, so exactly the unlimited budget returned
+        // `None` while every smaller budget returned `Some(1)`.
+        let t = VoteTally::new(3, 4);
+        assert!(t.user_detection_curve().is_empty());
+        assert_eq!(t.threshold_for_budget(usize::MAX), Some(1));
+        assert_eq!(t.threshold_for_budget(usize::MAX - 1), Some(1));
     }
 
     #[test]

@@ -69,7 +69,7 @@ impl Default for EnsemFdetConfig {
             method: SamplingMethodConfig::RandomEdge,
             metric: MetricKind::default(),
             truncation: Truncation::default(),
-            seed: 0x0115_ED,
+            seed: 0x0001_15ED,
         }
     }
 }

@@ -21,7 +21,7 @@
 //! # Quickstart
 //!
 //! ```
-//! use ensemfdet::{EnsemFdet, EnsemFdetConfig};
+//! use ensemfdet::{EnsemFdet, EnsemFdetConfig, Truncation};
 //! use ensemfdet_graph::GraphBuilder;
 //! use ensemfdet_graph::{UserId, MerchantId};
 //!
@@ -40,12 +40,15 @@
 //!
 //! let detector = EnsemFdet::new(EnsemFdetConfig {
 //!     num_samples: 8,
-//!     sample_ratio: 0.5,
+//!     sample_ratio: 0.7,
+//!     // Keep only the densest block per sample — on this graph that is
+//!     // always the planted block, so background users get zero votes.
+//!     truncation: Truncation::FixedK(1),
 //!     ..Default::default()
 //! });
 //! let outcome = detector.detect(&g);
-//! // Unanimous votes (T = N) isolate the planted block's users.
-//! let frauds = outcome.votes.detected_users(8);
+//! // A majority vote (T = 5 of N = 8) flags the planted block's users.
+//! let frauds = outcome.votes.detected_users(5);
 //! assert!(!frauds.is_empty());
 //! assert!(frauds.iter().all(|u| u.0 < 5), "only block users flagged");
 //! ```

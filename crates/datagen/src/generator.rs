@@ -51,12 +51,10 @@ pub fn generate(cfg: &GeneratorConfig) -> Dataset {
     // `honest_communities` contiguous ranges; each honest user mostly shops
     // inside its own slice via a community-local popularity law.
     let communities = cfg.honest_communities;
-    let community_popularity = if communities > 0 {
-        let slice = (cfg.num_honest_merchants / communities).max(1);
-        Some((slice, Zipf::new(slice, cfg.merchant_popularity_alpha)))
-    } else {
-        None
-    };
+    let community_popularity = cfg.num_honest_merchants.checked_div(communities).map(|s| {
+        let slice = s.max(1);
+        (slice, Zipf::new(slice, cfg.merchant_popularity_alpha))
+    });
 
     for u in 0..cfg.num_honest_users as u32 {
         let mut extra = 0usize;

@@ -101,8 +101,8 @@ mod tests {
         for _ in 0..trials {
             counts[z.sample(&mut rng)] += 1;
         }
-        for k in 0..5 {
-            let freq = counts[k] as f64 / trials as f64;
+        for (k, &count) in counts.iter().enumerate() {
+            let freq = count as f64 / trials as f64;
             let p = z.probability(k);
             assert!(
                 (freq - p).abs() < 0.01,

@@ -87,9 +87,9 @@ pub fn connected_components(g: &BipartiteGraph) -> Components {
         }
     }
     // Merchants unreachable from any user are isolated merchant components.
-    for v in 0..g.num_merchants() {
-        if merchant_comp[v] == UNSEEN {
-            merchant_comp[v] = count;
+    for comp in merchant_comp.iter_mut() {
+        if *comp == UNSEEN {
+            *comp = count;
             count += 1;
         }
     }

@@ -125,8 +125,7 @@ pub fn core_decomposition(g: &BipartiteGraph) -> CoreDecomposition {
     // Core numbers are monotone along the peeling order; enforce the
     // prefix-max to absorb the usual bucket-boundary wrinkles.
     let mut running = 0u32;
-    for i in 0..n {
-        let node = order[i];
+    for &node in order.iter().take(n) {
         running = running.max(core[node]);
         core[node] = running;
     }
@@ -161,26 +160,26 @@ mod tests {
             let mut alive_v = vec![true; nv];
             loop {
                 let mut changed = false;
-                for u in 0..nu {
-                    if alive_u[u] {
+                for (u, alive) in alive_u.iter_mut().enumerate() {
+                    if *alive {
                         let d = g
                             .merchants_of(UserId(u as u32))
                             .filter(|(v, _, _)| alive_v[v.index()])
                             .count();
                         if (d as u32) < k {
-                            alive_u[u] = false;
+                            *alive = false;
                             changed = true;
                         }
                     }
                 }
-                for v in 0..nv {
-                    if alive_v[v] {
+                for (v, alive) in alive_v.iter_mut().enumerate() {
+                    if *alive {
                         let d = g
                             .users_of(MerchantId(v as u32))
                             .filter(|(u, _, _)| alive_u[u.index()])
                             .count();
                         if (d as u32) < k {
-                            alive_v[v] = false;
+                            *alive = false;
                             changed = true;
                         }
                     }

@@ -21,26 +21,26 @@ fn brute_core(g: &BipartiteGraph) -> (Vec<u32>, Vec<u32>) {
         let mut alive_v = vec![true; nv];
         loop {
             let mut changed = false;
-            for u in 0..nu {
-                if alive_u[u] {
+            for (u, alive) in alive_u.iter_mut().enumerate() {
+                if *alive {
                     let d = g
                         .merchants_of(UserId(u as u32))
                         .filter(|(v, _, _)| alive_v[v.index()])
                         .count();
                     if (d as u32) < k {
-                        alive_u[u] = false;
+                        *alive = false;
                         changed = true;
                     }
                 }
             }
-            for v in 0..nv {
-                if alive_v[v] {
+            for (v, alive) in alive_v.iter_mut().enumerate() {
+                if *alive {
                     let d = g
                         .users_of(MerchantId(v as u32))
                         .filter(|(u, _, _)| alive_u[u.index()])
                         .count();
                     if (d as u32) < k {
-                        alive_v[v] = false;
+                        *alive = false;
                         changed = true;
                     }
                 }

@@ -112,8 +112,8 @@ pub fn lanczos_svd(a: &CsrMatrix, k: usize, extra: usize) -> Svd {
     let mut u_out = Matrix::zeros(m, k);
     let mut v_out = Matrix::zeros(n, k);
     let mut s_out = vec![0.0; k];
-    for c in 0..kk {
-        s_out[c] = core.s[c];
+    for (c, s) in s_out.iter_mut().enumerate().take(kk) {
+        *s = core.s[c];
         let mut ucol = vec![0.0; m];
         let mut vcol = vec![0.0; n];
         for j in 0..steps {

@@ -116,7 +116,7 @@ mod tests {
         let mut y = Matrix::from_fn(8, 3, |r, c| match c {
             0 => (r + 1) as f64,
             1 => 2.0 * (r + 1) as f64,
-            _ => (r + 1) as f64 * -1.0,
+            _ => -((r + 1) as f64),
         });
         let replaced = orthonormalize(&mut y);
         assert!(replaced >= 2, "two dependent columns must be replaced");

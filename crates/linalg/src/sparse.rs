@@ -114,12 +114,12 @@ impl CsrMatrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "matvec: length mismatch");
         let mut y = vec![0.0; self.rows];
-        for r in 0..self.rows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for (c, v) in self.row(r) {
                 acc += v * x[c as usize];
             }
-            y[r] = acc;
+            *yr = acc;
         }
         y
     }
@@ -132,8 +132,7 @@ impl CsrMatrix {
     pub fn matvec_transpose(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.rows, "matvec_transpose: length mismatch");
         let mut y = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            let xr = x[r];
+        for (r, &xr) in x.iter().enumerate() {
             if xr == 0.0 {
                 continue;
             }

@@ -1,10 +1,11 @@
 //! The application: routing and state, socket-free.
 
 use crate::http::{Request, Response};
-use ensemfdet::{CampaignMonitor, EnsemFdetConfig, MonitorConfig};
+use ensemfdet::{CampaignMonitor, EnsemFdetConfig, MonitorConfig, ScanReport};
 use ensemfdet_graph::{GraphStats, TransactionInterner};
+use ensemfdet_telemetry::{ServiceMetrics, PROMETHEUS_CONTENT_TYPE};
 use serde_json::{json, Value};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Service configuration.
 #[derive(Clone, Copy, Debug)]
@@ -30,6 +31,20 @@ impl Default for ApiConfig {
     }
 }
 
+/// The label a request is counted under in
+/// `ensemfdet_http_requests_total{route=…}` — the fixed route set plus
+/// `"other"`, so hostile paths cannot inflate label cardinality.
+pub fn route_label(_method: &str, path: &str) -> &'static str {
+    match path {
+        "/health" => "/health",
+        "/stats" => "/stats",
+        "/transactions" => "/transactions",
+        "/scan" => "/scan",
+        "/metrics" => "/metrics",
+        _ => "other",
+    }
+}
+
 struct State {
     monitor: CampaignMonitor,
     interner: TransactionInterner,
@@ -38,6 +53,7 @@ struct State {
 /// Shared, thread-safe API state.
 pub struct Api {
     state: Mutex<State>,
+    metrics: Arc<ServiceMetrics>,
 }
 
 impl Api {
@@ -48,7 +64,14 @@ impl Api {
                 monitor: CampaignMonitor::new(config.monitor),
                 interner: TransactionInterner::new(),
             }),
+            metrics: Arc::new(ServiceMetrics::new()),
         }
+    }
+
+    /// The metric set this API reports into (shared with the server's
+    /// accept loop and workers).
+    pub fn metrics(&self) -> &Arc<ServiceMetrics> {
+        &self.metrics
     }
 
     /// Routes one request. Never panics on malformed input — bad requests
@@ -57,6 +80,7 @@ impl Api {
         match (request.method.as_str(), request.path.as_str()) {
             ("GET", "/health") => self.health(),
             ("GET", "/stats") => self.stats(),
+            ("GET", "/metrics") => self.metrics_page(),
             ("POST", "/transactions") => self.transactions(&request.body),
             ("POST", "/scan") => self.scan(),
             ("GET", _) | ("POST", _) => Response::error(404, "no such route"),
@@ -76,6 +100,10 @@ impl Api {
         )
     }
 
+    fn metrics_page(&self) -> Response {
+        Response::text(200, PROMETHEUS_CONTENT_TYPE, self.metrics.render())
+    }
+
     fn stats(&self) -> Response {
         let state = self.state.lock().expect("api state poisoned");
         // Rebuild the current graph snapshot for statistics.
@@ -93,6 +121,12 @@ impl Api {
                 "max_merchant_degree": s.max_merchant_degree,
             }),
         )
+    }
+
+    /// Feeds one scan's outcome into the metric set.
+    fn record_scan(&self, report: &ScanReport) {
+        self.metrics.record_scan(report.elapsed, &report.sample_times);
+        self.metrics.alerts.add(report.new_alerts.len() as u64);
     }
 
     fn transactions(&self, body: &[u8]) -> Response {
@@ -118,6 +152,7 @@ impl Api {
             let u = state.interner.user(user);
             let v = state.interner.merchant(merchant);
             if let Some(report) = state.monitor.ingest(u, v) {
+                self.record_scan(&report);
                 scan_alerts.extend(
                     report
                         .new_alerts
@@ -127,6 +162,7 @@ impl Api {
             }
             ingested += 1;
         }
+        self.metrics.transactions_ingested.add(ingested as u64);
         Response::json(
             200,
             &json!({
@@ -140,6 +176,7 @@ impl Api {
     fn scan(&self) -> Response {
         let mut state = self.state.lock().expect("api state poisoned");
         let report = state.monitor.scan();
+        self.record_scan(&report);
         let flagged: Vec<&str> = report
             .flagged
             .iter()
@@ -156,6 +193,7 @@ impl Api {
                 "transactions": report.transactions_seen,
                 "flagged": flagged,
                 "new_alerts": new_alerts,
+                "scan_millis": report.elapsed.as_secs_f64() * 1e3,
             }),
         )
     }
@@ -266,6 +304,29 @@ mod tests {
     }
 
     #[test]
+    fn metrics_page_reflects_activity() {
+        let api = quick_api();
+        post(
+            &api,
+            "/transactions",
+            json!({ "records": [["a", "x"], ["b", "x"]] }),
+        );
+        post(&api, "/scan", Value::Null);
+        let resp = api.handle(&Request {
+            method: "GET".into(),
+            path: "/metrics".into(),
+            body: vec![],
+        });
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.content_type, PROMETHEUS_CONTENT_TYPE);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("ensemfdet_transactions_ingested_total 2"), "{text}");
+        assert!(text.contains("ensemfdet_scans_total 1"), "{text}");
+        // The scan fed one per-sample timing observation per sample.
+        assert!(text.contains("ensemfdet_scan_sample_duration_seconds_count 20"), "{text}");
+    }
+
+    #[test]
     fn malformed_json_is_400() {
         let api = quick_api();
         let resp = api.handle(&Request {
@@ -294,5 +355,12 @@ mod tests {
             body: vec![],
         });
         assert_eq!(resp.status, 405);
+    }
+
+    #[test]
+    fn route_labels_have_fixed_cardinality() {
+        assert_eq!(route_label("GET", "/metrics"), "/metrics");
+        assert_eq!(route_label("GET", "/../../etc/passwd"), "other");
+        assert_eq!(route_label("POST", "/scan"), "/scan");
     }
 }

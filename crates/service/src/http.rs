@@ -1,10 +1,72 @@
 //! Hand-rolled HTTP/1.1 request parsing and response serialization —
-//! just enough for a JSON API driven by `curl` and tests.
+//! just enough for a JSON API driven by `curl` and tests, hardened
+//! against hostile clients: every read is bounded (header bytes, header
+//! count, body bytes) and failures carry the status code the client
+//! should see.
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 
 /// Maximum accepted body size (1 MiB of JSON records per request).
 pub const MAX_BODY: usize = 1 << 20;
+
+/// Maximum bytes across the request line and all headers. A client that
+/// streams headers forever is cut off here instead of growing memory.
+pub const MAX_HEADER_BYTES: usize = 8 << 10;
+
+/// Maximum number of header lines.
+pub const MAX_HEADER_COUNT: usize = 64;
+
+/// A request-reading failure, carrying the HTTP status the client should
+/// receive.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HttpError {
+    /// Status to respond with (400, 408, 413, 431, …).
+    pub status: u16,
+    /// Human-readable cause, returned in the JSON error body.
+    pub message: String,
+}
+
+impl HttpError {
+    /// An error with an explicit status.
+    pub fn new(status: u16, message: impl Into<String>) -> Self {
+        HttpError {
+            status,
+            message: message.into(),
+        }
+    }
+
+    /// A plain 400.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        Self::new(400, message)
+    }
+
+    /// Classifies an I/O failure: socket read deadlines surface as
+    /// `WouldBlock`/`TimedOut` and map to 408, everything else to 400.
+    fn from_io(err: &std::io::Error, context: &str) -> Self {
+        match err.kind() {
+            ErrorKind::WouldBlock | ErrorKind::TimedOut => {
+                Self::new(408, format!("timed out reading {context}"))
+            }
+            ErrorKind::UnexpectedEof => {
+                Self::bad_request(format!("connection closed mid-{context}"))
+            }
+            _ => Self::bad_request(format!("i/o error reading {context}: {err}")),
+        }
+    }
+
+    /// The response this error should produce.
+    pub fn to_response(&self) -> Response {
+        Response::error(self.status, &self.message)
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.status, self.message)
+    }
+}
+
+impl std::error::Error for HttpError {}
 
 /// A parsed request.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -22,7 +84,9 @@ pub struct Request {
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// Body bytes; content type is always `application/json`.
+    /// `content-type` header value.
+    pub content_type: &'static str,
+    /// Body bytes.
     pub body: Vec<u8>,
 }
 
@@ -31,7 +95,18 @@ impl Response {
     pub fn json(status: u16, value: &serde_json::Value) -> Self {
         Response {
             status,
+            content_type: "application/json",
             body: value.to_string().into_bytes(),
+        }
+    }
+
+    /// A plain-text response with an explicit content type (the `/metrics`
+    /// route uses the Prometheus exposition content type).
+    pub fn text(status: u16, content_type: &'static str, body: String) -> Self {
+        Response {
+            status,
+            content_type,
+            body: body.into_bytes(),
         }
     }
 
@@ -41,59 +116,98 @@ impl Response {
     }
 }
 
+/// Reads one `\n`-terminated line, charging its bytes against `budget`.
+/// Exceeding the budget is a 431; EOF mid-line is a 400.
+fn read_bounded_line<R: Read>(
+    reader: &mut BufReader<R>,
+    budget: &mut usize,
+) -> Result<Option<String>, HttpError> {
+    let mut buf = Vec::new();
+    // One byte past the budget distinguishes "line fits exactly" from
+    // "line keeps going".
+    let n = (&mut *reader)
+        .take(*budget as u64 + 1)
+        .read_until(b'\n', &mut buf)
+        .map_err(|e| HttpError::from_io(&e, "headers"))?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if buf.last() != Some(&b'\n') {
+        if n > *budget {
+            return Err(HttpError::new(
+                431,
+                format!("header section exceeds {MAX_HEADER_BYTES} bytes"),
+            ));
+        }
+        return Err(HttpError::bad_request("connection closed mid-headers"));
+    }
+    *budget -= n;
+    while matches!(buf.last(), Some(b'\n' | b'\r')) {
+        buf.pop();
+    }
+    String::from_utf8(buf).map(Some).map_err(|_| {
+        HttpError::bad_request("header line is not valid UTF-8")
+    })
+}
+
 /// Reads one request from a stream.
 ///
 /// # Errors
 ///
-/// Returns a human-readable error for malformed requests, oversized
-/// bodies, or I/O failures.
-pub fn read_request<R: Read>(stream: R) -> Result<Request, String> {
+/// Returns an [`HttpError`] carrying the right status: 400 for malformed
+/// requests, 408 for read deadlines hit mid-request, 413 for oversized
+/// bodies, 431 for an oversized or endless header section.
+pub fn read_request<R: Read>(stream: R) -> Result<Request, HttpError> {
     let mut reader = BufReader::new(stream);
-    let mut request_line = String::new();
-    reader
-        .read_line(&mut request_line)
-        .map_err(|e| format!("i/o error: {e}"))?;
+    let mut header_budget = MAX_HEADER_BYTES;
+
+    let request_line = read_bounded_line(&mut reader, &mut header_budget)?
+        .ok_or_else(|| HttpError::bad_request("empty request"))?;
     let mut parts = request_line.split_whitespace();
     let method = parts
         .next()
-        .ok_or_else(|| "empty request line".to_string())?
+        .ok_or_else(|| HttpError::bad_request("empty request line"))?
         .to_string();
     let path = parts
         .next()
-        .ok_or_else(|| "missing request path".to_string())?
+        .ok_or_else(|| HttpError::bad_request("missing request path"))?
         .to_string();
 
     // Headers: we only care about Content-Length.
     let mut content_length = 0usize;
+    let mut header_count = 0usize;
     loop {
-        let mut line = String::new();
-        let n = reader
-            .read_line(&mut line)
-            .map_err(|e| format!("i/o error: {e}"))?;
-        if n == 0 {
-            return Err("connection closed mid-headers".to_string());
-        }
-        let line = line.trim_end();
+        let line = read_bounded_line(&mut reader, &mut header_budget)?
+            .ok_or_else(|| HttpError::bad_request("connection closed mid-headers"))?;
         if line.is_empty() {
             break;
         }
+        header_count += 1;
+        if header_count > MAX_HEADER_COUNT {
+            return Err(HttpError::new(
+                431,
+                format!("more than {MAX_HEADER_COUNT} headers"),
+            ));
+        }
         if let Some((name, value)) = line.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| format!("bad content-length `{}`", value.trim()))?;
+                content_length = value.trim().parse().map_err(|_| {
+                    HttpError::bad_request(format!("bad content-length `{}`", value.trim()))
+                })?;
             }
         }
     }
     if content_length > MAX_BODY {
-        return Err(format!("body of {content_length} bytes exceeds limit"));
+        return Err(HttpError::new(
+            413,
+            format!("body of {content_length} bytes exceeds limit"),
+        ));
     }
 
     let mut body = vec![0u8; content_length];
     reader
         .read_exact(&mut body)
-        .map_err(|e| format!("short body: {e}"))?;
+        .map_err(|e| HttpError::from_io(&e, "body"))?;
     Ok(Request { method, path, body })
 }
 
@@ -108,13 +222,23 @@ pub fn write_response<W: Write>(mut stream: W, response: &Response) -> std::io::
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
-        _ => "Internal Server Error",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        // A neutral phrase for anything unmapped; previously every
+        // unmapped status — including 429 and 503 — was labelled
+        // "Internal Server Error".
+        _ => "Unknown",
     };
     write!(
         stream,
-        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
         response.status,
         reason,
+        response.content_type,
         response.body.len()
     )?;
     stream.write_all(&response.body)?;
@@ -150,16 +274,19 @@ mod tests {
     }
 
     #[test]
-    fn rejects_oversized_body() {
+    fn rejects_oversized_body_with_413() {
         let raw = format!("POST /x HTTP/1.1\r\ncontent-length: {}\r\n\r\n", MAX_BODY + 1);
         let err = read_request(raw.as_bytes()).unwrap_err();
-        assert!(err.contains("exceeds limit"));
+        assert_eq!(err.status, 413);
+        assert!(err.message.contains("exceeds limit"));
     }
 
     #[test]
     fn rejects_truncated_body() {
         let raw = b"POST /x HTTP/1.1\r\ncontent-length: 10\r\n\r\nshort";
-        assert!(read_request(&raw[..]).unwrap_err().contains("short body"));
+        let err = read_request(&raw[..]).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("mid-body"), "{}", err.message);
     }
 
     #[test]
@@ -169,14 +296,84 @@ mod tests {
     }
 
     #[test]
+    fn rejects_endless_header_line_with_431() {
+        let mut raw = b"GET / HTTP/1.1\r\nx-junk: ".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEADER_BYTES + 100));
+        let err = read_request(&raw[..]).unwrap_err();
+        assert_eq!(err.status, 431);
+    }
+
+    #[test]
+    fn rejects_oversized_header_section_with_431() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        // Many individually small headers that together blow the budget.
+        for i in 0..2000 {
+            raw.extend(format!("x-h{i}: {:0100}\r\n", i).into_bytes());
+        }
+        raw.extend(b"\r\n");
+        let err = read_request(&raw[..]).unwrap_err();
+        assert_eq!(err.status, 431);
+    }
+
+    #[test]
+    fn rejects_too_many_headers_with_431() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..MAX_HEADER_COUNT + 1 {
+            raw.extend(format!("x-{i}: 1\r\n").into_bytes());
+        }
+        raw.extend(b"\r\n");
+        let err = read_request(&raw[..]).unwrap_err();
+        assert_eq!(err.status, 431);
+    }
+
+    #[test]
+    fn header_section_just_under_the_cap_parses() {
+        let mut raw = b"POST /x HTTP/1.1\r\ncontent-length: 2\r\n".to_vec();
+        raw.extend(format!("x-pad: {}\r\n", "b".repeat(4000)).into_bytes());
+        raw.extend(b"\r\nhi");
+        let r = read_request(&raw[..]).unwrap();
+        assert_eq!(r.body, b"hi");
+    }
+
+    #[test]
     fn response_round_trips() {
         let resp = Response::json(200, &serde_json::json!({"ok": true}));
         let mut out = Vec::new();
         write_response(&mut out, &resp).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-type: application/json"));
         assert!(text.contains("content-length: 11"));
         assert!(text.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn reason_phrases_match_status() {
+        for (status, phrase) in [
+            (429, "429 Too Many Requests"),
+            (500, "500 Internal Server Error"),
+            (503, "503 Service Unavailable"),
+            (418, "418 Unknown"),
+        ] {
+            let mut out = Vec::new();
+            write_response(&mut out, &Response::error(status, "x")).unwrap();
+            let text = String::from_utf8(out).unwrap();
+            assert!(
+                text.starts_with(&format!("HTTP/1.1 {phrase}\r\n")),
+                "{status}: {}",
+                text.lines().next().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn text_response_carries_content_type() {
+        let resp = Response::text(200, "text/plain; charset=utf-8", "hello".to_string());
+        let mut out = Vec::new();
+        write_response(&mut out, &resp).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("content-type: text/plain; charset=utf-8"));
+        assert!(text.ends_with("hello"));
     }
 
     #[test]

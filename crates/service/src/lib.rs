@@ -4,7 +4,7 @@
 //! surface the paper alludes to ("ENSEMFDET has been deployed in the risk
 //! control department of JD.com").
 //!
-//! Endpoints (all JSON):
+//! Endpoints:
 //!
 //! | Method & path        | Body                                   | Effect |
 //! |----------------------|----------------------------------------|--------|
@@ -12,17 +12,30 @@
 //! | `POST /transactions` | `{"records": [["user","merchant"],…]}` | ingest purchases; returns any auto-scan alerts |
 //! | `POST /scan`         | —                                      | force a detection pass; returns flagged accounts |
 //! | `GET /stats`         | —                                      | current graph statistics |
+//! | `GET /metrics`       | —                                      | Prometheus text metrics (requests, queue, scan latencies) |
 //!
-//! The HTTP layer is deliberately tiny (hand-rolled HTTP/1.1, one thread
-//! per connection, no TLS): it exists so the detector can be driven by
-//! `curl` and integration-tested over a real socket, not to compete with a
-//! production web stack. All routing logic is a pure function
-//! ([`Api::handle`]) from request to response, so the interesting parts
-//! are testable without sockets.
+//! The HTTP layer is deliberately tiny (hand-rolled HTTP/1.1, no TLS): it
+//! exists so the detector can be driven by `curl` and integration-tested
+//! over a real socket, not to compete with a production web stack. It is
+//! hardened the way a small service still must be:
+//!
+//! * a fixed pool of [`ServerConfig::workers`] threads drains a bounded
+//!   accept queue; overflow is shed with `503` instead of spawning
+//!   unbounded threads;
+//! * every connection gets read/write deadlines, so stalled clients are
+//!   cut off with `408` rather than pinning a worker;
+//! * header section and body sizes are capped (`431`/`413`);
+//! * [`ServerHandle::shutdown`] stops the accept loop, drains queued
+//!   connections, and joins every thread.
+//!
+//! All routing logic is a pure function ([`Api::handle`]) from request to
+//! response, so the interesting parts are testable without sockets; the
+//! shared [`ensemfdet_telemetry::ServiceMetrics`] set behind
+//! [`Api::metrics`] is what `GET /metrics` renders.
 
 pub mod api;
 pub mod http;
 pub mod server;
 
 pub use api::{Api, ApiConfig};
-pub use server::Server;
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,12 +1,12 @@
 //! `ensemfdet-serve` — run the live-monitoring HTTP service.
 //!
 //! ```text
-//! ensemfdet-serve [ADDR] [N] [S] [T] [SCAN_INTERVAL] [MIN_TRANSACTIONS]
-//! # defaults:       127.0.0.1:7878  20  0.2  10  5000  2000
+//! ensemfdet-serve [ADDR] [N] [S] [T] [SCAN_INTERVAL] [MIN_TRANSACTIONS] [WORKERS]
+//! # defaults:       127.0.0.1:7878  20  0.2  10  5000  2000  8
 //! ```
 
 use ensemfdet::{EnsemFdetConfig, MonitorConfig};
-use ensemfdet_service::{Api, ApiConfig, Server};
+use ensemfdet_service::{Api, ApiConfig, Server, ServerConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -26,15 +26,25 @@ fn main() {
             min_transactions: parse(5, 2_000.0) as usize,
         },
     };
+    let server_config = ServerConfig {
+        workers: (parse(6, 8.0) as usize).max(1),
+        ..Default::default()
+    };
 
-    let server = Server::bind(&addr, Api::new(config)).unwrap_or_else(|e| {
+    let server = Server::bind_with(&addr, Api::new(config), server_config).unwrap_or_else(|e| {
         eprintln!("cannot bind {addr}: {e}");
         std::process::exit(2);
     });
     println!(
-        "ensemfdet-serve listening on http://{}",
-        server.local_addr().expect("bound address")
+        "ensemfdet-serve listening on http://{} ({} workers)",
+        server.local_addr().expect("bound address"),
+        server_config.workers
     );
-    println!("endpoints: GET /health, GET /stats, POST /transactions, POST /scan");
-    server.run();
+    println!(
+        "endpoints: GET /health, GET /stats, GET /metrics, POST /transactions, POST /scan"
+    );
+    if let Err(e) = server.run() {
+        eprintln!("server error: {e}");
+        std::process::exit(1);
+    }
 }

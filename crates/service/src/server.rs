@@ -1,65 +1,326 @@
-//! TCP accept loop: one thread per connection, close after each response.
+//! TCP front end: a fixed worker pool over a bounded accept queue.
+//!
+//! The old shape — one spawned thread per connection, serve forever — had
+//! three failure modes this module closes:
+//!
+//! * **Unbounded concurrency.** A connection flood spawned a thread each;
+//!   now `workers` threads drain a queue of at most `queue_capacity`
+//!   waiting connections, and anything beyond that is shed immediately
+//!   with `503 Service Unavailable` (counted in
+//!   `ensemfdet_http_rejected_total`).
+//! * **Slow clients held threads forever.** Every accepted socket now gets
+//!   a read and a write deadline; a client that stalls mid-request is cut
+//!   off with `408 Request Timeout` instead of pinning a worker.
+//! * **No shutdown.** `run(self) -> !` leaked the accept loop and every
+//!   worker. [`Server::start`] returns a [`ServerHandle`] whose
+//!   [`shutdown`](ServerHandle::shutdown) drains queued connections,
+//!   stops the accept loop, and joins every thread.
 
-use crate::api::Api;
+use crate::api::{route_label, Api};
 use crate::http::{read_request, write_response, Response};
-use std::net::{TcpListener, TcpStream};
-use std::sync::Arc;
+use ensemfdet_telemetry::ServiceMetrics;
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-/// A bound, running-on-demand HTTP server.
+/// Tunables of the TCP front end.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Accepted connections allowed to wait for a worker; beyond this,
+    /// connections are shed with 503.
+    pub queue_capacity: usize,
+    /// Per-connection read deadline (stalled clients get 408).
+    pub read_timeout: Duration,
+    /// Per-connection write deadline.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 8,
+            queue_capacity: 64,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Accept-queue state shared between the accept loop and the workers.
+struct PoolState {
+    queue: VecDeque<TcpStream>,
+    stopping: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    available: Condvar,
+}
+
+impl Shared {
+    fn signal_stop(&self) {
+        self.state.lock().expect("pool state poisoned").stopping = true;
+        self.available.notify_all();
+    }
+}
+
+/// A bound, not-yet-running HTTP server.
 pub struct Server {
     listener: TcpListener,
     api: Arc<Api>,
+    config: ServerConfig,
 }
 
 impl Server {
-    /// Binds to `addr` (use port 0 for an ephemeral test port).
+    /// Binds to `addr` (use port 0 for an ephemeral test port) with the
+    /// default [`ServerConfig`].
     ///
     /// # Errors
     ///
     /// Propagates bind failures.
     pub fn bind(addr: &str, api: Api) -> std::io::Result<Self> {
+        Self::bind_with(addr, api, ServerConfig::default())
+    }
+
+    /// Binds with explicit tunables.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0` or `queue_capacity == 0`.
+    pub fn bind_with(addr: &str, api: Api, config: ServerConfig) -> std::io::Result<Self> {
+        assert!(config.workers > 0, "need at least one worker");
+        assert!(config.queue_capacity > 0, "need a queue of at least one");
         Ok(Server {
             listener: TcpListener::bind(addr)?,
             api: Arc::new(api),
+            config,
         })
     }
 
     /// The bound address (useful with ephemeral ports).
-    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+    ///
+    /// # Errors
+    ///
+    /// Propagates `local_addr` failures.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
         self.listener.local_addr()
     }
 
-    /// Serves forever on the current thread.
-    pub fn run(self) -> ! {
-        for stream in self.listener.incoming() {
-            match stream {
-                Ok(stream) => {
-                    let api = Arc::clone(&self.api);
-                    std::thread::spawn(move || handle_connection(stream, &api));
-                }
-                Err(e) => eprintln!("accept error: {e}"),
-            }
-        }
-        unreachable!("TcpListener::incoming never returns None")
+    /// Starts the worker pool and the accept loop on background threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `local_addr` failures.
+    pub fn start(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                stopping: false,
+            }),
+            available: Condvar::new(),
+        });
+        let metrics = self.api.metrics().clone();
+
+        let workers: Vec<JoinHandle<()>> = (0..self.config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let api = Arc::clone(&self.api);
+                let config = self.config;
+                std::thread::Builder::new()
+                    .name(format!("ensemfdet-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &api, &config))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let config = self.config;
+            std::thread::Builder::new()
+                .name("ensemfdet-accept".into())
+                .spawn(move || accept_loop(&self.listener, &shared, &metrics, &config))
+                .expect("spawn accept loop")
+        };
+
+        Ok(ServerHandle {
+            addr,
+            api: self.api,
+            shared,
+            accept: Some(accept),
+            workers,
+        })
     }
 
-    /// Serves on a background thread; returns the bound address. The
-    /// thread runs until the process exits — intended for tests and
-    /// examples.
-    pub fn run_background(self) -> std::io::Result<std::net::SocketAddr> {
-        let addr = self.local_addr()?;
-        std::thread::spawn(move || self.run());
-        Ok(addr)
+    /// Serves until shut down — which, without a [`ServerHandle`] to call,
+    /// means until the process exits. This is the `main` entry point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates startup failures.
+    pub fn run(self) -> std::io::Result<()> {
+        self.start()?.join();
+        Ok(())
     }
 }
 
-fn handle_connection(stream: TcpStream, api: &Api) {
-    let peer = stream.peer_addr().ok();
-    let response = match read_request(&stream) {
-        Ok(request) => api.handle(&request),
-        Err(message) => Response::error(400, &message),
+/// A running server: the address it listens on and the threads serving it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    api: Arc<Api>,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The service metrics (shared with the [`Api`]).
+    pub fn metrics(&self) -> &Arc<ServiceMetrics> {
+        self.api.metrics()
+    }
+
+    /// Blocks until the server stops (another thread calling
+    /// [`shutdown`](Self::shutdown), or a fatal accept error).
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, let workers drain the queue,
+    /// join every thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(accept) = self.accept.take() else {
+            return;
+        };
+        self.shared.signal_stop();
+        // The accept loop is parked in `accept()`; poke it awake.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        let _ = accept.join();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Shared,
+    metrics: &ServiceMetrics,
+    config: &ServerConfig,
+) {
+    let mut consecutive_errors = 0u32;
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => {
+                consecutive_errors = 0;
+                stream
+            }
+            Err(e) => {
+                consecutive_errors += 1;
+                if consecutive_errors > 64 {
+                    eprintln!("accept loop giving up: {e}");
+                    break;
+                }
+                eprintln!("accept error: {e}");
+                continue;
+            }
+        };
+        {
+            let mut state = shared.state.lock().expect("pool state poisoned");
+            if state.stopping {
+                break;
+            }
+            if state.queue.len() >= config.queue_capacity {
+                drop(state);
+                shed(stream, metrics, config);
+                continue;
+            }
+            state.queue.push_back(stream);
+            metrics.queue_depth.set(state.queue.len() as i64);
+        }
+        shared.available.notify_one();
+    }
+    // Whatever the exit path, release the workers.
+    shared.signal_stop();
+}
+
+/// Rejects a connection the queue has no room for: `503` and close. Runs
+/// on the accept thread, so the write deadline keeps a non-reading client
+/// from stalling accepts.
+fn shed(stream: TcpStream, metrics: &ServiceMetrics, config: &ServerConfig) {
+    metrics.rejected.inc();
+    metrics.requests.inc("shed", 503);
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let _ = write_response(&stream, &Response::error(503, "server at capacity, retry later"));
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+fn worker_loop(shared: &Shared, api: &Api, config: &ServerConfig) {
+    let metrics = api.metrics();
+    loop {
+        let stream = {
+            let mut state = shared.state.lock().expect("pool state poisoned");
+            loop {
+                if let Some(s) = state.queue.pop_front() {
+                    metrics.queue_depth.set(state.queue.len() as i64);
+                    break Some(s);
+                }
+                if state.stopping {
+                    break None;
+                }
+                state = shared.available.wait(state).expect("pool state poisoned");
+            }
+        };
+        let Some(stream) = stream else { return };
+        metrics.workers_busy.inc();
+        handle_connection(&stream, api, config);
+        metrics.workers_busy.dec();
+    }
+}
+
+fn handle_connection(stream: &TcpStream, api: &Api, config: &ServerConfig) {
+    let metrics = api.metrics();
+    let start = Instant::now();
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let (route, response) = match read_request(stream) {
+        Ok(request) => (
+            route_label(&request.method, &request.path),
+            api.handle(&request),
+        ),
+        Err(e) => ("invalid", e.to_response()),
     };
-    if let Err(e) = write_response(&stream, &response) {
+    metrics.requests.inc(route, response.status);
+    metrics.request_duration.observe_duration(start.elapsed());
+    if let Err(e) = write_response(stream, &response) {
+        let peer = stream.peer_addr().ok();
         eprintln!("write error to {peer:?}: {e}");
     }
     let _ = stream.shutdown(std::net::Shutdown::Both);
@@ -72,8 +333,8 @@ mod tests {
     use ensemfdet::{EnsemFdetConfig, MonitorConfig};
     use std::io::{Read, Write};
 
-    fn spawn_server() -> std::net::SocketAddr {
-        let api = Api::new(ApiConfig {
+    fn quick_api() -> Api {
+        Api::new(ApiConfig {
             monitor: MonitorConfig {
                 detector: EnsemFdetConfig {
                     num_samples: 6,
@@ -85,14 +346,17 @@ mod tests {
                 alert_threshold: 3,
                 min_transactions: 0,
             },
-        });
-        Server::bind("127.0.0.1:0", api)
-            .expect("bind")
-            .run_background()
-            .expect("addr")
+        })
     }
 
-    fn roundtrip(addr: std::net::SocketAddr, raw: &str) -> String {
+    fn spawn_server() -> ServerHandle {
+        Server::bind("127.0.0.1:0", quick_api())
+            .expect("bind")
+            .start()
+            .expect("start")
+    }
+
+    fn roundtrip(addr: SocketAddr, raw: &str) -> String {
         let mut stream = TcpStream::connect(addr).expect("connect");
         stream.write_all(raw.as_bytes()).expect("send");
         let mut out = String::new();
@@ -102,15 +366,17 @@ mod tests {
 
     #[test]
     fn health_over_a_real_socket() {
-        let addr = spawn_server();
-        let resp = roundtrip(addr, "GET /health HTTP/1.1\r\nhost: t\r\n\r\n");
+        let server = spawn_server();
+        let resp = roundtrip(server.addr(), "GET /health HTTP/1.1\r\nhost: t\r\n\r\n");
         assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
         assert!(resp.contains("\"status\":\"ok\""));
+        server.shutdown();
     }
 
     #[test]
     fn full_ingest_scan_workflow_over_socket() {
-        let addr = spawn_server();
+        let server = spawn_server();
+        let addr = server.addr();
         // Build a ring + background in one POST.
         let mut records = Vec::new();
         for b in 0..6 {
@@ -136,28 +402,151 @@ mod tests {
 
         let resp = roundtrip(addr, "GET /stats HTTP/1.1\r\n\r\n");
         assert!(resp.contains("\"users\":46"), "{resp}");
+        server.shutdown();
     }
 
     #[test]
     fn malformed_request_gets_400_over_socket() {
-        let addr = spawn_server();
-        let resp = roundtrip(addr, "POST /transactions HTTP/1.1\r\ncontent-length: 3\r\n\r\nxyz");
+        let server = spawn_server();
+        let resp = roundtrip(
+            server.addr(),
+            "POST /transactions HTTP/1.1\r\ncontent-length: 3\r\n\r\nxyz",
+        );
         assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+        server.shutdown();
     }
 
     #[test]
     fn concurrent_requests_are_served() {
-        let addr = spawn_server();
+        let server = spawn_server();
+        let addr = server.addr();
         let handles: Vec<_> = (0..8)
-            .map(|_| {
-                std::thread::spawn(move || {
-                    roundtrip(addr, "GET /health HTTP/1.1\r\n\r\n")
-                })
-            })
+            .map(|_| std::thread::spawn(move || roundtrip(addr, "GET /health HTTP/1.1\r\n\r\n")))
             .collect();
         for h in handles {
             let resp = h.join().expect("thread");
             assert!(resp.starts_with("HTTP/1.1 200"));
         }
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_and_frees_the_port() {
+        let server = spawn_server();
+        let addr = server.addr();
+        assert!(roundtrip(addr, "GET /health HTTP/1.1\r\n\r\n").contains("200"));
+        server.shutdown();
+        // The listener is gone: a rebind on the exact address succeeds.
+        let rebound = TcpListener::bind(addr).expect("port released after shutdown");
+        drop(rebound);
+    }
+
+    #[test]
+    fn stalled_client_is_timed_out_not_leaked() {
+        let api = quick_api();
+        let server = Server::bind_with(
+            "127.0.0.1:0",
+            api,
+            ServerConfig {
+                read_timeout: Duration::from_millis(100),
+                ..Default::default()
+            },
+        )
+        .expect("bind")
+        .start()
+        .expect("start");
+
+        // Open a connection, send half a request, then stall.
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        stream
+            .write_all(b"POST /scan HTTP/1.1\r\ncontent-length: 100\r\n\r\npartial")
+            .expect("send");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("recv");
+        assert!(out.starts_with("HTTP/1.1 408 Request Timeout"), "{out}");
+
+        // The worker is free again: a normal request still succeeds.
+        let resp = roundtrip(server.addr(), "GET /health HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn endless_headers_get_431_over_socket() {
+        let server = spawn_server();
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        stream.write_all(b"GET /health HTTP/1.1\r\n").expect("send");
+        // Stream junk headers until the server cuts us off.
+        let mut out = String::new();
+        loop {
+            if stream.write_all(b"x-junk: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n").is_err() {
+                break;
+            }
+            stream.flush().ok();
+            let mut probe = [0u8; 1024];
+            stream.set_read_timeout(Some(Duration::from_millis(5))).ok();
+            match stream.read(&mut probe) {
+                Ok(0) => break,
+                Ok(n) => {
+                    out.push_str(&String::from_utf8_lossy(&probe[..n]));
+                    if out.contains("\r\n\r\n") {
+                        break;
+                    }
+                }
+                Err(_) => continue,
+            }
+        }
+        assert!(out.starts_with("HTTP/1.1 431"), "{out}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn saturated_pool_sheds_with_503() {
+        // One worker, queue of one: a stalled connection occupies the
+        // worker, a second waits, a third must be shed.
+        let server = Server::bind_with(
+            "127.0.0.1:0",
+            quick_api(),
+            ServerConfig {
+                workers: 1,
+                queue_capacity: 1,
+                read_timeout: Duration::from_secs(2),
+                ..Default::default()
+            },
+        )
+        .expect("bind")
+        .start()
+        .expect("start");
+        let addr = server.addr();
+        let metrics = Arc::clone(server.metrics());
+
+        // Occupy the worker with a half-sent request.
+        let mut occupier = TcpStream::connect(addr).expect("connect occupier");
+        occupier.write_all(b"GET /health").expect("send partial");
+        let t0 = Instant::now();
+        while metrics.workers_busy.get() < 1 {
+            assert!(t0.elapsed() < Duration::from_secs(5), "worker never picked up");
+            std::thread::yield_now();
+        }
+
+        // Fill the queue with a second idle connection.
+        let waiter = TcpStream::connect(addr).expect("connect waiter");
+        while metrics.queue_depth.get() < 1 {
+            assert!(t0.elapsed() < Duration::from_secs(5), "queue never filled");
+            std::thread::yield_now();
+        }
+
+        // The next connection is over capacity: shed, fast, no hang.
+        let resp = roundtrip(addr, "GET /health HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 503 Service Unavailable"), "{resp}");
+        assert!(metrics.rejected.get() >= 1);
+
+        // Release the worker; the waiter gets served.
+        occupier.write_all(b" HTTP/1.1\r\n\r\n").expect("finish request");
+        let mut out = String::new();
+        occupier.read_to_string(&mut out).expect("occupier response");
+        assert!(out.starts_with("HTTP/1.1 200"), "{out}");
+        drop(waiter);
+        server.shutdown();
     }
 }

@@ -1,0 +1,478 @@
+#![warn(missing_docs)]
+
+//! Process-local telemetry for the detection service.
+//!
+//! Three primitives — [`Counter`], [`Gauge`], [`Histogram`] — all safe to
+//! update from any thread without locks on the hot path, plus
+//! [`StatusCounter`] (a small labelled counter behind a mutex, fine at
+//! request rates) and [`ServiceMetrics`], the concrete metric set the HTTP
+//! service exposes at `GET /metrics` in the Prometheus text exposition
+//! format (version 0.0.4).
+//!
+//! No dependencies, no global registry: whoever owns a [`ServiceMetrics`]
+//! decides where its numbers go. The ensemble's per-sample wall-clock
+//! ([`SampleSummary::elapsed`]-style data) feeds the
+//! `ensemfdet_scan_sample_duration_seconds` histogram via
+//! [`ServiceMetrics::record_scan`].
+//!
+//! [`SampleSummary::elapsed`]: https://docs.rs/ensemfdet
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The content type Prometheus scrapers expect from a text-format endpoint.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous value that can go up and down (queue depth, busy
+/// workers).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Default latency bucket upper bounds, in seconds: sub-millisecond up to
+/// ten seconds, roughly log-spaced — wide enough for both a `/health` hit
+/// and a full ensemble scan.
+pub const DEFAULT_LATENCY_BOUNDS: [f64; 14] = [
+    0.000_25, 0.000_5, 0.001, 0.002_5, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+];
+
+/// A fixed-bucket histogram of seconds.
+///
+/// Buckets are chosen at construction and never change, so observation is
+/// a binary search plus two relaxed atomic adds — no locks, no allocation.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Upper bounds (`le`), strictly increasing; a `+Inf` bucket is
+    /// implicit.
+    bounds: Vec<f64>,
+    /// Non-cumulative per-bucket counts; `buckets[bounds.len()]` is `+Inf`.
+    buckets: Vec<AtomicU64>,
+    /// Sum of all observations, in nanoseconds.
+    sum_nanos: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over the given upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty, non-finite, or not strictly increasing.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "bucket bounds must be finite and strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// A histogram over [`DEFAULT_LATENCY_BOUNDS`].
+    pub fn latency() -> Self {
+        Self::new(&DEFAULT_LATENCY_BOUNDS)
+    }
+
+    /// Records one observation, in seconds (negatives clamp to zero).
+    pub fn observe(&self, seconds: f64) {
+        let s = seconds.max(0.0);
+        let idx = self.bounds.partition_point(|&b| b < s);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos
+            .fetch_add((s * 1e9).round() as u64, Ordering::Relaxed);
+    }
+
+    /// Records one duration.
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of observations in seconds.
+    pub fn sum_seconds(&self) -> f64 {
+        self.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    /// Cumulative `(upper_bound, count ≤ bound)` pairs; the final entry is
+    /// the `+Inf` bucket, equal to the total count of the same snapshot.
+    pub fn cumulative(&self) -> Vec<(f64, u64)> {
+        let mut acc = 0u64;
+        let mut out = Vec::with_capacity(self.buckets.len());
+        for (i, b) in self.buckets.iter().enumerate() {
+            acc += b.load(Ordering::Relaxed);
+            out.push((self.bounds.get(i).copied().unwrap_or(f64::INFINITY), acc));
+        }
+        out
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::latency()
+    }
+}
+
+/// A counter labelled by `(route, status)` — a handful of cells behind a
+/// mutex, which is plenty at HTTP request rates.
+#[derive(Debug, Default)]
+pub struct StatusCounter {
+    cells: Mutex<BTreeMap<(&'static str, u16), u64>>,
+}
+
+impl StatusCounter {
+    /// An empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one to the `(route, status)` cell.
+    pub fn inc(&self, route: &'static str, status: u16) {
+        let mut cells = self.cells.lock().expect("status counter poisoned");
+        *cells.entry((route, status)).or_insert(0) += 1;
+    }
+
+    /// All cells, sorted by label.
+    pub fn snapshot(&self) -> Vec<((&'static str, u16), u64)> {
+        let cells = self.cells.lock().expect("status counter poisoned");
+        cells.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
+    /// Sum over all cells.
+    pub fn total(&self) -> u64 {
+        self.snapshot().iter().map(|&(_, v)| v).sum()
+    }
+
+    /// Sum over cells matching a route.
+    pub fn total_for_route(&self, route: &str) -> u64 {
+        self.snapshot()
+            .iter()
+            .filter(|((r, _), _)| *r == route)
+            .map(|&(_, v)| v)
+            .sum()
+    }
+}
+
+/// The full metric set of the detection service.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    /// Requests served, by route and response status.
+    pub requests: StatusCounter,
+    /// Connections shed because the accept queue was full.
+    pub rejected: Counter,
+    /// Connections currently waiting in the accept queue.
+    pub queue_depth: Gauge,
+    /// Workers currently handling a connection.
+    pub workers_busy: Gauge,
+    /// Wall-clock per HTTP request (read → handle → write).
+    pub request_duration: Histogram,
+    /// Wall-clock per ensemble scan.
+    pub scan_duration: Histogram,
+    /// Wall-clock per ensemble *sample* (N observations per scan).
+    pub sample_duration: Histogram,
+    /// Transactions ingested via `POST /transactions`.
+    pub transactions_ingested: Counter,
+    /// Detection scans run (manual and automatic).
+    pub scans: Counter,
+    /// New accounts alerted across all scans.
+    pub alerts: Counter,
+}
+
+impl ServiceMetrics {
+    /// A fresh metric set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one ensemble scan: total wall-clock plus every per-sample
+    /// timing (from the ensemble's `SampleSummary.elapsed` diagnostics).
+    pub fn record_scan(&self, elapsed: Duration, sample_times: &[Duration]) {
+        self.scans.inc();
+        self.scan_duration.observe_duration(elapsed);
+        for &t in sample_times {
+            self.sample_duration.observe_duration(t);
+        }
+    }
+
+    /// Renders everything in the Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(4096);
+
+        write_header(
+            &mut out,
+            "ensemfdet_http_requests_total",
+            "counter",
+            "HTTP requests served, by route and status.",
+        );
+        for ((route, status), n) in self.requests.snapshot() {
+            let _ = writeln!(
+                out,
+                "ensemfdet_http_requests_total{{route=\"{route}\",status=\"{status}\"}} {n}"
+            );
+        }
+
+        write_counter(
+            &mut out,
+            "ensemfdet_http_rejected_total",
+            "Connections shed because the accept queue was full.",
+            self.rejected.get(),
+        );
+        write_gauge(
+            &mut out,
+            "ensemfdet_http_queue_depth",
+            "Connections waiting in the accept queue.",
+            self.queue_depth.get(),
+        );
+        write_gauge(
+            &mut out,
+            "ensemfdet_http_workers_busy",
+            "Workers currently handling a connection.",
+            self.workers_busy.get(),
+        );
+        write_histogram(
+            &mut out,
+            "ensemfdet_http_request_duration_seconds",
+            "Wall-clock per HTTP request.",
+            &self.request_duration,
+        );
+        write_histogram(
+            &mut out,
+            "ensemfdet_scan_duration_seconds",
+            "Wall-clock per ensemble detection scan.",
+            &self.scan_duration,
+        );
+        write_histogram(
+            &mut out,
+            "ensemfdet_scan_sample_duration_seconds",
+            "Wall-clock per ensemble sample (N per scan).",
+            &self.sample_duration,
+        );
+        write_counter(
+            &mut out,
+            "ensemfdet_transactions_ingested_total",
+            "Transactions ingested via POST /transactions.",
+            self.transactions_ingested.get(),
+        );
+        write_counter(
+            &mut out,
+            "ensemfdet_scans_total",
+            "Detection scans run (manual and automatic).",
+            self.scans.get(),
+        );
+        write_counter(
+            &mut out,
+            "ensemfdet_alerts_total",
+            "New accounts alerted across all scans.",
+            self.alerts.get(),
+        );
+        out
+    }
+}
+
+fn write_header(out: &mut String, name: &str, kind: &str, help: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+fn write_counter(out: &mut String, name: &str, help: &str, value: u64) {
+    write_header(out, name, "counter", help);
+    let _ = writeln!(out, "{name} {value}");
+}
+
+fn write_gauge(out: &mut String, name: &str, help: &str, value: i64) {
+    write_header(out, name, "gauge", help);
+    let _ = writeln!(out, "{name} {value}");
+}
+
+fn write_histogram(out: &mut String, name: &str, help: &str, h: &Histogram) {
+    write_header(out, name, "histogram", help);
+    let cumulative = h.cumulative();
+    let mut total = 0;
+    for &(bound, count) in &cumulative {
+        total = count;
+        if bound.is_finite() {
+            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {count}");
+        } else {
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {count}");
+        }
+    }
+    let _ = writeln!(out, "{name}_sum {}", h.sum_seconds());
+    let _ = writeln!(out, "{name}_count {total}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.set(3);
+        g.inc();
+        g.dec();
+        g.dec();
+        assert_eq!(g.get(), 2);
+    }
+
+    #[test]
+    fn histogram_places_observations() {
+        let h = Histogram::new(&[0.01, 0.1, 1.0]);
+        h.observe(0.005); // ≤ 0.01
+        h.observe(0.01); // ≤ 0.01 (le is inclusive)
+        h.observe(0.05); // ≤ 0.1
+        h.observe(10.0); // +Inf
+        let c = h.cumulative();
+        assert_eq!(c[0], (0.01, 2));
+        assert_eq!(c[1], (0.1, 3));
+        assert_eq!(c[2], (1.0, 3));
+        assert_eq!(c[3].1, 4);
+        assert!(c[3].0.is_infinite());
+        assert_eq!(h.count(), 4);
+        assert!((h.sum_seconds() - 10.065).abs() < 1e-6);
+    }
+
+    #[test]
+    fn histogram_clamps_negatives() {
+        let h = Histogram::new(&[1.0]);
+        h.observe(-5.0);
+        assert_eq!(h.cumulative()[0], (1.0, 1));
+        assert_eq!(h.sum_seconds(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_rejected() {
+        Histogram::new(&[1.0, 0.5]);
+    }
+
+    #[test]
+    fn status_counter_tracks_labels() {
+        let s = StatusCounter::new();
+        s.inc("/health", 200);
+        s.inc("/health", 200);
+        s.inc("/scan", 200);
+        s.inc("/scan", 503);
+        assert_eq!(s.total(), 4);
+        assert_eq!(s.total_for_route("/health"), 2);
+        assert_eq!(s.snapshot().len(), 3);
+    }
+
+    #[test]
+    fn histogram_is_thread_safe() {
+        let h = std::sync::Arc::new(Histogram::latency());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        h.observe(i as f64 * 1e-5);
+                    }
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 4000);
+    }
+
+    #[test]
+    fn render_is_valid_exposition_text() {
+        let m = ServiceMetrics::new();
+        m.requests.inc("/health", 200);
+        m.requests.inc("/scan", 503);
+        m.rejected.inc();
+        m.queue_depth.set(2);
+        m.record_scan(
+            Duration::from_millis(30),
+            &[Duration::from_millis(10), Duration::from_millis(20)],
+        );
+        let text = m.render();
+        assert!(text.contains(
+            "ensemfdet_http_requests_total{route=\"/health\",status=\"200\"} 1"
+        ));
+        assert!(text.contains("ensemfdet_http_requests_total{route=\"/scan\",status=\"503\"} 1"));
+        assert!(text.contains("ensemfdet_http_rejected_total 1"));
+        assert!(text.contains("ensemfdet_http_queue_depth 2"));
+        assert!(text.contains("ensemfdet_scans_total 1"));
+        assert!(text.contains("ensemfdet_scan_sample_duration_seconds_count 2"));
+        assert!(text.contains("ensemfdet_scan_duration_seconds_bucket{le=\"+Inf\"} 1"));
+        // Every non-comment line is `name{labels} value` or `name value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect("name value");
+            assert!(!name.is_empty());
+            assert!(value.parse::<f64>().is_ok(), "bad value in `{line}`");
+        }
+        // HELP/TYPE pairs precede their samples.
+        assert!(text.find("# TYPE ensemfdet_scans_total").unwrap()
+            < text.find("\nensemfdet_scans_total ").unwrap());
+    }
+}

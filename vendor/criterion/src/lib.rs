@@ -1,0 +1,234 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the same API shape the workspace's benches use so they compile and
+//! run, with crude wall-clock measurement instead of statistics. Mirrors
+//! real criterion's behavior under `cargo test` (no `--bench` flag): each
+//! benchmark body runs exactly once as a smoke test, so `harness = false`
+//! bench targets stay fast in the test suite.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value blocker re-exported for benches that import it from
+/// criterion rather than `std::hint`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How a benchmark's throughput is reported.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's identifier within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter, for single-function groups.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The per-iteration measurement handle passed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this bencher's configured iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    /// True when launched via `cargo bench` (`--bench` flag): measure.
+    /// False under `cargo test`: run every body once as a smoke test.
+    measure: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure: std::env::args().any(|a| a == "--bench"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Registers a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let measure = self.measure;
+        run_one(name, measure, 10, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations when measuring.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the throughput reported for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(
+            &label,
+            self.criterion.measure,
+            self.sample_size,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Benchmarks a closure with no external input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(
+            &label,
+            self.criterion.measure,
+            self.sample_size,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (reports nothing extra in the stub).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    measure: bool,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let iters = if measure { sample_size.max(1) as u64 } else { 1 };
+    let mut bencher = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    if measure {
+        let per_iter = bencher.elapsed.as_secs_f64() / iters as f64;
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                format!(" ({:.0} elem/s)", n as f64 / per_iter)
+            }
+            Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+                format!(" ({:.0} B/s)", n as f64 / per_iter)
+            }
+            _ => String::new(),
+        };
+        println!("{label}: {:.3} ms/iter{rate}", per_iter * 1e3);
+    } else {
+        println!("{label}: ok (test mode, 1 iter)");
+    }
+}
+
+/// Declares a group function callable from [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion { measure: false };
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(4));
+        let data = vec![1u64, 2, 3, 4];
+        let mut ran = 0u32;
+        group.bench_with_input(BenchmarkId::new("sum", 4), &data, |b, d| {
+            b.iter(|| d.iter().sum::<u64>());
+            ran += 1;
+        });
+        group.bench_function("noop", |b| b.iter(|| ()));
+        group.finish();
+        assert_eq!(ran, 1);
+        c.bench_function("top", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

@@ -1,0 +1,217 @@
+//! Offline stand-in for `rayon`, covering the `into_par_iter().map(..)
+//! .collect()` pipeline the ensemble uses.
+//!
+//! Work is distributed over `std::thread::scope` threads via an atomic
+//! work-stealing index, and results are written back by position, so output
+//! order matches input order exactly like rayon's indexed parallel
+//! iterators. One barrier per `map` stage — fine for the single-stage
+//! pipeline this workspace runs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The rayon-compatible prelude.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// The parallel iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// A parallel pipeline that can be mapped and collected.
+pub trait ParallelIterator: Sized + Send {
+    /// Element type.
+    type Item: Send;
+
+    /// Materializes the pipeline, running closures in parallel.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Applies `f` to every element in parallel, preserving order.
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Collects the results (order-preserving).
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_vec(self.run())
+    }
+}
+
+/// Collection types a parallel iterator can collect into.
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from the materialized, ordered results.
+    fn from_par_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_par_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// A source backed by pre-materialized items.
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = VecParIter<usize>;
+    fn into_par_iter(self) -> Self::Iter {
+        VecParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u32> {
+    type Item = u32;
+    type Iter = VecParIter<u32>;
+    fn into_par_iter(self) -> Self::Iter {
+        VecParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+    fn into_par_iter(self) -> Self::Iter {
+        VecParIter { items: self }
+    }
+}
+
+/// The `map` adapter.
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, U, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    U: Send,
+    F: Fn(I::Item) -> U + Sync + Send,
+{
+    type Item = U;
+
+    fn run(self) -> Vec<U> {
+        par_apply(self.base.run(), &self.f)
+    }
+}
+
+/// The number of worker threads used for parallel stages.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to each item on a scoped thread pool, preserving order.
+fn par_apply<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("input slot poisoned")
+                    .take()
+                    .expect("input taken twice");
+                let out = f(item);
+                *results[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker skipped a slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ordered_parallel_map() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<usize> = (0..0usize).into_par_iter().map(|i| i).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn vec_source_and_chained_maps() {
+        let out: Vec<String> = vec![3u32, 1, 4]
+            .into_par_iter()
+            .map(|v| v + 1)
+            .map(|v| v.to_string())
+            .collect();
+        assert_eq!(out, vec!["4", "2", "5"]);
+    }
+
+    #[test]
+    fn actually_uses_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        let _: Vec<()> = (0..64usize)
+            .into_par_iter()
+            .map(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                ids.lock().unwrap().insert(std::thread::current().id());
+            })
+            .collect();
+        let distinct = ids.lock().unwrap().len();
+        if super::current_num_threads() > 1 {
+            assert!(distinct > 1, "expected parallel execution, got {distinct}");
+        }
+    }
+}

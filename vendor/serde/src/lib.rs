@@ -1,0 +1,51 @@
+//! Offline stand-in for `serde`.
+//!
+//! Instead of serde's visitor-based data model, this stub routes everything
+//! through one JSON-shaped [`Value`] tree: `Serialize` renders to a
+//! `Value`, `Deserialize` reads from one. `serde_json` (also vendored)
+//! re-exports the same `Value` and adds text parsing/printing, so the
+//! combination behaves like the real pair for every use in this workspace.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod error;
+mod impls;
+mod value;
+
+pub use error::Error;
+pub use value::{Map, Number, Value};
+
+/// Types that can render themselves as a JSON [`Value`].
+pub trait Serialize {
+    /// The JSON representation of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types constructible from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Reads `Self` out of `v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first shape/type mismatch.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Renders any serializable value as a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Compatibility module mirroring `serde::de`.
+pub mod de {
+    pub use crate::{Deserialize, Error};
+
+    /// Owned deserialization — identical to [`Deserialize`] in this stub.
+    pub trait DeserializeOwned: Deserialize {}
+    impl<T: Deserialize> DeserializeOwned for T {}
+}
+
+/// Compatibility module mirroring `serde::ser`.
+pub mod ser {
+    pub use crate::{Error, Serialize};
+}

@@ -1,0 +1,405 @@
+//! The JSON value tree shared by `serde` and `serde_json`.
+
+use std::fmt;
+
+/// An insertion-ordered string-keyed map (what `serde_json` calls
+/// `Map<String, Value>` with the `preserve_order` feature).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// An empty map.
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Inserts `value` under `key`, replacing any existing entry.
+    pub fn insert(&mut self, key: String, value: Value) {
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.entries.push((key, value));
+        }
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Whether the key is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entries in insertion order.
+    pub fn entries(&self) -> &[(String, Value)] {
+        &self.entries
+    }
+
+    /// Iterates `(key, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+/// A JSON number: unsigned, signed, or floating.
+#[derive(Clone, Copy, Debug)]
+pub enum Number {
+    /// A non-negative integer.
+    PosInt(u64),
+    /// A negative integer.
+    NegInt(i64),
+    /// A float.
+    Float(f64),
+}
+
+impl Number {
+    /// The value as `f64` (always possible, possibly lossy).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::PosInt(v) => v as f64,
+            Number::NegInt(v) => v as f64,
+            Number::Float(v) => v,
+        }
+    }
+
+    /// The value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(v) => Some(v),
+            Number::NegInt(v) => u64::try_from(v).ok(),
+            Number::Float(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
+                Some(v as u64)
+            }
+            Number::Float(_) => None,
+        }
+    }
+
+    /// The value as `i64` if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(v) => i64::try_from(v).ok(),
+            Number::NegInt(v) => Some(v),
+            Number::Float(v)
+                if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 =>
+            {
+                Some(v as i64)
+            }
+            Number::Float(_) => None,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.as_i64(), other.as_i64()) {
+            (Some(a), Some(b)) => a == b,
+            _ => match (self.as_u64(), other.as_u64()) {
+                (Some(a), Some(b)) => a == b,
+                _ => self.as_f64() == other.as_f64(),
+            },
+        }
+    }
+}
+
+/// A JSON document tree.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Object field lookup; `None` for non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// `true` iff this is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The string contents, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The number as `i64`, if an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The elements, if an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The map, if an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    /// `value["key"]` — `Null` for non-objects and missing keys.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    /// `value[i]` — `Null` for non-arrays and out-of-range indexes.
+    fn index(&self, index: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(index).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+macro_rules! impl_eq_prim {
+    ($($ty:ty => $to:expr),* $(,)?) => {$(
+        impl PartialEq<$ty> for Value {
+            #[allow(clippy::redundant_closure_call)]
+            fn eq(&self, other: &$ty) -> bool {
+                self == &($to)(*other)
+            }
+        }
+        impl PartialEq<Value> for $ty {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+
+impl_eq_prim!(
+    bool => Value::Bool,
+    u32 => |v: u32| Value::Number(Number::PosInt(v as u64)),
+    u64 => |v: u64| Value::Number(Number::PosInt(v)),
+    usize => |v: usize| Value::Number(Number::PosInt(v as u64)),
+    i32 => |v: i32| Value::Number(Number::NegInt(v as i64)),
+    i64 => |v: i64| Value::Number(Number::NegInt(v)),
+    f64 => |v: f64| Value::Number(Number::Float(v)),
+);
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<Value> for String {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+fn write_escaped(f: &mut impl fmt::Write, s: &str) -> fmt::Result {
+    f.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            '\u{08}' => f.write_str("\\b")?,
+            '\u{0C}' => f.write_str("\\f")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => f.write_char(c)?,
+        }
+    }
+    f.write_char('"')
+}
+
+fn write_number(f: &mut impl fmt::Write, n: &Number) -> fmt::Result {
+    match *n {
+        Number::PosInt(v) => write!(f, "{v}"),
+        Number::NegInt(v) => write!(f, "{v}"),
+        Number::Float(v) if v.is_finite() => {
+            if v == v.trunc() && v.abs() < 1e15 {
+                // Keep a decimal point so the value round-trips as a float.
+                write!(f, "{v:.1}")
+            } else {
+                write!(f, "{v}")
+            }
+        }
+        // JSON has no inf/nan; mirror serde_json's `null` behavior.
+        Number::Float(_) => f.write_str("null"),
+    }
+}
+
+/// Writes `v` as compact (`indent == None`) or pretty JSON.
+pub(crate) fn write_value(
+    f: &mut impl fmt::Write,
+    v: &Value,
+    indent: Option<usize>,
+) -> fmt::Result {
+    fn pad(f: &mut impl fmt::Write, level: usize) -> fmt::Result {
+        for _ in 0..level {
+            f.write_str("  ")?;
+        }
+        Ok(())
+    }
+    match v {
+        Value::Null => f.write_str("null"),
+        Value::Bool(b) => write!(f, "{b}"),
+        Value::Number(n) => write_number(f, n),
+        Value::String(s) => write_escaped(f, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                return f.write_str("[]");
+            }
+            f.write_char('[')?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    f.write_char(',')?;
+                }
+                if let Some(level) = indent {
+                    f.write_char('\n')?;
+                    pad(f, level + 1)?;
+                }
+                write_value(f, item, indent.map(|l| l + 1))?;
+            }
+            if let Some(level) = indent {
+                f.write_char('\n')?;
+                pad(f, level)?;
+            }
+            f.write_char(']')
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                return f.write_str("{}");
+            }
+            f.write_char('{')?;
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    f.write_char(',')?;
+                }
+                if let Some(level) = indent {
+                    f.write_char('\n')?;
+                    pad(f, level + 1)?;
+                }
+                write_escaped(f, k)?;
+                f.write_char(':')?;
+                if indent.is_some() {
+                    f.write_char(' ')?;
+                }
+                write_value(f, val, indent.map(|l| l + 1))?;
+            }
+            if let Some(level) = indent {
+                f.write_char('\n')?;
+                pad(f, level)?;
+            }
+            f.write_char('}')
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    /// Compact JSON text.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_value(&mut out, self, None)?;
+        f.write_str(&out)
+    }
+}
+
+impl Value {
+    /// Pretty JSON text with two-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self, Some(0)).expect("string formatting cannot fail");
+        out
+    }
+}

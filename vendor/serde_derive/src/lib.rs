@@ -1,0 +1,386 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Parses the derive input directly from [`proc_macro::TokenStream`] (no
+//! `syn`/`quote`, which are unavailable offline) and emits impls of the
+//! vendored `serde` stub's `Serialize`/`Deserialize` traits, which route
+//! through a single JSON `Value` tree.
+//!
+//! Supported shapes — the full set used by this workspace:
+//! named/tuple/unit structs and enums with unit/newtype/tuple/struct
+//! variants, all without generics. Enum encoding matches real serde's
+//! external tagging (`"Variant"` for unit, `{"Variant": ...}` otherwise).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+#[derive(Debug)]
+enum Shape {
+    UnitStruct,
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    Enum(Vec<(String, VariantShape)>),
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Advances `i` past any `#[...]` attributes (doc comments included) and a
+/// `pub` / `pub(...)` visibility marker.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                match tokens.get(*i + 1) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        *i += 2;
+                    }
+                    _ => panic!("serde stub derive: stray `#` in input"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) / pub(super)
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits `tokens` on commas that sit outside any `<...>` generic argument
+/// list. Brackets/parens/braces arrive pre-grouped as single `Group` tokens,
+/// so angle brackets are the only nesting that needs explicit tracking.
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0usize;
+    for tok in tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    chunks.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tok.clone());
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Extracts field names from the body of a brace-delimited struct/variant.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    split_top_level_commas(&tokens)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(&chunk, &mut i);
+            match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde stub derive: expected field name, got {other:?}"),
+            }
+        })
+        .collect()
+}
+
+/// Counts the fields of a paren-delimited tuple struct/variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    split_top_level_commas(&tokens).len()
+}
+
+fn parse_enum_variants(stream: TokenStream) -> Vec<(String, VariantShape)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde stub derive: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push((name, shape));
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> (String, Shape) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde stub derive: generic types are not supported (on `{name}`)");
+        }
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            None => Shape::UnitStruct,
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            other => panic!("serde stub derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_enum_variants(g.stream()))
+            }
+            other => panic!("serde stub derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde stub derive: cannot derive for `{other}` items"),
+    };
+    (name, shape)
+}
+
+// ---------------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    let body = match &shape {
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::NamedStruct(fields) => {
+            let mut out = String::from("{ let mut map = ::serde::Map::new();\n");
+            for f in fields {
+                let _ = writeln!(
+                    out,
+                    "map.insert(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}));"
+                );
+            }
+            out.push_str("::serde::Value::Object(map) }");
+            out
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let mut out = String::from("match self {\n");
+            for (vname, vshape) in variants {
+                match vshape {
+                    VariantShape::Unit => {
+                        let _ = writeln!(
+                            out,
+                            "{name}::{vname} => ::serde::Value::String(\"{vname}\".to_string()),"
+                        );
+                    }
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        let _ = writeln!(
+                            out,
+                            "{name}::{vname}({binds}) => {{ \
+                             let mut map = ::serde::Map::new(); \
+                             map.insert(\"{vname}\".to_string(), {inner}); \
+                             ::serde::Value::Object(map) }}",
+                            binds = binds.join(", "),
+                        );
+                    }
+                    VariantShape::Named(fields) => {
+                        let mut arm = format!(
+                            "{name}::{vname} {{ {} }} => {{ let mut inner = ::serde::Map::new();\n",
+                            fields.join(", ")
+                        );
+                        for f in fields {
+                            let _ = writeln!(
+                                arm,
+                                "inner.insert(\"{f}\".to_string(), ::serde::Serialize::to_value({f}));"
+                            );
+                        }
+                        let _ = writeln!(
+                            arm,
+                            "let mut map = ::serde::Map::new(); \
+                             map.insert(\"{vname}\".to_string(), ::serde::Value::Object(inner)); \
+                             ::serde::Value::Object(map) }}"
+                        );
+                        out.push_str(&arm);
+                    }
+                }
+            }
+            out.push('}');
+            out
+        }
+    };
+    let code = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    );
+    code.parse().expect("serde stub derive: generated invalid Serialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize
+// ---------------------------------------------------------------------------
+
+/// Expression string reading named fields out of a map expression `{src}`.
+fn named_fields_ctor(path: &str, fields: &[String], src: &str) -> String {
+    let mut out = format!("{path} {{\n");
+    for f in fields {
+        let _ = writeln!(
+            out,
+            "{f}: ::serde::Deserialize::from_value({src}.get(\"{f}\").unwrap_or(&::serde::Value::Null))?,"
+        );
+    }
+    out.push('}');
+    out
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    let body = match &shape {
+        Shape::UnitStruct => format!(
+            "if v.is_null() {{ Ok({name}) }} else {{ \
+             Err(::serde::Error::custom(format!(\"expected null for {name}, got {{v}}\"))) }}"
+        ),
+        Shape::NamedStruct(fields) => {
+            let ctor = named_fields_ctor(&name, fields, "obj");
+            format!(
+                "let obj = v.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(format!(\"expected object for {name}, got {{v}}\")))?;\n\
+                 Ok({ctor})"
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                .collect();
+            format!(
+                "let arr = v.as_array().ok_or_else(|| \
+                 ::serde::Error::custom(format!(\"expected array for {name}, got {{v}}\")))?;\n\
+                 if arr.len() != {n} {{ return Err(::serde::Error::custom(format!(\
+                 \"expected {n} elements for {name}, got {{}}\", arr.len()))); }}\n\
+                 Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            // Unit variants arrive as plain strings; data variants as
+            // single-key objects `{"Variant": ...}` (external tagging).
+            let mut string_arms = String::new();
+            let mut tag_arms = String::new();
+            for (vname, vshape) in variants {
+                match vshape {
+                    VariantShape::Unit => {
+                        let _ = writeln!(string_arms, "\"{vname}\" => return Ok({name}::{vname}),");
+                        let _ = writeln!(tag_arms, "\"{vname}\" => Ok({name}::{vname}),");
+                    }
+                    VariantShape::Tuple(1) => {
+                        let _ = writeln!(
+                            tag_arms,
+                            "\"{vname}\" => Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?)),"
+                        );
+                    }
+                    VariantShape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                            .collect();
+                        let _ = writeln!(
+                            tag_arms,
+                            "\"{vname}\" => {{ let arr = inner.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected array for variant {vname}\"))?;\n\
+                             if arr.len() != {n} {{ return Err(::serde::Error::custom(format!(\
+                             \"expected {n} elements for {name}::{vname}, got {{}}\", arr.len()))); }}\n\
+                             Ok({name}::{vname}({items})) }}",
+                            items = items.join(", ")
+                        );
+                    }
+                    VariantShape::Named(fields) => {
+                        let ctor = named_fields_ctor(&format!("{name}::{vname}"), fields, "vobj");
+                        let _ = writeln!(
+                            tag_arms,
+                            "\"{vname}\" => {{ let vobj = inner.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected object for variant {vname}\"))?;\n\
+                             Ok({ctor}) }}"
+                        );
+                    }
+                }
+            }
+            format!(
+                "if let Some(s) = v.as_str() {{\n\
+                 match s {{\n{string_arms}\
+                 other => return Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{other}}` for {name}\"))), }}\n}}\n\
+                 let obj = v.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(format!(\"expected string or object for {name}, got {{v}}\")))?;\n\
+                 let (tag, inner) = obj.iter().next().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected single-key object for {name}\"))?;\n\
+                 let _ = inner;\n\
+                 match tag.as_str() {{\n{tag_arms}\
+                 other => Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{other}}` for {name}\"))), }}"
+            )
+        }
+    };
+    let code = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}"
+    );
+    code.parse().expect("serde stub derive: generated invalid Deserialize impl")
+}

@@ -1,0 +1,264 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Shares the [`Value`] tree with the vendored `serde` stub and adds JSON
+//! text parsing ([`from_str`]/[`from_slice`]), printing ([`to_string`],
+//! [`to_string_pretty`]), and the [`json!`] macro.
+
+pub use serde::{de, Error, Map, Number, Value};
+
+mod parse;
+
+pub use parse::parse_str;
+
+/// Parses JSON text into any deserializable type.
+///
+/// # Errors
+///
+/// Returns the first syntax error or shape mismatch.
+pub fn from_str<T: de::DeserializeOwned>(s: &str) -> Result<T, Error> {
+    let value = parse_str(s)?;
+    T::from_value(&value)
+}
+
+/// [`from_str`] over raw bytes (must be UTF-8).
+///
+/// # Errors
+///
+/// Returns invalid-UTF-8, syntax, or shape errors.
+pub fn from_slice<T: de::DeserializeOwned>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(Error::custom)?;
+    from_str(s)
+}
+
+/// Deserializes a type out of an already-parsed [`Value`].
+///
+/// # Errors
+///
+/// Returns the first shape mismatch.
+pub fn from_value<T: de::DeserializeOwned>(value: Value) -> Result<T, Error> {
+    T::from_value(&value)
+}
+
+/// Renders compact JSON text. Infallible in this stub, but keeps the real
+/// crate's `Result` signature so call sites match.
+///
+/// # Errors
+///
+/// Never fails.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_string())
+}
+
+/// Renders pretty JSON text (two-space indent).
+///
+/// # Errors
+///
+/// Never fails.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_string_pretty())
+}
+
+/// Renders compact JSON text as bytes.
+///
+/// # Errors
+///
+/// Never fails.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Never fails.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// `json!` macro support: converts one expression to a [`Value`].
+#[doc(hidden)]
+pub fn value_from<T: serde::Serialize>(value: T) -> Value {
+    value.to_value()
+}
+
+/// Builds a [`Value`] from JSON-shaped syntax, interpolating Rust
+/// expressions, in the style of `serde_json::json!`.
+#[macro_export]
+macro_rules! json {
+    ($($json:tt)+) => {
+        $crate::json_internal!($($json)+)
+    };
+}
+
+/// Internal token muncher for [`json!`] — not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    //////////////////////////////////////////////////////////////////////
+    // @array: accumulate element expressions into [$($elems,)*]
+    //////////////////////////////////////////////////////////////////////
+
+    // Done with trailing comma / without.
+    (@array [$($elems:expr,)*]) => {
+        vec![$($elems,)*]
+    };
+    (@array [$($elems:expr),*]) => {
+        vec![$($elems),*]
+    };
+
+    // Next element is a literal keyword / nested collection.
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(null)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] true $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(true)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] false $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(false)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] [$($array:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!([$($array)*])] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] {$($map:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!({$($map)*})] $($rest)*)
+    };
+
+    // Next element is an expression followed by a comma, or the last one.
+    (@array [$($elems:expr,)*] $next:expr, $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($next),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $last:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($last)])
+    };
+
+    // Skip a comma between elements.
+    (@array [$($elems:expr),*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] $($rest)*)
+    };
+
+    //////////////////////////////////////////////////////////////////////
+    // @object: munch key tokens into ($($key)+), then the `: value` pair.
+    // Shape: @object $map ($(key)*) ($(remaining)*) ($(remaining copy)*)
+    //////////////////////////////////////////////////////////////////////
+
+    // Finished.
+    (@object $object:ident () () ()) => {};
+
+    // Insert an entry followed by more entries.
+    (@object $object:ident [$($key:tt)+] ($value:expr) , $($rest:tt)*) => {
+        $object.insert(($($key)+).into(), $value);
+        $crate::json_internal!(@object $object () ($($rest)*) ($($rest)*));
+    };
+
+    // Insert the final entry.
+    (@object $object:ident [$($key:tt)+] ($value:expr)) => {
+        $object.insert(($($key)+).into(), $value);
+    };
+
+    // Value for the current key is a literal keyword / nested collection.
+    (@object $object:ident ($($key:tt)+) (: null $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(null)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: true $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(true)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: false $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(false)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: [$($array:tt)*] $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!([$($array)*])) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: {$($map:tt)*} $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!({$($map)*})) $($rest)*);
+    };
+
+    // Value is a general expression followed by a comma, or the last one.
+    (@object $object:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)) , $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)));
+    };
+
+    // Munch one more token into the key.
+    (@object $object:ident ($($key:tt)*) ($tt:tt $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object ($($key)* $tt) ($($rest)*) ($($rest)*));
+    };
+
+    //////////////////////////////////////////////////////////////////////
+    // Entry points.
+    //////////////////////////////////////////////////////////////////////
+
+    (null) => {
+        $crate::Value::Null
+    };
+    (true) => {
+        $crate::Value::Bool(true)
+    };
+    (false) => {
+        $crate::Value::Bool(false)
+    };
+    ([]) => {
+        $crate::Value::Array(vec![])
+    };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Array($crate::json_internal!(@array [] $($tt)+))
+    };
+    ({}) => {
+        $crate::Value::Object($crate::Map::new())
+    };
+    ({ $($tt:tt)+ }) => {{
+        let mut object = $crate::Map::new();
+        $crate::json_internal!(@object object () ($($tt)+) ($($tt)+));
+        $crate::Value::Object(object)
+    }};
+    ($other:expr) => {
+        $crate::value_from($other)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macro_builds_nested_values() {
+        let count = 3usize;
+        let v = json!({
+            "status": "ok",
+            "count": count,
+            "nested": { "flag": true, "items": [1, 2.5, null, "x"] },
+            "empty": {},
+        });
+        assert_eq!(v["status"], "ok");
+        assert_eq!(v["count"], 3u64);
+        assert_eq!(v["nested"]["flag"], true);
+        assert_eq!(v["nested"]["items"][1], 2.5);
+        assert!(v["nested"]["items"][2].is_null());
+        assert!(v["empty"].as_object().unwrap().is_empty());
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(42), 42u64);
+        assert_eq!(json!("x"), "x");
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let v = json!({"a": [1, {"b": -2}, 3.5], "s": "he\"llo\n"});
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\"a\": ["));
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str::<Value>("{\"a\":").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("{} trailing").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+    }
+}
