@@ -1,0 +1,329 @@
+//! `bench_suite` — the reproducible engine benchmark behind `BENCH_PR2.json`.
+//!
+//! Times the two peeling engines (`csr`, the default hot path, vs `naive`,
+//! the reference implementation) on fixed-seed workloads:
+//!
+//! * `peel` — one densest-block extraction (`Truncation::FixedK(1)`),
+//! * `fdet` — a full FDET pass with the default auto-truncation,
+//! * `ensemble_s0.01` / `ensemble_s0.10` — the end-to-end ensemble at the
+//!   paper's two operating ratios (`N = 20` samples each).
+//!
+//! Every workload runs on the small (#1) and large (#3) Table I presets.
+//! Before any timing, an **equivalence gate** re-runs each workload through
+//! both engines and aborts (exit 1) unless they produce bit-identical
+//! blocks, scores, and ensemble votes — a timing comparison between
+//! non-equivalent engines would be meaningless.
+//!
+//! Timing protocol: `--warmup` unmeasured iterations, then `--reps`
+//! measured ones with the two engines interleaved back-to-back within
+//! every rep. The JSON artifact records the median and p95 wall time of
+//! each (workload, dataset, engine) cell; the per-cell CSR speedup is the
+//! median of the per-rep `naive / csr` ratios, which cancels slow
+//! background load drift on shared machines.
+//!
+//! ```text
+//! cargo run --release -p ensemfdet-bench --bin bench_suite            # full
+//! cargo run --release -p ensemfdet-bench --bin bench_suite -- --smoke # CI
+//! ```
+//!
+//! `--out FILE` (default `BENCH_PR2.json`) picks the artifact path;
+//! `--scale N` resizes the datasets as in every other experiment binary.
+//! Absolute numbers are machine-dependent; the speedup ratios are the
+//! portable signal.
+
+use ensemfdet::{
+    fdet_with_engine, Engine, EnsemFdet, EnsemFdetConfig, MetricKind, Truncation,
+};
+use ensemfdet_bench::{datasets, resolve_scale};
+use ensemfdet_datagen::presets::JdDataset;
+use ensemfdet_graph::BipartiteGraph;
+use serde::Serialize;
+use std::time::Instant;
+
+const ENSEMBLE_SAMPLES: usize = 20;
+const ENSEMBLE_SEED: u64 = 0x7AB3;
+
+#[derive(Clone, Copy)]
+struct Workload {
+    name: &'static str,
+    kind: WorkloadKind,
+}
+
+#[derive(Clone, Copy)]
+enum WorkloadKind {
+    /// One peel: FDET truncated to a single block.
+    Peel,
+    /// Full FDET with the default auto-truncation.
+    Fdet,
+    /// End-to-end ensemble at this sample ratio.
+    Ensemble(f64),
+}
+
+const WORKLOADS: [Workload; 4] = [
+    Workload { name: "peel", kind: WorkloadKind::Peel },
+    Workload { name: "fdet", kind: WorkloadKind::Fdet },
+    Workload { name: "ensemble_s0.01", kind: WorkloadKind::Ensemble(0.01) },
+    Workload { name: "ensemble_s0.10", kind: WorkloadKind::Ensemble(0.1) },
+];
+
+#[derive(Serialize)]
+struct Cell {
+    workload: &'static str,
+    dataset: &'static str,
+    engine: &'static str,
+    reps: usize,
+    median_s: f64,
+    p95_s: f64,
+    min_s: f64,
+}
+
+#[derive(Serialize)]
+struct Speedup {
+    workload: &'static str,
+    dataset: &'static str,
+    /// Median of the per-rep `naive / csr` wall-time ratios (the engines
+    /// run back-to-back within each rep) — above 1 means CSR is faster.
+    csr_over_naive: f64,
+}
+
+#[derive(Serialize)]
+struct Artifact {
+    schema: &'static str,
+    smoke: bool,
+    scale: u32,
+    warmup: usize,
+    reps: usize,
+    ensemble_samples: usize,
+    equivalence: &'static str,
+    datasets: Vec<DatasetInfo>,
+    cells: Vec<Cell>,
+    speedups: Vec<Speedup>,
+}
+
+#[derive(Serialize)]
+struct DatasetInfo {
+    name: &'static str,
+    users: usize,
+    merchants: usize,
+    edges: usize,
+}
+
+fn dataset_tag(which: JdDataset) -> &'static str {
+    match which {
+        JdDataset::Jd1 => "jd1",
+        JdDataset::Jd2 => "jd2",
+        JdDataset::Jd3 => "jd3",
+    }
+}
+
+fn run_workload(w: WorkloadKind, g: &BipartiteGraph, engine: Engine) {
+    match w {
+        WorkloadKind::Peel => {
+            let r = fdet_with_engine(g, &MetricKind::default(), Truncation::FixedK(1), engine);
+            std::hint::black_box(r.blocks.len());
+        }
+        WorkloadKind::Fdet => {
+            let r = fdet_with_engine(g, &MetricKind::default(), Truncation::default(), engine);
+            std::hint::black_box(r.k_hat);
+        }
+        WorkloadKind::Ensemble(ratio) => {
+            let outcome = EnsemFdet::new(EnsemFdetConfig {
+                num_samples: ENSEMBLE_SAMPLES,
+                sample_ratio: ratio,
+                engine,
+                seed: ENSEMBLE_SEED,
+                ..Default::default()
+            })
+            .detect(g);
+            std::hint::black_box(outcome.votes.max_user_votes());
+        }
+    }
+}
+
+/// `warmup` unmeasured alternating runs, then `reps` measured wall times
+/// per engine, interleaved naive/csr within every rep.
+///
+/// Interleaving matters on shared machines: background load drifts on a
+/// seconds scale, so timing one engine's reps in a block and then the
+/// other's would fold that drift into the comparison. Back-to-back pairs
+/// see near-identical machine state, and the per-pair ratio cancels it.
+fn time_workload_pair(
+    w: WorkloadKind,
+    g: &BipartiteGraph,
+    warmup: usize,
+    reps: usize,
+) -> (Vec<f64>, Vec<f64>) {
+    for _ in 0..warmup {
+        run_workload(w, g, Engine::Naive);
+        run_workload(w, g, Engine::Csr);
+    }
+    let mut naive = Vec::with_capacity(reps);
+    let mut csr = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        run_workload(w, g, Engine::Naive);
+        naive.push(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        run_workload(w, g, Engine::Csr);
+        csr.push(t.elapsed().as_secs_f64());
+    }
+    (naive, csr)
+}
+
+fn median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+/// Both engines must agree exactly on every workload before we time them.
+fn equivalence_gate(g: &BipartiteGraph) -> Result<(), String> {
+    let run = |e| fdet_with_engine(g, &MetricKind::default(), Truncation::KeepAll { k_max: 50 }, e);
+    let (csr, naive) = (run(Engine::Csr), run(Engine::Naive));
+    if csr.blocks != naive.blocks {
+        return Err("FDET blocks differ between engines".into());
+    }
+    if csr.scores != naive.scores {
+        return Err("FDET scores differ between engines".into());
+    }
+    let vote = |e| {
+        EnsemFdet::new(EnsemFdetConfig {
+            num_samples: 8,
+            sample_ratio: 0.3,
+            engine: e,
+            seed: ENSEMBLE_SEED,
+            ..Default::default()
+        })
+        .detect(g)
+        .votes
+        .user_scores()
+    };
+    if vote(Engine::Csr) != vote(Engine::Naive) {
+        return Err("ensemble votes differ between engines".into());
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_PR2.json".to_string());
+    // Smoke mode: tiny datasets, minimal repetitions — a CI-speed check
+    // that the harness runs end-to-end and the engines stay equivalent.
+    let scale = if smoke { 400 } else { resolve_scale(&args) };
+    let (warmup, reps) = if smoke { (1, 2) } else { (2, 7) };
+
+    println!(
+        "== bench_suite: csr vs naive peeling engines (scale 1/{scale}{}) ==\n",
+        if smoke { ", smoke" } else { "" }
+    );
+
+    let suite: Vec<(JdDataset, ensemfdet_datagen::Dataset)> = [JdDataset::Jd1, JdDataset::Jd3]
+        .into_iter()
+        .map(|w| (w, datasets::load(w, scale)))
+        .collect();
+
+    let mut infos = Vec::new();
+    for (which, ds) in &suite {
+        println!(
+            "{}: {} users, {} merchants, {} edges",
+            dataset_tag(*which),
+            ds.graph.num_users(),
+            ds.graph.num_merchants(),
+            ds.graph.num_edges()
+        );
+        infos.push(DatasetInfo {
+            name: dataset_tag(*which),
+            users: ds.graph.num_users(),
+            merchants: ds.graph.num_merchants(),
+            edges: ds.graph.num_edges(),
+        });
+        print!("equivalence gate ... ");
+        if let Err(e) = equivalence_gate(&ds.graph) {
+            println!("FAILED");
+            eprintln!("equivalence gate failed on {}: {e}", dataset_tag(*which));
+            std::process::exit(1);
+        }
+        println!("ok");
+    }
+    println!();
+
+    let mut cells = Vec::new();
+    let mut speedups = Vec::new();
+    for w in WORKLOADS {
+        for (which, ds) in &suite {
+            let (naive, csr) = time_workload_pair(w.kind, &ds.graph, warmup, reps);
+            // Speedup = median of the per-pair ratios, so slow background
+            // drift (which hits both halves of a pair equally) cancels.
+            let mut ratios: Vec<f64> = naive
+                .iter()
+                .zip(&csr)
+                .map(|(n, c)| n / c.max(1e-12))
+                .collect();
+            ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+            let ratio = median(&ratios);
+            let mut medians = [0.0f64; 2];
+            for (slot, (engine, times)) in
+                [(Engine::Naive, naive), (Engine::Csr, csr)].into_iter().enumerate()
+            {
+                let mut times = times;
+                times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+                medians[slot] = median(&times);
+                cells.push(Cell {
+                    workload: w.name,
+                    dataset: dataset_tag(*which),
+                    engine: engine.name(),
+                    reps,
+                    median_s: median(&times),
+                    p95_s: percentile(&times, 0.95),
+                    min_s: times[0],
+                });
+            }
+            println!(
+                "{:<16} {:<4} naive {:>9.3} ms  csr {:>9.3} ms  speedup {:.2}x",
+                w.name,
+                dataset_tag(*which),
+                medians[0] * 1e3,
+                medians[1] * 1e3,
+                ratio
+            );
+            speedups.push(Speedup {
+                workload: w.name,
+                dataset: dataset_tag(*which),
+                csr_over_naive: ratio,
+            });
+        }
+    }
+
+    let artifact = Artifact {
+        schema: "ensemfdet-bench-suite/v1",
+        smoke,
+        scale,
+        warmup,
+        reps,
+        ensemble_samples: ENSEMBLE_SAMPLES,
+        equivalence: "ok",
+        datasets: infos,
+        cells,
+        speedups,
+    };
+    match ensemfdet_eval::write_json(&artifact, &out_path) {
+        Ok(()) => println!("\n[saved {out_path}]"),
+        Err(e) => {
+            eprintln!("cannot write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -20,6 +20,7 @@ OPTIONS:
     --ratio S             sample ratio S [default: 0.1]
     --threshold T         vote threshold [default: N/2]
     --sampling M          res | ons-user | ons-merchant | tns [default: res]
+    --engine E            csr | naive peeling engine [default: csr]
     --seed N              RNG seed [default: 42]
     --timing              print the ensemble's wall-clock breakdown
   fraudar:
@@ -67,19 +68,24 @@ pub(crate) fn sampling_method(args: &Args) -> Result<SamplingMethodConfig, Strin
     }
 }
 
-/// One line of ensemble timing: total wall-clock, per-sample mean/max, and
-/// the speedup rayon actually realized (sum of sample times / wall-clock).
+/// Ensemble timing: total wall-clock, per-sample mean/max, the speedup
+/// rayon actually realized (sum of sample times / wall-clock), and the
+/// per-stage CPU-time split (sampling / detection / aggregation).
 pub(crate) fn timing_summary(outcome: &EnsembleOutcome) -> String {
     let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
     let n = outcome.samples.len().max(1);
     let total = outcome.total_sample_time();
     format!(
-        "timing: {:.1} ms wall-clock over {} samples; per-sample mean {:.1} ms, max {:.1} ms; realized speedup {:.1}x",
+        "timing: {:.1} ms wall-clock over {} samples; per-sample mean {:.1} ms, max {:.1} ms; realized speedup {:.1}x\n\
+         stages: sampling {:.1} ms, detection {:.1} ms, aggregation {:.1} ms (CPU time summed over samples)",
         ms(outcome.elapsed),
         n,
         ms(total) / n as f64,
         ms(outcome.max_sample_time()),
         ms(total) / ms(outcome.elapsed).max(1e-9),
+        ms(outcome.stages.sampling),
+        ms(outcome.stages.detection),
+        ms(outcome.stages.aggregation),
     )
 }
 
@@ -88,6 +94,11 @@ pub(crate) fn ensemfdet_config(args: &Args) -> Result<EnsemFdetConfig, String> {
         num_samples: args.get_or("samples", 80)?,
         sample_ratio: args.get_or("ratio", 0.1)?,
         method: sampling_method(args)?,
+        engine: args
+            .get("engine")
+            .map(|e| e.parse())
+            .transpose()?
+            .unwrap_or_default(),
         seed: args.get_or("seed", 42)?,
         ..Default::default()
     })
@@ -232,6 +243,18 @@ mod tests {
         .unwrap();
         assert!(out.contains("wall-clock over 6 samples"), "{out}");
         assert!(out.contains("per-sample mean"), "{out}");
+        assert!(out.contains("stages: sampling"), "{out}");
+    }
+
+    #[test]
+    fn engine_flag_selects_engine_and_agrees() {
+        let gf = graph_file();
+        let base = &["--graph", gf.as_str(), "--samples", "6", "--ratio", "0.5"];
+        let csr = run(&args(&[base as &[_], &["--engine", "csr"]].concat())).unwrap();
+        let naive = run(&args(&[base as &[_], &["--engine", "naive"]].concat())).unwrap();
+        assert_eq!(csr, naive, "engines must flag identical users");
+        let err = run(&args(&[base as &[_], &["--engine", "warp"]].concat())).unwrap_err();
+        assert!(err.contains("unknown engine"), "{err}");
     }
 
     #[test]

@@ -17,7 +17,7 @@ OPTIONS:
                           [default: ensemfdet]
     --json FILE           also write the curve as JSON
   ensemfdet:
-    --samples N  --ratio S  --sampling M  --seed N    (as in `detect`)
+    --samples N  --ratio S  --sampling M  --engine E  --seed N    (as in `detect`)
     --timing              print the ensemble's wall-clock breakdown
   fraudar:
     --k N                 blocks to sweep [default: 30]

@@ -1,0 +1,667 @@
+//! Peeling engines: the naive reference path and the CSR hot path.
+//!
+//! Both engines run the same algorithm — Charikar-style greedy peeling
+//! iterated into disjoint blocks ([`crate::fdet()`]) — and are guaranteed to
+//! produce **bit-identical** results (same blocks, same scores, same edge
+//! lists) on any graph:
+//!
+//! - [`Engine::Naive`] walks the parent [`BipartiteGraph`] through an
+//!   alive-edge mask with an indexed decrease-key heap
+//!   ([`crate::peel::peel_densest`]). Every FDET iteration scans the full
+//!   edge array and allocates fresh working vectors.
+//! - [`Engine::Csr`] rebuilds a flat [`CsrView`] of the *surviving*
+//!   subgraph after each detected block (two counting sorts over alive
+//!   edges, allocation-free after warm-up), peels it with a lazy-deletion
+//!   min-heap ([`crate::heap::LazyMinHeap`] — stale entries skipped on pop,
+//!   no position index, no re-heapify), and keeps every scratch buffer in a
+//!   reusable [`FdetEngine`], so the `N` runs of an ensemble allocate once
+//!   instead of once per peel.
+//!
+//! Why the outputs are identical and not merely close: keys only decrease
+//! during a peel, so an element's minimum heap entry always carries its
+//! current key, making lazy pops deliver the indexed heap's exact
+//! `(key, id)` order; the view preserves the parent graph's node ids and
+//! relative edge order, so every floating-point accumulation happens over
+//! the same values in the same sequence. The equivalence is enforced by
+//! `tests/tests/engine_equivalence.rs` and re-checked by the benchmark
+//! suite before it times anything.
+
+use crate::block::Block;
+use crate::fdet::{FdetResult, Truncation};
+use crate::heap::LazyMinHeap;
+use crate::metric::DensityMetric;
+use crate::peel::peel_densest;
+use crate::truncate::truncation_point;
+use ensemfdet_graph::{BipartiteGraph, CsrView, EdgeId, MerchantId, UserId};
+use serde::{Deserialize, Serialize};
+
+/// Which peeling implementation FDET runs on.
+///
+/// The two engines return identical results; `Csr` is the default and
+/// `Naive` exists as the reference for equivalence tests and A/B
+/// benchmarking (`ensemfdet detect --engine naive`, `bench_suite`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Engine {
+    /// Mask-based peeling over the parent graph with an indexed
+    /// decrease-key heap (the pre-optimization reference path).
+    Naive,
+    /// Flat-CSR subgraph snapshots + lazy-deletion heap + reusable scratch.
+    #[default]
+    Csr,
+}
+
+impl Engine {
+    /// Stable lowercase name (`csr` / `naive`), as accepted by
+    /// [`Engine::from_str`](std::str::FromStr) and the CLI `--engine` flag.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Naive => "naive",
+            Engine::Csr => "csr",
+        }
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "csr" => Ok(Engine::Csr),
+            "naive" => Ok(Engine::Naive),
+            other => Err(format!("unknown engine `{other}` (csr|naive)")),
+        }
+    }
+}
+
+/// Reusable per-peel working memory for the CSR engine.
+///
+/// Sized on first use and grown on demand. The per-node arrays are *not*
+/// wiped between peels: `stamp`/`epoch` mark which entries belong to the
+/// current peel, so a peel of a small residual graph touches only its own
+/// nodes instead of paying O(total nodes) memsets — the dominant cost of
+/// late FDET iterations otherwise.
+#[derive(Clone, Debug, Default)]
+struct PeelScratch {
+    /// Merchant degrees over alive edges.
+    vdeg: Vec<f64>,
+    /// Fixed column weights `cw(d_v)` for this peel.
+    cw: Vec<f64>,
+    /// Initial node priorities (kept for block-membership filtering).
+    /// Valid only where `stamp == epoch`.
+    priority: Vec<f64>,
+    /// Current node keys (decreased as neighbors are removed). `-1.0` is
+    /// the *removed* sentinel — live keys are non-negative, so one load
+    /// answers both "is it alive?" and "what is its key?" in the hot loop.
+    /// Valid only where `stamp == epoch`.
+    key: Vec<f64>,
+    /// Removal step per node (1-based; `u32::MAX` = survived / absent).
+    /// Valid only where `stamp == epoch`.
+    rank: Vec<u32>,
+    /// Peel id that last initialized each node's `priority`/`key`/`rank`.
+    stamp: Vec<u32>,
+    /// Current peel id (increments every peel; never 0 after the first).
+    epoch: u32,
+    /// Nodes stamped this peel — exactly the endpoints of alive edges.
+    active: Vec<u32>,
+    /// The lazy-deletion heap.
+    heap: LazyMinHeap,
+}
+
+/// A reusable FDET runner: owns the [`CsrView`] and the peel scratch so
+/// repeated runs — the FDET iterations within one sample, and the `N`
+/// samples of an ensemble — recycle their allocations.
+///
+/// ```
+/// use ensemfdet::engine::{Engine, FdetEngine};
+/// use ensemfdet::fdet::Truncation;
+/// use ensemfdet::metric::MetricKind;
+/// use ensemfdet_graph::{GraphBuilder, UserId, MerchantId};
+///
+/// let mut b = GraphBuilder::new();
+/// for u in 0..6 {
+///     for v in 0..3 {
+///         b.add_edge(UserId(u), MerchantId(v));
+///     }
+/// }
+/// for u in 10..30 {
+///     b.add_edge(UserId(u), MerchantId(10 + u % 7));
+/// }
+/// let g = b.build();
+///
+/// let mut engine = FdetEngine::new();
+/// let fast = engine.run(&g, &MetricKind::default(), Truncation::default(), Engine::Csr);
+/// let slow = engine.run(&g, &MetricKind::default(), Truncation::default(), Engine::Naive);
+/// assert_eq!(fast.blocks, slow.blocks); // engines are interchangeable
+/// assert_eq!(fast.scores, slow.scores);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FdetEngine {
+    view: CsrView,
+    scratch: PeelScratch,
+    edge_alive: Vec<bool>,
+    /// Block-membership bitmap (users then merchants) for edge retirement.
+    in_block: Vec<bool>,
+}
+
+thread_local! {
+    /// Per-thread FDET engine backing [`FdetEngine::run_cached`]: the CSR
+    /// view and peel scratch are reused across every run on this thread,
+    /// so repeated detections (FDET iterations, ensemble samples, service
+    /// requests) allocate their peel buffers once per thread, not once per
+    /// call.
+    static CACHED_ENGINE: std::cell::RefCell<FdetEngine> =
+        std::cell::RefCell::new(FdetEngine::new());
+}
+
+impl FdetEngine {
+    /// A fresh engine with empty (unallocated) scratch.
+    pub fn new() -> Self {
+        FdetEngine::default()
+    }
+
+    /// Runs FDET through this thread's cached engine, recycling the view
+    /// and scratch allocations across calls. Results are identical to
+    /// [`run`](Self::run) on a fresh engine — the scratch is epoch-reset —
+    /// this only saves the per-call allocations.
+    pub fn run_cached(
+        g: &BipartiteGraph,
+        metric: &dyn DensityMetric,
+        truncation: Truncation,
+        engine: Engine,
+    ) -> FdetResult {
+        CACHED_ENGINE.with(|e| e.borrow_mut().run(g, metric, truncation, engine))
+    }
+
+    /// Runs FDET on `g` with the chosen engine. See [`crate::fdet::fdet`]
+    /// for the algorithm; this entry point only adds engine selection and
+    /// scratch reuse.
+    pub fn run(
+        &mut self,
+        g: &BipartiteGraph,
+        metric: &dyn DensityMetric,
+        truncation: Truncation,
+        engine: Engine,
+    ) -> FdetResult {
+        let cap = match truncation {
+            Truncation::Auto { k_max, .. } => k_max,
+            Truncation::FixedK(k) => k,
+            Truncation::KeepAll { k_max } => k_max,
+        };
+
+        self.edge_alive.clear();
+        self.edge_alive.resize(g.num_edges(), true);
+        let mut blocks: Vec<Block> = Vec::new();
+        let mut scores: Vec<f64> = Vec::new();
+
+        while blocks.len() < cap {
+            let block = match engine {
+                Engine::Naive => peel_densest(g, metric, &self.edge_alive),
+                Engine::Csr => {
+                    if blocks.is_empty() {
+                        // First iteration: every edge is alive.
+                        self.view.rebuild(g, None);
+                    } else {
+                        // Later iterations: shrink the previous snapshot
+                        // instead of re-scanning the parent's dead edges.
+                        self.view.refilter(&self.edge_alive);
+                    }
+                    peel_csr(&self.view, metric, &mut self.scratch)
+                }
+            };
+            let Some(block) = block else {
+                break; // current graph has no edges left
+            };
+            // Retire every edge *incident* to the block's nodes, not only
+            // the internal ones: Algorithm 1 removes the induced edges
+            // `E_i`, but the problem definition (Eq. 1) requires the
+            // detected vertex sets to be disjoint, which plain edge removal
+            // does not guarantee (a block node with an outside edge could
+            // be re-detected). Retiring the nodes enforces `S_l ∩ S_m = ∅`.
+            match engine {
+                Engine::Naive => {
+                    for &u in &block.users {
+                        for e in g.user_edge_ids(u) {
+                            self.edge_alive[e] = false;
+                        }
+                    }
+                    for &v in &block.merchants {
+                        for e in g.merchant_edge_ids(v) {
+                            self.edge_alive[e] = false;
+                        }
+                    }
+                }
+                Engine::Csr => {
+                    // One pass over the view's alive edges: kill every edge
+                    // with an endpoint in the block (dead edges stay dead,
+                    // so the view's canonical arrays are sufficient).
+                    let nu = g.num_users();
+                    self.in_block.clear();
+                    self.in_block.resize(nu + g.num_merchants(), false);
+                    for &u in &block.users {
+                        self.in_block[u.index()] = true;
+                    }
+                    for &v in &block.merchants {
+                        self.in_block[nu + v.index()] = true;
+                    }
+                    let (e_id, e_u, e_v) = (
+                        self.view.edge_ids(),
+                        self.view.edge_users(),
+                        self.view.edge_merchants(),
+                    );
+                    for ((&e, &u), &v) in e_id.iter().zip(e_u).zip(e_v) {
+                        if self.in_block[u as usize] || self.in_block[nu + v as usize] {
+                            self.edge_alive[e as usize] = false;
+                        }
+                    }
+                }
+            }
+            scores.push(block.score);
+            // Degenerate safety: a block with no internal edges cannot
+            // shrink the graph and would loop forever.
+            if block.edges.is_empty() {
+                blocks.push(block);
+                break;
+            }
+            blocks.push(block);
+
+            if let Truncation::Auto { patience, .. } = truncation {
+                // Early stop once the provisional elbow has been stable for
+                // `patience` additional blocks.
+                let k_hat = truncation_point(&scores);
+                if scores.len() >= k_hat + patience {
+                    break;
+                }
+            }
+        }
+
+        let k_hat = match truncation {
+            Truncation::Auto { .. } => truncation_point(&scores).min(blocks.len()),
+            Truncation::FixedK(k) => k.min(blocks.len()),
+            Truncation::KeepAll { .. } => blocks.len(),
+        };
+
+        FdetResult {
+            blocks,
+            scores,
+            k_hat,
+        }
+    }
+}
+
+/// Peels the densest block out of `view` (which holds exactly the alive
+/// edges) with the lazy-deletion heap. Mirrors
+/// [`crate::peel::peel_densest`] operation for operation — see the module
+/// docs for the equivalence argument.
+/// Requests a read of `slice[i]` into cache without touching it. The peel
+/// loop's key lookups are latency-bound random accesses whose addresses are
+/// known well before their values are needed; warming them early overlaps
+/// the miss with useful work. No-op off x86-64.
+#[inline(always)]
+fn prefetch_read<T>(slice: &[T], i: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if i < slice.len() {
+        // SAFETY: index is in bounds and prefetching has no side effects
+        // beyond the cache.
+        unsafe {
+            std::arch::x86_64::_mm_prefetch(
+                slice.as_ptr().add(i).cast::<i8>(),
+                std::arch::x86_64::_MM_HINT_T0,
+            );
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = (slice, i);
+}
+
+fn peel_csr(view: &CsrView, metric: &dyn DensityMetric, s: &mut PeelScratch) -> Option<Block> {
+    if view.num_edges() == 0 {
+        return None;
+    }
+    let nu = view.num_users();
+    let nv = view.num_merchants();
+    let n = nu + nv;
+
+    // Merchant degrees over alive edges and the fixed column weights.
+    s.vdeg.clear();
+    s.vdeg.resize(nv, 0.0);
+    let (e_u, e_v, e_w) = (view.edge_users(), view.edge_merchants(), view.edge_weights());
+    for (&v, &w) in e_v.iter().zip(e_w) {
+        s.vdeg[v as usize] += w;
+    }
+    s.cw.clear();
+    s.cw.extend(s.vdeg.iter().map(|&d| metric.column_weight(d)));
+
+    // Advance the scratch epoch; node state from earlier peels becomes
+    // invalid without being wiped. (Grow-only resizes keep old stamps,
+    // which can never equal a fresh epoch.)
+    if s.stamp.len() < n {
+        s.stamp.resize(n, 0);
+        s.priority.resize(n, 0.0);
+        s.key.resize(n, -1.0);
+        s.rank.resize(n, u32::MAX);
+    }
+    if s.epoch == u32::MAX {
+        // Epoch wrap: old stamps could collide with a restarted counter.
+        s.stamp.iter_mut().for_each(|t| *t = 0);
+        s.epoch = 0;
+    }
+    s.epoch += 1;
+    let epoch = s.epoch;
+    s.active.clear();
+
+    // Node priorities: summed suspiciousness of alive incident edges.
+    // Node ids: users are 0..nu, merchants are nu..nu+nv. First touch
+    // stamps the node and resets its state; only endpoints of alive edges
+    // are ever visited, so a peel of a small residual graph stays cheap.
+    let mut f = 0.0f64;
+    for ((&u, &v), &w) in e_u.iter().zip(e_v).zip(e_w) {
+        let sv = w * s.cw[v as usize];
+        for node in [u as usize, nu + v as usize] {
+            if s.stamp[node] != epoch {
+                s.stamp[node] = epoch;
+                s.priority[node] = 0.0;
+                s.rank[node] = u32::MAX;
+                s.active.push(node as u32);
+            }
+            s.priority[node] += sv;
+        }
+        f += sv;
+    }
+
+    // Heap over participating (positive-priority) nodes; everyone else
+    // holds the removed sentinel so relaxations skip them (the
+    // indexed-heap path's `contains` check).
+    let mut participating = 0usize;
+    for &node in &s.active {
+        let node = node as usize;
+        let p = s.priority[node];
+        if p > 0.0 {
+            participating += 1;
+            s.key[node] = p;
+        } else {
+            s.key[node] = -1.0;
+        }
+    }
+    if participating == 0 {
+        return None;
+    }
+    // Entries carry distinct node ids, so the packed order is total and the
+    // pop sequence is independent of the fill order.
+    s.heap.fill(s.active.iter().filter_map(|&node| {
+        let k = s.key[node as usize];
+        (k >= 0.0).then_some((node, k))
+    }));
+    // One decrease-key entry per alive edge can follow; reserve once so the
+    // loop never reallocates.
+    s.heap.reserve(view.num_edges());
+
+    // Peel, tracking the best prefix.
+    let mut size = participating;
+    let mut best_phi = f / size as f64; // H_n: the whole current graph
+    let mut best_step = 0u32;
+    let mut step = 0u32;
+
+    while let Some((p, node)) = s.heap.pop() {
+        // The next pop's stale check reads `key[root element]` — a random
+        // access. Its address is known now, long before the relax work
+        // below finishes, so start the load early.
+        if let Some(next) = s.heap.peek_element() {
+            prefetch_read(&s.key, next as usize);
+        }
+        let node = node as usize;
+        // Stale check: a popped key is always non-negative, so the removed
+        // sentinel (`-1.0`) and an outdated key both fail one comparison.
+        if p != s.key[node] {
+            continue;
+        }
+        s.key[node] = -1.0;
+        step += 1;
+        s.rank[node] = step;
+        f -= p;
+        size -= 1;
+        if size == 0 {
+            // Every node is removed; anything left in the heap is stale.
+            break;
+        }
+        if s.heap.len() > 2 * size + 64 {
+            // More stale entries than live ones: prune and re-heapify so
+            // sift paths track the shrinking live set (see
+            // `LazyMinHeap::retain_current` for why this is order-neutral).
+            s.heap.retain_current(&s.key);
+        }
+
+        // Relax the still-alive opposite endpoints: an incident edge is
+        // alive iff its other endpoint is (within one peel, edges die
+        // exactly when an endpoint is removed).
+        // Each relax reads `key[opposite endpoint]` — independent random
+        // accesses at addresses the neighbor list spells out in advance, so
+        // issue each load a few iterations before its value is consumed.
+        const RELAX_AHEAD: usize = 8;
+        if node < nu {
+            let nb = view.user_neighbors(UserId(node as u32));
+            for (i, &(v, w)) in nb.pairs.iter().enumerate() {
+                if let Some(&(nv, _)) = nb.pairs.get(i + RELAX_AHEAD) {
+                    prefetch_read(&s.key, nu + nv as usize);
+                }
+                let other = nu + v as usize;
+                let k = s.key[other];
+                if k >= 0.0 {
+                    let nk = (k - w * s.cw[v as usize]).max(0.0);
+                    s.key[other] = nk;
+                    s.heap.push(other as u32, nk);
+                }
+            }
+        } else {
+            let v = node - nu;
+            let nb = view.merchant_neighbors(MerchantId(v as u32));
+            let cwv = s.cw[v];
+            for (i, &(u, w)) in nb.pairs.iter().enumerate() {
+                if let Some(&(nun, _)) = nb.pairs.get(i + RELAX_AHEAD) {
+                    prefetch_read(&s.key, nun as usize);
+                }
+                let other = u as usize;
+                let k = s.key[other];
+                if k >= 0.0 {
+                    let nk = (k - w * cwv).max(0.0);
+                    s.key[other] = nk;
+                    s.heap.push(other as u32, nk);
+                }
+            }
+        }
+
+        if size > 0 {
+            // Guard against tiny negative drift from floating cancellation.
+            let phi = f.max(0.0) / size as f64;
+            if phi > best_phi {
+                best_phi = phi;
+                best_step = step;
+            }
+        }
+    }
+
+    // The best subgraph = nodes removed strictly after `best_step`.
+    // (Only valid for stamped nodes — exactly the ones reachable below.)
+    let in_block = |node: usize| {
+        let rank = s.rank[node];
+        rank == u32::MAX || rank > best_step
+    };
+    // Nodes that never participated (isolated, or zero priority under the
+    // metric) have rank MAX but priority 0 and were never pushed; the
+    // priority filter excludes them. Users come from a dedup scan of the
+    // canonical edge array — grouped ascending by construction — and
+    // merchants from a pass over the (much smaller) merchant side, so both
+    // lists come out in ascending id order without an O(total nodes) scan.
+    let mut users = Vec::new();
+    let mut merchants = Vec::new();
+    if e_u.is_sorted() {
+        let mut prev = u32::MAX;
+        for &u in e_u {
+            if u != prev {
+                prev = u;
+                if in_block(u as usize) && s.priority[u as usize] > 0.0 {
+                    users.push(UserId(u));
+                }
+            }
+        }
+    } else {
+        // Unsorted canonical order (not produced by `GraphBuilder`, but
+        // cheap to tolerate): fall back to a user-side degree scan.
+        for u in 0..nu {
+            if view.user_degree(UserId(u as u32)) > 0
+                && in_block(u)
+                && s.priority[u] > 0.0
+            {
+                users.push(UserId(u as u32));
+            }
+        }
+    }
+    for v in 0..nv {
+        let node = nu + v;
+        if view.merchant_degree(MerchantId(v as u32)) > 0
+            && in_block(node)
+            && s.priority[node] > 0.0
+        {
+            merchants.push(MerchantId(v as u32));
+        }
+    }
+
+    // Edges fully inside the block, in ascending global edge id.
+    let e_id = view.edge_ids();
+    let mut edges: Vec<EdgeId> = Vec::new();
+    for i in 0..e_id.len() {
+        if in_block(e_u[i] as usize) && in_block(nu + e_v[i] as usize) {
+            edges.push(e_id[i] as EdgeId);
+        }
+    }
+
+    Some(Block {
+        users,
+        merchants,
+        score: best_phi,
+        edges,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fdet::fdet_with_engine;
+    use crate::metric::{AverageDegreeMetric, LogWeightedMetric, MetricKind};
+    use crate::peel::peel_densest_full;
+    use ensemfdet_graph::GraphBuilder;
+
+    fn planted_graph() -> BipartiteGraph {
+        let mut b = GraphBuilder::new();
+        for u in 0..5u32 {
+            for v in 0..3u32 {
+                b.add_edge(UserId(u), MerchantId(v));
+            }
+        }
+        for u in 5..25u32 {
+            b.add_edge(UserId(u), MerchantId(3 + u % 7));
+        }
+        b.build()
+    }
+
+    fn peel_csr_full(g: &BipartiteGraph, metric: &dyn DensityMetric) -> Option<Block> {
+        let view = CsrView::from_graph(g);
+        peel_csr(&view, metric, &mut PeelScratch::default())
+    }
+
+    #[test]
+    fn csr_peel_matches_naive_on_planted_graph() {
+        let g = planted_graph();
+        for metric in [
+            &AverageDegreeMetric as &dyn DensityMetric,
+            &LogWeightedMetric::paper_default(),
+        ] {
+            let naive = peel_densest_full(&g, metric).unwrap();
+            let csr = peel_csr_full(&g, metric).unwrap();
+            assert_eq!(naive, csr);
+        }
+    }
+
+    #[test]
+    fn csr_peel_matches_naive_on_weighted_graph() {
+        let mut edges = Vec::new();
+        let mut weights = Vec::new();
+        for u in 0..3u32 {
+            for v in 0..2u32 {
+                edges.push((u, v));
+                weights.push(3.0);
+                edges.push((u + 3, v + 2));
+                weights.push(1.0);
+            }
+        }
+        let g = BipartiteGraph::from_weighted_edges(6, 4, edges, weights).unwrap();
+        let naive = peel_densest_full(&g, &AverageDegreeMetric).unwrap();
+        let csr = peel_csr_full(&g, &AverageDegreeMetric).unwrap();
+        assert_eq!(naive, csr);
+    }
+
+    #[test]
+    fn csr_peel_empty_cases() {
+        let g = BipartiteGraph::from_edges(3, 3, vec![]).unwrap();
+        assert!(peel_csr_full(&g, &AverageDegreeMetric).is_none());
+        let g = planted_graph();
+        let view = CsrView::from_graph_filtered(&g, &vec![false; g.num_edges()]);
+        assert!(peel_csr(&view, &AverageDegreeMetric, &mut PeelScratch::default()).is_none());
+    }
+
+    #[test]
+    fn scratch_reuse_is_stateless() {
+        // Back-to-back peels through one scratch must equal fresh peels.
+        let g1 = planted_graph();
+        let mut b = GraphBuilder::new();
+        for u in 0..4u32 {
+            for v in 0..4u32 {
+                b.add_edge(UserId(u), MerchantId(v));
+            }
+        }
+        let g2 = b.build();
+
+        let mut scratch = PeelScratch::default();
+        let mut view = CsrView::new();
+        for g in [&g1, &g2, &g1] {
+            view.rebuild(g, None);
+            let reused = peel_csr(&view, &AverageDegreeMetric, &mut scratch);
+            let fresh = peel_csr_full(g, &AverageDegreeMetric);
+            assert_eq!(reused, fresh);
+        }
+    }
+
+    #[test]
+    fn fdet_engines_agree_end_to_end() {
+        let g = planted_graph();
+        let naive = fdet_with_engine(
+            &g,
+            &MetricKind::default(),
+            Truncation::KeepAll { k_max: 10 },
+            Engine::Naive,
+        );
+        let csr = fdet_with_engine(
+            &g,
+            &MetricKind::default(),
+            Truncation::KeepAll { k_max: 10 },
+            Engine::Csr,
+        );
+        assert_eq!(naive.blocks, csr.blocks);
+        assert_eq!(naive.scores, csr.scores);
+        assert_eq!(naive.k_hat, csr.k_hat);
+    }
+
+    #[test]
+    fn engine_parsing_round_trips() {
+        assert_eq!("csr".parse::<Engine>().unwrap(), Engine::Csr);
+        assert_eq!("naive".parse::<Engine>().unwrap(), Engine::Naive);
+        assert_eq!(Engine::Csr.to_string(), "csr");
+        assert!("fast".parse::<Engine>().is_err());
+        assert_eq!(Engine::default(), Engine::Csr);
+    }
+}

@@ -7,8 +7,9 @@
 //! regardless of thread count or scheduling.
 
 use crate::aggregate::VoteTally;
+use crate::engine::{Engine, FdetEngine};
 use crate::evidence::EvidenceTally;
-use crate::fdet::{fdet, Truncation};
+use crate::fdet::Truncation;
 use crate::metric::MetricKind;
 use ensemfdet_graph::BipartiteGraph;
 use ensemfdet_sampling::{seed, Sampler, SamplingMethod};
@@ -30,6 +31,9 @@ pub struct EnsemFdetConfig {
     pub metric: MetricKind,
     /// Block truncation strategy (Definition 3 by default).
     pub truncation: Truncation,
+    /// Peeling engine backing every FDET run (CSR hot path by default;
+    /// the naive reference path produces identical results, slower).
+    pub engine: Engine,
     /// Master RNG seed.
     pub seed: u64,
 }
@@ -69,6 +73,7 @@ impl Default for EnsemFdetConfig {
             method: SamplingMethodConfig::RandomEdge,
             metric: MetricKind::default(),
             truncation: Truncation::default(),
+            engine: Engine::default(),
             seed: 0x0001_15ED,
         }
     }
@@ -95,6 +100,24 @@ pub struct SampleSummary {
     pub detected_merchants: usize,
     /// Wall-clock spent sampling + detecting this sample.
     pub elapsed: Duration,
+    /// Wall-clock of the sampling stage alone (drawing + compacting the
+    /// subgraph).
+    pub sampling_elapsed: Duration,
+    /// Wall-clock of the FDET stage alone (peeling the sampled graph).
+    pub detect_elapsed: Duration,
+}
+
+/// Wall-clock of one ensemble run split by pipeline stage (summed across
+/// samples for the per-sample stages, so on a parallel machine the stage
+/// sums exceed [`EnsembleOutcome::elapsed`]).
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// Total time drawing and compacting the `N` sampled subgraphs.
+    pub sampling: Duration,
+    /// Total time running FDET over the `N` samples.
+    pub detection: Duration,
+    /// Time merging per-sample votes/evidence into the final tallies.
+    pub aggregation: Duration,
 }
 
 /// The full outcome of one ensemble run.
@@ -111,6 +134,8 @@ pub struct EnsembleOutcome {
     pub samples: Vec<SampleSummary>,
     /// Total wall-clock of the run.
     pub elapsed: Duration,
+    /// Per-stage wall-clock breakdown (sampling / detection / aggregation).
+    pub stages: StageTimings,
 }
 
 impl EnsembleOutcome {
@@ -171,7 +196,17 @@ impl EnsemFdet {
                 let t0 = Instant::now();
                 let sample_seed = seed::derive(cfg.seed, i as u64);
                 let sampled = method.sample(g, cfg.sample_ratio, sample_seed);
-                let result = fdet(&sampled.graph, &cfg.metric, cfg.truncation);
+                let sampling_elapsed = t0.elapsed();
+                let t1 = Instant::now();
+                // The cached per-thread engine reuses the CSR view and
+                // peel scratch across every sample this thread processes.
+                let result = FdetEngine::run_cached(
+                    &sampled.graph,
+                    &cfg.metric,
+                    cfg.truncation,
+                    cfg.engine,
+                );
+                let detect_elapsed = t1.elapsed();
 
                 let users: Vec<_> = result
                     .detected_users()
@@ -194,6 +229,8 @@ impl EnsemFdet {
                     detected_users: users.len(),
                     detected_merchants: merchants.len(),
                     elapsed: t0.elapsed(),
+                    sampling_elapsed,
+                    detect_elapsed,
                 };
                 let mut tally = VoteTally::new(g.num_users(), g.num_merchants());
                 tally.add_sample(users, merchants);
@@ -219,6 +256,7 @@ impl EnsemFdet {
             })
             .collect();
 
+        let t_agg = Instant::now();
         let mut votes = VoteTally::new(g.num_users(), g.num_merchants());
         let mut evidence = EvidenceTally::new(g.num_users(), g.num_merchants());
         let mut samples = Vec::with_capacity(per_sample.len());
@@ -227,12 +265,18 @@ impl EnsemFdet {
             evidence.merge(&ev);
             samples.push(summary);
         }
+        let stages = StageTimings {
+            sampling: samples.iter().map(|s| s.sampling_elapsed).sum(),
+            detection: samples.iter().map(|s| s.detect_elapsed).sum(),
+            aggregation: t_agg.elapsed(),
+        };
 
         EnsembleOutcome {
             votes,
             evidence,
             samples,
             elapsed: start.elapsed(),
+            stages,
         }
     }
 }

@@ -6,11 +6,14 @@
 //! all their internal edges, effectively node-disjoint in the detected
 //! sets), and stop at the truncating point `k̂` (Definition 3) — or at a
 //! caller-fixed `k`, which is the ENSEMFDET-FIX-K ablation of Figure 6.
+//!
+//! Two interchangeable peeling engines back the loop (see
+//! [`crate::engine`]): the CSR hot path (default) and the naive reference
+//! path; [`fdet_with_engine`] selects one explicitly.
 
 use crate::block::Block;
+use crate::engine::{Engine, FdetEngine};
 use crate::metric::DensityMetric;
-use crate::peel::peel_densest;
-use crate::truncate::truncation_point;
 use ensemfdet_graph::{BipartiteGraph, MerchantId, UserId};
 use serde::{Deserialize, Serialize};
 
@@ -123,66 +126,23 @@ impl FdetResult {
 /// assert!(result.blocks[0].score > result.blocks[1].score);
 /// ```
 pub fn fdet(g: &BipartiteGraph, metric: &dyn DensityMetric, truncation: Truncation) -> FdetResult {
-    let cap = match truncation {
-        Truncation::Auto { k_max, .. } => k_max,
-        Truncation::FixedK(k) => k,
-        Truncation::KeepAll { k_max } => k_max,
-    };
+    fdet_with_engine(g, metric, truncation, Engine::default())
+}
 
-    let mut edge_alive = vec![true; g.num_edges()];
-    let mut blocks: Vec<Block> = Vec::new();
-    let mut scores: Vec<f64> = Vec::new();
-
-    while blocks.len() < cap {
-        let Some(block) = peel_densest(g, metric, &edge_alive) else {
-            break; // current graph has no edges left
-        };
-        // Retire every edge *incident* to the block's nodes, not only the
-        // internal ones: Algorithm 1 removes the induced edges `E_i`, but
-        // the problem definition (Eq. 1) requires the detected vertex sets
-        // to be disjoint, which plain edge removal does not guarantee (a
-        // block node with an outside edge could be re-detected). Retiring
-        // the nodes enforces `S_l ∩ S_m = ∅` exactly.
-        for &u in &block.users {
-            for e in g.user_edge_ids(u) {
-                edge_alive[e] = false;
-            }
-        }
-        for &v in &block.merchants {
-            for e in g.merchant_edge_ids(v) {
-                edge_alive[e] = false;
-            }
-        }
-        scores.push(block.score);
-        // Degenerate safety: a block with no internal edges cannot shrink
-        // the graph and would loop forever.
-        if block.edges.is_empty() {
-            blocks.push(block);
-            break;
-        }
-        blocks.push(block);
-
-        if let Truncation::Auto { patience, .. } = truncation {
-            // Early stop once the provisional elbow has been stable for
-            // `patience` additional blocks.
-            let k_hat = truncation_point(&scores);
-            if scores.len() >= k_hat + patience {
-                break;
-            }
-        }
-    }
-
-    let k_hat = match truncation {
-        Truncation::Auto { .. } => truncation_point(&scores).min(blocks.len()),
-        Truncation::FixedK(k) => k.min(blocks.len()),
-        Truncation::KeepAll { .. } => blocks.len(),
-    };
-
-    FdetResult {
-        blocks,
-        scores,
-        k_hat,
-    }
+/// Runs FDET with an explicit peeling [`Engine`] — `Engine::Csr` (the
+/// [`fdet`] default) or the `Engine::Naive` reference path. Both produce
+/// identical results; choosing is only an A/B performance decision.
+///
+/// Callers running FDET many times (ensembles, sweeps) should hold a
+/// [`FdetEngine`] instead and call [`FdetEngine::run`], which reuses the
+/// CSR view and peel scratch across runs.
+pub fn fdet_with_engine(
+    g: &BipartiteGraph,
+    metric: &dyn DensityMetric,
+    truncation: Truncation,
+    engine: Engine,
+) -> FdetResult {
+    FdetEngine::run_cached(g, metric, truncation, engine)
 }
 
 #[cfg(test)]

@@ -1,14 +1,29 @@
-//! Indexed binary min-heap with update-key.
+//! Priority structures for the greedy peel.
 //!
 //! The greedy peel removes, at every step, the node with the smallest
-//! incident suspiciousness and *decreases* the keys of its neighbors. A
-//! binary heap with a position index supports both in O(log n), giving the
-//! paper's `O(|E| log(|U|+|V|))` per detected block (Section IV-B, after
-//! Fraudar \[13\]).
+//! incident suspiciousness and *decreases* the keys of its neighbors. Two
+//! structures support that contract, both `O(log n)` per operation and both
+//! deterministic (ties break by element id):
 //!
-//! Keys are `f64` priorities (never NaN — asserted on insert); ties break by
-//! element id so the peel order, and therefore the whole detection, is
-//! deterministic.
+//! - [`IndexedMinHeap`] — a binary heap with a position index and in-place
+//!   `update_key`. One entry per element; every decrease sifts the entry and
+//!   maintains the `pos` index (three arrays touched per swap).
+//! - [`LazyMinHeap`] — the lazy-deletion variant used by the CSR engine
+//!   (`ensemfdet::engine`): a decrease simply *pushes a fresh entry* and the
+//!   consumer skips stale entries on pop (an entry is stale when its key no
+//!   longer matches the element's current key, or the element was already
+//!   removed). No position index, no re-heapify; entries are `(key, id)`
+//!   pairs bit-packed into single `u128` words sifted over one contiguous
+//!   4-ary array, which is what makes the high pop volume of lazy deletion
+//!   affordable.
+//!
+//! Keys only ever decrease during a peel, so for every element the entry
+//! carrying its *current* key is the element's minimum entry — the first
+//! non-stale pop is exactly the pop [`IndexedMinHeap`] would deliver, which
+//! is why the two engines produce bit-identical peel orders.
+//!
+//! Keys are `f64` priorities (never NaN — asserted on insert in the indexed
+//! heap, debug-asserted in the lazy one).
 
 /// Slot value marking an element as not in the heap.
 const ABSENT: usize = usize::MAX;
@@ -201,6 +216,281 @@ impl IndexedMinHeap {
     }
 }
 
+/// Branching factor of [`LazyMinHeap`]. Four children per node halves the
+/// sift depth of a binary heap and keeps each node's children within two
+/// cache lines of 16-byte packed entries.
+const ARITY: usize = 4;
+
+/// A lazy-deletion 4-ary min-heap over `(key, element)` entries.
+///
+/// Ordering is `(key, element)` lexicographic — smallest key first, ties by
+/// element id — matching [`IndexedMinHeap`]'s pop order. The heap does not
+/// know which entries are current: callers push a new entry on every key
+/// decrease and filter stale pops themselves (see the module docs).
+///
+/// Entries are bit-packed into a single `u128` — the key's IEEE-754 bits in
+/// the high word, the element id in the low 32 bits — so every heap
+/// comparison is one integer compare with the id tie-break built in. The
+/// packing requires keys to be **non-negative and not NaN** (debug-asserted
+/// on insert): for such floats the bit pattern is monotone in the numeric
+/// value. The peel loops only ever key on suspiciousness sums, which are
+/// non-negative by construction.
+///
+/// Internally the entries live in two stores with one logical order:
+///
+/// - `base` — the [`fill`](Self::fill) entries, sorted ascending once and
+///   consumed front-to-back by a cursor. In a greedy peel most nodes are
+///   popped with their *initial* key (their neighborhood outlives them), so
+///   the bulk of pops degenerate to a sequential array read.
+/// - `entries` — a sifted 4-ary heap holding only the entries pushed
+///   *after* the fill (the key decreases). This working set is far smaller
+///   than one-entry-per-node, which keeps sift paths shallow and the hot
+///   part of the array cache-resident.
+///
+/// [`pop`](Self::pop) takes whichever front is smaller; since the packed
+/// order is total (distinct element ids), the merged sequence is exactly
+/// the pop order of a single heap holding all entries.
+#[derive(Clone, Debug, Default)]
+pub struct LazyMinHeap {
+    /// Fill entries, sorted ascending; `base[cursor..]` is still pending.
+    base: Vec<u128>,
+    /// Consumed prefix length of `base`.
+    cursor: usize,
+    /// 4-ary sifted heap over the entries pushed since the last fill.
+    entries: Vec<u128>,
+}
+
+impl LazyMinHeap {
+    /// An empty heap.
+    pub fn new() -> Self {
+        LazyMinHeap::default()
+    }
+
+    #[inline]
+    fn pack(element: u32, key: f64) -> u128 {
+        debug_assert!(
+            key >= 0.0 && key.is_sign_positive(),
+            "LazyMinHeap requires non-negative keys (got {key} for element {element})"
+        );
+        ((key.to_bits() as u128) << 32) | element as u128
+    }
+
+    #[inline]
+    fn unpack(entry: u128) -> (f64, u32) {
+        (f64::from_bits((entry >> 32) as u64), entry as u32)
+    }
+
+    /// Drops every entry, keeping the allocations.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.base.clear();
+        self.cursor = 0;
+        self.entries.clear();
+    }
+
+    /// Number of entries (including stale ones).
+    #[inline]
+    pub fn len(&self) -> usize {
+        (self.base.len() - self.cursor) + self.entries.len()
+    }
+
+    /// `true` when no entries remain.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pre-allocates room for `additional` further pushes, so a peel with
+    /// a known decrease count never reallocates mid-loop.
+    pub fn reserve(&mut self, additional: usize) {
+        self.entries.reserve(additional);
+    }
+
+    /// Replaces the contents with `entries` in O(n log n) (one unstable
+    /// sort of packed words) — cheaper in practice than a heap build plus
+    /// n sifting pops, because the sorted run is consumed sequentially.
+    pub fn fill(&mut self, entries: impl IntoIterator<Item = (u32, f64)>) {
+        self.base.clear();
+        self.cursor = 0;
+        self.entries.clear();
+        self.base
+            .extend(entries.into_iter().map(|(e, k)| Self::pack(e, k)));
+        self.base.sort_unstable();
+    }
+
+    /// Drops every entry that no longer carries its element's current key
+    /// and restores the internal order invariants in O(n).
+    ///
+    /// `current[element]` is the element's live key, or any negative
+    /// sentinel once it has been removed (entry keys are non-negative, so
+    /// a sentinel never matches). Compacting is pure pruning: stale
+    /// entries would have been skipped on pop anyway, so the sequence of
+    /// *current* pops is unchanged — but the structure shrinks back to one
+    /// entry per live element, which keeps sift paths shallow when a peel
+    /// generates many decreases.
+    pub fn retain_current(&mut self, current: &[f64]) {
+        let live = |e: u128| current[e as u32 as usize].to_bits() == (e >> 32) as u64;
+        // The pending tail of `base`: dropping entries keeps it sorted.
+        let mut write = self.cursor;
+        for read in self.cursor..self.base.len() {
+            let e = self.base[read];
+            if live(e) {
+                self.base[write] = e;
+                write += 1;
+            }
+        }
+        self.base.truncate(write);
+        // The pushed part needs a Floyd rebuild after the retain.
+        self.entries.retain(|&e| live(e));
+        let n = self.entries.len();
+        if n > 1 {
+            for i in (0..=(n - 2) / ARITY).rev() {
+                self.sift_down(i);
+            }
+        }
+    }
+
+    /// The element the next [`pop`](Self::pop) will return (possibly
+    /// stale), or `None` if empty. O(1); lets callers warm per-element
+    /// state before committing to the pop.
+    #[inline]
+    pub fn peek_element(&self) -> Option<u32> {
+        match (self.base.get(self.cursor), self.entries.first()) {
+            (Some(&b), Some(&h)) => Some(b.min(h) as u32),
+            (Some(&b), None) => Some(b as u32),
+            (None, Some(&h)) => Some(h as u32),
+            (None, None) => None,
+        }
+    }
+
+    /// Pushes an entry for `element` with `key` (O(log n)).
+    #[inline]
+    pub fn push(&mut self, element: u32, key: f64) {
+        self.entries.push(Self::pack(element, key));
+        self.sift_up(self.entries.len() - 1);
+    }
+
+    /// Removes and returns the smallest `(key, element)` entry, stale or not.
+    ///
+    /// Uses the bottom-up deletion strategy: the root hole walks to a leaf
+    /// along minimum children (no comparison against the displaced last
+    /// entry, which almost always belongs near the bottom anyway), then the
+    /// last entry bubbles up from that leaf — usually zero or one steps.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(f64, u32)> {
+        // Merge point of the two stores: take whichever front is smaller.
+        // Entries carry distinct ids, so the packed compare is strict and
+        // the merged order equals a single heap's pop order.
+        if let Some(&b) = self.base.get(self.cursor) {
+            match self.entries.first() {
+                Some(&h) if h < b => {}
+                _ => {
+                    self.cursor += 1;
+                    return Some(Self::unpack(b));
+                }
+            }
+        }
+        let n = self.entries.len();
+        if n == 0 {
+            return None;
+        }
+        let min = self.entries[0];
+        let last = self.entries.pop().expect("checked non-empty");
+        let m = self.entries.len();
+        if m > 0 {
+            let mut hole = 0usize;
+            loop {
+                let first = ARITY * hole + 1;
+                if first >= m {
+                    break;
+                }
+                // The grandchildren of `hole` occupy one contiguous span
+                // (`ARITY * first + 1` onward); whichever child wins, the
+                // next level's reads land there, so warm it while the
+                // children are being compared.
+                #[cfg(target_arch = "x86_64")]
+                {
+                    let gfirst = ARITY * first + 1;
+                    if gfirst < m {
+                        let base = self.entries.as_ptr();
+                        let glast = (gfirst + ARITY * ARITY - 1).min(m - 1);
+                        let mut g = gfirst;
+                        while g <= glast {
+                            // SAFETY: `g` is in bounds and prefetch has no
+                            // side effects beyond the cache.
+                            unsafe {
+                                std::arch::x86_64::_mm_prefetch(
+                                    base.add(g).cast::<i8>(),
+                                    std::arch::x86_64::_MM_HINT_T0,
+                                );
+                            }
+                            g += 4; // one 64-byte line holds four u128 entries
+                        }
+                    }
+                }
+                let mut best = first;
+                let mut best_entry = self.entries[first];
+                for c in first + 1..(first + ARITY).min(m) {
+                    let e = self.entries[c];
+                    if e < best_entry {
+                        best = c;
+                        best_entry = e;
+                    }
+                }
+                self.entries[hole] = best_entry;
+                hole = best;
+            }
+            self.entries[hole] = last;
+            self.sift_up(hole);
+        }
+        Some(Self::unpack(min))
+    }
+
+
+
+    fn sift_up(&mut self, mut i: usize) {
+        let item = self.entries[i];
+        while i > 0 {
+            let parent = (i - 1) / ARITY;
+            let p = self.entries[parent];
+            if item < p {
+                self.entries[i] = p;
+                i = parent;
+            } else {
+                break;
+            }
+        }
+        self.entries[i] = item;
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.entries.len();
+        let item = self.entries[i];
+        loop {
+            let first = ARITY * i + 1;
+            if first >= n {
+                break;
+            }
+            let mut best = first;
+            let mut best_entry = self.entries[first];
+            for c in first + 1..(first + ARITY).min(n) {
+                let e = self.entries[c];
+                if e < best_entry {
+                    best = c;
+                    best_entry = e;
+                }
+            }
+            if best_entry < item {
+                self.entries[i] = best_entry;
+                i = best;
+            } else {
+                break;
+            }
+        }
+        self.entries[i] = item;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,5 +597,97 @@ mod tests {
         assert_eq!(h.peek_min(), None);
         let mut h2 = IndexedMinHeap::from_keys(&[]);
         assert_eq!(h2.pop_min(), None);
+    }
+
+    #[test]
+    fn lazy_heap_pops_in_key_then_id_order() {
+        let mut h = LazyMinHeap::new();
+        for (e, k) in [(0u32, 5.0), (1, 1.0), (2, 3.0), (3, 1.0), (4, 4.0)] {
+            h.push(e, k);
+        }
+        let mut out = Vec::new();
+        while let Some((k, e)) = h.pop() {
+            out.push((e, k));
+        }
+        assert_eq!(out, vec![(1, 1.0), (3, 1.0), (2, 3.0), (4, 4.0), (0, 5.0)]);
+    }
+
+    #[test]
+    fn lazy_heap_duplicates_surface_smallest_first() {
+        let mut h = LazyMinHeap::new();
+        h.push(7, 9.0);
+        h.push(7, 4.0); // "decrease-key" = push the new key
+        h.push(7, 6.0);
+        assert_eq!(h.pop(), Some((4.0, 7)));
+        assert_eq!(h.pop(), Some((6.0, 7)));
+        assert_eq!(h.pop(), Some((9.0, 7)));
+        assert_eq!(h.pop(), None);
+    }
+
+    #[test]
+    fn lazy_heap_fill_matches_pushes() {
+        // Floyd build and sifting pushes must expose the same pop order,
+        // including zero keys and id tie-breaks.
+        let entries = [(9u32, 2.5), (3, 0.0), (7, 2.5), (1, 0.0), (4, 1.0)];
+        let mut filled = LazyMinHeap::new();
+        filled.fill(entries);
+        filled.push(2, 0.5);
+        let mut pushed = LazyMinHeap::new();
+        for (e, k) in entries {
+            pushed.push(e, k);
+        }
+        pushed.push(2, 0.5);
+        for _ in 0..entries.len() + 1 {
+            assert_eq!(filled.pop(), pushed.pop());
+        }
+        assert!(filled.is_empty() && pushed.is_empty());
+    }
+
+    #[test]
+    fn lazy_heap_clear_keeps_working() {
+        let mut h = LazyMinHeap::new();
+        h.push(0, 2.0);
+        h.clear();
+        assert!(h.is_empty());
+        h.push(1, 1.0);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.pop(), Some((1.0, 1)));
+    }
+
+    #[test]
+    fn lazy_matches_indexed_on_decrease_key_workload() {
+        // Same decrease-key script through both structures: the sequence of
+        // valid pops must be identical (the engine-equivalence argument in
+        // miniature).
+        let keys = [9.0, 7.0, 8.0, 6.0, 5.0, 9.5];
+        let decreases: &[(usize, f64)] = &[(0, 4.0), (2, 4.0), (5, 0.5), (2, 2.0)];
+
+        let mut indexed = IndexedMinHeap::from_keys(&keys);
+        let mut current = keys.to_vec();
+        let mut lazy = LazyMinHeap::new();
+        for (e, &k) in keys.iter().enumerate() {
+            lazy.push(e as u32, k);
+        }
+        for &(e, k) in decreases {
+            indexed.update_key(e, k);
+            current[e] = k;
+            lazy.push(e as u32, k);
+        }
+
+        let mut from_indexed = Vec::new();
+        while let Some(pair) = indexed.pop_min() {
+            from_indexed.push(pair);
+        }
+        let mut removed = vec![false; keys.len()];
+        let mut from_lazy = Vec::new();
+        while let Some((k, e)) = lazy.pop() {
+            let e = e as usize;
+            if removed[e] || k != current[e] {
+                continue; // stale
+            }
+            removed[e] = true;
+            from_lazy.push((e, k));
+        }
+        assert_eq!(from_lazy, from_indexed);
     }
 }

@@ -55,6 +55,7 @@
 
 pub mod aggregate;
 pub mod block;
+pub mod engine;
 pub mod ensemble;
 pub mod evidence;
 pub mod fdet;
@@ -66,11 +67,13 @@ pub mod truncate;
 
 pub use aggregate::VoteTally;
 pub use block::Block;
+pub use engine::{Engine, FdetEngine};
 pub use ensemble::{
     EnsembleOutcome, EnsemFdet, EnsemFdetConfig, SampleSummary, SamplingMethodConfig,
+    StageTimings,
 };
 pub use evidence::EvidenceTally;
-pub use fdet::{fdet, FdetResult, Truncation};
+pub use fdet::{fdet, fdet_with_engine, FdetResult, Truncation};
 pub use metric::{AverageDegreeMetric, DensityMetric, LogWeightedMetric, MetricKind};
 pub use monitor::{CampaignMonitor, MonitorConfig, ScanReport};
 pub use peel::peel_densest;

@@ -67,6 +67,9 @@ pub struct ScanReport {
     /// Per-sample wall-clock, in sample order — raw material for latency
     /// histograms and parallel-speedup estimates.
     pub sample_times: Vec<std::time::Duration>,
+    /// Per-stage CPU-time split of the ensemble pass (sampling /
+    /// detection / aggregation), for stage-level telemetry.
+    pub stages: crate::ensemble::StageTimings,
 }
 
 impl ScanReport {
@@ -169,6 +172,7 @@ impl CampaignMonitor {
             transactions_seen: self.transactions_seen,
             sample_times: outcome.samples.iter().map(|s| s.elapsed).collect(),
             elapsed: outcome.elapsed,
+            stages: outcome.stages,
             votes: outcome.votes,
         }
     }
@@ -295,6 +299,10 @@ mod tests {
         assert_eq!(r.sample_times.len(), 10, "one timing per sample");
         assert!(r.total_sample_time() >= r.max_sample_time());
         assert!(r.elapsed >= r.max_sample_time());
+        // The stage split is populated and bounded by the sample totals.
+        let staged = r.stages.sampling + r.stages.detection;
+        assert!(staged > std::time::Duration::ZERO);
+        assert!(staged <= r.total_sample_time());
     }
 
     #[test]

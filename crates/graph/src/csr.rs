@@ -1,0 +1,467 @@
+//! Flat CSR view of a (sub)graph: the peeling engine's memory layout.
+//!
+//! [`crate::BipartiteGraph`] is already CSR-indexed, but its adjacency
+//! stores *edge ids*, so walking a neighborhood costs one random access
+//! into the edge array (for the endpoint) and one into the weight array
+//! per edge. The greedy peel visits every edge once per FDET iteration,
+//! so those two dependent loads per step dominate the hot loop on graphs
+//! that exceed the cache.
+//!
+//! [`CsrView`] materializes what the peel actually reads — neighbor id,
+//! edge id, and weight — as parallel, contiguous arrays on both sides,
+//! plus a canonical alive-edge array in ascending edge-id order. Every
+//! neighborhood is then an O(1) triple of slices streamed sequentially.
+//!
+//! The view is immutable and cheap to (re)build: construction is two
+//! counting sorts over the surviving edges, and [`CsrView::rebuild`]
+//! reuses the previous allocation, which is what lets FDET rebuild the
+//! view after removing each detected block instead of re-scanning every
+//! dead edge of the parent graph.
+
+use crate::graph::{BipartiteGraph, EdgeId};
+use crate::ids::{MerchantId, UserId};
+
+/// One side's neighborhood as a slice of `(neighbor, weight)` pairs;
+/// position i describes one incident edge.
+///
+/// The pair layout keeps each edge's id and weight on the same cache line,
+/// so both the build scatter and the peel's relax walk touch one stream
+/// instead of two parallel ones.
+#[derive(Clone, Copy, Debug)]
+pub struct NeighborSlices<'a> {
+    /// `(opposite-endpoint raw id, edge weight)` per incident edge.
+    pub pairs: &'a [(u32, f64)],
+}
+
+impl<'a> NeighborSlices<'a> {
+    /// Number of incident edges in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// `true` when the node has no alive incident edge.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Raw ids of the opposite-side endpoints, in slice order.
+    #[inline]
+    pub fn neighbor_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.pairs.iter().map(|&(n, _)| n)
+    }
+}
+
+/// An immutable flat-CSR snapshot of the alive subgraph of a
+/// [`BipartiteGraph`].
+///
+/// Node ids are the parent graph's ids (no compaction), so results read
+/// off the view — block members, edge ids, tie-breaks — are directly in
+/// parent coordinates and bit-identical to an algorithm walking the
+/// parent graph with an alive-edge mask.
+///
+/// ```
+/// use ensemfdet_graph::{BipartiteGraph, CsrView, UserId};
+///
+/// let g = BipartiteGraph::from_edges(2, 2, vec![(0, 0), (0, 1), (1, 1)]).unwrap();
+/// let view = CsrView::from_graph(&g);
+/// let n = view.user_neighbors(UserId(0));
+/// assert_eq!(n.pairs, &[(0, 1.0), (1, 1.0)]);
+///
+/// // Filtered view: drop edge 1, keeping parent node and edge ids.
+/// let view = CsrView::from_graph_filtered(&g, &[true, false, true]);
+/// assert_eq!(view.num_edges(), 2);
+/// assert_eq!(view.edge_ids(), &[0, 2]);
+/// assert_eq!(view.user_neighbors(UserId(0)).pairs, &[(0, 1.0)]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CsrView {
+    num_users: usize,
+    num_merchants: usize,
+
+    // Canonical alive-edge arrays, ascending global edge id.
+    e_id: Vec<u32>,
+    e_u: Vec<u32>,
+    e_v: Vec<u32>,
+    e_w: Vec<f64>,
+
+    // User-side CSR over the alive edges.
+    u_off: Vec<u32>,
+    u_adj: Vec<(u32, f64)>,
+
+    // Merchant-side CSR over the alive edges.
+    v_off: Vec<u32>,
+    v_adj: Vec<(u32, f64)>,
+}
+
+impl CsrView {
+    /// An empty view (no nodes, no edges); fill it with [`CsrView::rebuild`].
+    pub fn new() -> Self {
+        CsrView::default()
+    }
+
+    /// Builds the view of the whole graph.
+    pub fn from_graph(g: &BipartiteGraph) -> Self {
+        let mut view = CsrView::new();
+        view.rebuild(g, None);
+        view
+    }
+
+    /// Builds the view of the subgraph spanned by edges with
+    /// `edge_alive[e] == true`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge_alive.len() != g.num_edges()`.
+    pub fn from_graph_filtered(g: &BipartiteGraph, edge_alive: &[bool]) -> Self {
+        let mut view = CsrView::new();
+        view.rebuild(g, Some(edge_alive));
+        view
+    }
+
+    /// Re-fills the view in place (reusing allocations) from `g`, keeping
+    /// only edges where `edge_alive` is true (`None` ⇒ all edges).
+    ///
+    /// Relative edge order is preserved, so the canonical arrays stay in
+    /// ascending global edge id and each CSR row lists its edges in the
+    /// same relative order as the parent graph's adjacency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a mask is given and `edge_alive.len() != g.num_edges()`.
+    pub fn rebuild(&mut self, g: &BipartiteGraph, edge_alive: Option<&[bool]>) {
+        if let Some(mask) = edge_alive {
+            assert_eq!(
+                mask.len(),
+                g.num_edges(),
+                "edge_alive mask must cover every edge"
+            );
+        }
+        self.num_users = g.num_users();
+        self.num_merchants = g.num_merchants();
+
+        self.e_id.clear();
+        self.e_u.clear();
+        self.e_v.clear();
+        self.e_w.clear();
+        let pairs = g.edge_pairs();
+        match edge_alive {
+            None => {
+                self.e_id.extend(0..pairs.len() as u32);
+                self.e_u.extend(pairs.iter().map(|&(u, _)| u));
+                self.e_v.extend(pairs.iter().map(|&(_, v)| v));
+                match g.weight_values() {
+                    Some(w) => self.e_w.extend_from_slice(w),
+                    None => self.e_w.resize(pairs.len(), 1.0),
+                }
+            }
+            Some(mask) => {
+                for (e, &(u, v)) in pairs.iter().enumerate() {
+                    if mask[e] {
+                        self.e_id.push(e as u32);
+                        self.e_u.push(u);
+                        self.e_v.push(v);
+                    }
+                }
+                match g.weight_values() {
+                    Some(w) => self.e_w.extend(self.e_id.iter().map(|&e| w[e as usize])),
+                    None => self.e_w.resize(self.e_id.len(), 1.0),
+                }
+            }
+        }
+        self.fill_sides();
+    }
+
+    /// Shrinks the view in place to the edges whose *global* id is still
+    /// alive, then rebuilds both adjacency sides.
+    ///
+    /// Equivalent to `rebuild(g, Some(edge_alive))` whenever the view
+    /// already holds a superset of the alive edges (masks only ever turn
+    /// edges off during FDET), but touches `O(view edges)` instead of
+    /// re-scanning the parent graph's full edge list — which is what keeps
+    /// later FDET iterations proportional to the surviving subgraph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some held edge id is out of `edge_alive`'s bounds.
+    pub fn refilter(&mut self, edge_alive: &[bool]) {
+        let mut k = 0usize;
+        for i in 0..self.e_id.len() {
+            if edge_alive[self.e_id[i] as usize] {
+                self.e_id[k] = self.e_id[i];
+                self.e_u[k] = self.e_u[i];
+                self.e_v[k] = self.e_v[i];
+                self.e_w[k] = self.e_w[i];
+                k += 1;
+            }
+        }
+        self.e_id.truncate(k);
+        self.e_u.truncate(k);
+        self.e_v.truncate(k);
+        self.e_w.truncate(k);
+        self.fill_sides();
+    }
+
+    /// Rebuilds both per-side CSRs from the canonical arrays.
+    fn fill_sides(&mut self) {
+        fill_side(
+            &mut self.u_off,
+            &mut self.u_adj,
+            self.num_users,
+            &self.e_u,
+            &self.e_v,
+            &self.e_w,
+        );
+        fill_side(
+            &mut self.v_off,
+            &mut self.v_adj,
+            self.num_merchants,
+            &self.e_v,
+            &self.e_u,
+            &self.e_w,
+        );
+    }
+
+    /// Number of user-side nodes (parent graph's count, isolated included).
+    #[inline]
+    pub fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    /// Number of merchant-side nodes.
+    #[inline]
+    pub fn num_merchants(&self) -> usize {
+        self.num_merchants
+    }
+
+    /// Number of alive edges in the view.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.e_id.len()
+    }
+
+    /// Global edge ids of the alive edges, ascending.
+    #[inline]
+    pub fn edge_ids(&self) -> &[u32] {
+        &self.e_id
+    }
+
+    /// User endpoints of the alive edges, aligned with [`CsrView::edge_ids`].
+    #[inline]
+    pub fn edge_users(&self) -> &[u32] {
+        &self.e_u
+    }
+
+    /// Merchant endpoints of the alive edges.
+    #[inline]
+    pub fn edge_merchants(&self) -> &[u32] {
+        &self.e_v
+    }
+
+    /// Weights of the alive edges.
+    #[inline]
+    pub fn edge_weights(&self) -> &[f64] {
+        &self.e_w
+    }
+
+    /// Alive degree of user `u`.
+    #[inline]
+    pub fn user_degree(&self, u: UserId) -> usize {
+        (self.u_off[u.index() + 1] - self.u_off[u.index()]) as usize
+    }
+
+    /// Alive degree of merchant `v`.
+    #[inline]
+    pub fn merchant_degree(&self, v: MerchantId) -> usize {
+        (self.v_off[v.index() + 1] - self.v_off[v.index()]) as usize
+    }
+
+    /// O(1) neighborhood slice of user `u` (merchant ids in the pairs).
+    #[inline]
+    pub fn user_neighbors(&self, u: UserId) -> NeighborSlices<'_> {
+        let lo = self.u_off[u.index()] as usize;
+        let hi = self.u_off[u.index() + 1] as usize;
+        NeighborSlices {
+            pairs: &self.u_adj[lo..hi],
+        }
+    }
+
+    /// O(1) neighborhood slice of merchant `v` (user ids in the pairs).
+    #[inline]
+    pub fn merchant_neighbors(&self, v: MerchantId) -> NeighborSlices<'_> {
+        let lo = self.v_off[v.index()] as usize;
+        let hi = self.v_off[v.index() + 1] as usize;
+        NeighborSlices {
+            pairs: &self.v_adj[lo..hi],
+        }
+    }
+
+    /// Iterates the alive edges as `(edge_id, user, merchant, weight)`.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, UserId, MerchantId, f64)> + '_ {
+        (0..self.e_id.len()).map(move |i| {
+            (
+                self.e_id[i] as EdgeId,
+                UserId(self.e_u[i]),
+                MerchantId(self.e_v[i]),
+                self.e_w[i],
+            )
+        })
+    }
+}
+
+/// Counting-sort one side's CSR from the canonical edge arrays, reusing
+/// the output allocations.
+fn fill_side(
+    off: &mut Vec<u32>,
+    adj: &mut Vec<(u32, f64)>,
+    num_nodes: usize,
+    own: &[u32],
+    other: &[u32],
+    weights: &[f64],
+) {
+    off.clear();
+    off.resize(num_nodes + 1, 0);
+    for &n in own {
+        off[n as usize + 1] += 1;
+    }
+    for i in 0..num_nodes {
+        off[i + 1] += off[i];
+    }
+    adj.clear();
+    // Fast path: when this side's endpoints are already non-decreasing
+    // (builder output is (u, v)-sorted, and filtering preserves order),
+    // the stable counting sort is the identity — the adjacency is a
+    // straight zip of the canonical arrays.
+    if own.is_sorted() {
+        adj.extend(other.iter().zip(weights).map(|(&o, &w)| (o, w)));
+        return;
+    }
+    let total = own.len();
+    adj.resize(total, (0, 0.0));
+    // Scatter through `off[node]` as the write cursor; afterwards each
+    // entry holds its row's END offset, which one shift turns back into
+    // start offsets (avoids cloning a cursor array every rebuild).
+    for i in 0..total {
+        let node = own[i] as usize;
+        let slot = off[node] as usize;
+        adj[slot] = (other[i], weights[i]);
+        off[node] += 1;
+    }
+    off.copy_within(0..num_nodes, 1);
+    off[0] = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_graph() -> BipartiteGraph {
+        // u0 - m0, m1; u1 - m1; u2 - m1, m2
+        BipartiteGraph::from_edges(3, 3, vec![(0, 0), (0, 1), (1, 1), (2, 1), (2, 2)]).unwrap()
+    }
+
+    #[test]
+    fn full_view_matches_graph_adjacency() {
+        let g = sample_graph();
+        let view = CsrView::from_graph(&g);
+        assert_eq!(view.num_users(), 3);
+        assert_eq!(view.num_merchants(), 3);
+        assert_eq!(view.num_edges(), 5);
+        for u in 0..3u32 {
+            let from_graph: Vec<(u32, f64)> = g
+                .merchants_of(UserId(u))
+                .map(|(v, _, w)| (v.0, w))
+                .collect();
+            let from_view: Vec<(u32, f64)> = view.user_neighbors(UserId(u)).pairs.to_vec();
+            assert_eq!(from_view, from_graph, "user {u}");
+            assert_eq!(view.user_degree(UserId(u)), g.user_degree(UserId(u)));
+        }
+        for v in 0..3u32 {
+            let from_graph: Vec<u32> =
+                g.users_of(MerchantId(v)).map(|(u, _, _)| u.0).collect();
+            let from_view: Vec<u32> =
+                view.merchant_neighbors(MerchantId(v)).neighbor_ids().collect();
+            assert_eq!(from_view, from_graph, "merchant {v}");
+        }
+    }
+
+    #[test]
+    fn canonical_edges_ascend_and_round_trip() {
+        let g = sample_graph();
+        let view = CsrView::from_graph(&g);
+        let ids: Vec<u32> = view.edge_ids().to_vec();
+        assert!(ids.windows(2).all(|w| w[0] < w[1]), "ascending edge ids");
+        for (e, u, v, w) in view.edges() {
+            let (gu, gv) = g.edge_endpoints(e);
+            assert_eq!((gu, gv), (u, v));
+            assert_eq!(w, g.edge_weight(e));
+        }
+    }
+
+    #[test]
+    fn filtered_view_drops_edges_keeps_ids() {
+        let g = sample_graph();
+        let mask = [true, false, true, false, true];
+        let view = CsrView::from_graph_filtered(&g, &mask);
+        assert_eq!(view.num_edges(), 3);
+        assert_eq!(view.edge_ids(), &[0, 2, 4]);
+        // Node population is unchanged; only adjacency shrinks.
+        assert_eq!(view.num_users(), 3);
+        assert_eq!(view.user_degree(UserId(0)), 1);
+        assert_eq!(view.merchant_degree(MerchantId(1)), 1);
+        assert_eq!(view.user_neighbors(UserId(0)).pairs, &[(0, 1.0)]);
+        assert_eq!(view.merchant_neighbors(MerchantId(1)).pairs, &[(1, 1.0)]);
+    }
+
+    #[test]
+    fn rebuild_reuses_and_replaces() {
+        let g = sample_graph();
+        let mut view = CsrView::from_graph(&g);
+        view.rebuild(&g, Some(&[false, false, true, true, false]));
+        assert_eq!(view.num_edges(), 2);
+        assert_eq!(view.edge_ids(), &[2, 3]);
+        view.rebuild(&g, None);
+        assert_eq!(view.num_edges(), 5);
+    }
+
+    #[test]
+    fn weighted_graph_weights_flow_through() {
+        let g = BipartiteGraph::from_weighted_edges(2, 2, vec![(0, 0), (1, 1)], vec![2.5, 0.5])
+            .unwrap();
+        let view = CsrView::from_graph(&g);
+        assert_eq!(view.edge_weights(), &[2.5, 0.5]);
+        assert_eq!(view.user_neighbors(UserId(1)).pairs, &[(1, 0.5)]);
+        assert_eq!(view.merchant_neighbors(MerchantId(0)).pairs, &[(0, 2.5)]);
+    }
+
+    #[test]
+    fn empty_and_edgeless_views() {
+        let g = BipartiteGraph::from_edges(0, 0, vec![]).unwrap();
+        let view = CsrView::from_graph(&g);
+        assert_eq!(view.num_edges(), 0);
+        let g = BipartiteGraph::from_edges(2, 2, vec![]).unwrap();
+        let view = CsrView::from_graph(&g);
+        assert_eq!(view.user_degree(UserId(1)), 0);
+        assert!(view.user_neighbors(UserId(0)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "edge_alive mask")]
+    fn wrong_mask_length_panics() {
+        let g = sample_graph();
+        CsrView::from_graph_filtered(&g, &[true]);
+    }
+
+    #[test]
+    fn multi_edges_preserved() {
+        let g = BipartiteGraph::from_edges(1, 1, vec![(0, 0), (0, 0)]).unwrap();
+        let view = CsrView::from_graph(&g);
+        assert_eq!(
+            view.user_neighbors(UserId(0)).neighbor_ids().collect::<Vec<_>>(),
+            vec![0, 0]
+        );
+        assert_eq!(view.edge_ids(), &[0, 1]);
+        assert_eq!(view.merchant_degree(MerchantId(0)), 2);
+    }
+}

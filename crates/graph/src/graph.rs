@@ -148,6 +148,21 @@ impl BipartiteGraph {
         self.weights.is_some()
     }
 
+    /// The canonical edge array as raw `(user, merchant)` index pairs, in
+    /// edge-id order — the zero-cost bulk accessor behind
+    /// [`crate::CsrView`] construction.
+    #[inline]
+    pub fn edge_pairs(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// Per-edge weights aligned with [`Self::edge_pairs`] when the graph
+    /// is weighted (`None` ⇒ every edge weighs `1.0`).
+    #[inline]
+    pub fn weight_values(&self) -> Option<&[f64]> {
+        self.weights.as_deref()
+    }
+
     /// Degree of user `u` (number of incident edges).
     #[inline]
     pub fn user_degree(&self, u: UserId) -> usize {

@@ -9,6 +9,10 @@
 //!
 //! - [`BipartiteGraph`]: immutable CSR storage indexed from *both* sides, so
 //!   peeling algorithms can walk `u → {v}` and `v → {u}` in O(degree).
+//! - [`CsrView`]: a flat, immutable CSR snapshot of the alive subgraph with
+//!   O(1) neighbor *slices* (neighbor ids, edge ids, and weights as parallel
+//!   contiguous arrays) — the memory layout of the high-performance peeling
+//!   engine in `ensemfdet::engine`.
 //! - [`GraphBuilder`]: incremental, duplicate-merging construction.
 //! - [`SampledGraph`]: a compacted subgraph plus index maps back to the
 //!   parent graph, the unit of work for the ensemble.
@@ -34,6 +38,7 @@
 
 pub mod builder;
 pub mod components;
+pub mod csr;
 pub mod error;
 pub mod graph;
 pub mod ids;
@@ -44,6 +49,7 @@ pub mod sampled;
 pub mod stats;
 
 pub use builder::GraphBuilder;
+pub use csr::{CsrView, NeighborSlices};
 pub use error::GraphError;
 pub use graph::{BipartiteGraph, EdgeId, NeighborIter};
 pub use ids::{MerchantId, NodeRef, UserId};

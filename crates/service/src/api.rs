@@ -126,6 +126,11 @@ impl Api {
     /// Feeds one scan's outcome into the metric set.
     fn record_scan(&self, report: &ScanReport) {
         self.metrics.record_scan(report.elapsed, &report.sample_times);
+        self.metrics.record_scan_stages([
+            report.stages.sampling,
+            report.stages.detection,
+            report.stages.aggregation,
+        ]);
         self.metrics.alerts.add(report.new_alerts.len() as u64);
     }
 

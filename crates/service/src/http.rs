@@ -132,13 +132,15 @@ fn read_bounded_line<R: Read>(
     if n == 0 {
         return Ok(None);
     }
+    // A line of exactly `budget + 1` bytes can still be `\n`-terminated, so
+    // the over-budget check must come before the subtraction either way.
+    if n > *budget {
+        return Err(HttpError::new(
+            431,
+            format!("header section exceeds {MAX_HEADER_BYTES} bytes"),
+        ));
+    }
     if buf.last() != Some(&b'\n') {
-        if n > *budget {
-            return Err(HttpError::new(
-                431,
-                format!("header section exceeds {MAX_HEADER_BYTES} bytes"),
-            ));
-        }
         return Err(HttpError::bad_request("connection closed mid-headers"));
     }
     *budget -= n;

@@ -230,6 +230,12 @@ pub struct ServiceMetrics {
     pub scan_duration: Histogram,
     /// Wall-clock per ensemble *sample* (N observations per scan).
     pub sample_duration: Histogram,
+    /// CPU time per scan spent sampling (summed over the scan's samples).
+    pub stage_sampling: Histogram,
+    /// CPU time per scan spent in FDET detection (summed over samples).
+    pub stage_detection: Histogram,
+    /// Wall-clock per scan spent merging votes and evidence.
+    pub stage_aggregation: Histogram,
     /// Transactions ingested via `POST /transactions`.
     pub transactions_ingested: Counter,
     /// Detection scans run (manual and automatic).
@@ -252,6 +258,14 @@ impl ServiceMetrics {
         for &t in sample_times {
             self.sample_duration.observe_duration(t);
         }
+    }
+
+    /// Records one scan's per-stage split (from the ensemble's
+    /// `StageTimings` diagnostics): `[sampling, detection, aggregation]`.
+    pub fn record_scan_stages(&self, stages: [Duration; 3]) {
+        self.stage_sampling.observe_duration(stages[0]);
+        self.stage_detection.observe_duration(stages[1]);
+        self.stage_aggregation.observe_duration(stages[2]);
     }
 
     /// Renders everything in the Prometheus text exposition format.
@@ -307,6 +321,24 @@ impl ServiceMetrics {
             "Wall-clock per ensemble sample (N per scan).",
             &self.sample_duration,
         );
+        write_header(
+            &mut out,
+            "ensemfdet_scan_stage_duration_seconds",
+            "histogram",
+            "Per-scan pipeline-stage time (sampling/detection summed over samples).",
+        );
+        for (stage, h) in [
+            ("sampling", &self.stage_sampling),
+            ("detection", &self.stage_detection),
+            ("aggregation", &self.stage_aggregation),
+        ] {
+            write_histogram_samples(
+                &mut out,
+                "ensemfdet_scan_stage_duration_seconds",
+                &format!("stage=\"{stage}\","),
+                h,
+            );
+        }
         write_counter(
             &mut out,
             "ensemfdet_transactions_ingested_total",
@@ -346,18 +378,30 @@ fn write_gauge(out: &mut String, name: &str, help: &str, value: i64) {
 
 fn write_histogram(out: &mut String, name: &str, help: &str, h: &Histogram) {
     write_header(out, name, "histogram", help);
+    write_histogram_samples(out, name, "", h);
+}
+
+/// Emits one histogram's samples with `extra_labels` (e.g. `stage="x",`,
+/// trailing comma included) prepended to each bucket's `le` label.
+fn write_histogram_samples(out: &mut String, name: &str, extra_labels: &str, h: &Histogram) {
     let cumulative = h.cumulative();
     let mut total = 0;
     for &(bound, count) in &cumulative {
         total = count;
         if bound.is_finite() {
-            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {count}");
+            let _ = writeln!(out, "{name}_bucket{{{extra_labels}le=\"{bound}\"}} {count}");
         } else {
-            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {count}");
+            let _ = writeln!(out, "{name}_bucket{{{extra_labels}le=\"+Inf\"}} {count}");
         }
     }
-    let _ = writeln!(out, "{name}_sum {}", h.sum_seconds());
-    let _ = writeln!(out, "{name}_count {total}");
+    let labels = extra_labels.trim_end_matches(',');
+    if labels.is_empty() {
+        let _ = writeln!(out, "{name}_sum {}", h.sum_seconds());
+        let _ = writeln!(out, "{name}_count {total}");
+    } else {
+        let _ = writeln!(out, "{name}_sum{{{labels}}} {}", h.sum_seconds());
+        let _ = writeln!(out, "{name}_count{{{labels}}} {total}");
+    }
 }
 
 #[cfg(test)]
@@ -455,6 +499,11 @@ mod tests {
             Duration::from_millis(30),
             &[Duration::from_millis(10), Duration::from_millis(20)],
         );
+        m.record_scan_stages([
+            Duration::from_millis(5),
+            Duration::from_millis(24),
+            Duration::from_millis(1),
+        ]);
         let text = m.render();
         assert!(text.contains(
             "ensemfdet_http_requests_total{route=\"/health\",status=\"200\"} 1"
@@ -465,6 +514,10 @@ mod tests {
         assert!(text.contains("ensemfdet_scans_total 1"));
         assert!(text.contains("ensemfdet_scan_sample_duration_seconds_count 2"));
         assert!(text.contains("ensemfdet_scan_duration_seconds_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains(
+            "ensemfdet_scan_stage_duration_seconds_bucket{stage=\"detection\",le=\"+Inf\"} 1"
+        ));
+        assert!(text.contains("ensemfdet_scan_stage_duration_seconds_count{stage=\"sampling\"} 1"));
         // Every non-comment line is `name{labels} value` or `name value`.
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             let (name, value) = line.rsplit_once(' ').expect("name value");

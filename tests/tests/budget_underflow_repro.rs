@@ -11,7 +11,7 @@ fn exact_boundary_header_line() {
     let pad = remaining + 1 - name.len() - 2;
     let mut raw = req_line;
     raw.extend(name);
-    raw.extend(std::iter::repeat(b'a').take(pad));
+    raw.extend(std::iter::repeat_n(b'a', pad));
     raw.extend(b"\r\n\r\n");
     let r = read_request(&raw[..]);
     println!("result: {:?}", r.map(|q| q.path).map_err(|e| (e.status, e.message)));

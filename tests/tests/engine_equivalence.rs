@@ -1,0 +1,86 @@
+//! The CSR engine must be a drop-in replacement for the naive reference
+//! path: identical blocks, identical scores, identical ensemble votes —
+//! not merely statistically similar. `bench_suite` relies on this before
+//! timing the two engines against each other.
+
+use ensemfdet::fdet::Truncation;
+use ensemfdet::{fdet_with_engine, Engine, EnsemFdet, EnsemFdetConfig, MetricKind};
+use ensemfdet_datagen::generate;
+use ensemfdet_datagen::presets::{jd_preset, JdDataset};
+use ensemfdet_graph::BipartiteGraph;
+
+const SEEDS: [u64; 3] = [11, 4242, 0xDEAD_BEEF];
+
+fn preset_graph(which: JdDataset, seed: u64) -> BipartiteGraph {
+    generate(&jd_preset(which, 400, seed)).graph
+}
+
+#[test]
+fn fdet_blocks_and_scores_identical_across_engines() {
+    for which in [JdDataset::Jd1, JdDataset::Jd2, JdDataset::Jd3] {
+        for seed in SEEDS {
+            let g = preset_graph(which, seed);
+            for truncation in [
+                Truncation::default(),
+                Truncation::FixedK(3),
+                Truncation::KeepAll { k_max: 25 },
+            ] {
+                let csr =
+                    fdet_with_engine(&g, &MetricKind::default(), truncation, Engine::Csr);
+                let naive =
+                    fdet_with_engine(&g, &MetricKind::default(), truncation, Engine::Naive);
+                assert_eq!(
+                    csr.blocks, naive.blocks,
+                    "blocks diverged ({which:?}, seed {seed}, {truncation:?})"
+                );
+                assert_eq!(
+                    csr.scores, naive.scores,
+                    "scores diverged ({which:?}, seed {seed}, {truncation:?})"
+                );
+                assert_eq!(csr.k_hat, naive.k_hat);
+            }
+        }
+    }
+}
+
+#[test]
+fn ensemble_votes_identical_across_engines() {
+    for seed in SEEDS {
+        let g = preset_graph(JdDataset::Jd2, seed);
+        let run = |engine| {
+            EnsemFdet::new(EnsemFdetConfig {
+                num_samples: 12,
+                sample_ratio: 0.25,
+                engine,
+                seed,
+                ..Default::default()
+            })
+            .detect(&g)
+        };
+        let (csr, naive) = (run(Engine::Csr), run(Engine::Naive));
+        assert_eq!(
+            csr.votes.user_scores(),
+            naive.votes.user_scores(),
+            "ensemble votes diverged (seed {seed})"
+        );
+        let k_hats = |o: &ensemfdet::EnsembleOutcome| -> Vec<usize> {
+            o.samples.iter().map(|s| s.k_hat).collect()
+        };
+        assert_eq!(k_hats(&csr), k_hats(&naive));
+    }
+}
+
+/// Weighted graphs exercise the non-unit-weight relax path.
+#[test]
+fn weighted_graph_identical_across_engines() {
+    let edges: Vec<(u32, u32)> = (0..200u32)
+        .map(|i| (i % 37, (i * 7 + 3) % 11))
+        .chain((0..40u32).map(|i| (40 + i % 8, i % 5)))
+        .collect();
+    let weights: Vec<f64> = (0..edges.len()).map(|i| 0.25 + (i % 7) as f64 * 0.5).collect();
+    let g = BipartiteGraph::from_weighted_edges(48, 11, edges, weights).unwrap();
+    let run = |e| fdet_with_engine(&g, &MetricKind::default(), Truncation::KeepAll { k_max: 10 }, e);
+    let (csr, naive) = (run(Engine::Csr), run(Engine::Naive));
+    assert_eq!(csr.blocks, naive.blocks);
+    assert_eq!(csr.scores, naive.scores);
+}

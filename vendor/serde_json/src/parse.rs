@@ -11,6 +11,7 @@ pub fn parse_str(s: &str) -> Result<Value, Error> {
     let mut p = Parser {
         bytes: s.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let value = p.parse_value()?;
@@ -21,9 +22,14 @@ pub fn parse_str(s: &str) -> Result<Value, Error> {
     Ok(value)
 }
 
+/// Containers deeper than this are rejected rather than risking a stack
+/// overflow in the recursive-descent parser (and in `Value`'s drop glue).
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -73,12 +79,22 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), Error> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("JSON nested too deeply"));
+        }
+        Ok(())
+    }
+
     fn parse_array(&mut self) -> Result<Value, Error> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Array(items));
         }
         loop {
@@ -89,6 +105,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Array(items));
                 }
                 _ => return Err(self.err("expected `,` or `]` in array")),
@@ -98,10 +115,12 @@ impl<'a> Parser<'a> {
 
     fn parse_object(&mut self) -> Result<Value, Error> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut map = Map::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Object(map));
         }
         loop {
@@ -117,6 +136,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Object(map));
                 }
                 _ => return Err(self.err("expected `,` or `}` in object")),
@@ -272,6 +292,14 @@ mod tests {
     fn surrogate_pairs_decode() {
         assert_eq!(parse_str("\"\\ud83d\\ude00\"").unwrap(), "\u{1F600}");
         assert!(parse_str("\"\\ud83d\"").is_err());
+    }
+
+    #[test]
+    fn rejects_excessive_nesting() {
+        let deep = "[".repeat(MAX_DEPTH + 1) + &"]".repeat(MAX_DEPTH + 1);
+        assert!(parse_str(&deep).is_err());
+        let ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(parse_str(&ok).is_ok());
     }
 
     #[test]
