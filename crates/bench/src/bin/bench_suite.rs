@@ -14,6 +14,11 @@
 //! blocks, scores, and ensemble votes — a timing comparison between
 //! non-equivalent engines would be meaningless.
 //!
+//! `--smoke` additionally drives the HTTP service's v1 surface over a real
+//! socket (ingest → async scan job → result) and aborts if any step
+//! misbehaves, so CI catches service regressions without a separate
+//! harness.
+//!
 //! Timing protocol: `--warmup` unmeasured iterations, then `--reps`
 //! measured ones with the two engines interleaved back-to-back within
 //! every rep. The JSON artifact records the median and p95 wall time of
@@ -95,6 +100,9 @@ struct Artifact {
     reps: usize,
     ensemble_samples: usize,
     equivalence: &'static str,
+    /// `"ok"` when `--smoke` drove the v1 HTTP surface end-to-end,
+    /// `"skipped"` on full (non-smoke) runs.
+    service_smoke: &'static str,
     datasets: Vec<DatasetInfo>,
     cells: Vec<Cell>,
     speedups: Vec<Speedup>,
@@ -212,6 +220,111 @@ fn equivalence_gate(g: &BipartiteGraph) -> Result<(), String> {
     Ok(())
 }
 
+/// Drives the HTTP service's v1 surface over a real socket: ingest a
+/// small ring, submit an async scan job, poll it to completion, read the
+/// latest result. Any deviation is a hard error.
+fn service_smoke() -> Result<(), String> {
+    use ensemfdet::{EnsemFdetConfig as DetCfg, MonitorConfig};
+    use ensemfdet_service::{Api, ApiConfig, Server};
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::time::{Duration, Instant};
+
+    let api = Api::new(ApiConfig {
+        monitor: MonitorConfig {
+            detector: DetCfg {
+                num_samples: 8,
+                sample_ratio: 0.5,
+                seed: ENSEMBLE_SEED,
+                ..Default::default()
+            },
+            scan_interval: 1_000_000,
+            alert_threshold: 4,
+            min_transactions: 0,
+        },
+        ..Default::default()
+    });
+    let server = Server::bind("127.0.0.1:0", api)
+        .map_err(|e| format!("bind: {e}"))?
+        .start()
+        .map_err(|e| format!("start: {e}"))?;
+    let addr = server.addr();
+
+    let roundtrip = |raw: String| -> Result<String, String> {
+        let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .map_err(|e| format!("timeout: {e}"))?;
+        stream.write_all(raw.as_bytes()).map_err(|e| format!("send: {e}"))?;
+        let mut out = String::new();
+        stream.read_to_string(&mut out).map_err(|e| format!("recv: {e}"))?;
+        Ok(out)
+    };
+    let expect = |resp: &str, status: &str, step: &str| -> Result<(), String> {
+        if resp.starts_with(&format!("HTTP/1.1 {status}")) {
+            Ok(())
+        } else {
+            Err(format!("{step}: expected {status}, got: {resp}"))
+        }
+    };
+
+    let mut records = Vec::new();
+    for b in 0..8 {
+        for s in 0..5 {
+            records.push(format!("[\"bot-{b}\",\"ring-{s}\"]"));
+        }
+    }
+    for p in 0..60 {
+        records.push(format!("[\"pin-{p}\",\"store-{}\"]", p % 20));
+    }
+    let body = format!("{{\"records\":[{}]}}", records.join(","));
+    let resp = roundtrip(format!(
+        "POST /v1/transactions HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    ))?;
+    expect(&resp, "200", "POST /v1/transactions")?;
+
+    let resp = roundtrip("POST /v1/scans HTTP/1.1\r\ncontent-length: 2\r\n\r\n{}".into())?;
+    expect(&resp, "202", "POST /v1/scans")?;
+    let job_id: u64 = resp
+        .split("\"job_id\":")
+        .nth(1)
+        .and_then(|s| s.split(|c: char| !c.is_ascii_digit()).next())
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("no job_id in: {resp}"))?;
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let resp = roundtrip(format!("GET /v1/scans/{job_id} HTTP/1.1\r\n\r\n"))?;
+        expect(&resp, "200", "GET /v1/scans/{id}")?;
+        if resp.contains("\"status\":\"done\"") {
+            if !resp.contains("bot-") {
+                return Err(format!("scan flagged no ring accounts: {resp}"));
+            }
+            break;
+        }
+        if resp.contains("\"status\":\"failed\"") {
+            return Err(format!("scan job failed: {resp}"));
+        }
+        if Instant::now() > deadline {
+            return Err(format!("scan job never finished: {resp}"));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let resp = roundtrip("GET /v1/scans/latest HTTP/1.1\r\n\r\n".into())?;
+    expect(&resp, "200", "GET /v1/scans/latest")?;
+    let resp = roundtrip("GET /v1/config HTTP/1.1\r\n\r\n".into())?;
+    expect(&resp, "200", "GET /v1/config")?;
+    let resp = roundtrip("GET /metrics HTTP/1.1\r\n\r\n".into())?;
+    expect(&resp, "200", "GET /metrics")?;
+    if !resp.contains("ensemfdet_scans_total 1") {
+        return Err(format!("scan not counted in metrics: {resp}"));
+    }
+    server.shutdown();
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -258,6 +371,18 @@ fn main() {
         }
         println!("ok");
     }
+    let service = if smoke {
+        print!("service v1 smoke ... ");
+        if let Err(e) = service_smoke() {
+            println!("FAILED");
+            eprintln!("service smoke failed: {e}");
+            std::process::exit(1);
+        }
+        println!("ok");
+        "ok"
+    } else {
+        "skipped"
+    };
     println!();
 
     let mut cells = Vec::new();
@@ -315,6 +440,7 @@ fn main() {
         reps,
         ensemble_samples: ENSEMBLE_SAMPLES,
         equivalence: "ok",
+        service_smoke: service,
         datasets: infos,
         cells,
         speedups,

@@ -63,6 +63,7 @@ pub mod heap;
 pub mod metric;
 pub mod monitor;
 pub mod peel;
+pub mod pipeline;
 pub mod truncate;
 
 pub use aggregate::VoteTally;
@@ -77,3 +78,4 @@ pub use fdet::{fdet, fdet_with_engine, FdetResult, Truncation};
 pub use metric::{AverageDegreeMetric, DensityMetric, LogWeightedMetric, MetricKind};
 pub use monitor::{CampaignMonitor, MonitorConfig, ScanReport};
 pub use peel::peel_densest;
+pub use pipeline::{IngestBuffer, ScanOutcome, ScanRunner, Snapshot, SnapshotStore};

@@ -15,9 +15,8 @@
 
 use crate::aggregate::VoteTally;
 use crate::ensemble::{EnsemFdet, EnsemFdetConfig};
-use ensemfdet_graph::builder::DuplicatePolicy;
-use ensemfdet_graph::{GraphBuilder, MerchantId, UserId};
-use std::collections::HashSet;
+use crate::pipeline::{IngestBuffer, ScanRunner, SnapshotStore};
+use ensemfdet_graph::{MerchantId, UserId};
 
 /// Monitor configuration.
 #[derive(Clone, Copy, Debug)]
@@ -54,6 +53,9 @@ impl Default for MonitorConfig {
 /// What one scan produced.
 #[derive(Clone, Debug)]
 pub struct ScanReport {
+    /// Epoch of the graph snapshot this scan ran on (see
+    /// [`crate::pipeline::Snapshot`]).
+    pub epoch: u64,
     /// Every account currently at or above the alert threshold.
     pub flagged: Vec<UserId>,
     /// Accounts crossing the threshold for the first time in this scan.
@@ -86,13 +88,20 @@ impl ScanReport {
 }
 
 /// Accumulates a campaign's purchase stream and re-detects periodically.
+///
+/// Since the ingest/scan split this is a thin *synchronous* composition
+/// of the pipeline pieces — an [`IngestBuffer`] append log, a
+/// [`SnapshotStore`] of epoch-versioned graphs, and a [`ScanRunner`] —
+/// kept for callers (CLI, batch tools) that want the simple
+/// ingest-then-scan loop in one value. The HTTP service composes the
+/// same pieces asynchronously so scans never block ingestion.
 #[derive(Clone, Debug)]
 pub struct CampaignMonitor {
     config: MonitorConfig,
-    builder: GraphBuilder,
-    transactions_seen: usize,
+    buffer: IngestBuffer,
+    snapshots: SnapshotStore,
+    runner: ScanRunner,
     since_scan: usize,
-    alerted: HashSet<u32>,
 }
 
 impl CampaignMonitor {
@@ -108,22 +117,23 @@ impl CampaignMonitor {
         // Validate the detector config eagerly (EnsemFdet::new asserts).
         let _ = EnsemFdet::new(config.detector);
         CampaignMonitor {
+            buffer: IngestBuffer::new(),
+            // The synchronous monitor always scans fresh data, so the
+            // store's cadence is irrelevant here; scans force-compact.
+            snapshots: SnapshotStore::new(config.scan_interval),
+            runner: ScanRunner::new(),
             config,
-            builder: GraphBuilder::new(),
-            transactions_seen: 0,
             since_scan: 0,
-            alerted: HashSet::new(),
         }
     }
 
     /// Ingests one purchase. Returns a report iff this transaction
     /// triggered an automatic scan.
     pub fn ingest(&mut self, u: UserId, v: MerchantId) -> Option<ScanReport> {
-        self.builder.add_edge(u, v);
-        self.transactions_seen += 1;
+        self.buffer.append(u, v);
         self.since_scan += 1;
         if self.since_scan >= self.config.scan_interval
-            && self.transactions_seen >= self.config.min_transactions
+            && self.buffer.len() >= self.config.min_transactions
         {
             Some(self.scan())
         } else {
@@ -134,43 +144,38 @@ impl CampaignMonitor {
     /// Ingests a batch of purchases *without* triggering automatic scans
     /// (bulk backfill); call [`scan`](Self::scan) afterwards.
     pub fn ingest_batch(&mut self, it: impl IntoIterator<Item = (UserId, MerchantId)>) {
-        for (u, v) in it {
-            self.builder.add_edge(u, v);
-            self.transactions_seen += 1;
-        }
+        self.buffer.append_batch(it);
         self.since_scan = 0;
     }
 
     /// Transactions ingested so far.
     pub fn transactions_seen(&self) -> usize {
-        self.transactions_seen
+        self.buffer.len()
     }
 
     /// Materializes the current (deduplicated) purchase graph — for
     /// statistics dashboards and ad-hoc analysis outside the scan cycle.
     pub fn graph_snapshot(&self) -> ensemfdet_graph::BipartiteGraph {
-        self.builder.clone().build_with(DuplicatePolicy::MergeBinary)
+        self.snapshots
+            .refresh(&self.buffer, true)
+            .graph
+            .as_ref()
+            .clone()
     }
 
     /// Runs a detection pass over everything ingested so far.
     pub fn scan(&mut self) -> ScanReport {
         self.since_scan = 0;
-        let graph = self
-            .builder
-            .clone()
-            .build_with(DuplicatePolicy::MergeBinary);
-        let outcome = EnsemFdet::new(self.config.detector).detect(&graph);
-        let flagged = outcome.votes.detected_users(self.config.alert_threshold);
-        let new_alerts: Vec<UserId> = flagged
-            .iter()
-            .copied()
-            .filter(|u| self.alerted.insert(u.0))
-            .collect();
+        let snapshot = self.snapshots.refresh(&self.buffer, true);
+        let outcome =
+            self.runner
+                .run(&snapshot, &self.config.detector, self.config.alert_threshold);
         ScanReport {
-            flagged,
-            new_alerts,
-            transactions_seen: self.transactions_seen,
-            sample_times: outcome.samples.iter().map(|s| s.elapsed).collect(),
+            epoch: outcome.epoch,
+            flagged: outcome.flagged,
+            new_alerts: outcome.new_alerts,
+            transactions_seen: outcome.transactions,
+            sample_times: outcome.sample_times,
             elapsed: outcome.elapsed,
             stages: outcome.stages,
             votes: outcome.votes,
@@ -179,15 +184,14 @@ impl CampaignMonitor {
 
     /// Accounts alerted at any point so far.
     pub fn alerted(&self) -> Vec<UserId> {
-        let mut out: Vec<UserId> = self.alerted.iter().map(|&u| UserId(u)).collect();
-        out.sort_unstable();
-        out
+        self.runner.alerted()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
 
     fn quick_config(interval: usize, threshold: u32) -> MonitorConfig {
         MonitorConfig {

@@ -1,0 +1,570 @@
+//! The non-blocking ingest/scan pipeline.
+//!
+//! A production deployment of the ensemble faces two workloads with
+//! opposite latency profiles: **ingest** (millions of tiny appends that
+//! must never stall) and **scan** (a full `N`-sample ensemble pass that
+//! takes seconds). Guarding both behind one mutex — the original
+//! [`CampaignMonitor`](crate::CampaignMonitor) shape — lets any scan
+//! freeze the ingest path for its whole duration.
+//!
+//! This module splits the monitor into three independently lockable
+//! pieces, mirroring the paper's own separation of graph accumulation
+//! from the embarrassingly parallel detection pass:
+//!
+//! * [`IngestBuffer`] — a sharded, append-only transaction log. An append
+//!   takes one shard mutex for a single `Vec::push`; it is never held
+//!   across graph construction or detection.
+//! * [`SnapshotStore`] — epoch-versioned, immutable
+//!   [`BipartiteGraph`] snapshots built by compacting the buffer at a
+//!   configurable cadence. Publication is an `Arc` swap, so readers never
+//!   wait on a build in progress and a snapshot, once obtained, can be
+//!   scanned for minutes without blocking anyone.
+//! * [`ScanRunner`] — runs [`EnsemFdet::detect`] against one snapshot and
+//!   tags the outcome with that snapshot's epoch. Detection is
+//!   deterministic in `(epoch, seed)`: the same snapshot and seed always
+//!   produce the same flagged set, regardless of what ingest is doing
+//!   concurrently.
+//!
+//! [`CampaignMonitor`](crate::CampaignMonitor) is now a thin synchronous
+//! composition of the three; the HTTP service composes them with a
+//! background executor instead, so `POST /v1/transactions` and a running
+//! scan never contend.
+
+use crate::aggregate::VoteTally;
+use crate::ensemble::{EnsemFdet, EnsemFdetConfig, StageTimings};
+use ensemfdet_graph::builder::DuplicatePolicy;
+use ensemfdet_graph::{BipartiteGraph, GraphBuilder, MerchantId, UserId};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::time::Duration;
+
+/// Number of append shards an [`IngestBuffer`] uses by default. Appends
+/// pick shards round-robin, so concurrent writers rarely collide on the
+/// same mutex.
+pub const DEFAULT_INGEST_SHARDS: usize = 8;
+
+/// Locks a mutex, recovering from poisoning instead of propagating the
+/// panic. The protected data here (append logs, alert sets, snapshot
+/// pointers) stays structurally valid even if a panic interrupted an
+/// update, so serving slightly-stale state beats wedging every caller.
+fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A sharded, append-only log of `(user, merchant)` purchase records.
+///
+/// The write path takes exactly one shard mutex for one push; the read
+/// path ([`collect_edges`](Self::collect_edges)) locks each shard just
+/// long enough to clone it. Nothing ever holds a shard lock across graph
+/// construction or detection, so ingest throughput is independent of
+/// scan activity.
+#[derive(Debug)]
+pub struct IngestBuffer {
+    shards: Vec<Mutex<Vec<(u32, u32)>>>,
+    next_shard: AtomicUsize,
+    total: AtomicUsize,
+}
+
+impl IngestBuffer {
+    /// An empty buffer with [`DEFAULT_INGEST_SHARDS`] shards.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_INGEST_SHARDS)
+    }
+
+    /// An empty buffer with an explicit shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn with_shards(shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        IngestBuffer {
+            shards: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
+            next_shard: AtomicUsize::new(0),
+            total: AtomicUsize::new(0),
+        }
+    }
+
+    /// Appends one purchase record.
+    pub fn append(&self, u: UserId, v: MerchantId) {
+        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        lock_recover(&self.shards[shard]).push((u.0, v.0));
+        self.total.fetch_add(1, Ordering::Release);
+    }
+
+    /// Appends a batch of records through a single shard lock.
+    pub fn append_batch(&self, it: impl IntoIterator<Item = (UserId, MerchantId)>) {
+        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        let mut n = 0usize;
+        {
+            let mut guard = lock_recover(&self.shards[shard]);
+            for (u, v) in it {
+                guard.push((u.0, v.0));
+                n += 1;
+            }
+        }
+        self.total.fetch_add(n, Ordering::Release);
+    }
+
+    /// Records appended so far.
+    pub fn len(&self) -> usize {
+        self.total.load(Ordering::Acquire)
+    }
+
+    /// `true` when nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clones out every shard's records, in shard order. The per-shard
+    /// locks are each held only for a `Vec` clone; concurrent appends
+    /// landing mid-collection simply make it into the next compaction.
+    pub fn collect_edges(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            out.extend_from_slice(&lock_recover(shard));
+        }
+        out
+    }
+}
+
+impl Default for IngestBuffer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for IngestBuffer {
+    fn clone(&self) -> Self {
+        IngestBuffer {
+            shards: self
+                .shards
+                .iter()
+                .map(|s| Mutex::new(lock_recover(s).clone()))
+                .collect(),
+            next_shard: AtomicUsize::new(self.next_shard.load(Ordering::Relaxed)),
+            total: AtomicUsize::new(self.total.load(Ordering::Acquire)),
+        }
+    }
+}
+
+/// One immutable, epoch-tagged view of the purchase graph.
+///
+/// Snapshots are shared as `Arc<Snapshot>`: a scan keeps its snapshot
+/// alive for as long as it runs while newer epochs are published
+/// underneath it.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// Monotonically increasing snapshot version; epoch 0 is the empty
+    /// graph that exists before any compaction.
+    pub epoch: u64,
+    /// Transactions compacted into this snapshot.
+    pub transactions: usize,
+    /// The deduplicated purchase graph.
+    pub graph: Arc<BipartiteGraph>,
+}
+
+impl Snapshot {
+    fn empty() -> Self {
+        Snapshot {
+            epoch: 0,
+            transactions: 0,
+            graph: Arc::new(
+                BipartiteGraph::from_edges(0, 0, vec![]).expect("empty graph is valid"),
+            ),
+        }
+    }
+}
+
+/// Epoch-versioned snapshot publication.
+///
+/// `latest()` is a brief read-lock + `Arc` clone — readers never wait on
+/// a compaction in progress, because graphs are built *outside* the lock
+/// and swapped in atomically. Compactions themselves serialize on an
+/// internal mutex so epochs stay strictly increasing.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    current: RwLock<Arc<Snapshot>>,
+    /// Serializes compactions (graph builds happen outside `current`'s
+    /// lock, so two racing compactions could otherwise publish out of
+    /// epoch order).
+    compacting: Mutex<()>,
+    compaction_interval: usize,
+}
+
+impl SnapshotStore {
+    /// A store holding the empty epoch-0 snapshot.
+    ///
+    /// `compaction_interval` is the cadence in transactions at which
+    /// [`refresh`](Self::refresh) considers the current snapshot stale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `compaction_interval == 0`.
+    pub fn new(compaction_interval: usize) -> Self {
+        assert!(compaction_interval > 0, "compaction_interval must be positive");
+        SnapshotStore {
+            current: RwLock::new(Arc::new(Snapshot::empty())),
+            compacting: Mutex::new(()),
+            compaction_interval,
+        }
+    }
+
+    /// The configured compaction cadence, in transactions.
+    pub fn compaction_interval(&self) -> usize {
+        self.compaction_interval
+    }
+
+    /// The latest published snapshot (wait-free with respect to
+    /// compaction: the lock is held only for an `Arc` clone).
+    pub fn latest(&self) -> Arc<Snapshot> {
+        self.current
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Transactions appended to `buffer` since the latest snapshot.
+    pub fn lag(&self, buffer: &IngestBuffer) -> usize {
+        buffer.len().saturating_sub(self.latest().transactions)
+    }
+
+    /// Whether the cadence says a new compaction is due.
+    pub fn is_stale(&self, buffer: &IngestBuffer) -> bool {
+        self.lag(buffer) >= self.compaction_interval
+    }
+
+    /// Returns a current snapshot, compacting first if needed.
+    ///
+    /// With `force`, any buffered transaction not yet in the snapshot
+    /// triggers a compaction; without it, only the configured cadence
+    /// does. Either way the returned snapshot is the latest published
+    /// one.
+    pub fn refresh(&self, buffer: &IngestBuffer, force: bool) -> Arc<Snapshot> {
+        let due = if force {
+            self.lag(buffer) > 0
+        } else {
+            self.is_stale(buffer)
+        };
+        if due {
+            self.compact(buffer)
+        } else {
+            self.latest()
+        }
+    }
+
+    /// Builds and publishes a new snapshot from the buffer's current
+    /// contents, bumping the epoch. If another thread compacted
+    /// concurrently and already covered at least as many transactions,
+    /// its (newer or equal) snapshot is returned instead.
+    pub fn compact(&self, buffer: &IngestBuffer) -> Arc<Snapshot> {
+        let _serial = lock_recover(&self.compacting);
+        let edges = buffer.collect_edges();
+        let transactions = edges.len();
+        let previous = self.latest();
+        if transactions <= previous.transactions && previous.epoch > 0 {
+            // Nothing new since the snapshot published under the
+            // compaction lock we now hold.
+            return previous;
+        }
+        let mut builder = GraphBuilder::new();
+        builder.extend_edges(
+            edges
+                .into_iter()
+                .map(|(u, v)| (UserId(u), MerchantId(v))),
+        );
+        let graph = builder.build_with(DuplicatePolicy::MergeBinary);
+        let snapshot = Arc::new(Snapshot {
+            epoch: previous.epoch + 1,
+            transactions,
+            graph: Arc::new(graph),
+        });
+        *self
+            .current
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = snapshot.clone();
+        snapshot
+    }
+}
+
+impl Clone for SnapshotStore {
+    fn clone(&self) -> Self {
+        SnapshotStore {
+            current: RwLock::new(self.latest()),
+            compacting: Mutex::new(()),
+            compaction_interval: self.compaction_interval,
+        }
+    }
+}
+
+/// What one scan of a snapshot produced, tagged with the snapshot's
+/// epoch.
+#[derive(Clone, Debug)]
+pub struct ScanOutcome {
+    /// Epoch of the snapshot this scan ran on.
+    pub epoch: u64,
+    /// Transactions in that snapshot.
+    pub transactions: usize,
+    /// Every account at or above the vote threshold used for this scan.
+    pub flagged: Vec<UserId>,
+    /// Accounts crossing the threshold for the first time ever.
+    pub new_alerts: Vec<UserId>,
+    /// The full vote tally, for custom thresholds downstream.
+    pub votes: VoteTally,
+    /// Wall-clock of the ensemble pass.
+    pub elapsed: Duration,
+    /// Per-sample wall-clock, in sample order.
+    pub sample_times: Vec<Duration>,
+    /// Per-stage split of the ensemble pass.
+    pub stages: StageTimings,
+}
+
+/// Runs ensemble scans against snapshots and tracks which accounts have
+/// already alerted, so downstream systems act once per account.
+///
+/// The *flagged set* of a scan is a pure function of
+/// `(snapshot epoch, detector config)` — per-sample seeds derive from the
+/// config seed, so re-running the same epoch with the same seed
+/// reproduces it bit-for-bit. Only `new_alerts` is stateful.
+#[derive(Clone, Debug, Default)]
+pub struct ScanRunner {
+    alerted: HashSet<u32>,
+}
+
+impl ScanRunner {
+    /// A runner with no alert history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs one ensemble pass over `snapshot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid ([`EnsemFdet::new`] asserts) or
+    /// `threshold == 0`.
+    pub fn run(
+        &mut self,
+        snapshot: &Snapshot,
+        config: &EnsemFdetConfig,
+        threshold: u32,
+    ) -> ScanOutcome {
+        assert!(threshold > 0, "alert threshold must be positive");
+        let outcome = EnsemFdet::new(*config).detect(&snapshot.graph);
+        let flagged = outcome.votes.detected_users(threshold);
+        let new_alerts: Vec<UserId> = flagged
+            .iter()
+            .copied()
+            .filter(|u| self.alerted.insert(u.0))
+            .collect();
+        ScanOutcome {
+            epoch: snapshot.epoch,
+            transactions: snapshot.transactions,
+            flagged,
+            new_alerts,
+            sample_times: outcome.samples.iter().map(|s| s.elapsed).collect(),
+            elapsed: outcome.elapsed,
+            stages: outcome.stages,
+            votes: outcome.votes,
+        }
+    }
+
+    /// Accounts alerted at any point so far, sorted.
+    pub fn alerted(&self) -> Vec<UserId> {
+        let mut out: Vec<UserId> = self.alerted.iter().map(|&u| UserId(u)).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of accounts alerted so far.
+    pub fn alerted_count(&self) -> usize {
+        self.alerted.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_and_background(buffer: &IngestBuffer) {
+        for u in 0..8u32 {
+            for v in 0..5u32 {
+                buffer.append(UserId(u), MerchantId(v));
+            }
+        }
+        for i in 0..200u32 {
+            buffer.append(UserId(20 + i % 90), MerchantId(10 + i % 40));
+        }
+    }
+
+    fn quick_config() -> EnsemFdetConfig {
+        EnsemFdetConfig {
+            num_samples: 10,
+            sample_ratio: 0.7,
+            seed: 9,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn buffer_appends_are_counted_and_collected() {
+        let b = IngestBuffer::with_shards(3);
+        assert!(b.is_empty());
+        b.append(UserId(0), MerchantId(1));
+        b.append_batch([(UserId(1), MerchantId(2)), (UserId(2), MerchantId(0))]);
+        assert_eq!(b.len(), 3);
+        let mut edges = b.collect_edges();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn buffer_shard_order_does_not_change_the_graph() {
+        // Same records through different shard counts build the same
+        // deduplicated graph (MergeBinary sorts edges).
+        let graphs: Vec<_> = [1usize, 4, 7]
+            .into_iter()
+            .map(|shards| {
+                let b = IngestBuffer::with_shards(shards);
+                ring_and_background(&b);
+                let store = SnapshotStore::new(1);
+                store.compact(&b).graph.edge_slice().to_vec()
+            })
+            .collect();
+        assert_eq!(graphs[0], graphs[1]);
+        assert_eq!(graphs[1], graphs[2]);
+    }
+
+    #[test]
+    fn concurrent_appends_all_land() {
+        let b = Arc::new(IngestBuffer::new());
+        let handles: Vec<_> = (0..4u32)
+            .map(|t| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    for i in 0..500u32 {
+                        b.append(UserId(t * 1000 + i), MerchantId(i % 17));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(b.len(), 2000);
+        assert_eq!(b.collect_edges().len(), 2000);
+    }
+
+    #[test]
+    fn store_starts_at_epoch_zero_and_bumps_on_compact() {
+        let b = IngestBuffer::new();
+        let store = SnapshotStore::new(10);
+        let s0 = store.latest();
+        assert_eq!(s0.epoch, 0);
+        assert_eq!(s0.graph.num_edges(), 0);
+
+        b.append(UserId(0), MerchantId(0));
+        let s1 = store.compact(&b);
+        assert_eq!(s1.epoch, 1);
+        assert_eq!(s1.transactions, 1);
+        assert_eq!(store.latest().epoch, 1);
+    }
+
+    #[test]
+    fn refresh_honors_cadence_and_force() {
+        let b = IngestBuffer::new();
+        let store = SnapshotStore::new(100);
+        for i in 0..5u32 {
+            b.append(UserId(i), MerchantId(0));
+        }
+        // 5 < 100: cadence says not stale.
+        assert_eq!(store.refresh(&b, false).epoch, 0);
+        // Force compacts anything pending.
+        assert_eq!(store.refresh(&b, true).epoch, 1);
+        // Nothing new: force is a no-op, same snapshot comes back.
+        assert_eq!(store.refresh(&b, true).epoch, 1);
+        for i in 0..100u32 {
+            b.append(UserId(i), MerchantId(1));
+        }
+        assert!(store.is_stale(&b));
+        assert_eq!(store.refresh(&b, false).epoch, 2);
+        assert_eq!(store.lag(&b), 0);
+    }
+
+    #[test]
+    fn snapshots_are_immutable_under_later_ingest() {
+        let b = IngestBuffer::new();
+        ring_and_background(&b);
+        let store = SnapshotStore::new(1);
+        let snap = store.compact(&b);
+        let (edges_before, txn_before) = (snap.graph.num_edges(), snap.transactions);
+        for i in 0..500u32 {
+            b.append(UserId(500 + i), MerchantId(300 + i));
+        }
+        store.compact(&b);
+        // The old snapshot still reads exactly as published.
+        assert_eq!(snap.graph.num_edges(), edges_before);
+        assert_eq!(snap.transactions, txn_before);
+        assert!(store.latest().transactions > txn_before);
+    }
+
+    #[test]
+    fn runner_is_deterministic_per_epoch_and_seed() {
+        let b = IngestBuffer::new();
+        ring_and_background(&b);
+        let store = SnapshotStore::new(1);
+        let snap = store.compact(&b);
+        let cfg = quick_config();
+        let a = ScanRunner::new().run(&snap, &cfg, 6);
+        let c = ScanRunner::new().run(&snap, &cfg, 6);
+        assert_eq!(a.flagged, c.flagged);
+        assert_eq!(a.votes, c.votes);
+        assert_eq!(a.epoch, c.epoch);
+    }
+
+    #[test]
+    fn runner_alerts_once_per_account() {
+        let b = IngestBuffer::new();
+        ring_and_background(&b);
+        let store = SnapshotStore::new(1);
+        let snap = store.compact(&b);
+        let cfg = quick_config();
+        let mut runner = ScanRunner::new();
+        let first = runner.run(&snap, &cfg, 6);
+        assert!(!first.flagged.is_empty());
+        assert_eq!(first.flagged, first.new_alerts);
+        let second = runner.run(&snap, &cfg, 6);
+        assert_eq!(second.flagged, first.flagged);
+        assert!(second.new_alerts.is_empty());
+        assert_eq!(runner.alerted_count(), first.flagged.len());
+    }
+
+    #[test]
+    fn outcome_carries_epoch_and_timings() {
+        let b = IngestBuffer::new();
+        ring_and_background(&b);
+        let store = SnapshotStore::new(1);
+        store.compact(&b);
+        b.append(UserId(900), MerchantId(900));
+        let snap = store.compact(&b);
+        let out = ScanRunner::new().run(&snap, &quick_config(), 6);
+        assert_eq!(out.epoch, 2);
+        assert_eq!(out.transactions, snap.transactions);
+        assert_eq!(out.sample_times.len(), 10);
+    }
+
+    #[test]
+    fn poisoned_shard_recovers() {
+        let b = Arc::new(IngestBuffer::with_shards(1));
+        let poisoner = Arc::clone(&b);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.shards[0].lock().unwrap();
+            panic!("poison the shard");
+        })
+        .join();
+        // Appends and reads still work.
+        b.append(UserId(1), MerchantId(1));
+        assert_eq!(b.collect_edges().len(), 1);
+    }
+}

@@ -1,17 +1,55 @@
-//! The application: routing and state, socket-free.
+//! The application: routing and state for the versioned v1 API,
+//! socket-free.
+//!
+//! The ingest path and the scan path never contend:
+//!
+//! * `POST /v1/transactions` maps keys through the interner (one brief
+//!   mutex) and appends to a sharded [`IngestBuffer`] — it never waits on
+//!   a running scan.
+//! * `POST /v1/scans` pins the freshest epoch-versioned snapshot
+//!   (compaction builds the graph outside every ingest lock), enqueues a
+//!   job on the bounded [`JobStore`], and returns `202` immediately. One
+//!   dedicated executor thread (the `executor` module) drains the queue.
+//! * `GET /v1/scans/{id}` / `GET /v1/scans/latest` read published,
+//!   epoch-tagged results.
+//!
+//! Legacy unversioned routes (`/health`, `/stats`, `/transactions`,
+//! `/scan`) remain as deprecated aliases; `POST /scan` keeps its
+//! synchronous 200 contract by enqueueing and waiting for the job.
 
 use crate::http::{Request, Response};
-use ensemfdet::{CampaignMonitor, EnsemFdetConfig, MonitorConfig, ScanReport};
+use crate::jobs::{EnqueueError, JobState, JobStore, JobView, ScanResultView, ScanSpec};
+use ensemfdet::pipeline::{IngestBuffer, ScanRunner, SnapshotStore};
+use ensemfdet::{EnsemFdet, EnsemFdetConfig, MonitorConfig};
 use ensemfdet_graph::{GraphStats, TransactionInterner};
 use ensemfdet_telemetry::{ServiceMetrics, PROMETHEUS_CONTENT_TYPE};
 use serde_json::{json, Value};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+/// Locks a mutex, recovering from poisoning. Every value the service
+/// guards (interner, alert ledger, job bookkeeping) stays structurally
+/// valid if a panicking thread unwound through an update, so serving
+/// slightly stale data beats wedging every subsequent request with a
+/// panic — which is what expecting the lock result did here once.
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Service configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct ApiConfig {
-    /// Monitor settings (detector, scan cadence, alert threshold).
+    /// Monitor settings (detector, auto-scan cadence, alert threshold).
     pub monitor: MonitorConfig,
+    /// Snapshot compaction cadence in transactions: reads that tolerate
+    /// staleness (auto-refresh) rebuild the graph at most this often.
+    pub compaction_interval: usize,
+    /// Scan jobs allowed to wait in the queue; beyond this `POST
+    /// /v1/scans` answers `429 queue_full`.
+    pub scan_queue_capacity: usize,
+    /// Finished scan jobs kept queryable via `GET /v1/scans/{id}`.
+    pub result_ring: usize,
 }
 
 impl Default for ApiConfig {
@@ -27,95 +65,170 @@ impl Default for ApiConfig {
                 alert_threshold: 10,
                 min_transactions: 2_000,
             },
+            compaction_interval: 1_000,
+            scan_queue_capacity: 8,
+            result_ring: 16,
         }
     }
 }
 
 /// The label a request is counted under in
-/// `ensemfdet_http_requests_total{route=…}` — the fixed route set plus
-/// `"other"`, so hostile paths cannot inflate label cardinality.
-pub fn route_label(_method: &str, path: &str) -> &'static str {
+/// `ensemfdet_http_requests_total{route=…}`, plus whether the path is a
+/// deprecated alias (counted with `deprecated="true"`). The label set is
+/// fixed — `/v1/scans/<anything>` collapses to `/v1/scans/{id}` — so
+/// hostile paths cannot inflate label cardinality.
+pub fn route_label(_method: &str, path: &str) -> (&'static str, bool) {
     match path {
-        "/health" => "/health",
-        "/stats" => "/stats",
-        "/transactions" => "/transactions",
-        "/scan" => "/scan",
-        "/metrics" => "/metrics",
-        _ => "other",
+        "/v1/health" => ("/v1/health", false),
+        "/health" => ("/v1/health", true),
+        "/v1/stats" => ("/v1/stats", false),
+        "/stats" => ("/v1/stats", true),
+        "/v1/transactions" => ("/v1/transactions", false),
+        "/transactions" => ("/v1/transactions", true),
+        "/v1/scans" => ("/v1/scans", false),
+        "/scan" => ("/v1/scans", true),
+        "/v1/scans/latest" => ("/v1/scans/latest", false),
+        "/v1/config" => ("/v1/config", false),
+        "/metrics" | "/v1/metrics" => ("/metrics", false),
+        p if p.starts_with("/v1/scans/") => ("/v1/scans/{id}", false),
+        _ => ("other", false),
     }
 }
 
-struct State {
-    monitor: CampaignMonitor,
-    interner: TransactionInterner,
+/// Everything the request handlers and the scan executor share. No
+/// single big lock: the buffer is sharded, the snapshot store swaps
+/// `Arc`s, and the two remaining mutexes (interner, alert ledger) are
+/// held only for key translation.
+pub(crate) struct Engine {
+    pub(crate) config: ApiConfig,
+    pub(crate) buffer: IngestBuffer,
+    pub(crate) snapshots: SnapshotStore,
+    pub(crate) interner: Mutex<TransactionInterner>,
+    pub(crate) runner: Mutex<ScanRunner>,
+    pub(crate) jobs: JobStore,
+    pub(crate) metrics: Arc<ServiceMetrics>,
+    /// Transactions since the last (requested or automatic) scan.
+    since_scan: AtomicUsize,
 }
 
-/// Shared, thread-safe API state.
+/// Shared, thread-safe API state plus the background scan executor.
 pub struct Api {
-    state: Mutex<State>,
-    metrics: Arc<ServiceMetrics>,
+    engine: Arc<Engine>,
+    executor: Option<JoinHandle<()>>,
 }
 
 impl Api {
-    /// Creates the service state.
+    /// Creates the service state and starts the scan executor thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cadence/capacity knob is zero or the detector
+    /// configuration is invalid.
     pub fn new(config: ApiConfig) -> Self {
-        Api {
-            state: Mutex::new(State {
-                monitor: CampaignMonitor::new(config.monitor),
-                interner: TransactionInterner::new(),
-            }),
+        assert!(config.monitor.scan_interval > 0, "scan_interval must be positive");
+        assert!(
+            config.monitor.alert_threshold > 0,
+            "alert_threshold must be positive"
+        );
+        // Validate the detector config eagerly (EnsemFdet::new asserts).
+        let _ = EnsemFdet::new(config.monitor.detector);
+        let engine = Arc::new(Engine {
+            buffer: IngestBuffer::new(),
+            snapshots: SnapshotStore::new(config.compaction_interval),
+            interner: Mutex::new(TransactionInterner::new()),
+            runner: Mutex::new(ScanRunner::new()),
+            jobs: JobStore::new(config.scan_queue_capacity, config.result_ring),
             metrics: Arc::new(ServiceMetrics::new()),
+            since_scan: AtomicUsize::new(0),
+            config,
+        });
+        let executor = crate::executor::spawn(Arc::clone(&engine));
+        Api {
+            engine,
+            executor: Some(executor),
         }
     }
 
     /// The metric set this API reports into (shared with the server's
     /// accept loop and workers).
     pub fn metrics(&self) -> &Arc<ServiceMetrics> {
-        &self.metrics
+        &self.engine.metrics
     }
 
     /// Routes one request. Never panics on malformed input — bad requests
-    /// get a 4xx JSON error.
+    /// get a 4xx with the standard `{"error":{"code","message"}}` body.
     pub fn handle(&self, request: &Request) -> Response {
-        match (request.method.as_str(), request.path.as_str()) {
-            ("GET", "/health") => self.health(),
-            ("GET", "/stats") => self.stats(),
-            ("GET", "/metrics") => self.metrics_page(),
-            ("POST", "/transactions") => self.transactions(&request.body),
-            ("POST", "/scan") => self.scan(),
-            ("GET", _) | ("POST", _) => Response::error(404, "no such route"),
-            _ => Response::error(405, "method not allowed"),
+        let path = request.path.as_str();
+        match (request.method.as_str(), path) {
+            ("GET", "/v1/health" | "/health") => self.health(),
+            ("GET", "/v1/stats" | "/stats") => self.stats(),
+            ("GET", "/metrics" | "/v1/metrics") => self.metrics_page(),
+            ("GET", "/v1/config") => self.config_page(),
+            ("POST", "/v1/transactions" | "/transactions") => self.transactions(&request.body),
+            ("POST", "/v1/scans") => self.submit_scan(&request.body),
+            ("POST", "/scan") => self.scan_sync(&request.body),
+            ("GET", "/v1/scans/latest") => self.latest_scan(),
+            ("GET", p) if p.starts_with("/v1/scans/") => {
+                self.scan_status(&p["/v1/scans/".len()..])
+            }
+            ("GET", _) | ("POST", _) => Response::error(404, "not_found", "no such route"),
+            _ => Response::error(405, "method_not_allowed", "method not allowed"),
         }
     }
 
     fn health(&self) -> Response {
-        let state = self.state.lock().expect("api state poisoned");
+        let e = &self.engine;
         Response::json(
             200,
             &json!({
                 "status": "ok",
-                "transactions": state.monitor.transactions_seen(),
-                "alerted_accounts": state.monitor.alerted().len(),
+                "transactions": e.buffer.len(),
+                "alerted_accounts": lock_recover(&e.runner).alerted_count(),
+                "snapshot_epoch": e.snapshots.latest().epoch,
+                "scan_queue_depth": e.jobs.queue_depth(),
             }),
         )
     }
 
     fn metrics_page(&self) -> Response {
-        Response::text(200, PROMETHEUS_CONTENT_TYPE, self.metrics.render())
+        Response::text(200, PROMETHEUS_CONTENT_TYPE, self.engine.metrics.render())
+    }
+
+    fn config_page(&self) -> Response {
+        let c = &self.engine.config;
+        Response::json(
+            200,
+            &json!({
+                "detector": c.monitor.detector,
+                "alert_threshold": c.monitor.alert_threshold,
+                "scan_interval": c.monitor.scan_interval,
+                "min_transactions": c.monitor.min_transactions,
+                "compaction_interval": c.compaction_interval,
+                "scan_queue_capacity": c.scan_queue_capacity,
+                "result_ring": c.result_ring,
+                "scan_overrides": ["num_samples", "sample_ratio", "threshold"],
+            }),
+        )
     }
 
     fn stats(&self) -> Response {
-        let state = self.state.lock().expect("api state poisoned");
-        // Rebuild the current graph snapshot for statistics.
-        let (users, merchants) = (state.interner.num_users(), state.interner.num_merchants());
-        let graph = snapshot(&state);
-        let s = GraphStats::of(&graph);
+        let e = &self.engine;
+        // Force a fresh snapshot so /stats reflects everything ingested;
+        // compaction never holds ingest locks during the graph build.
+        let snapshot = e.snapshots.refresh(&e.buffer, true);
+        e.metrics.record_snapshot(snapshot.epoch, e.snapshots.lag(&e.buffer));
+        let (users, merchants) = {
+            let interner = lock_recover(&e.interner);
+            (interner.num_users(), interner.num_merchants())
+        };
+        let s = GraphStats::of(&snapshot.graph);
         Response::json(
             200,
             &json!({
                 "users": users,
                 "merchants": merchants,
                 "edges": s.num_edges,
+                "epoch": snapshot.epoch,
                 "avg_user_degree": s.avg_user_degree,
                 "avg_merchant_degree": s.avg_merchant_degree,
                 "max_merchant_degree": s.max_merchant_degree,
@@ -123,95 +236,308 @@ impl Api {
         )
     }
 
-    /// Feeds one scan's outcome into the metric set.
-    fn record_scan(&self, report: &ScanReport) {
-        self.metrics.record_scan(report.elapsed, &report.sample_times);
-        self.metrics.record_scan_stages([
-            report.stages.sampling,
-            report.stages.detection,
-            report.stages.aggregation,
-        ]);
-        self.metrics.alerts.add(report.new_alerts.len() as u64);
-    }
-
     fn transactions(&self, body: &[u8]) -> Response {
         let parsed: Value = match serde_json::from_slice(body) {
             Ok(v) => v,
-            Err(e) => return Response::error(400, &format!("invalid JSON: {e}")),
+            Err(e) => return Response::error(400, "bad_request", format!("invalid JSON: {e}")),
         };
         let Some(records) = parsed.get("records").and_then(Value::as_array) else {
-            return Response::error(400, "expected {\"records\": [[user, merchant], …]}");
+            return Response::error(
+                400,
+                "bad_request",
+                "expected {\"records\": [[user, merchant], …]}",
+            );
         };
-
-        let mut state = self.state.lock().expect("api state poisoned");
-        let mut ingested = 0usize;
-        let mut scan_alerts: Vec<String> = Vec::new();
+        // Validate every record before touching any state, so a bad batch
+        // is rejected whole.
+        let mut keys = Vec::with_capacity(records.len());
         for (i, record) in records.iter().enumerate() {
             let pair = record.as_array().filter(|a| a.len() >= 2);
             let (Some(user), Some(merchant)) = (
                 pair.and_then(|a| a[0].as_str()),
                 pair.and_then(|a| a[1].as_str()),
             ) else {
-                return Response::error(400, &format!("record {i}: expected [user, merchant]"));
-            };
-            let u = state.interner.user(user);
-            let v = state.interner.merchant(merchant);
-            if let Some(report) = state.monitor.ingest(u, v) {
-                self.record_scan(&report);
-                scan_alerts.extend(
-                    report
-                        .new_alerts
-                        .iter()
-                        .map(|&a| state.interner.user_key(a).to_string()),
+                return Response::error(
+                    400,
+                    "invalid_record",
+                    format!("record {i}: expected [user, merchant]"),
                 );
-            }
-            ingested += 1;
+            };
+            keys.push((user, merchant));
         }
-        self.metrics.transactions_ingested.add(ingested as u64);
+
+        let e = &self.engine;
+        let ids: Vec<_> = {
+            let mut interner = lock_recover(&e.interner);
+            keys.iter()
+                .map(|&(u, v)| (interner.user(u), interner.merchant(v)))
+                .collect()
+        };
+        let ingested = ids.len();
+        e.buffer.append_batch(ids);
+        e.metrics.transactions_ingested.add(ingested as u64);
+        e.since_scan.fetch_add(ingested, Ordering::Relaxed);
+        let scan_job = self.maybe_autoscan();
         Response::json(
             200,
             &json!({
                 "ingested": ingested,
-                "transactions": state.monitor.transactions_seen(),
-                "new_alerts": scan_alerts,
+                "transactions": e.buffer.len(),
+                "scan_job": scan_job,
             }),
         )
     }
 
-    fn scan(&self) -> Response {
-        let mut state = self.state.lock().expect("api state poisoned");
-        let report = state.monitor.scan();
-        self.record_scan(&report);
-        let flagged: Vec<&str> = report
-            .flagged
-            .iter()
-            .map(|&u| state.interner.user_key(u))
-            .collect();
-        let new_alerts: Vec<&str> = report
-            .new_alerts
-            .iter()
-            .map(|&u| state.interner.user_key(u))
-            .collect();
-        Response::json(
-            200,
-            &json!({
-                "transactions": report.transactions_seen,
-                "flagged": flagged,
-                "new_alerts": new_alerts,
-                "scan_millis": report.elapsed.as_secs_f64() * 1e3,
-            }),
-        )
+    /// Fires an automatic scan when a full interval has accumulated past
+    /// the warm-up floor. Best-effort: a full queue just means the next
+    /// interval tries again.
+    fn maybe_autoscan(&self) -> Option<u64> {
+        let e = &self.engine;
+        if e.since_scan.load(Ordering::Relaxed) < e.config.monitor.scan_interval
+            || e.buffer.len() < e.config.monitor.min_transactions
+        {
+            return None;
+        }
+        self.enqueue_scan(e.config.monitor.detector, e.config.monitor.alert_threshold)
+            .ok()
+            .map(|(id, _epoch)| id)
+    }
+
+    /// Effective detector config + threshold for one scan request:
+    /// service defaults overlaid with any per-request overrides from the
+    /// body (`{}`/`null`/empty body mean "defaults").
+    fn scan_overrides(&self, body: &[u8]) -> Result<(EnsemFdetConfig, u32), Response> {
+        let m = &self.engine.config.monitor;
+        let mut config = m.detector;
+        let mut threshold = m.alert_threshold;
+        if body.iter().all(u8::is_ascii_whitespace) {
+            return Ok((config, threshold));
+        }
+        let parsed: Value = serde_json::from_slice(body)
+            .map_err(|e| Response::error(400, "bad_request", format!("invalid JSON: {e}")))?;
+        if parsed.is_null() {
+            return Ok((config, threshold));
+        }
+        let obj = parsed.as_object().ok_or_else(|| {
+            Response::error(400, "invalid_config", "expected a JSON object of overrides")
+        })?;
+        for (key, value) in obj.iter() {
+            match key.as_str() {
+                "num_samples" => {
+                    let n = value.as_u64().filter(|&n| (1..=10_000).contains(&n)).ok_or_else(
+                        || {
+                            Response::error(
+                                400,
+                                "invalid_config",
+                                "num_samples must be an integer in [1, 10000]",
+                            )
+                        },
+                    )?;
+                    config.num_samples = n as usize;
+                }
+                "sample_ratio" => {
+                    let r = value
+                        .as_f64()
+                        .filter(|r| *r > 0.0 && *r <= 1.0)
+                        .ok_or_else(|| {
+                            Response::error(
+                                400,
+                                "invalid_config",
+                                "sample_ratio must be a number in (0, 1]",
+                            )
+                        })?;
+                    config.sample_ratio = r;
+                }
+                "threshold" => {
+                    let t = value
+                        .as_u64()
+                        .filter(|&t| t >= 1 && t <= u64::from(u32::MAX))
+                        .ok_or_else(|| {
+                            Response::error(
+                                400,
+                                "invalid_config",
+                                "threshold must be a positive integer",
+                            )
+                        })?;
+                    threshold = t as u32;
+                }
+                other => {
+                    return Err(Response::error(
+                        400,
+                        "invalid_config",
+                        format!("unknown override {other:?} (expected num_samples, sample_ratio, threshold)"),
+                    ));
+                }
+            }
+        }
+        Ok((config, threshold))
+    }
+
+    /// Pins the freshest snapshot and enqueues a scan job on it.
+    fn enqueue_scan(
+        &self,
+        config: EnsemFdetConfig,
+        threshold: u32,
+    ) -> Result<(u64, u64), Response> {
+        let e = &self.engine;
+        let snapshot = e.snapshots.refresh(&e.buffer, true);
+        let epoch = snapshot.epoch;
+        e.metrics.record_snapshot(epoch, e.snapshots.lag(&e.buffer));
+        e.since_scan.store(0, Ordering::Relaxed);
+        match e.jobs.enqueue(ScanSpec {
+            snapshot,
+            config,
+            threshold,
+        }) {
+            Ok(id) => {
+                e.metrics.scan_queue_depth.set(e.jobs.queue_depth() as i64);
+                Ok((id, epoch))
+            }
+            Err(EnqueueError::QueueFull) => {
+                e.metrics.scan_queue_rejected.inc();
+                Err(Response::error(
+                    429,
+                    "queue_full",
+                    "scan queue full, retry later",
+                ))
+            }
+            Err(EnqueueError::Stopping) => {
+                Err(Response::error(503, "internal", "service shutting down"))
+            }
+        }
+    }
+
+    fn submit_scan(&self, body: &[u8]) -> Response {
+        let (config, threshold) = match self.scan_overrides(body) {
+            Ok(x) => x,
+            Err(resp) => return resp,
+        };
+        match self.enqueue_scan(config, threshold) {
+            Ok((job_id, epoch)) => Response::json(
+                202,
+                &json!({
+                    "job_id": job_id,
+                    "epoch": epoch,
+                    "status": JobState::Queued.name(),
+                }),
+            ),
+            Err(resp) => resp,
+        }
+    }
+
+    /// Deprecated `POST /scan`: enqueue like everyone else, then block
+    /// until the job finishes, preserving the old synchronous 200 shape.
+    fn scan_sync(&self, body: &[u8]) -> Response {
+        let (config, threshold) = match self.scan_overrides(body) {
+            Ok(x) => x,
+            Err(resp) => return resp,
+        };
+        let (id, _epoch) = match self.enqueue_scan(config, threshold) {
+            Ok(x) => x,
+            Err(resp) => return resp,
+        };
+        match self.engine.jobs.wait(id) {
+            Some(view) => match view.result {
+                Some(r) => Response::json(
+                    200,
+                    &json!({
+                        "transactions": r.transactions,
+                        "flagged": r.flagged.clone(),
+                        "new_alerts": r.new_alerts.clone(),
+                        "scan_millis": r.scan_millis,
+                        "epoch": r.epoch,
+                    }),
+                ),
+                None => Response::error(
+                    500,
+                    "internal",
+                    view.error.unwrap_or_else(|| "scan failed".into()),
+                ),
+            },
+            None => Response::error(503, "internal", "service shutting down"),
+        }
+    }
+
+    fn scan_status(&self, id: &str) -> Response {
+        let Ok(id) = id.parse::<u64>() else {
+            return Response::error(400, "bad_request", "scan job ids are decimal integers");
+        };
+        match self.engine.jobs.get(id) {
+            Some(view) => Response::json(200, &job_json(&view)),
+            None => Response::error(404, "unknown_job", format!("no such scan job: {id}")),
+        }
+    }
+
+    fn latest_scan(&self) -> Response {
+        match self.engine.jobs.latest() {
+            Some(r) => Response::json(200, &result_json(&r)),
+            None => Response::error(404, "no_completed_scan", "no scan has completed yet"),
+        }
     }
 }
 
-/// The current purchase graph, materialized from the monitor.
-fn snapshot(state: &State) -> ensemfdet_graph::BipartiteGraph {
-    state.monitor.graph_snapshot()
+impl Drop for Api {
+    fn drop(&mut self) {
+        self.engine.jobs.stop();
+        if let Some(executor) = self.executor.take() {
+            let _ = executor.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Api {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Api")
+            .field("config", &self.engine.config)
+            .field("transactions", &self.engine.buffer.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The wire shape of one job record.
+fn job_json(view: &JobView) -> Value {
+    let mut body = serde_json::Map::new();
+    body.insert("job_id".into(), json!(view.id));
+    body.insert("status".into(), json!(view.state.name()));
+    body.insert("epoch".into(), json!(view.epoch));
+    body.insert(
+        "queue_wait_millis".into(),
+        json!(view.queue_wait.as_secs_f64() * 1e3),
+    );
+    if let Some(run) = view.run_time {
+        body.insert("run_millis".into(), json!(run.as_secs_f64() * 1e3));
+    }
+    if let Some(result) = &view.result {
+        body.insert("result".into(), result_json(result));
+    }
+    if let Some(error) = &view.error {
+        body.insert(
+            "error".into(),
+            json!({ "code": "internal", "message": error }),
+        );
+    }
+    Value::Object(body)
+}
+
+/// The wire shape of one published scan result.
+fn result_json(r: &ScanResultView) -> Value {
+    json!({
+        "job_id": r.job_id,
+        "epoch": r.epoch,
+        "transactions": r.transactions,
+        "flagged": r.flagged.clone(),
+        "new_alerts": r.new_alerts.clone(),
+        "scan_millis": r.scan_millis,
+        "num_samples": r.config.num_samples,
+        "sample_ratio": r.config.sample_ratio,
+        "threshold": r.threshold,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::{Duration, Instant};
 
     fn post(api: &Api, path: &str, body: Value) -> (u16, Value) {
         let resp = api.handle(&Request {
@@ -233,6 +559,24 @@ mod tests {
         (resp.status, parsed)
     }
 
+    /// Polls a job until it reaches a terminal state.
+    fn wait_done(api: &Api, job_id: u64) -> Value {
+        let start = Instant::now();
+        loop {
+            let (status, body) = get(api, &format!("/v1/scans/{job_id}"));
+            assert_eq!(status, 200, "{body}");
+            let state = body["status"].as_str().unwrap().to_string();
+            if state == "done" || state == "failed" {
+                return body;
+            }
+            assert!(
+                start.elapsed() < Duration::from_secs(30),
+                "job {job_id} stuck in {state}"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
     fn quick_api() -> Api {
         Api::new(ApiConfig {
             monitor: MonitorConfig {
@@ -246,21 +590,11 @@ mod tests {
                 alert_threshold: 15,
                 min_transactions: 0,
             },
+            ..Default::default()
         })
     }
 
-    #[test]
-    fn health_reports_counts() {
-        let api = quick_api();
-        let (status, body) = get(&api, "/health");
-        assert_eq!(status, 200);
-        assert_eq!(body["status"], "ok");
-        assert_eq!(body["transactions"], 0);
-    }
-
-    #[test]
-    fn ingest_then_scan_flags_ring() {
-        let api = quick_api();
+    fn ring_records() -> Vec<Value> {
         // Ring: 8 bots × 6 stores; background: 60 shoppers × 1 purchase.
         let mut records = Vec::new();
         for b in 0..8 {
@@ -271,13 +605,36 @@ mod tests {
         for p in 0..60 {
             records.push(json!([format!("pin-{p}"), format!("store-{}", p % 50)]));
         }
-        let (status, body) = post(&api, "/transactions", json!({ "records": records }));
+        records
+    }
+
+    #[test]
+    fn health_reports_counts_on_both_paths() {
+        let api = quick_api();
+        for path in ["/v1/health", "/health"] {
+            let (status, body) = get(&api, path);
+            assert_eq!(status, 200);
+            assert_eq!(body["status"], "ok");
+            assert_eq!(body["transactions"], 0);
+            assert_eq!(body["snapshot_epoch"], 0);
+        }
+    }
+
+    #[test]
+    fn ingest_then_async_scan_flags_ring() {
+        let api = quick_api();
+        let (status, body) = post(&api, "/v1/transactions", json!({ "records": ring_records() }));
         assert_eq!(status, 200);
         assert_eq!(body["ingested"], 108);
 
-        let (status, body) = post(&api, "/scan", Value::Null);
-        assert_eq!(status, 200);
-        let flagged: Vec<String> = body["flagged"]
+        let (status, body) = post(&api, "/v1/scans", json!({}));
+        assert_eq!(status, 202, "{body}");
+        assert!(body["epoch"].as_u64().unwrap() >= 1);
+        let job_id = body["job_id"].as_u64().unwrap();
+
+        let done = wait_done(&api, job_id);
+        assert_eq!(done["status"], "done");
+        let flagged: Vec<String> = done["result"]["flagged"]
             .as_array()
             .unwrap()
             .iter()
@@ -291,6 +648,79 @@ mod tests {
             bots * 2 >= flagged.len(),
             "bots are a minority of the flags: {flagged:?}"
         );
+
+        // The published result is also the latest.
+        let (status, latest) = get(&api, "/v1/scans/latest");
+        assert_eq!(status, 200);
+        assert_eq!(latest["job_id"].as_u64().unwrap(), job_id);
+        assert_eq!(latest["epoch"], done["epoch"]);
+    }
+
+    #[test]
+    fn legacy_scan_alias_stays_synchronous() {
+        let api = quick_api();
+        post(&api, "/transactions", json!({ "records": ring_records() }));
+        let (status, body) = post(&api, "/scan", Value::Null);
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body["transactions"], 108);
+        let flagged = body["flagged"].as_array().unwrap();
+        assert!(
+            flagged.iter().any(|v| v.as_str().unwrap().starts_with("bot-")),
+            "{body}"
+        );
+    }
+
+    #[test]
+    fn scan_overrides_are_applied_and_validated() {
+        let api = quick_api();
+        post(&api, "/v1/transactions", json!({ "records": ring_records() }));
+
+        // An impossible threshold flags nobody.
+        let (status, body) =
+            post(&api, "/v1/scans", json!({ "threshold": 1000, "num_samples": 5 }));
+        assert_eq!(status, 202, "{body}");
+        let done = wait_done(&api, body["job_id"].as_u64().unwrap());
+        assert_eq!(done["status"], "done");
+        assert_eq!(done["result"]["threshold"], 1000);
+        assert_eq!(done["result"]["num_samples"], 5);
+        assert!(done["result"]["flagged"].as_array().unwrap().is_empty());
+
+        // Invalid overrides are 400 invalid_config.
+        for bad in [
+            json!({ "sample_ratio": 0.0 }),
+            json!({ "sample_ratio": 1.5 }),
+            json!({ "sample_ratio": "half" }),
+            json!({ "num_samples": 0 }),
+            json!({ "threshold": -3 }),
+            json!({ "frobnicate": true }),
+            json!([1, 2, 3]),
+        ] {
+            let (status, body) = post(&api, "/v1/scans", bad.clone());
+            assert_eq!(status, 400, "override {bad} accepted: {body}");
+            assert_eq!(body["error"]["code"], "invalid_config", "{body}");
+        }
+    }
+
+    #[test]
+    fn config_page_reports_effective_settings() {
+        let api = quick_api();
+        let (status, body) = get(&api, "/v1/config");
+        assert_eq!(status, 200);
+        assert_eq!(body["detector"]["num_samples"], 20);
+        assert_eq!(body["alert_threshold"], 15);
+        assert_eq!(body["scan_queue_capacity"], 8);
+        assert!(body["scan_overrides"].as_array().unwrap().len() == 3);
+    }
+
+    #[test]
+    fn unknown_job_is_404_bad_id_is_400() {
+        let api = quick_api();
+        let (status, body) = get(&api, "/v1/scans/999");
+        assert_eq!(status, 404);
+        assert_eq!(body["error"]["code"], "unknown_job");
+        let (status, body) = get(&api, "/v1/scans/not-a-number");
+        assert_eq!(status, 400);
+        assert_eq!(body["error"]["code"], "bad_request");
     }
 
     #[test]
@@ -298,14 +728,15 @@ mod tests {
         let api = quick_api();
         post(
             &api,
-            "/transactions",
+            "/v1/transactions",
             json!({ "records": [["a", "x"], ["b", "x"], ["a", "y"]] }),
         );
-        let (status, body) = get(&api, "/stats");
+        let (status, body) = get(&api, "/v1/stats");
         assert_eq!(status, 200);
         assert_eq!(body["users"], 2);
         assert_eq!(body["merchants"], 2);
         assert_eq!(body["edges"], 3);
+        assert!(body["epoch"].as_u64().unwrap() >= 1);
     }
 
     #[test]
@@ -313,7 +744,7 @@ mod tests {
         let api = quick_api();
         post(
             &api,
-            "/transactions",
+            "/v1/transactions",
             json!({ "records": [["a", "x"], ["b", "x"]] }),
         );
         post(&api, "/scan", Value::Null);
@@ -329,43 +760,125 @@ mod tests {
         assert!(text.contains("ensemfdet_scans_total 1"), "{text}");
         // The scan fed one per-sample timing observation per sample.
         assert!(text.contains("ensemfdet_scan_sample_duration_seconds_count 20"), "{text}");
+        // The pipeline gauges are published.
+        assert!(text.contains("ensemfdet_snapshot_epoch 1"), "{text}");
+        assert!(text.contains("ensemfdet_scan_job_duration_seconds_count 1"), "{text}");
     }
 
     #[test]
-    fn malformed_json_is_400() {
+    fn malformed_json_is_400_with_envelope() {
         let api = quick_api();
         let resp = api.handle(&Request {
             method: "POST".into(),
-            path: "/transactions".into(),
+            path: "/v1/transactions".into(),
             body: b"not json".to_vec(),
         });
         assert_eq!(resp.status, 400);
+        let body: Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(body["error"]["code"], "bad_request");
+        assert!(body["error"]["message"].as_str().unwrap().contains("invalid JSON"));
     }
 
     #[test]
-    fn bad_record_shape_is_400() {
+    fn bad_record_shape_is_400_and_ingests_nothing() {
         let api = quick_api();
-        let (status, body) = post(&api, "/transactions", json!({ "records": [["only-user"]] }));
+        let (status, body) = post(
+            &api,
+            "/v1/transactions",
+            json!({ "records": [["good", "pair"], ["only-user"]] }),
+        );
         assert_eq!(status, 400);
-        assert!(body["error"].as_str().unwrap().contains("record 0"));
+        assert_eq!(body["error"]["code"], "invalid_record");
+        assert!(body["error"]["message"].as_str().unwrap().contains("record 1"));
+        // The batch was rejected whole.
+        let (_, health) = get(&api, "/v1/health");
+        assert_eq!(health["transactions"], 0);
     }
 
     #[test]
     fn unknown_route_is_404_unknown_method_405() {
         let api = quick_api();
-        assert_eq!(get(&api, "/nope").0, 404);
+        let (status, body) = get(&api, "/nope");
+        assert_eq!(status, 404);
+        assert_eq!(body["error"]["code"], "not_found");
         let resp = api.handle(&Request {
             method: "DELETE".into(),
-            path: "/health".into(),
+            path: "/v1/health".into(),
             body: vec![],
         });
         assert_eq!(resp.status, 405);
+        let body: Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(body["error"]["code"], "method_not_allowed");
+    }
+
+    #[test]
+    fn latest_scan_before_any_scan_is_404() {
+        let api = quick_api();
+        let (status, body) = get(&api, "/v1/scans/latest");
+        assert_eq!(status, 404);
+        assert_eq!(body["error"]["code"], "no_completed_scan");
+    }
+
+    #[test]
+    fn poisoned_locks_recover_instead_of_wedging() {
+        let api = quick_api();
+        post(&api, "/v1/transactions", json!({ "records": [["a", "x"]] }));
+        // Poison the interner and alert-ledger mutexes: panic while
+        // holding each.
+        let engine = Arc::clone(&api.engine);
+        let _ = std::thread::spawn(move || {
+            let _interner = lock_recover(&engine.interner);
+            let _runner = lock_recover(&engine.runner);
+            panic!("poison both");
+        })
+        .join();
+        assert!(api.engine.interner.is_poisoned());
+        // Every path that takes those locks still serves.
+        let (status, body) = get(&api, "/v1/health");
+        assert_eq!(status, 200, "{body}");
+        let (status, body) = post(&api, "/v1/transactions", json!({ "records": [["b", "y"]] }));
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body["transactions"], 2);
+        let (status, body) = post(&api, "/scan", Value::Null);
+        assert_eq!(status, 200, "{body}");
+    }
+
+    #[test]
+    fn autoscan_fires_on_interval_and_returns_job_id() {
+        let api = Api::new(ApiConfig {
+            monitor: MonitorConfig {
+                detector: EnsemFdetConfig {
+                    num_samples: 4,
+                    sample_ratio: 0.5,
+                    seed: 1,
+                    ..Default::default()
+                },
+                scan_interval: 10,
+                alert_threshold: 3,
+                min_transactions: 0,
+            },
+            ..Default::default()
+        });
+        let records: Vec<Value> =
+            (0..12).map(|i| json!([format!("u{i}"), format!("m{}", i % 3)])).collect();
+        let (status, body) = post(&api, "/v1/transactions", json!({ "records": records }));
+        assert_eq!(status, 200);
+        let job = body["scan_job"].as_u64().expect("interval crossed, scan queued");
+        let done = wait_done(&api, job);
+        assert_eq!(done["status"], "done");
+        // The counter reset: a tiny follow-up batch does not re-trigger.
+        let (_, body) = post(&api, "/v1/transactions", json!({ "records": [["z", "z"]] }));
+        assert!(body["scan_job"].is_null());
     }
 
     #[test]
     fn route_labels_have_fixed_cardinality() {
-        assert_eq!(route_label("GET", "/metrics"), "/metrics");
-        assert_eq!(route_label("GET", "/../../etc/passwd"), "other");
-        assert_eq!(route_label("POST", "/scan"), "/scan");
+        assert_eq!(route_label("GET", "/metrics"), ("/metrics", false));
+        assert_eq!(route_label("GET", "/../../etc/passwd"), ("other", false));
+        assert_eq!(route_label("POST", "/scan"), ("/v1/scans", true));
+        assert_eq!(route_label("POST", "/v1/scans"), ("/v1/scans", false));
+        assert_eq!(route_label("GET", "/v1/scans/17"), ("/v1/scans/{id}", false));
+        assert_eq!(route_label("GET", "/v1/scans/latest"), ("/v1/scans/latest", false));
+        assert_eq!(route_label("GET", "/health"), ("/v1/health", true));
     }
 }

@@ -1,0 +1,92 @@
+//! The background scan executor: one dedicated thread draining the
+//! [`JobStore`](crate::jobs::JobStore) queue.
+//!
+//! Each job carries its pinned snapshot, so the ensemble runs on exactly
+//! the epoch that `POST /v1/scans` reported — ingest continuing in the
+//! meantime cannot change what a job scans. A panicking detector run is
+//! caught and recorded as a `failed` job instead of killing the thread.
+
+use crate::api::{lock_recover, Engine};
+use crate::jobs::ScanResultView;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Starts the executor thread. It exits when the job store stops.
+pub(crate) fn spawn(engine: Arc<Engine>) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("ensemfdet-scan-executor".into())
+        .spawn(move || executor_loop(&engine))
+        .expect("spawn scan executor")
+}
+
+fn executor_loop(engine: &Engine) {
+    while let Some((id, spec, queue_wait)) = engine.jobs.next_job() {
+        let metrics = &engine.metrics;
+        metrics.scan_queue_depth.set(engine.jobs.queue_depth() as i64);
+        metrics.scans_in_flight.inc();
+        let started = Instant::now();
+        // The runner mutex serializes the alert ledger; with a single
+        // executor thread it is uncontended. AssertUnwindSafe is sound
+        // because a panic can only escape `EnsemFdet::detect`, which runs
+        // before the ledger is touched.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut runner = lock_recover(&engine.runner);
+            runner.run(&spec.snapshot, &spec.config, spec.threshold)
+        }));
+        match outcome {
+            Ok(outcome) => {
+                let (flagged, new_alerts) = {
+                    let interner = lock_recover(&engine.interner);
+                    let to_keys = |ids: &[ensemfdet_graph::UserId]| {
+                        ids.iter()
+                            .map(|&u| interner.user_key(u).to_string())
+                            .collect::<Vec<String>>()
+                    };
+                    (to_keys(&outcome.flagged), to_keys(&outcome.new_alerts))
+                };
+                metrics.record_scan(outcome.elapsed, &outcome.sample_times);
+                metrics.record_scan_stages([
+                    outcome.stages.sampling,
+                    outcome.stages.detection,
+                    outcome.stages.aggregation,
+                ]);
+                metrics.alerts.add(new_alerts.len() as u64);
+                metrics.record_snapshot(outcome.epoch, engine.snapshots.lag(&engine.buffer));
+                metrics.scans_in_flight.dec();
+                metrics.record_scan_job(queue_wait, started.elapsed());
+                // Publish last, so every metric update above is visible
+                // by the time a synchronous waiter wakes.
+                engine.jobs.complete(
+                    id,
+                    ScanResultView {
+                        job_id: id,
+                        epoch: outcome.epoch,
+                        transactions: outcome.transactions,
+                        flagged,
+                        new_alerts,
+                        config: spec.config,
+                        threshold: spec.threshold,
+                        scan_millis: outcome.elapsed.as_secs_f64() * 1e3,
+                    },
+                );
+            }
+            Err(panic) => {
+                metrics.scans_failed.inc();
+                metrics.scans_in_flight.dec();
+                metrics.record_scan_job(queue_wait, started.elapsed());
+                engine.jobs.fail(id, format!("scan panicked: {}", panic_message(&panic)));
+            }
+        }
+    }
+}
+
+/// Best-effort human-readable payload of a caught panic.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    panic
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| panic.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("unknown panic")
+}

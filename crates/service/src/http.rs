@@ -16,28 +16,32 @@ pub const MAX_HEADER_BYTES: usize = 8 << 10;
 /// Maximum number of header lines.
 pub const MAX_HEADER_COUNT: usize = 64;
 
-/// A request-reading failure, carrying the HTTP status the client should
-/// receive.
+/// A request-reading failure, carrying the HTTP status and machine error
+/// code the client should receive.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HttpError {
     /// Status to respond with (400, 408, 413, 431, …).
     pub status: u16,
+    /// Stable machine-readable error code (`"bad_request"`,
+    /// `"timeout"`, `"body_too_large"`, `"header_too_large"`, …).
+    pub code: &'static str,
     /// Human-readable cause, returned in the JSON error body.
     pub message: String,
 }
 
 impl HttpError {
-    /// An error with an explicit status.
-    pub fn new(status: u16, message: impl Into<String>) -> Self {
+    /// An error with an explicit status and code.
+    pub fn new(status: u16, code: &'static str, message: impl Into<String>) -> Self {
         HttpError {
             status,
+            code,
             message: message.into(),
         }
     }
 
-    /// A plain 400.
+    /// A plain 400 with code `"bad_request"`.
     pub fn bad_request(message: impl Into<String>) -> Self {
-        Self::new(400, message)
+        Self::new(400, "bad_request", message)
     }
 
     /// Classifies an I/O failure: socket read deadlines surface as
@@ -45,7 +49,7 @@ impl HttpError {
     fn from_io(err: &std::io::Error, context: &str) -> Self {
         match err.kind() {
             ErrorKind::WouldBlock | ErrorKind::TimedOut => {
-                Self::new(408, format!("timed out reading {context}"))
+                Self::new(408, "timeout", format!("timed out reading {context}"))
             }
             ErrorKind::UnexpectedEof => {
                 Self::bad_request(format!("connection closed mid-{context}"))
@@ -56,7 +60,7 @@ impl HttpError {
 
     /// The response this error should produce.
     pub fn to_response(&self) -> Response {
-        Response::error(self.status, &self.message)
+        Response::error(self.status, self.code, &self.message)
     }
 }
 
@@ -110,9 +114,13 @@ impl Response {
         }
     }
 
-    /// A JSON error `{ "error": message }`.
-    pub fn error(status: u16, message: &str) -> Self {
-        Self::json(status, &serde_json::json!({ "error": message }))
+    /// The standard JSON error envelope every route uses:
+    /// `{ "error": { "code": <machine code>, "message": <human text> } }`.
+    pub fn error(status: u16, code: &str, message: impl Into<String>) -> Self {
+        Self::json(
+            status,
+            &serde_json::json!({ "error": { "code": code, "message": message.into() } }),
+        )
     }
 }
 
@@ -137,6 +145,7 @@ fn read_bounded_line<R: Read>(
     if n > *budget {
         return Err(HttpError::new(
             431,
+            "header_too_large",
             format!("header section exceeds {MAX_HEADER_BYTES} bytes"),
         ));
     }
@@ -188,6 +197,7 @@ pub fn read_request<R: Read>(stream: R) -> Result<Request, HttpError> {
         if header_count > MAX_HEADER_COUNT {
             return Err(HttpError::new(
                 431,
+                "header_too_large",
                 format!("more than {MAX_HEADER_COUNT} headers"),
             ));
         }
@@ -202,6 +212,7 @@ pub fn read_request<R: Read>(stream: R) -> Result<Request, HttpError> {
     if content_length > MAX_BODY {
         return Err(HttpError::new(
             413,
+            "body_too_large",
             format!("body of {content_length} bytes exceeds limit"),
         ));
     }
@@ -221,6 +232,7 @@ pub fn read_request<R: Read>(stream: R) -> Result<Request, HttpError> {
 pub fn write_response<W: Write>(mut stream: W, response: &Response) -> std::io::Result<()> {
     let reason = match response.status {
         200 => "OK",
+        202 => "Accepted",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
@@ -358,7 +370,7 @@ mod tests {
             (418, "418 Unknown"),
         ] {
             let mut out = Vec::new();
-            write_response(&mut out, &Response::error(status, "x")).unwrap();
+            write_response(&mut out, &Response::error(status, "err", "x")).unwrap();
             let text = String::from_utf8(out).unwrap();
             assert!(
                 text.starts_with(&format!("HTTP/1.1 {phrase}\r\n")),
@@ -379,9 +391,23 @@ mod tests {
     }
 
     #[test]
-    fn error_helper_shapes_body() {
-        let resp = Response::error(404, "no such route");
+    fn error_helper_shapes_the_standard_envelope() {
+        let resp = Response::error(404, "not_found", "no such route");
         assert_eq!(resp.status, 404);
-        assert!(String::from_utf8(resp.body).unwrap().contains("no such route"));
+        let body: serde_json::Value =
+            serde_json::from_slice(&resp.body).expect("error body is JSON");
+        assert_eq!(body["error"]["code"], "not_found");
+        assert_eq!(body["error"]["message"], "no such route");
+    }
+
+    #[test]
+    fn read_errors_carry_machine_codes() {
+        let raw = format!("POST /x HTTP/1.1\r\ncontent-length: {}\r\n\r\n", MAX_BODY + 1);
+        assert_eq!(read_request(raw.as_bytes()).unwrap_err().code, "body_too_large");
+        let mut raw = b"GET / HTTP/1.1\r\nx-junk: ".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEADER_BYTES + 100));
+        assert_eq!(read_request(&raw[..]).unwrap_err().code, "header_too_large");
+        let raw = b"POST /x HTTP/1.1\r\ncontent-length: 10\r\n\r\nshort";
+        assert_eq!(read_request(&raw[..]).unwrap_err().code, "bad_request");
     }
 }

@@ -1,0 +1,462 @@
+//! The scan job store: a bounded queue of asynchronous scan jobs plus a
+//! ring of recent results.
+//!
+//! `POST /v1/scans` enqueues here and returns immediately; the scan
+//! executor (one dedicated thread, see [`crate::api::Api`]) drains the
+//! queue, runs the ensemble against the job's pinned snapshot, and
+//! publishes the epoch-tagged result back into the store. The store is a
+//! single small mutex + condvars — every operation is O(1)-ish
+//! bookkeeping, never detection work, so holding the lock is always
+//! brief.
+
+use ensemfdet::pipeline::Snapshot;
+use ensemfdet::EnsemFdetConfig;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Locks the store's mutex, recovering from poisoning: job bookkeeping
+/// stays structurally valid even if a panic interrupted an update, and a
+/// wedged job store would take the whole scan pipeline down with it.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// What a queued scan job should run: the pinned snapshot (so the epoch
+/// reported at enqueue time is exactly the epoch scanned), the effective
+/// detector configuration (defaults + per-request overrides), and the
+/// vote threshold.
+#[derive(Clone, Debug)]
+pub struct ScanSpec {
+    /// The snapshot the scan runs on.
+    pub snapshot: Arc<Snapshot>,
+    /// Effective detector configuration.
+    pub config: EnsemFdetConfig,
+    /// Vote threshold for flagging.
+    pub threshold: u32,
+}
+
+/// Lifecycle of a scan job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting in the queue.
+    Queued,
+    /// Picked up by the executor, ensemble pass in progress.
+    Running,
+    /// Finished; the result is published.
+    Done,
+    /// The executor could not complete the job.
+    Failed,
+}
+
+impl JobState {
+    /// The lowercase wire name (`"queued"`, `"running"`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+
+    fn is_terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed)
+    }
+}
+
+/// A published scan result, with ids already translated back to the
+/// string keys clients speak.
+#[derive(Clone, Debug)]
+pub struct ScanResultView {
+    /// Id of the job that produced this result.
+    pub job_id: u64,
+    /// Epoch of the snapshot scanned.
+    pub epoch: u64,
+    /// Transactions in that snapshot.
+    pub transactions: usize,
+    /// Flagged account keys (every account at/above the threshold).
+    pub flagged: Vec<String>,
+    /// Accounts crossing the threshold for the first time ever.
+    pub new_alerts: Vec<String>,
+    /// Effective detector configuration the scan ran with.
+    pub config: EnsemFdetConfig,
+    /// Vote threshold used.
+    pub threshold: u32,
+    /// Ensemble wall-clock in milliseconds.
+    pub scan_millis: f64,
+}
+
+/// One job's externally visible record.
+#[derive(Clone, Debug)]
+pub struct JobView {
+    /// Job id (monotonic).
+    pub id: u64,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Epoch of the snapshot the job is pinned to.
+    pub epoch: u64,
+    /// Time spent queued (up to now, or until the executor started it).
+    pub queue_wait: Duration,
+    /// Time spent running, if started (up to now, or until it finished).
+    pub run_time: Option<Duration>,
+    /// The published result, when `Done`.
+    pub result: Option<Arc<ScanResultView>>,
+    /// The failure message, when `Failed`.
+    pub error: Option<String>,
+}
+
+#[derive(Debug)]
+struct Job {
+    state: JobState,
+    epoch: u64,
+    /// Present while the job is queued; taken by the executor.
+    spec: Option<ScanSpec>,
+    enqueued_at: Instant,
+    started_at: Option<Instant>,
+    finished_at: Option<Instant>,
+    result: Option<Arc<ScanResultView>>,
+    error: Option<String>,
+}
+
+impl Job {
+    fn view(&self, id: u64) -> JobView {
+        JobView {
+            id,
+            state: self.state,
+            epoch: self.epoch,
+            queue_wait: self
+                .started_at
+                .unwrap_or_else(Instant::now)
+                .duration_since(self.enqueued_at),
+            run_time: self
+                .started_at
+                .map(|s| self.finished_at.unwrap_or_else(Instant::now).duration_since(s)),
+            result: self.result.clone(),
+            error: self.error.clone(),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    next_id: u64,
+    pending: VecDeque<u64>,
+    jobs: BTreeMap<u64, Job>,
+    /// Finished job ids in completion order; older entries past the ring
+    /// capacity are pruned from `jobs`.
+    finished: VecDeque<u64>,
+    latest: Option<Arc<ScanResultView>>,
+    stopping: bool,
+}
+
+/// Errors enqueueing a scan job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EnqueueError {
+    /// The pending queue is at capacity — retry later (HTTP 429).
+    QueueFull,
+    /// The store is shutting down (HTTP 503).
+    Stopping,
+}
+
+/// The bounded scan job queue and result store.
+#[derive(Debug)]
+pub struct JobStore {
+    inner: Mutex<Inner>,
+    /// Signals the executor that work (or shutdown) is available.
+    work_available: Condvar,
+    /// Signals synchronous waiters that some job reached a terminal
+    /// state.
+    job_finished: Condvar,
+    capacity: usize,
+    ring: usize,
+}
+
+impl JobStore {
+    /// A store whose pending queue holds at most `capacity` jobs and
+    /// which keeps the `ring` most recent finished jobs queryable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `ring == 0`.
+    pub fn new(capacity: usize, ring: usize) -> Self {
+        assert!(capacity > 0, "need a queue of at least one");
+        assert!(ring > 0, "need a result ring of at least one");
+        JobStore {
+            inner: Mutex::new(Inner::default()),
+            work_available: Condvar::new(),
+            job_finished: Condvar::new(),
+            capacity,
+            ring,
+        }
+    }
+
+    /// Enqueues a scan job, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// [`EnqueueError::QueueFull`] when the pending queue is at
+    /// capacity, [`EnqueueError::Stopping`] during shutdown.
+    pub fn enqueue(&self, spec: ScanSpec) -> Result<u64, EnqueueError> {
+        let mut inner = lock_recover(&self.inner);
+        if inner.stopping {
+            return Err(EnqueueError::Stopping);
+        }
+        if inner.pending.len() >= self.capacity {
+            return Err(EnqueueError::QueueFull);
+        }
+        inner.next_id += 1;
+        let id = inner.next_id;
+        let epoch = spec.snapshot.epoch;
+        inner.jobs.insert(
+            id,
+            Job {
+                state: JobState::Queued,
+                epoch,
+                spec: Some(spec),
+                enqueued_at: Instant::now(),
+                started_at: None,
+                finished_at: None,
+                result: None,
+                error: None,
+            },
+        );
+        inner.pending.push_back(id);
+        drop(inner);
+        self.work_available.notify_one();
+        Ok(id)
+    }
+
+    /// Blocks until a job is available (returning it marked `Running`)
+    /// or the store is stopping (returning `None`). Executor-side.
+    pub fn next_job(&self) -> Option<(u64, ScanSpec, Duration)> {
+        let mut inner = lock_recover(&self.inner);
+        loop {
+            if let Some(id) = inner.pending.pop_front() {
+                let job = inner.jobs.get_mut(&id).expect("pending job exists");
+                job.state = JobState::Running;
+                let now = Instant::now();
+                job.started_at = Some(now);
+                let wait = now.duration_since(job.enqueued_at);
+                let spec = job.spec.take().expect("queued job carries its spec");
+                return Some((id, spec, wait));
+            }
+            if inner.stopping {
+                return None;
+            }
+            inner = self
+                .work_available
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Publishes a finished job's result and makes it `latest`.
+    pub fn complete(&self, id: u64, result: ScanResultView) {
+        let result = Arc::new(result);
+        let mut inner = lock_recover(&self.inner);
+        if let Some(job) = inner.jobs.get_mut(&id) {
+            job.state = JobState::Done;
+            job.finished_at = Some(Instant::now());
+            job.result = Some(result.clone());
+        }
+        inner.latest = Some(result);
+        self.finish(&mut inner, id);
+        drop(inner);
+        self.job_finished.notify_all();
+    }
+
+    /// Marks a job failed.
+    pub fn fail(&self, id: u64, error: impl Into<String>) {
+        let mut inner = lock_recover(&self.inner);
+        if let Some(job) = inner.jobs.get_mut(&id) {
+            job.state = JobState::Failed;
+            job.finished_at = Some(Instant::now());
+            job.error = Some(error.into());
+        }
+        self.finish(&mut inner, id);
+        drop(inner);
+        self.job_finished.notify_all();
+    }
+
+    /// Ring bookkeeping: remember the finished id, prune ids that fell
+    /// off the ring (only terminal jobs are ever pruned).
+    fn finish(&self, inner: &mut Inner, id: u64) {
+        inner.finished.push_back(id);
+        while inner.finished.len() > self.ring {
+            if let Some(old) = inner.finished.pop_front() {
+                if inner.jobs.get(&old).is_some_and(|j| j.state.is_terminal()) {
+                    inner.jobs.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// A point-in-time view of one job, if it is still known (queued,
+    /// running, or within the recent-results ring).
+    pub fn get(&self, id: u64) -> Option<JobView> {
+        lock_recover(&self.inner).jobs.get(&id).map(|j| j.view(id))
+    }
+
+    /// The most recently published scan result, if any scan has
+    /// completed.
+    pub fn latest(&self) -> Option<Arc<ScanResultView>> {
+        lock_recover(&self.inner).latest.clone()
+    }
+
+    /// Blocks until job `id` reaches a terminal state and returns its
+    /// view, or `None` if the job is unknown / the store stops first.
+    /// Backs the deprecated synchronous `POST /scan` alias.
+    pub fn wait(&self, id: u64) -> Option<JobView> {
+        let mut inner = lock_recover(&self.inner);
+        loop {
+            match inner.jobs.get(&id) {
+                None => return None,
+                Some(job) if job.state.is_terminal() => return Some(job.view(id)),
+                Some(_) if inner.stopping => return None,
+                Some(_) => {
+                    inner = self
+                        .job_finished
+                        .wait(inner)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        }
+    }
+
+    /// Jobs currently waiting in the queue.
+    pub fn queue_depth(&self) -> usize {
+        lock_recover(&self.inner).pending.len()
+    }
+
+    /// Stops the store: wakes the executor (which then exits) and every
+    /// synchronous waiter.
+    pub fn stop(&self) {
+        lock_recover(&self.inner).stopping = true;
+        self.work_available.notify_all();
+        self.job_finished.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ensemfdet_graph::BipartiteGraph;
+
+    fn spec(epoch: u64) -> ScanSpec {
+        ScanSpec {
+            snapshot: Arc::new(Snapshot {
+                epoch,
+                transactions: 0,
+                graph: Arc::new(BipartiteGraph::from_edges(0, 0, vec![]).unwrap()),
+            }),
+            config: EnsemFdetConfig::default(),
+            threshold: 1,
+        }
+    }
+
+    fn result(job_id: u64, epoch: u64) -> ScanResultView {
+        ScanResultView {
+            job_id,
+            epoch,
+            transactions: 0,
+            flagged: vec![],
+            new_alerts: vec![],
+            config: EnsemFdetConfig::default(),
+            threshold: 1,
+            scan_millis: 1.0,
+        }
+    }
+
+    #[test]
+    fn enqueue_run_complete_lifecycle() {
+        let store = JobStore::new(4, 4);
+        let id = store.enqueue(spec(3)).unwrap();
+        assert_eq!(store.get(id).unwrap().state, JobState::Queued);
+        assert_eq!(store.get(id).unwrap().epoch, 3);
+        assert_eq!(store.queue_depth(), 1);
+
+        let (got, s, _wait) = store.next_job().unwrap();
+        assert_eq!(got, id);
+        assert_eq!(s.snapshot.epoch, 3);
+        assert_eq!(store.get(id).unwrap().state, JobState::Running);
+        assert_eq!(store.queue_depth(), 0);
+
+        store.complete(id, result(id, 3));
+        let view = store.get(id).unwrap();
+        assert_eq!(view.state, JobState::Done);
+        assert_eq!(view.result.as_ref().unwrap().epoch, 3);
+        assert_eq!(store.latest().unwrap().job_id, id);
+    }
+
+    #[test]
+    fn queue_capacity_is_enforced() {
+        let store = JobStore::new(2, 4);
+        store.enqueue(spec(1)).unwrap();
+        store.enqueue(spec(1)).unwrap();
+        assert_eq!(store.enqueue(spec(1)), Err(EnqueueError::QueueFull));
+        // Draining one frees a slot.
+        let (id, _, _) = store.next_job().unwrap();
+        store.fail(id, "boom");
+        store.enqueue(spec(1)).unwrap();
+    }
+
+    #[test]
+    fn unknown_job_is_none() {
+        let store = JobStore::new(2, 2);
+        assert!(store.get(42).is_none());
+    }
+
+    #[test]
+    fn ring_prunes_old_finished_jobs_only() {
+        let store = JobStore::new(8, 2);
+        let ids: Vec<u64> = (0..4).map(|_| store.enqueue(spec(1)).unwrap()).collect();
+        for _ in 0..3 {
+            let (id, _, _) = store.next_job().unwrap();
+            store.complete(id, result(id, 1));
+        }
+        // Ring of 2: the first finished job fell off; the last queued one
+        // is still tracked.
+        assert!(store.get(ids[0]).is_none(), "oldest finished job pruned");
+        assert!(store.get(ids[1]).is_some());
+        assert!(store.get(ids[2]).is_some());
+        assert_eq!(store.get(ids[3]).unwrap().state, JobState::Queued);
+    }
+
+    #[test]
+    fn failed_jobs_report_their_error() {
+        let store = JobStore::new(2, 2);
+        let id = store.enqueue(spec(2)).unwrap();
+        let _ = store.next_job().unwrap();
+        store.fail(id, "detector panicked");
+        let view = store.get(id).unwrap();
+        assert_eq!(view.state, JobState::Failed);
+        assert_eq!(view.error.as_deref(), Some("detector panicked"));
+        assert!(store.latest().is_none(), "failures do not publish results");
+    }
+
+    #[test]
+    fn wait_blocks_until_terminal() {
+        let store = Arc::new(JobStore::new(2, 2));
+        let id = store.enqueue(spec(1)).unwrap();
+        let waiter = {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || store.wait(id).map(|v| v.state))
+        };
+        let (got, _, _) = store.next_job().unwrap();
+        store.complete(got, result(got, 1));
+        assert_eq!(waiter.join().unwrap(), Some(JobState::Done));
+    }
+
+    #[test]
+    fn stop_releases_executor_and_waiters() {
+        let store = Arc::new(JobStore::new(2, 2));
+        let exec = {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || store.next_job().is_none())
+        };
+        store.stop();
+        assert!(exec.join().unwrap(), "executor released with None");
+        assert_eq!(store.enqueue(spec(1)), Err(EnqueueError::Stopping));
+    }
+}

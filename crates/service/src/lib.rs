@@ -1,18 +1,34 @@
 #![warn(missing_docs)]
 
-//! A minimal HTTP façade over the live campaign monitor — the deployment
-//! surface the paper alludes to ("ENSEMFDET has been deployed in the risk
-//! control department of JD.com").
+//! A minimal HTTP façade over the live detection pipeline — the
+//! deployment surface the paper alludes to ("ENSEMFDET has been deployed
+//! in the risk control department of JD.com").
 //!
-//! Endpoints:
+//! The v1 API (see `docs/API.md` for the full contract):
 //!
-//! | Method & path        | Body                                   | Effect |
-//! |----------------------|----------------------------------------|--------|
-//! | `GET /health`        | —                                      | liveness + transaction count |
-//! | `POST /transactions` | `{"records": [["user","merchant"],…]}` | ingest purchases; returns any auto-scan alerts |
-//! | `POST /scan`         | —                                      | force a detection pass; returns flagged accounts |
-//! | `GET /stats`         | —                                      | current graph statistics |
-//! | `GET /metrics`       | —                                      | Prometheus text metrics (requests, queue, scan latencies) |
+//! | Method & path            | Body                                   | Effect |
+//! |--------------------------|----------------------------------------|--------|
+//! | `GET /v1/health`         | —                                      | liveness, transaction count, snapshot epoch |
+//! | `POST /v1/transactions`  | `{"records": [["user","merchant"],…]}` | ingest purchases (never blocks on scans) |
+//! | `POST /v1/scans`         | optional overrides                     | enqueue an async scan → `202 {job_id, epoch}` |
+//! | `GET /v1/scans/{id}`     | —                                      | job status: `queued`/`running`/`done`/`failed` |
+//! | `GET /v1/scans/latest`   | —                                      | last published scan result |
+//! | `GET /v1/stats`          | —                                      | current graph statistics |
+//! | `GET /v1/config`         | —                                      | effective service configuration |
+//! | `GET /metrics`           | —                                      | Prometheus text metrics |
+//!
+//! Unversioned paths (`/health`, `/stats`, `/transactions`, `/scan`)
+//! remain as deprecated aliases, counted under `deprecated="true"` in the
+//! request metrics; `POST /scan` keeps its synchronous contract by
+//! waiting on the job it enqueues.
+//!
+//! **Ingest and scans never contend.** Ingestion appends to a sharded
+//! log ([`ensemfdet::pipeline::IngestBuffer`]); scans run on immutable
+//! epoch-versioned snapshots compacted from that log
+//! ([`ensemfdet::pipeline::SnapshotStore`]) by a single background
+//! executor thread draining a bounded job queue ([`jobs::JobStore`]). A
+//! scan of any size leaves `POST /v1/transactions` latency untouched,
+//! and a job's result is bit-identical for a given (epoch, seed).
 //!
 //! The HTTP layer is deliberately tiny (hand-rolled HTTP/1.1, no TLS): it
 //! exists so the detector can be driven by `curl` and integration-tested
@@ -25,8 +41,11 @@
 //! * every connection gets read/write deadlines, so stalled clients are
 //!   cut off with `408` rather than pinning a worker;
 //! * header section and body sizes are capped (`431`/`413`);
+//! * every error body is the uniform envelope
+//!   `{"error":{"code":…,"message":…}}` with a stable machine code;
 //! * [`ServerHandle::shutdown`] stops the accept loop, drains queued
-//!   connections, and joins every thread.
+//!   connections, and joins every thread; dropping the [`Api`] stops and
+//!   joins the scan executor.
 //!
 //! All routing logic is a pure function ([`Api::handle`]) from request to
 //! response, so the interesting parts are testable without sockets; the
@@ -34,8 +53,11 @@
 //! [`Api::metrics`] is what `GET /metrics` renders.
 
 pub mod api;
+mod executor;
 pub mod http;
+pub mod jobs;
 pub mod server;
 
 pub use api::{Api, ApiConfig};
+pub use jobs::{JobState, JobStore, JobView, ScanResultView};
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,9 +1,12 @@
 //! `ensemfdet-serve` — run the live-monitoring HTTP service.
 //!
 //! ```text
-//! ensemfdet-serve [ADDR] [N] [S] [T] [SCAN_INTERVAL] [MIN_TRANSACTIONS] [WORKERS]
-//! # defaults:       127.0.0.1:7878  20  0.2  10  5000  2000  8
+//! ensemfdet-serve [ADDR] [N] [S] [T] [SCAN_INTERVAL] [MIN_TRANSACTIONS] [WORKERS] [QUEUE]
+//! # defaults:       127.0.0.1:7878  20  0.2  10  5000  2000  8  8
 //! ```
+//!
+//! `QUEUE` is the scan-job queue capacity (`429 queue_full` beyond it).
+//! The full HTTP contract lives in `docs/API.md`.
 
 use ensemfdet::{EnsemFdetConfig, MonitorConfig};
 use ensemfdet_service::{Api, ApiConfig, Server, ServerConfig};
@@ -25,6 +28,8 @@ fn main() {
             scan_interval: parse(4, 5_000.0) as usize,
             min_transactions: parse(5, 2_000.0) as usize,
         },
+        scan_queue_capacity: (parse(7, 8.0) as usize).max(1),
+        ..Default::default()
     };
     let server_config = ServerConfig {
         workers: (parse(6, 8.0) as usize).max(1),
@@ -40,9 +45,9 @@ fn main() {
         server.local_addr().expect("bound address"),
         server_config.workers
     );
-    println!(
-        "endpoints: GET /health, GET /stats, GET /metrics, POST /transactions, POST /scan"
-    );
+    println!("endpoints (v1): GET /v1/health, GET /v1/stats, GET /v1/config, GET /metrics,");
+    println!("  POST /v1/transactions, POST /v1/scans, GET /v1/scans/{{id}}, GET /v1/scans/latest");
+    println!("deprecated aliases: /health /stats /transactions /scan");
     if let Err(e) = server.run() {
         eprintln!("server error: {e}");
         std::process::exit(1);

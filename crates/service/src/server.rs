@@ -16,12 +16,12 @@
 //!   [`shutdown`](ServerHandle::shutdown) drains queued connections,
 //!   stops the accept loop, and joins every thread.
 
-use crate::api::{route_label, Api};
+use crate::api::{lock_recover, route_label, Api};
 use crate::http::{read_request, write_response, Response};
 use ensemfdet_telemetry::ServiceMetrics;
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -63,7 +63,7 @@ struct Shared {
 
 impl Shared {
     fn signal_stop(&self) {
-        self.state.lock().expect("pool state poisoned").stopping = true;
+        lock_recover(&self.state).stopping = true;
         self.available.notify_all();
     }
 }
@@ -253,7 +253,7 @@ fn accept_loop(
             }
         };
         {
-            let mut state = shared.state.lock().expect("pool state poisoned");
+            let mut state = lock_recover(&shared.state);
             if state.stopping {
                 break;
             }
@@ -278,7 +278,10 @@ fn shed(stream: TcpStream, metrics: &ServiceMetrics, config: &ServerConfig) {
     metrics.rejected.inc();
     metrics.requests.inc("shed", 503);
     let _ = stream.set_write_timeout(Some(config.write_timeout));
-    let _ = write_response(&stream, &Response::error(503, "server at capacity, retry later"));
+    let _ = write_response(
+        &stream,
+        &Response::error(503, "at_capacity", "server at capacity, retry later"),
+    );
     let _ = stream.shutdown(std::net::Shutdown::Both);
 }
 
@@ -286,7 +289,7 @@ fn worker_loop(shared: &Shared, api: &Api, config: &ServerConfig) {
     let metrics = api.metrics();
     loop {
         let stream = {
-            let mut state = shared.state.lock().expect("pool state poisoned");
+            let mut state = lock_recover(&shared.state);
             loop {
                 if let Some(s) = state.queue.pop_front() {
                     metrics.queue_depth.set(state.queue.len() as i64);
@@ -295,7 +298,10 @@ fn worker_loop(shared: &Shared, api: &Api, config: &ServerConfig) {
                 if state.stopping {
                     break None;
                 }
-                state = shared.available.wait(state).expect("pool state poisoned");
+                state = shared
+                    .available
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         let Some(stream) = stream else { return };
@@ -310,14 +316,18 @@ fn handle_connection(stream: &TcpStream, api: &Api, config: &ServerConfig) {
     let start = Instant::now();
     let _ = stream.set_read_timeout(Some(config.read_timeout));
     let _ = stream.set_write_timeout(Some(config.write_timeout));
-    let (route, response) = match read_request(stream) {
-        Ok(request) => (
-            route_label(&request.method, &request.path),
-            api.handle(&request),
-        ),
-        Err(e) => ("invalid", e.to_response()),
+    let (route, deprecated, response) = match read_request(stream) {
+        Ok(request) => {
+            let (route, deprecated) = route_label(&request.method, &request.path);
+            (route, deprecated, api.handle(&request))
+        }
+        Err(e) => ("invalid", false, e.to_response()),
     };
-    metrics.requests.inc(route, response.status);
+    if deprecated {
+        metrics.deprecated_requests.inc(route, response.status);
+    } else {
+        metrics.requests.inc(route, response.status);
+    }
     metrics.request_duration.observe_duration(start.elapsed());
     if let Err(e) = write_response(stream, &response) {
         let peer = stream.peer_addr().ok();
@@ -346,6 +356,7 @@ mod tests {
                 alert_threshold: 3,
                 min_transactions: 0,
             },
+            ..Default::default()
         })
     }
 

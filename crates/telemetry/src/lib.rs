@@ -216,8 +216,12 @@ impl StatusCounter {
 /// The full metric set of the detection service.
 #[derive(Debug, Default)]
 pub struct ServiceMetrics {
-    /// Requests served, by route and response status.
+    /// Requests served on current (v1) routes, by route and status.
     pub requests: StatusCounter,
+    /// Requests served on deprecated legacy route aliases, by canonical
+    /// route and status — rendered in the same
+    /// `ensemfdet_http_requests_total` family with `deprecated="true"`.
+    pub deprecated_requests: StatusCounter,
     /// Connections shed because the accept queue was full.
     pub rejected: Counter,
     /// Connections currently waiting in the accept queue.
@@ -242,6 +246,23 @@ pub struct ServiceMetrics {
     pub scans: Counter,
     /// New accounts alerted across all scans.
     pub alerts: Counter,
+    /// Scan jobs waiting in the scan executor's queue.
+    pub scan_queue_depth: Gauge,
+    /// Scan jobs currently executing (0 or 1 with a single executor).
+    pub scans_in_flight: Gauge,
+    /// Scan jobs rejected because the scan queue was full (429s).
+    pub scan_queue_rejected: Counter,
+    /// Scan jobs that failed (detector panic or internal error).
+    pub scans_failed: Counter,
+    /// Epoch of the latest published graph snapshot.
+    pub snapshot_epoch: Gauge,
+    /// Transactions ingested since the latest snapshot was compacted
+    /// (snapshot age, measured in transactions).
+    pub snapshot_lag: Gauge,
+    /// End-to-end scan-job latency (enqueue → published result).
+    pub scan_job_duration: Histogram,
+    /// Time scan jobs spend queued before the executor picks them up.
+    pub scan_queue_wait: Histogram,
 }
 
 impl ServiceMetrics {
@@ -282,6 +303,14 @@ impl ServiceMetrics {
             let _ = writeln!(
                 out,
                 "ensemfdet_http_requests_total{{route=\"{route}\",status=\"{status}\"}} {n}"
+            );
+        }
+        // Legacy-alias traffic is the same family, marked deprecated so
+        // dashboards can watch migration progress.
+        for ((route, status), n) in self.deprecated_requests.snapshot() {
+            let _ = writeln!(
+                out,
+                "ensemfdet_http_requests_total{{route=\"{route}\",status=\"{status}\",deprecated=\"true\"}} {n}"
             );
         }
 
@@ -357,7 +386,69 @@ impl ServiceMetrics {
             "New accounts alerted across all scans.",
             self.alerts.get(),
         );
+        write_gauge(
+            &mut out,
+            "ensemfdet_scan_queue_depth",
+            "Scan jobs waiting in the executor queue.",
+            self.scan_queue_depth.get(),
+        );
+        write_gauge(
+            &mut out,
+            "ensemfdet_scans_in_flight",
+            "Scan jobs currently executing.",
+            self.scans_in_flight.get(),
+        );
+        write_counter(
+            &mut out,
+            "ensemfdet_scan_queue_rejected_total",
+            "Scan jobs rejected because the queue was full.",
+            self.scan_queue_rejected.get(),
+        );
+        write_counter(
+            &mut out,
+            "ensemfdet_scans_failed_total",
+            "Scan jobs that failed.",
+            self.scans_failed.get(),
+        );
+        write_gauge(
+            &mut out,
+            "ensemfdet_snapshot_epoch",
+            "Epoch of the latest published graph snapshot.",
+            self.snapshot_epoch.get(),
+        );
+        write_gauge(
+            &mut out,
+            "ensemfdet_snapshot_lag_transactions",
+            "Transactions ingested since the latest snapshot was compacted.",
+            self.snapshot_lag.get(),
+        );
+        write_histogram(
+            &mut out,
+            "ensemfdet_scan_job_duration_seconds",
+            "End-to-end scan-job latency (enqueue to published result).",
+            &self.scan_job_duration,
+        );
+        write_histogram(
+            &mut out,
+            "ensemfdet_scan_queue_wait_seconds",
+            "Time scan jobs spend queued before execution.",
+            &self.scan_queue_wait,
+        );
         out
+    }
+
+    /// Records one completed scan job: time spent queued and the
+    /// end-to-end latency from enqueue to published result.
+    pub fn record_scan_job(&self, queue_wait: Duration, total: Duration) {
+        self.scan_queue_wait.observe_duration(queue_wait);
+        self.scan_job_duration.observe_duration(total);
+    }
+
+    /// Updates the snapshot freshness gauges from the latest published
+    /// snapshot's epoch and the transactions ingested since it.
+    pub fn record_snapshot(&self, epoch: u64, lag: usize) {
+        self.snapshot_epoch.set(epoch as i64);
+        self.snapshot_lag.set(lag as i64);
     }
 }
 
@@ -527,5 +618,39 @@ mod tests {
         // HELP/TYPE pairs precede their samples.
         assert!(text.find("# TYPE ensemfdet_scans_total").unwrap()
             < text.find("\nensemfdet_scans_total ").unwrap());
+    }
+
+    #[test]
+    fn deprecated_requests_carry_the_deprecated_label() {
+        let m = ServiceMetrics::new();
+        m.requests.inc("/v1/scans", 202);
+        m.deprecated_requests.inc("/v1/scans", 200);
+        let text = m.render();
+        assert!(text.contains(
+            "ensemfdet_http_requests_total{route=\"/v1/scans\",status=\"202\"} 1"
+        ));
+        assert!(text.contains(
+            "ensemfdet_http_requests_total{route=\"/v1/scans\",status=\"200\",deprecated=\"true\"} 1"
+        ));
+    }
+
+    #[test]
+    fn scan_pipeline_metrics_render() {
+        let m = ServiceMetrics::new();
+        m.scan_queue_depth.set(3);
+        m.scans_in_flight.set(1);
+        m.scan_queue_rejected.inc();
+        m.scans_failed.inc();
+        m.record_snapshot(7, 42);
+        m.record_scan_job(Duration::from_millis(2), Duration::from_millis(90));
+        let text = m.render();
+        assert!(text.contains("ensemfdet_scan_queue_depth 3"));
+        assert!(text.contains("ensemfdet_scans_in_flight 1"));
+        assert!(text.contains("ensemfdet_scan_queue_rejected_total 1"));
+        assert!(text.contains("ensemfdet_scans_failed_total 1"));
+        assert!(text.contains("ensemfdet_snapshot_epoch 7"));
+        assert!(text.contains("ensemfdet_snapshot_lag_transactions 42"));
+        assert!(text.contains("ensemfdet_scan_job_duration_seconds_count 1"));
+        assert!(text.contains("ensemfdet_scan_queue_wait_seconds_count 1"));
     }
 }

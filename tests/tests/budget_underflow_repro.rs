@@ -30,6 +30,7 @@ fn deeply_nested_json_body() {
             alert_threshold: 1,
             min_transactions: 0,
         },
+        ..Default::default()
     });
     let body = format!("{{\"records\": {}}}", s);
     let resp = api.handle(&Request { method: "POST".into(), path: "/transactions".into(), body: body.into_bytes() });

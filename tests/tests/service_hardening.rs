@@ -7,8 +7,9 @@
 //!   with 408 instead of pinning a worker;
 //! * a Content-Length larger than the bytes actually sent is a 400;
 //! * an endless header stream is cut off with 431;
-//! * `GET /metrics` reports request counts and a non-empty ensemble-scan
-//!   latency histogram once a `POST /scan` has run.
+//! * `GET /metrics` reports request counts — with legacy aliases in the
+//!   same family under `deprecated="true"` — and a non-empty
+//!   ensemble-scan latency histogram once a scan has run.
 
 use ensemfdet::{EnsemFdetConfig, MonitorConfig};
 use ensemfdet_service::{Api, ApiConfig, Server, ServerConfig, ServerHandle};
@@ -29,6 +30,7 @@ fn api() -> Api {
             alert_threshold: 3,
             min_transactions: 0,
         },
+        ..Default::default()
     })
 }
 
@@ -65,9 +67,10 @@ fn metrics_expose_request_counts_and_scan_latencies() {
     let server = start(ServerConfig::default());
     let addr = server.addr();
 
-    // Some traffic: two health checks, one ingest, one scan.
+    // Some traffic: two v1 health checks, one v1 ingest, one scan via the
+    // deprecated alias.
     for _ in 0..2 {
-        assert!(roundtrip(addr, "GET /health HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 200"));
+        assert!(roundtrip(addr, "GET /v1/health HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 200"));
     }
     let mut records = Vec::new();
     for b in 0..6 {
@@ -79,7 +82,7 @@ fn metrics_expose_request_counts_and_scan_latencies() {
         records.push(format!("[\"pin-{p}\",\"store-{}\"]", p % 12));
     }
     let body = format!("{{\"records\":[{}]}}", records.join(","));
-    assert!(post(addr, "/transactions", &body).starts_with("HTTP/1.1 200"));
+    assert!(post(addr, "/v1/transactions", &body).starts_with("HTTP/1.1 200"));
     assert!(post(addr, "/scan", "").starts_with("HTTP/1.1 200"));
 
     let resp = roundtrip(addr, "GET /metrics HTTP/1.1\r\n\r\n");
@@ -87,11 +90,15 @@ fn metrics_expose_request_counts_and_scan_latencies() {
     assert!(resp.contains("content-type: text/plain; version=0.0.4"), "{resp}");
     let text = &resp[resp.find("\r\n\r\n").unwrap()..];
     assert!(
-        text.contains("ensemfdet_http_requests_total{route=\"/health\",status=\"200\"} 2"),
+        text.contains("ensemfdet_http_requests_total{route=\"/v1/health\",status=\"200\"} 2"),
         "{text}"
     );
+    // The legacy alias is the same metric family, marked deprecated and
+    // counted under its canonical v1 label.
     assert!(
-        text.contains("ensemfdet_http_requests_total{route=\"/scan\",status=\"200\"} 1"),
+        text.contains(
+            "ensemfdet_http_requests_total{route=\"/v1/scans\",status=\"200\",deprecated=\"true\"} 1"
+        ),
         "{text}"
     );
     assert!(text.contains("ensemfdet_transactions_ingested_total 54"), "{text}");
@@ -238,12 +245,12 @@ fn oversized_content_length_is_413_and_graceful_shutdown_serves_queued_work() {
     let metrics = std::sync::Arc::clone(server.metrics());
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
-        .write_all(b"GET /health HTTP/1.1\r\n\r\n")
+        .write_all(b"GET /v1/health HTTP/1.1\r\n\r\n")
         .expect("send");
     let t0 = Instant::now();
     while metrics.queue_depth.get() == 0
         && metrics.workers_busy.get() == 0
-        && metrics.requests.total_for_route("/health") == 0
+        && metrics.requests.total_for_route("/v1/health") == 0
     {
         assert!(t0.elapsed() < Duration::from_secs(5), "request never picked up");
         std::thread::yield_now();
