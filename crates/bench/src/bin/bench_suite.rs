@@ -1,18 +1,36 @@
-//! `bench_suite` — the reproducible engine benchmark behind `BENCH_PR2.json`.
+//! `bench_suite` — the reproducible benchmarks behind `BENCH_PR2.json`
+//! (peeling engines) and `BENCH_PR4.json` (sampling data paths).
 //!
-//! Times the two peeling engines (`csr`, the default hot path, vs `naive`,
-//! the reference implementation) on fixed-seed workloads:
+//! **Engine phase** times the two peeling engines (`csr`, the default hot
+//! path, vs `naive`, the reference implementation) on fixed-seed
+//! workloads:
 //!
 //! * `peel` — one densest-block extraction (`Truncation::FixedK(1)`),
 //! * `fdet` — a full FDET pass with the default auto-truncation,
 //! * `ensemble_s0.01` / `ensemble_s0.10` — the end-to-end ensemble at the
 //!   paper's two operating ratios (`N = 20` samples each).
 //!
+//! **Sampling phase** compares the two sampling data paths —
+//! `materialize` (every sample built as a compacted `BipartiteGraph`,
+//! the reference) vs `mask` (sample specs resolved lazily against the
+//! shared parent CSR, the default) — on two workload families per ratio:
+//!
+//! * `ensemble_s*` — the end-to-end ensemble scan. Peeling dominates
+//!   here and is bit-identical across paths, so this ratio is an
+//!   Amdahl-diluted view of the data-path change;
+//! * `sampling_s*` — the per-sample draw→ready-`CsrView` data path in
+//!   isolation (the ensemble's exact seed schedule, `N` samples per
+//!   rep), which is the cost this refactor actually changes.
+//!
+//! Both families record the bytes of per-sample state each path
+//! materializes.
+//!
 //! Every workload runs on the small (#1) and large (#3) Table I presets.
 //! Before any timing, an **equivalence gate** re-runs each workload through
-//! both engines and aborts (exit 1) unless they produce bit-identical
+//! both engines (and both sampling paths, across all four sampling
+//! methods) and aborts (exit 1) unless they produce bit-identical
 //! blocks, scores, and ensemble votes — a timing comparison between
-//! non-equivalent engines would be meaningless.
+//! non-equivalent implementations would be meaningless.
 //!
 //! `--smoke` additionally drives the HTTP service's v1 surface over a real
 //! socket (ingest → async scan job → result) and aborts if any step
@@ -31,17 +49,20 @@
 //! cargo run --release -p ensemfdet-bench --bin bench_suite -- --smoke # CI
 //! ```
 //!
-//! `--out FILE` (default `BENCH_PR2.json`) picks the artifact path;
-//! `--scale N` resizes the datasets as in every other experiment binary.
-//! Absolute numbers are machine-dependent; the speedup ratios are the
-//! portable signal.
+//! `--out FILE` (default `BENCH_PR2.json`) picks the engine artifact
+//! path, `--out-sampling FILE` (default `BENCH_PR4.json`) the sampling
+//! one; `--scale N` resizes the datasets as in every other experiment
+//! binary. Absolute numbers are machine-dependent; the speedup ratios
+//! are the portable signal.
 
 use ensemfdet::{
-    fdet_with_engine, Engine, EnsemFdet, EnsemFdetConfig, MetricKind, Truncation,
+    fdet_with_engine, Engine, EnsemFdet, EnsemFdetConfig, MetricKind, SamplePath,
+    SamplingMethodConfig, Truncation,
 };
 use ensemfdet_bench::{datasets, resolve_scale};
 use ensemfdet_datagen::presets::JdDataset;
-use ensemfdet_graph::BipartiteGraph;
+use ensemfdet_graph::{BipartiteGraph, CsrView, SampleMaps, SampleSpec, SpecResolver};
+use ensemfdet_sampling::{seed, Sampler, SamplerScratch, SamplingMethod};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -108,7 +129,7 @@ struct Artifact {
     speedups: Vec<Speedup>,
 }
 
-#[derive(Serialize)]
+#[derive(Clone, Serialize)]
 struct DatasetInfo {
     name: &'static str,
     users: usize,
@@ -190,6 +211,207 @@ fn median(sorted: &[f64]) -> f64 {
 fn percentile(sorted: &[f64], q: f64) -> f64 {
     let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
     sorted[idx]
+}
+
+// ---------------------------------------------------------------------------
+// Sampling-path phase (BENCH_PR4.json)
+// ---------------------------------------------------------------------------
+
+/// The ensemble ratios timed in the sampling phase — the paper's two
+/// operating points.
+const SAMPLING_RATIOS: [f64; 2] = [0.01, 0.1];
+
+#[derive(Serialize)]
+struct PathCell {
+    workload: String,
+    dataset: &'static str,
+    path: &'static str,
+    reps: usize,
+    median_s: f64,
+    p95_s: f64,
+    min_s: f64,
+    /// Bytes of per-sample state one ensemble pass materializes on this
+    /// path (selection vectors vs full subgraph buffers + intern maps).
+    sample_bytes: u64,
+}
+
+#[derive(Serialize)]
+struct PathSpeedup {
+    workload: String,
+    dataset: &'static str,
+    /// Median of the per-rep `materialize / mask` wall-time ratios —
+    /// above 1 means the mask path is faster.
+    mask_over_materialize: f64,
+    /// `materialize_bytes / mask_bytes` — the allocation-footprint gap.
+    bytes_ratio: f64,
+}
+
+#[derive(Serialize)]
+struct SamplingArtifact {
+    schema: &'static str,
+    smoke: bool,
+    scale: u32,
+    warmup: usize,
+    reps: usize,
+    ensemble_samples: usize,
+    equivalence: &'static str,
+    datasets: Vec<DatasetInfo>,
+    cells: Vec<PathCell>,
+    speedups: Vec<PathSpeedup>,
+}
+
+fn path_config(ratio: f64, path: SamplePath, method: SamplingMethodConfig) -> EnsemFdetConfig {
+    EnsemFdetConfig {
+        num_samples: ENSEMBLE_SAMPLES,
+        sample_ratio: ratio,
+        engine: Engine::Csr,
+        path,
+        method,
+        seed: ENSEMBLE_SEED,
+        ..Default::default()
+    }
+}
+
+/// One timed ensemble pass on `path`; returns the bytes it materialized.
+fn run_path_workload(ratio: f64, g: &BipartiteGraph, path: SamplePath) -> u64 {
+    let outcome = EnsemFdet::new(path_config(ratio, path, SamplingMethodConfig::RandomEdge))
+        .detect(g);
+    std::hint::black_box(outcome.votes.max_user_votes());
+    outcome.sample_bytes()
+}
+
+/// One timed pass over the ensemble's *sampling data path* — the part of
+/// the scan this refactor changes: per sample, draw the sample and build
+/// the ready-to-peel `CsrView`, with the ensemble's exact seed schedule.
+/// The peel itself (bit-identical across paths, and the dominant cost at
+/// `S = 0.1`) is deliberately excluded, so this isolates the
+/// draw→ready-view cost the two paths actually differ on.
+fn run_data_path_workload(
+    ratio: f64,
+    g: &BipartiteGraph,
+    path: SamplePath,
+    state: &mut DataPathState,
+) {
+    for i in 0..ENSEMBLE_SAMPLES as u64 {
+        let sample_seed = seed::derive(ENSEMBLE_SEED, i);
+        match path {
+            SamplePath::Materialize => {
+                let sampled = SamplingMethod::RandomEdge.sample(g, ratio, sample_seed);
+                state.view.rebuild(&sampled.graph, None);
+            }
+            SamplePath::Mask => {
+                SamplingMethod::RandomEdge.sample_spec(
+                    g,
+                    ratio,
+                    sample_seed,
+                    &mut state.scratch,
+                    &mut state.spec,
+                );
+                state
+                    .view
+                    .rebuild_from_spec(g, &state.spec, &mut state.resolver, &mut state.maps);
+            }
+        }
+        std::hint::black_box(state.view.num_edges());
+    }
+}
+
+/// Reusable buffers for [`run_data_path_workload`], mirroring the
+/// per-thread scratch the ensemble holds.
+#[derive(Default)]
+struct DataPathState {
+    view: CsrView,
+    scratch: SamplerScratch,
+    spec: SampleSpec,
+    resolver: SpecResolver,
+    maps: SampleMaps,
+}
+
+/// `warmup` unmeasured alternating passes, then `reps` measured wall
+/// times per path, interleaved within every rep.
+fn time_data_path_pair(
+    ratio: f64,
+    g: &BipartiteGraph,
+    warmup: usize,
+    reps: usize,
+) -> (Vec<f64>, Vec<f64>) {
+    let mut state = DataPathState::default();
+    for _ in 0..warmup {
+        run_data_path_workload(ratio, g, SamplePath::Materialize, &mut state);
+        run_data_path_workload(ratio, g, SamplePath::Mask, &mut state);
+    }
+    let mut materialize = Vec::with_capacity(reps);
+    let mut mask = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        run_data_path_workload(ratio, g, SamplePath::Materialize, &mut state);
+        materialize.push(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        run_data_path_workload(ratio, g, SamplePath::Mask, &mut state);
+        mask.push(t.elapsed().as_secs_f64());
+    }
+    (materialize, mask)
+}
+
+/// Both sampling paths must agree exactly — votes, evidence, per-sample
+/// blocks and scores — across all four sampling methods before we time
+/// them.
+fn sampling_equivalence_gate(g: &BipartiteGraph) -> Result<(), String> {
+    for method in [
+        SamplingMethodConfig::RandomEdge,
+        SamplingMethodConfig::OneSideUser,
+        SamplingMethodConfig::OneSideMerchant,
+        SamplingMethodConfig::TwoSide,
+    ] {
+        let run = |path| EnsemFdet::new(path_config(0.3, path, method)).detect(g);
+        let (mask, mat) = (run(SamplePath::Mask), run(SamplePath::Materialize));
+        if mask.votes != mat.votes {
+            return Err(format!("{method:?}: ensemble votes differ between paths"));
+        }
+        if mask.evidence.user_evidence != mat.evidence.user_evidence {
+            return Err(format!("{method:?}: evidence differs between paths"));
+        }
+        for (a, b) in mask.samples.iter().zip(&mat.samples) {
+            if a.scores != b.scores
+                || a.sample_nodes != b.sample_nodes
+                || a.sample_edges != b.sample_edges
+                || a.k_hat != b.k_hat
+            {
+                return Err(format!(
+                    "{method:?}: sample #{} diagnostics differ between paths",
+                    a.index
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `warmup` unmeasured alternating runs, then `reps` measured wall times
+/// per path, interleaved materialize/mask within every rep (same drift
+/// rationale as [`time_workload_pair`]).
+fn time_sampling_pair(
+    ratio: f64,
+    g: &BipartiteGraph,
+    warmup: usize,
+    reps: usize,
+) -> (Vec<f64>, Vec<f64>, [u64; 2]) {
+    for _ in 0..warmup {
+        run_path_workload(ratio, g, SamplePath::Materialize);
+        run_path_workload(ratio, g, SamplePath::Mask);
+    }
+    let mut materialize = Vec::with_capacity(reps);
+    let mut mask = Vec::with_capacity(reps);
+    let mut bytes = [0u64; 2];
+    for _ in 0..reps {
+        let t = Instant::now();
+        bytes[0] = run_path_workload(ratio, g, SamplePath::Materialize);
+        materialize.push(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        bytes[1] = run_path_workload(ratio, g, SamplePath::Mask);
+        mask.push(t.elapsed().as_secs_f64());
+    }
+    (materialize, mask, bytes)
 }
 
 /// Both engines must agree exactly on every workload before we time them.
@@ -333,6 +555,11 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_PR2.json".to_string());
+    let out_sampling = args
+        .iter()
+        .position(|a| a == "--out-sampling")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_PR4.json".to_string());
     // Smoke mode: tiny datasets, minimal repetitions — a CI-speed check
     // that the harness runs end-to-end and the engines stay equivalent.
     let scale = if smoke { 400 } else { resolve_scale(&args) };
@@ -363,10 +590,20 @@ fn main() {
             merchants: ds.graph.num_merchants(),
             edges: ds.graph.num_edges(),
         });
-        print!("equivalence gate ... ");
+        print!("equivalence gate (engines) ... ");
         if let Err(e) = equivalence_gate(&ds.graph) {
             println!("FAILED");
-            eprintln!("equivalence gate failed on {}: {e}", dataset_tag(*which));
+            eprintln!("engine equivalence gate failed on {}: {e}", dataset_tag(*which));
+            std::process::exit(1);
+        }
+        println!("ok");
+        print!("equivalence gate (sampling paths) ... ");
+        if let Err(e) = sampling_equivalence_gate(&ds.graph) {
+            println!("FAILED");
+            eprintln!(
+                "sampling-path equivalence gate failed on {}: {e}",
+                dataset_tag(*which)
+            );
             std::process::exit(1);
         }
         println!("ok");
@@ -441,7 +678,7 @@ fn main() {
         ensemble_samples: ENSEMBLE_SAMPLES,
         equivalence: "ok",
         service_smoke: service,
-        datasets: infos,
+        datasets: infos.clone(),
         cells,
         speedups,
     };
@@ -449,6 +686,83 @@ fn main() {
         Ok(()) => println!("\n[saved {out_path}]"),
         Err(e) => {
             eprintln!("cannot write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // -- Sampling-path phase ------------------------------------------------
+    println!("\n== bench_suite: mask vs materialize sampling paths ==\n");
+    let mut path_cells = Vec::new();
+    let mut path_speedups = Vec::new();
+    for ratio in SAMPLING_RATIOS {
+        for (which, ds) in &suite {
+            let (materialize, mask, bytes) =
+                time_sampling_pair(ratio, &ds.graph, warmup, reps);
+            let (dp_materialize, dp_mask) = time_data_path_pair(ratio, &ds.graph, warmup, reps);
+            for (workload, materialize, mask) in [
+                (format!("ensemble_s{ratio:.2}"), materialize, mask),
+                (format!("sampling_s{ratio:.2}"), dp_materialize, dp_mask),
+            ] {
+                let mut ratios: Vec<f64> = materialize
+                    .iter()
+                    .zip(&mask)
+                    .map(|(m, k)| m / k.max(1e-12))
+                    .collect();
+                ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+                let speedup = median(&ratios);
+                let mut medians = [0.0f64; 2];
+                for (slot, (path, times)) in [("materialize", materialize), ("mask", mask)]
+                    .into_iter()
+                    .enumerate()
+                {
+                    let mut times = times;
+                    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+                    medians[slot] = median(&times);
+                    path_cells.push(PathCell {
+                        workload: workload.clone(),
+                        dataset: dataset_tag(*which),
+                        path,
+                        reps,
+                        median_s: median(&times),
+                        p95_s: percentile(&times, 0.95),
+                        min_s: times[0],
+                        sample_bytes: bytes[slot],
+                    });
+                }
+                println!(
+                    "{:<16} {:<4} materialize {:>9.3} ms  mask {:>9.3} ms  speedup {:.2}x  bytes {:.0}x",
+                    workload,
+                    dataset_tag(*which),
+                    medians[0] * 1e3,
+                    medians[1] * 1e3,
+                    speedup,
+                    bytes[0] as f64 / bytes[1].max(1) as f64,
+                );
+                path_speedups.push(PathSpeedup {
+                    workload: workload.clone(),
+                    dataset: dataset_tag(*which),
+                    mask_over_materialize: speedup,
+                    bytes_ratio: bytes[0] as f64 / bytes[1].max(1) as f64,
+                });
+            }
+        }
+    }
+    let sampling_artifact = SamplingArtifact {
+        schema: "ensemfdet-sampling-path/v1",
+        smoke,
+        scale,
+        warmup,
+        reps,
+        ensemble_samples: ENSEMBLE_SAMPLES,
+        equivalence: "ok",
+        datasets: infos,
+        cells: path_cells,
+        speedups: path_speedups,
+    };
+    match ensemfdet_eval::write_json(&sampling_artifact, &out_sampling) {
+        Ok(()) => println!("\n[saved {out_sampling}]"),
+        Err(e) => {
+            eprintln!("cannot write {out_sampling}: {e}");
             std::process::exit(1);
         }
     }

@@ -1,7 +1,7 @@
 //! `ensemfdet detect` — run a detector and write flagged users.
 
 use crate::args::Args;
-use ensemfdet::{EnsemFdet, EnsemFdetConfig, EnsembleOutcome, SamplingMethodConfig};
+use ensemfdet::{EnsemFdet, EnsemFdetConfig, EnsembleOutcome, SamplePath, SamplingMethodConfig};
 use ensemfdet_baselines::{DegreeBaseline, FBox, FBoxConfig, Fraudar, FraudarConfig, Hits, KCoreBaseline, Spoken, SpokenConfig};
 use ensemfdet_graph::{io, BipartiteGraph};
 use std::io::Write;
@@ -21,6 +21,7 @@ OPTIONS:
     --threshold T         vote threshold [default: N/2]
     --sampling M          res | ons-user | ons-merchant | tns [default: res]
     --engine E            csr | naive peeling engine [default: csr]
+    --sample-path P       mask | materialize sampling data path [default: mask]
     --seed N              RNG seed [default: 42]
     --timing              print the ensemble's wall-clock breakdown
   fraudar:
@@ -69,15 +70,17 @@ pub(crate) fn sampling_method(args: &Args) -> Result<SamplingMethodConfig, Strin
 }
 
 /// Ensemble timing: total wall-clock, per-sample mean/max, the speedup
-/// rayon actually realized (sum of sample times / wall-clock), and the
-/// per-stage CPU-time split (sampling / detection / aggregation).
-pub(crate) fn timing_summary(outcome: &EnsembleOutcome) -> String {
+/// rayon actually realized (sum of sample times / wall-clock), the
+/// per-stage CPU-time split (sampling / detection / aggregation), and
+/// the sampling data path with the bytes it materialized.
+pub(crate) fn timing_summary(path: SamplePath, outcome: &EnsembleOutcome) -> String {
     let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
     let n = outcome.samples.len().max(1);
     let total = outcome.total_sample_time();
     format!(
         "timing: {:.1} ms wall-clock over {} samples; per-sample mean {:.1} ms, max {:.1} ms; realized speedup {:.1}x\n\
-         stages: sampling {:.1} ms, detection {:.1} ms, aggregation {:.1} ms (CPU time summed over samples)",
+         stages: sampling {:.1} ms, detection {:.1} ms, aggregation {:.1} ms (CPU time summed over samples)\n\
+         sample path: {path}, {} bytes materialized ({:.0} per sample)",
         ms(outcome.elapsed),
         n,
         ms(total) / n as f64,
@@ -86,6 +89,8 @@ pub(crate) fn timing_summary(outcome: &EnsembleOutcome) -> String {
         ms(outcome.stages.sampling),
         ms(outcome.stages.detection),
         ms(outcome.stages.aggregation),
+        outcome.sample_bytes(),
+        outcome.sample_bytes() as f64 / n as f64,
     )
 }
 
@@ -97,6 +102,11 @@ pub(crate) fn ensemfdet_config(args: &Args) -> Result<EnsemFdetConfig, String> {
         engine: args
             .get("engine")
             .map(|e| e.parse())
+            .transpose()?
+            .unwrap_or_default(),
+        path: args
+            .get("sample-path")
+            .map(|p| p.parse())
             .transpose()?
             .unwrap_or_default(),
         seed: args.get_or("seed", 42)?,
@@ -125,7 +135,7 @@ pub fn run(args: &Args) -> Result<String, String> {
             args.finish()?;
             let outcome = EnsemFdet::new(cfg).detect(&g);
             if timing {
-                timing_note = Some(timing_summary(&outcome));
+                timing_note = Some(timing_summary(cfg.path, &outcome));
             }
             let detected = outcome
                 .votes
@@ -244,6 +254,28 @@ mod tests {
         assert!(out.contains("wall-clock over 6 samples"), "{out}");
         assert!(out.contains("per-sample mean"), "{out}");
         assert!(out.contains("stages: sampling"), "{out}");
+        assert!(out.contains("sample path: mask"), "{out}");
+        assert!(out.contains("bytes materialized"), "{out}");
+    }
+
+    #[test]
+    fn sample_path_flag_selects_path_and_agrees() {
+        let gf = graph_file();
+        let base = &["--graph", gf.as_str(), "--samples", "6", "--ratio", "0.5"];
+        let mask =
+            run(&args(&[base as &[_], &["--sample-path", "mask"]].concat())).unwrap();
+        let mat =
+            run(&args(&[base as &[_], &["--sample-path", "materialize"]].concat())).unwrap();
+        assert_eq!(mask, mat, "paths must flag identical users");
+        let err =
+            run(&args(&[base as &[_], &["--sample-path", "mmap"]].concat())).unwrap_err();
+        assert!(err.contains("unknown sample path"), "{err}");
+        // --timing reports which path ran.
+        let timed = run(&args(
+            &[base as &[_], &["--sample-path", "materialize", "--timing"]].concat(),
+        ))
+        .unwrap();
+        assert!(timed.contains("sample path: materialize"), "{timed}");
     }
 
     #[test]

@@ -17,7 +17,8 @@ OPTIONS:
                           [default: ensemfdet]
     --json FILE           also write the curve as JSON
   ensemfdet:
-    --samples N  --ratio S  --sampling M  --engine E  --seed N    (as in `detect`)
+    --samples N  --ratio S  --sampling M  --engine E  --sample-path P  --seed N
+                          (as in `detect`)
     --timing              print the ensemble's wall-clock breakdown
   fraudar:
     --k N                 blocks to sweep [default: 30]
@@ -55,7 +56,7 @@ pub fn run(args: &Args) -> Result<String, String> {
             args.finish()?;
             let outcome = EnsemFdet::new(cfg).detect(&g);
             if timing {
-                timing_note = Some(timing_summary(&outcome));
+                timing_note = Some(timing_summary(cfg.path, &outcome));
             }
             let sets: Vec<(f64, Vec<u32>)> = (1..=outcome.votes.max_user_votes())
                 .map(|t| {

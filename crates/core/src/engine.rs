@@ -32,7 +32,9 @@ use crate::heap::LazyMinHeap;
 use crate::metric::DensityMetric;
 use crate::peel::peel_densest;
 use crate::truncate::truncation_point;
-use ensemfdet_graph::{BipartiteGraph, CsrView, EdgeId, MerchantId, UserId};
+use ensemfdet_graph::{
+    BipartiteGraph, CsrView, EdgeId, MerchantId, SampleMaps, SampleSpec, SpecResolver, UserId,
+};
 use serde::{Deserialize, Serialize};
 
 /// Which peeling implementation FDET runs on.
@@ -147,6 +149,8 @@ pub struct FdetEngine {
     edge_alive: Vec<bool>,
     /// Block-membership bitmap (users then merchants) for edge retirement.
     in_block: Vec<bool>,
+    /// Epoch-stamped intern scratch for [`FdetEngine::run_spec`].
+    resolver: SpecResolver,
 }
 
 thread_local! {
@@ -176,6 +180,117 @@ impl FdetEngine {
         engine: Engine,
     ) -> FdetResult {
         CACHED_ENGINE.with(|e| e.borrow_mut().run(g, metric, truncation, engine))
+    }
+
+    /// Runs FDET on a sample described by `spec` against `parent`,
+    /// through this thread's cached engine. The zero-copy twin of
+    /// materializing the spec and calling [`run_cached`](Self::run_cached)
+    /// with [`Engine::Csr`] — results are bit-identical (see
+    /// `tests/tests/spec_equivalence.rs`) but no intermediate
+    /// [`ensemfdet_graph::SampledGraph`] is built.
+    ///
+    /// Returns the FDET result (in the sample's local id space — map back
+    /// through `maps`) and the sample's edge count.
+    pub fn run_spec_cached(
+        parent: &BipartiteGraph,
+        spec: &SampleSpec,
+        metric: &dyn DensityMetric,
+        truncation: Truncation,
+        maps: &mut SampleMaps,
+    ) -> (FdetResult, usize) {
+        CACHED_ENGINE.with(|e| e.borrow_mut().run_spec(parent, spec, metric, truncation, maps))
+    }
+
+    /// Runs FDET directly on `(parent, spec)` with the CSR engine: the
+    /// view is compacted straight from the spec
+    /// ([`CsrView::rebuild_from_spec`]), `maps` receives the local↔parent
+    /// id maps, and all per-sample state lives in reusable scratch.
+    ///
+    /// Mirrors [`run`](Self::run)'s CSR loop exactly — first iteration
+    /// builds the view, later iterations [`CsrView::refilter`] it — with
+    /// edge ids in the sample's local space, which is precisely how the
+    /// materialized path numbers them.
+    pub fn run_spec(
+        &mut self,
+        parent: &BipartiteGraph,
+        spec: &SampleSpec,
+        metric: &dyn DensityMetric,
+        truncation: Truncation,
+        maps: &mut SampleMaps,
+    ) -> (FdetResult, usize) {
+        let cap = match truncation {
+            Truncation::Auto { k_max, .. } => k_max,
+            Truncation::FixedK(k) => k,
+            Truncation::KeepAll { k_max } => k_max,
+        };
+
+        self.view
+            .rebuild_from_spec(parent, spec, &mut self.resolver, maps);
+        let sample_edges = self.view.num_edges();
+        self.edge_alive.clear();
+        self.edge_alive.resize(sample_edges, true);
+        let nu = self.view.num_users();
+        let nv = self.view.num_merchants();
+
+        let mut blocks: Vec<Block> = Vec::new();
+        let mut scores: Vec<f64> = Vec::new();
+
+        while blocks.len() < cap {
+            if !blocks.is_empty() {
+                self.view.refilter(&self.edge_alive);
+            }
+            let Some(block) = peel_csr(&self.view, metric, &mut self.scratch) else {
+                break;
+            };
+            // Same disjointness rule as `run`: retire every edge incident
+            // to the block's nodes (see the comment there).
+            self.in_block.clear();
+            self.in_block.resize(nu + nv, false);
+            for &u in &block.users {
+                self.in_block[u.index()] = true;
+            }
+            for &v in &block.merchants {
+                self.in_block[nu + v.index()] = true;
+            }
+            let (e_id, e_u, e_v) = (
+                self.view.edge_ids(),
+                self.view.edge_users(),
+                self.view.edge_merchants(),
+            );
+            for ((&e, &u), &v) in e_id.iter().zip(e_u).zip(e_v) {
+                if self.in_block[u as usize] || self.in_block[nu + v as usize] {
+                    self.edge_alive[e as usize] = false;
+                }
+            }
+            scores.push(block.score);
+            if block.edges.is_empty() {
+                blocks.push(block);
+                break;
+            }
+            blocks.push(block);
+
+            if let Truncation::Auto { patience, .. } = truncation {
+                let k_hat = truncation_point(&scores);
+                if scores.len() >= k_hat + patience {
+                    break;
+                }
+            }
+        }
+
+        let k_hat = match truncation {
+            Truncation::Auto { .. } => truncation_point(&scores).min(blocks.len()),
+            Truncation::FixedK(k) => k.min(blocks.len()),
+            Truncation::KeepAll { .. } => blocks.len(),
+        };
+
+        (
+            FdetResult {
+                blocks,
+                scores,
+                k_hat,
+            },
+            sample_edges,
+        )
     }
 
     /// Runs FDET on `g` with the chosen engine. See [`crate::fdet::fdet`]
@@ -654,6 +769,33 @@ mod tests {
         assert_eq!(naive.blocks, csr.blocks);
         assert_eq!(naive.scores, csr.scores);
         assert_eq!(naive.k_hat, csr.k_hat);
+    }
+
+    #[test]
+    fn run_spec_matches_materialized_run() {
+        use ensemfdet_graph::SpecKind;
+        let g = planted_graph();
+        let mut engine = FdetEngine::new();
+        let mut maps = SampleMaps::default();
+        let mut spec = SampleSpec::new();
+        spec.reset(SpecKind::EdgeSubset);
+        spec.edges.extend((0..g.num_edges()).step_by(2));
+        for truncation in [
+            Truncation::default(),
+            Truncation::KeepAll { k_max: 10 },
+            Truncation::FixedK(2),
+        ] {
+            let (spec_res, sample_edges) =
+                engine.run_spec(&g, &spec, &MetricKind::default(), truncation, &mut maps);
+            let sampled = spec.materialize(&g);
+            let mat = engine.run(&sampled.graph, &MetricKind::default(), truncation, Engine::Csr);
+            assert_eq!(spec_res.blocks, mat.blocks);
+            assert_eq!(spec_res.scores, mat.scores);
+            assert_eq!(spec_res.k_hat, mat.k_hat);
+            assert_eq!(sample_edges, sampled.graph.num_edges());
+            assert_eq!(maps.orig_users, sampled.orig_users);
+            assert_eq!(maps.orig_merchants, sampled.orig_merchants);
+        }
     }
 
     #[test]

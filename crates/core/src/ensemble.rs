@@ -11,8 +11,8 @@ use crate::engine::{Engine, FdetEngine};
 use crate::evidence::EvidenceTally;
 use crate::fdet::Truncation;
 use crate::metric::MetricKind;
-use ensemfdet_graph::BipartiteGraph;
-use ensemfdet_sampling::{seed, Sampler, SamplingMethod};
+use ensemfdet_graph::{BipartiteGraph, SampleMaps, SampleSpec, SampledGraph};
+use ensemfdet_sampling::{seed, Sampler, SamplerScratch, SamplingMethod};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
@@ -34,8 +34,62 @@ pub struct EnsemFdetConfig {
     /// Peeling engine backing every FDET run (CSR hot path by default;
     /// the naive reference path produces identical results, slower).
     pub engine: Engine,
+    /// Sampling data path: resolve sample specs lazily against the shared
+    /// parent snapshot (`Mask`, default) or materialize each sample as a
+    /// compacted graph copy (`Materialize`, the reference path). Both
+    /// yield bit-identical votes, evidence, and scores.
+    #[serde(default)]
+    pub path: SamplePath,
     /// Master RNG seed.
     pub seed: u64,
+}
+
+/// How each sampled run gets its subgraph.
+///
+/// `Mask` is the zero-copy path: the sampler emits a
+/// [`ensemfdet_graph::SampleSpec`] into per-thread scratch and the engine
+/// compacts it straight into its reusable `CsrView` — per-sample
+/// allocation is O(sample), not O(parent + sample). `Materialize` builds
+/// the compacted [`SampledGraph`] copy first (the original data path) and
+/// remains as the reference for equivalence gates; it is also what the
+/// naive engine runs on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SamplePath {
+    /// Materialize each sample as a compacted `BipartiteGraph` copy.
+    Materialize,
+    /// Resolve sample specs lazily against the shared parent snapshot.
+    #[default]
+    Mask,
+}
+
+impl SamplePath {
+    /// Stable lowercase name (`mask` / `materialize`), as accepted by
+    /// [`SamplePath::from_str`](std::str::FromStr) and the CLI
+    /// `--sample-path` flag.
+    pub fn name(self) -> &'static str {
+        match self {
+            SamplePath::Materialize => "materialize",
+            SamplePath::Mask => "mask",
+        }
+    }
+}
+
+impl std::fmt::Display for SamplePath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for SamplePath {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "mask" => Ok(SamplePath::Mask),
+            "materialize" => Ok(SamplePath::Materialize),
+            other => Err(format!("unknown sample path `{other}` (mask|materialize)")),
+        }
+    }
 }
 
 /// Serializable mirror of [`SamplingMethod`] (the sampling crate keeps its
@@ -74,6 +128,7 @@ impl Default for EnsemFdetConfig {
             metric: MetricKind::default(),
             truncation: Truncation::default(),
             engine: Engine::default(),
+            path: SamplePath::default(),
             seed: 0x0001_15ED,
         }
     }
@@ -100,11 +155,18 @@ pub struct SampleSummary {
     pub detected_merchants: usize,
     /// Wall-clock spent sampling + detecting this sample.
     pub elapsed: Duration,
-    /// Wall-clock of the sampling stage alone (drawing + compacting the
-    /// subgraph).
+    /// Wall-clock of the sampling stage alone. On the materializing path
+    /// this includes compacting the subgraph copy; on the mask path it is
+    /// just the draw (compaction happens inside the detection stage,
+    /// fused into the engine's view build).
     pub sampling_elapsed: Duration,
     /// Wall-clock of the FDET stage alone (peeling the sampled graph).
     pub detect_elapsed: Duration,
+    /// Approximate bytes this sample's subgraph representation cost: the
+    /// compacted-copy footprint on the materializing path (intern maps
+    /// are O(parent)!), or just the selection vectors on the mask path.
+    #[serde(default)]
+    pub sample_bytes: u64,
 }
 
 /// Wall-clock of one ensemble run split by pipeline stage (summed across
@@ -154,12 +216,44 @@ impl EnsembleOutcome {
             .max()
             .unwrap_or_default()
     }
+
+    /// Total bytes spent on per-sample subgraph representations across
+    /// the run (see [`SampleSummary::sample_bytes`]).
+    pub fn sample_bytes(&self) -> u64 {
+        self.samples.iter().map(|s| s.sample_bytes).sum()
+    }
 }
 
 /// The ENSEMFDET detector.
 #[derive(Clone, Debug)]
 pub struct EnsemFdet {
     config: EnsemFdetConfig,
+}
+
+thread_local! {
+    /// Per-thread sampling scratch for the mask path: the Floyd mark
+    /// buffer, the spec being refilled, and the local↔parent id maps are
+    /// all reused across every sample this thread draws, so steady-state
+    /// sampling allocates nothing.
+    static SAMPLE_SCRATCH: std::cell::RefCell<(SamplerScratch, SampleSpec, SampleMaps)> =
+        std::cell::RefCell::new((SamplerScratch::new(), SampleSpec::new(), SampleMaps::default()));
+}
+
+/// Approximate allocation footprint of one materialized sample: the two
+/// parent-sized intern maps plus the compacted graph copy (edge list,
+/// optional weights, both CSR sides) and its back-maps. An accounting
+/// estimate for telemetry — the point is the O(parent) intern-map term
+/// the mask path eliminates — not an allocator measurement.
+fn materialized_bytes(parent: &BipartiteGraph, sampled: &SampledGraph) -> u64 {
+    let k = sampled.graph.num_edges();
+    let su = sampled.graph.num_users();
+    let sv = sampled.graph.num_merchants();
+    let intern_maps = (parent.num_users() + parent.num_merchants()) * 4;
+    let edge_pairs = k * 8;
+    let weights = if sampled.graph.is_weighted() { k * 8 } else { 0 };
+    let csr_sides = (su + 1) * 8 + (sv + 1) * 8 + 2 * k * 4;
+    let back_maps = (su + sv) * 4;
+    (intern_maps + edge_pairs + weights + csr_sides + back_maps) as u64
 }
 
 impl EnsemFdet {
@@ -185,74 +279,27 @@ impl EnsemFdet {
 
     /// Runs Algorithm 2 on `g`: sample `N` subgraphs, run FDET on each in
     /// parallel, and tally votes in the parent id space.
+    ///
+    /// With [`SamplePath::Mask`] (the default) and the CSR engine, every
+    /// sample is a lightweight spec resolved against `g` through
+    /// per-thread scratch — no subgraph copies. The materializing path
+    /// runs otherwise (including under the naive engine, which peels a
+    /// real `BipartiteGraph` by definition); both produce bit-identical
+    /// votes, evidence, and scores.
     pub fn detect(&self, g: &BipartiteGraph) -> EnsembleOutcome {
         let start = Instant::now();
         let cfg = &self.config;
         let method: SamplingMethod = cfg.method.into();
+        let use_mask = cfg.path == SamplePath::Mask && cfg.engine == Engine::Csr;
 
         let per_sample: Vec<(VoteTally, EvidenceTally, SampleSummary)> = (0..cfg.num_samples)
             .into_par_iter()
             .map(|i| {
-                let t0 = Instant::now();
-                let sample_seed = seed::derive(cfg.seed, i as u64);
-                let sampled = method.sample(g, cfg.sample_ratio, sample_seed);
-                let sampling_elapsed = t0.elapsed();
-                let t1 = Instant::now();
-                // The cached per-thread engine reuses the CSR view and
-                // peel scratch across every sample this thread processes.
-                let result = FdetEngine::run_cached(
-                    &sampled.graph,
-                    &cfg.metric,
-                    cfg.truncation,
-                    cfg.engine,
-                );
-                let detect_elapsed = t1.elapsed();
-
-                let users: Vec<_> = result
-                    .detected_users()
-                    .into_iter()
-                    .map(|lu| sampled.parent_user(lu))
-                    .collect();
-                let merchants: Vec<_> = result
-                    .detected_merchants()
-                    .into_iter()
-                    .map(|lv| sampled.parent_merchant(lv))
-                    .collect();
-
-                let summary = SampleSummary {
-                    index: i,
-                    sample_nodes: sampled.graph.num_nodes(),
-                    sample_edges: sampled.graph.num_edges(),
-                    blocks_peeled: result.blocks.len(),
-                    k_hat: result.k_hat,
-                    scores: result.scores.clone(),
-                    detected_users: users.len(),
-                    detected_merchants: merchants.len(),
-                    elapsed: t0.elapsed(),
-                    sampling_elapsed,
-                    detect_elapsed,
-                };
-                let mut tally = VoteTally::new(g.num_users(), g.num_merchants());
-                tally.add_sample(users, merchants);
-
-                // Evidence: each detected node carries its block's score.
-                // FDET blocks are node-disjoint, so a node appears at most
-                // once per sample.
-                let mut evidence = EvidenceTally::new(g.num_users(), g.num_merchants());
-                let sampled_ref = &sampled;
-                evidence.add_sample(
-                    result.detected_blocks().iter().flat_map(|b| {
-                        b.users
-                            .iter()
-                            .map(move |&lu| (sampled_ref.parent_user(lu), b.score))
-                    }),
-                    result.detected_blocks().iter().flat_map(|b| {
-                        b.merchants
-                            .iter()
-                            .map(move |&lv| (sampled_ref.parent_merchant(lv), b.score))
-                    }),
-                );
-                (tally, evidence, summary)
+                if use_mask {
+                    self.run_sample_mask(g, method, i)
+                } else {
+                    self.run_sample_materialized(g, method, i)
+                }
             })
             .collect();
 
@@ -278,6 +325,139 @@ impl EnsemFdet {
             elapsed: start.elapsed(),
             stages,
         }
+    }
+
+    /// One sampled run on the materializing path: draw → compact a
+    /// `SampledGraph` copy → peel it with the configured engine.
+    fn run_sample_materialized(
+        &self,
+        g: &BipartiteGraph,
+        method: SamplingMethod,
+        i: usize,
+    ) -> (VoteTally, EvidenceTally, SampleSummary) {
+        let cfg = &self.config;
+        let t0 = Instant::now();
+        let sample_seed = seed::derive(cfg.seed, i as u64);
+        let sampled = method.sample(g, cfg.sample_ratio, sample_seed);
+        let sampling_elapsed = t0.elapsed();
+        let t1 = Instant::now();
+        // The cached per-thread engine reuses the CSR view and
+        // peel scratch across every sample this thread processes.
+        let result = FdetEngine::run_cached(&sampled.graph, &cfg.metric, cfg.truncation, cfg.engine);
+        let detect_elapsed = t1.elapsed();
+
+        let users: Vec<_> = result
+            .detected_users()
+            .into_iter()
+            .map(|lu| sampled.parent_user(lu))
+            .collect();
+        let merchants: Vec<_> = result
+            .detected_merchants()
+            .into_iter()
+            .map(|lv| sampled.parent_merchant(lv))
+            .collect();
+
+        let summary = SampleSummary {
+            index: i,
+            sample_nodes: sampled.graph.num_nodes(),
+            sample_edges: sampled.graph.num_edges(),
+            blocks_peeled: result.blocks.len(),
+            k_hat: result.k_hat,
+            scores: result.scores.clone(),
+            detected_users: users.len(),
+            detected_merchants: merchants.len(),
+            elapsed: t0.elapsed(),
+            sampling_elapsed,
+            detect_elapsed,
+            sample_bytes: materialized_bytes(g, &sampled),
+        };
+        let mut tally = VoteTally::new(g.num_users(), g.num_merchants());
+        tally.add_sample(users, merchants);
+
+        // Evidence: each detected node carries its block's score.
+        // FDET blocks are node-disjoint, so a node appears at most
+        // once per sample.
+        let mut evidence = EvidenceTally::new(g.num_users(), g.num_merchants());
+        let sampled_ref = &sampled;
+        evidence.add_sample(
+            result.detected_blocks().iter().flat_map(|b| {
+                b.users
+                    .iter()
+                    .map(move |&lu| (sampled_ref.parent_user(lu), b.score))
+            }),
+            result.detected_blocks().iter().flat_map(|b| {
+                b.merchants
+                    .iter()
+                    .map(move |&lv| (sampled_ref.parent_merchant(lv), b.score))
+            }),
+        );
+        (tally, evidence, summary)
+    }
+
+    /// One sampled run on the mask path: draw a spec into per-thread
+    /// scratch and peel it straight off the shared parent snapshot. No
+    /// subgraph copy exists at any point; `maps` carries the local↔parent
+    /// ids for voting.
+    fn run_sample_mask(
+        &self,
+        g: &BipartiteGraph,
+        method: SamplingMethod,
+        i: usize,
+    ) -> (VoteTally, EvidenceTally, SampleSummary) {
+        let cfg = &self.config;
+        SAMPLE_SCRATCH.with(|cell| {
+            let (scratch, spec, maps) = &mut *cell.borrow_mut();
+            let t0 = Instant::now();
+            let sample_seed = seed::derive(cfg.seed, i as u64);
+            method.sample_spec(g, cfg.sample_ratio, sample_seed, scratch, spec);
+            let sampling_elapsed = t0.elapsed();
+            let t1 = Instant::now();
+            let (result, sample_edges) =
+                FdetEngine::run_spec_cached(g, spec, &cfg.metric, cfg.truncation, maps);
+            let detect_elapsed = t1.elapsed();
+
+            let maps = &*maps;
+            let users: Vec<_> = result
+                .detected_users()
+                .into_iter()
+                .map(|lu| maps.parent_user(lu))
+                .collect();
+            let merchants: Vec<_> = result
+                .detected_merchants()
+                .into_iter()
+                .map(|lv| maps.parent_merchant(lv))
+                .collect();
+
+            let summary = SampleSummary {
+                index: i,
+                sample_nodes: maps.num_users() + maps.num_merchants(),
+                sample_edges,
+                blocks_peeled: result.blocks.len(),
+                k_hat: result.k_hat,
+                scores: result.scores.clone(),
+                detected_users: users.len(),
+                detected_merchants: merchants.len(),
+                elapsed: t0.elapsed(),
+                sampling_elapsed,
+                detect_elapsed,
+                sample_bytes: spec.selection_bytes(),
+            };
+            let mut tally = VoteTally::new(g.num_users(), g.num_merchants());
+            tally.add_sample(users, merchants);
+
+            let mut evidence = EvidenceTally::new(g.num_users(), g.num_merchants());
+            evidence.add_sample(
+                result.detected_blocks().iter().flat_map(|b| {
+                    b.users.iter().map(move |&lu| (maps.parent_user(lu), b.score))
+                }),
+                result.detected_blocks().iter().flat_map(|b| {
+                    b.merchants
+                        .iter()
+                        .map(move |&lv| (maps.parent_merchant(lv), b.score))
+                }),
+            );
+            (tally, evidence, summary)
+        })
     }
 }
 
@@ -421,5 +601,76 @@ mod tests {
         let g = BipartiteGraph::from_edges(5, 5, vec![]).unwrap();
         let out = EnsemFdet::new(quick_config(3, 0.5)).detect(&g);
         assert_eq!(out.votes.max_user_votes(), 0);
+    }
+
+    /// The mask path must be observationally identical to the reference
+    /// materializing path: same votes, evidence, and per-sample blocks,
+    /// scores, and node/edge counts for every sampling method.
+    #[test]
+    fn mask_path_matches_materialized_path() {
+        let g = planted(10, 4, 80);
+        for method in [
+            SamplingMethodConfig::RandomEdge,
+            SamplingMethodConfig::OneSideUser,
+            SamplingMethodConfig::OneSideMerchant,
+            SamplingMethodConfig::TwoSide,
+        ] {
+            let mut cfg = quick_config(8, 0.4);
+            cfg.method = method;
+            cfg.path = SamplePath::Mask;
+            let mask = EnsemFdet::new(cfg).detect(&g);
+            cfg.path = SamplePath::Materialize;
+            let mat = EnsemFdet::new(cfg).detect(&g);
+
+            assert_eq!(mask.votes, mat.votes, "{method:?}");
+            assert_eq!(
+                mask.evidence.user_evidence, mat.evidence.user_evidence,
+                "{method:?}"
+            );
+            for (a, b) in mask.samples.iter().zip(&mat.samples) {
+                assert_eq!(a.index, b.index);
+                assert_eq!(a.sample_nodes, b.sample_nodes, "{method:?} #{}", a.index);
+                assert_eq!(a.sample_edges, b.sample_edges, "{method:?} #{}", a.index);
+                assert_eq!(a.blocks_peeled, b.blocks_peeled, "{method:?} #{}", a.index);
+                assert_eq!(a.k_hat, b.k_hat, "{method:?} #{}", a.index);
+                assert_eq!(a.scores, b.scores, "{method:?} #{}", a.index);
+            }
+        }
+    }
+
+    /// The naive engine has no CSR view to mask over, so a mask-path
+    /// config silently falls back to materializing — results still match
+    /// the CSR paths exactly.
+    #[test]
+    fn naive_engine_falls_back_to_materializing() {
+        let g = planted(8, 3, 60);
+        let mut cfg = quick_config(6, 0.4);
+        cfg.engine = Engine::Naive;
+        cfg.path = SamplePath::Mask;
+        let naive = EnsemFdet::new(cfg).detect(&g);
+        cfg.engine = Engine::Csr;
+        let csr = EnsemFdet::new(cfg).detect(&g);
+        assert_eq!(naive.votes, csr.votes);
+    }
+
+    /// Mask-path bookkeeping is O(sample selection); the materializing
+    /// path pays for intern maps over the whole parent plus the subgraph
+    /// buffers. On a graph much larger than the sample the byte counters
+    /// must reflect that gap.
+    #[test]
+    fn mask_path_materializes_fewer_bytes() {
+        let g = planted(10, 4, 400);
+        let mut cfg = quick_config(6, 0.1);
+        cfg.path = SamplePath::Mask;
+        let mask = EnsemFdet::new(cfg).detect(&g);
+        cfg.path = SamplePath::Materialize;
+        let mat = EnsemFdet::new(cfg).detect(&g);
+        assert!(mask.sample_bytes() > 0);
+        assert!(
+            mask.sample_bytes() * 4 < mat.sample_bytes(),
+            "mask {} vs materialized {}",
+            mask.sample_bytes(),
+            mat.sample_bytes()
+        );
     }
 }

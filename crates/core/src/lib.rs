@@ -70,8 +70,8 @@ pub use aggregate::VoteTally;
 pub use block::Block;
 pub use engine::{Engine, FdetEngine};
 pub use ensemble::{
-    EnsembleOutcome, EnsemFdet, EnsemFdetConfig, SampleSummary, SamplingMethodConfig,
-    StageTimings,
+    EnsembleOutcome, EnsemFdet, EnsemFdetConfig, SamplePath, SampleSummary,
+    SamplingMethodConfig, StageTimings,
 };
 pub use evidence::EvidenceTally;
 pub use fdet::{fdet, fdet_with_engine, FdetResult, Truncation};

@@ -72,6 +72,10 @@ pub struct ScanReport {
     /// Per-stage CPU-time split of the ensemble pass (sampling /
     /// detection / aggregation), for stage-level telemetry.
     pub stages: crate::ensemble::StageTimings,
+    /// Bytes of sample state materialized across the pass (selection
+    /// vectors on the mask path, full subgraph buffers when
+    /// materializing).
+    pub sample_bytes: u64,
 }
 
 impl ScanReport {
@@ -176,6 +180,7 @@ impl CampaignMonitor {
             new_alerts: outcome.new_alerts,
             transactions_seen: outcome.transactions,
             sample_times: outcome.sample_times,
+            sample_bytes: outcome.sample_bytes,
             elapsed: outcome.elapsed,
             stages: outcome.stages,
             votes: outcome.votes,

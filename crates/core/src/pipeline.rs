@@ -318,6 +318,10 @@ pub struct ScanOutcome {
     pub sample_times: Vec<Duration>,
     /// Per-stage split of the ensemble pass.
     pub stages: StageTimings,
+    /// Bytes of sample state materialized across the ensemble pass
+    /// (selection vectors on the mask path, full subgraph buffers on the
+    /// materializing path).
+    pub sample_bytes: u64,
 }
 
 /// Runs ensemble scans against snapshots and tracks which accounts have
@@ -364,6 +368,7 @@ impl ScanRunner {
             flagged,
             new_alerts,
             sample_times: outcome.samples.iter().map(|s| s.elapsed).collect(),
+            sample_bytes: outcome.sample_bytes(),
             elapsed: outcome.elapsed,
             stages: outcome.stages,
             votes: outcome.votes,

@@ -20,6 +20,7 @@
 
 use crate::graph::{BipartiteGraph, EdgeId};
 use crate::ids::{MerchantId, UserId};
+use crate::spec::{SampleMaps, SampleSpec, SpecKind, SpecResolver};
 
 /// One side's neighborhood as a slice of `(neighbor, weight)` pairs;
 /// position i describes one incident edge.
@@ -170,6 +171,134 @@ impl CsrView {
                 }
             }
         }
+        self.fill_sides();
+    }
+
+    /// Re-fills the view in place directly from a sampler's
+    /// [`SampleSpec`] against the parent graph, skipping the intermediate
+    /// compacted [`crate::SampledGraph`] copy.
+    ///
+    /// The result is bit-identical to
+    /// `CsrView::from_graph(&spec.materialize(parent).graph)`: endpoints
+    /// are interned first-seen in the same edge-visit order the
+    /// materializing constructors use, edge ids are local `0..k`, weights
+    /// follow the same carry rules, and `maps` receives the same
+    /// local→parent id maps a `SampledGraph` would hold. Unlike the
+    /// materializing path, nothing here allocates per sample once the
+    /// view, resolver, and maps have grown to steady state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec references an edge or node outside the parent.
+    pub fn rebuild_from_spec(
+        &mut self,
+        parent: &BipartiteGraph,
+        spec: &SampleSpec,
+        resolver: &mut SpecResolver,
+        maps: &mut SampleMaps,
+    ) {
+        resolver.begin(parent.num_users(), parent.num_merchants());
+        maps.clear();
+        self.e_id.clear();
+        self.e_u.clear();
+        self.e_v.clear();
+        self.e_w.clear();
+
+        match spec.kind {
+            SpecKind::EdgeSubset => {
+                // Mirrors `SampledGraph::from_edge_subset`: intern u then
+                // v per chosen edge, carry weights iff the parent is
+                // weighted or a non-unit scale applies.
+                //
+                // The loop is split into gather-then-intern passes so each
+                // pass chases a single random-access stream (parent edge
+                // array, then one intern table at a time) instead of three
+                // interleaved ones. Within a side, endpoints are still
+                // interned in edge-visit order, and the two sides' id
+                // spaces are independent, so local ids match the fused
+                // loop's exactly.
+                let pairs = parent.edge_pairs();
+                self.e_u.extend(spec.edges.iter().map(|&e| pairs[e].0));
+                self.e_v.extend(spec.edges.iter().map(|&e| pairs[e].1));
+                for u in &mut self.e_u {
+                    *u = resolver.intern_user(*u, &mut maps.orig_users);
+                }
+                for v in &mut self.e_v {
+                    *v = resolver.intern_merchant(*v, &mut maps.orig_merchants);
+                }
+                if parent.is_weighted() || spec.weight_scale != 1.0 {
+                    self.e_w.extend(
+                        spec.edges
+                            .iter()
+                            .map(|&e| parent.edge_weight(e) * spec.weight_scale),
+                    );
+                } else {
+                    self.e_w.resize(spec.edges.len(), 1.0);
+                }
+            }
+            SpecKind::UserSubset => {
+                // Mirrors `from_user_subset` → `from_edge_subset` over the
+                // concatenated incident-edge lists: adjacency order per
+                // chosen user, interning u before v on every edge. `u` is
+                // loop-invariant per chosen user, but interning must still
+                // happen edge-by-edge order-wise — first-seen order is what
+                // the materializing path produces — so intern on the first
+                // incident edge and reuse the local id afterwards.
+                for &u in &spec.users {
+                    let mut lu = u32::MAX;
+                    for (v, _e, w) in parent.merchants_of(u) {
+                        if lu == u32::MAX {
+                            lu = resolver.intern_user(u.0, &mut maps.orig_users);
+                        }
+                        let lv = resolver.intern_merchant(v.0, &mut maps.orig_merchants);
+                        self.e_u.push(lu);
+                        self.e_v.push(lv);
+                        self.e_w.push(w);
+                    }
+                }
+            }
+            SpecKind::MerchantSubset => {
+                for &v in &spec.merchants {
+                    let mut lv = u32::MAX;
+                    for (u, _e, w) in parent.users_of(v) {
+                        if lv == u32::MAX {
+                            lv = resolver.intern_merchant(v.0, &mut maps.orig_merchants);
+                        }
+                        let lu = resolver.intern_user(u.0, &mut maps.orig_users);
+                        self.e_u.push(lu);
+                        self.e_v.push(lv);
+                        self.e_w.push(w);
+                    }
+                }
+            }
+            SpecKind::NodeSubsets => {
+                // Mirrors `from_node_subsets`: every chosen node is
+                // interned up front (isolated ones included), then only
+                // crossing edges survive.
+                for &u in &spec.users {
+                    resolver.intern_user(u.0, &mut maps.orig_users);
+                }
+                for &v in &spec.merchants {
+                    resolver.intern_merchant(v.0, &mut maps.orig_merchants);
+                }
+                for &u in &spec.users {
+                    let lu = resolver.intern_user(u.0, &mut maps.orig_users);
+                    for (v, _e, w) in parent.merchants_of(u) {
+                        if let Some(lv) = resolver.merchant_local(v.0) {
+                            self.e_u.push(lu);
+                            self.e_v.push(lv);
+                            self.e_w.push(w);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Edge ids are local (0..k), exactly as `from_graph` numbers the
+        // compacted graph's edges.
+        self.e_id.extend(0..self.e_u.len() as u32);
+        self.num_users = maps.orig_users.len();
+        self.num_merchants = maps.orig_merchants.len();
         self.fill_sides();
     }
 
@@ -451,6 +580,110 @@ mod tests {
     fn wrong_mask_length_panics() {
         let g = sample_graph();
         CsrView::from_graph_filtered(&g, &[true]);
+    }
+
+    /// Field-by-field equality, including the private CSR internals —
+    /// the "bit-identical" contract of `rebuild_from_spec`.
+    fn assert_views_identical(spec_built: &CsrView, materialized: &CsrView) {
+        assert_eq!(spec_built.num_users, materialized.num_users);
+        assert_eq!(spec_built.num_merchants, materialized.num_merchants);
+        assert_eq!(spec_built.e_id, materialized.e_id);
+        assert_eq!(spec_built.e_u, materialized.e_u);
+        assert_eq!(spec_built.e_v, materialized.e_v);
+        assert_eq!(spec_built.e_w, materialized.e_w);
+        assert_eq!(spec_built.u_off, materialized.u_off);
+        assert_eq!(spec_built.u_adj, materialized.u_adj);
+        assert_eq!(spec_built.v_off, materialized.v_off);
+        assert_eq!(spec_built.v_adj, materialized.v_adj);
+    }
+
+    fn check_spec_equivalence(parent: &BipartiteGraph, spec: &SampleSpec) {
+        let mut resolver = SpecResolver::new();
+        let mut maps = SampleMaps::default();
+        let mut view = CsrView::new();
+        view.rebuild_from_spec(parent, spec, &mut resolver, &mut maps);
+
+        let sampled = spec.materialize(parent);
+        let reference = CsrView::from_graph(&sampled.graph);
+        assert_views_identical(&view, &reference);
+        assert_eq!(maps.orig_users, sampled.orig_users);
+        assert_eq!(maps.orig_merchants, sampled.orig_merchants);
+    }
+
+    #[test]
+    fn spec_built_view_matches_materialized_for_every_kind() {
+        let unweighted = BipartiteGraph::from_edges(
+            4,
+            4,
+            vec![(0, 0), (0, 1), (1, 1), (2, 1), (2, 2), (3, 3)],
+        )
+        .unwrap();
+        let weighted = BipartiteGraph::from_weighted_edges(
+            4,
+            4,
+            vec![(0, 0), (0, 1), (1, 1), (2, 1), (2, 2), (3, 3)],
+            vec![1.5, 2.0, 0.5, 3.0, 1.0, 4.0],
+        )
+        .unwrap();
+
+        for parent in [&unweighted, &weighted] {
+            let mut spec = SampleSpec::new();
+            spec.reset(SpecKind::EdgeSubset);
+            spec.edges.extend([5usize, 1, 3, 2]); // deliberately unsorted
+            check_spec_equivalence(parent, &spec);
+
+            spec.reset(SpecKind::EdgeSubset);
+            spec.edges.extend([0usize, 5]);
+            spec.weight_scale = 4.0; // forces the weight-carry rule
+            check_spec_equivalence(parent, &spec);
+
+            spec.reset(SpecKind::UserSubset);
+            spec.users.extend([UserId(2), UserId(0)]);
+            check_spec_equivalence(parent, &spec);
+
+            spec.reset(SpecKind::MerchantSubset);
+            spec.merchants.extend([MerchantId(1), MerchantId(3)]);
+            check_spec_equivalence(parent, &spec);
+
+            // Includes a node that ends up isolated (u3 × {m1, m2}).
+            spec.reset(SpecKind::NodeSubsets);
+            spec.users.extend([UserId(2), UserId(3), UserId(0)]);
+            spec.merchants.extend([MerchantId(1), MerchantId(2)]);
+            check_spec_equivalence(parent, &spec);
+
+            // Degenerate specs: empty selections.
+            spec.reset(SpecKind::EdgeSubset);
+            check_spec_equivalence(parent, &spec);
+            spec.reset(SpecKind::NodeSubsets);
+            check_spec_equivalence(parent, &spec);
+        }
+    }
+
+    #[test]
+    fn resolver_and_view_are_reusable_across_specs() {
+        let parent = BipartiteGraph::from_edges(
+            4,
+            4,
+            vec![(0, 0), (0, 1), (1, 1), (2, 1), (2, 2), (3, 3)],
+        )
+        .unwrap();
+        let mut resolver = SpecResolver::new();
+        let mut maps = SampleMaps::default();
+        let mut view = CsrView::new();
+
+        let mut spec = SampleSpec::new();
+        spec.reset(SpecKind::UserSubset);
+        spec.users.extend([UserId(0), UserId(1)]);
+        view.rebuild_from_spec(&parent, &spec, &mut resolver, &mut maps);
+
+        // Second resolve with the same scratch must not see stale interns.
+        spec.reset(SpecKind::EdgeSubset);
+        spec.edges.extend([4usize, 5]);
+        view.rebuild_from_spec(&parent, &spec, &mut resolver, &mut maps);
+        let sampled = spec.materialize(&parent);
+        assert_views_identical(&view, &CsrView::from_graph(&sampled.graph));
+        assert_eq!(maps.orig_users, sampled.orig_users);
+        assert_eq!(maps.orig_merchants, sampled.orig_merchants);
     }
 
     #[test]

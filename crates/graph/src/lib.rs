@@ -16,6 +16,10 @@
 //! - [`GraphBuilder`]: incremental, duplicate-merging construction.
 //! - [`SampledGraph`]: a compacted subgraph plus index maps back to the
 //!   parent graph, the unit of work for the ensemble.
+//! - [`SampleSpec`] / [`SpecResolver`]: the zero-copy alternative — a
+//!   sampler's raw selection resolved straight into a [`CsrView`] via
+//!   [`CsrView::rebuild_from_spec`], with [`SampleMaps`] carrying the
+//!   local↔parent id maps and no intermediate graph copy.
 //! - [`io`]: plain-text edge-list and label-file round-trips.
 //! - [`stats`]: the dataset statistics reported in Table I of the paper.
 //! - [`components`]: connected components, used by tests and diagnostics.
@@ -46,6 +50,7 @@ pub mod interner;
 pub mod io;
 pub mod kcore;
 pub mod sampled;
+pub mod spec;
 pub mod stats;
 
 pub use builder::GraphBuilder;
@@ -56,4 +61,5 @@ pub use ids::{MerchantId, NodeRef, UserId};
 pub use interner::{read_transactions_csv, TransactionInterner};
 pub use kcore::{core_decomposition, CoreDecomposition};
 pub use sampled::SampledGraph;
+pub use spec::{SampleMaps, SampleSpec, SpecKind, SpecResolver};
 pub use stats::GraphStats;

@@ -1,0 +1,344 @@
+//! Sample *specs*: what a sampler chose, decoupled from materializing it.
+//!
+//! The ensemble's original data path copied the parent graph N times per
+//! scan: every `Sampler::sample` call built a compacted
+//! [`crate::SampledGraph`] (two O(parent)-sized intern maps plus fresh
+//! edge/weight vectors), and the engine then converted that copy into a
+//! [`crate::CsrView`]. A [`SampleSpec`] instead records only the sampler's
+//! *selection* — parent edge ids or per-side node ids — so the engine can
+//! compact straight from `(parent, spec)` into its reusable `CsrView` via
+//! [`crate::CsrView::rebuild_from_spec`], skipping the intermediate
+//! `BipartiteGraph` entirely.
+//!
+//! The two paths are interchangeable by construction:
+//! [`SampleSpec::materialize`] routes to the original `SampledGraph`
+//! constructors, and `rebuild_from_spec` interns endpoints in the same
+//! first-seen order those constructors use, so the resulting views are
+//! bit-identical (see the equivalence tests in `csr.rs` and
+//! `tests/tests/spec_equivalence.rs`).
+
+use crate::graph::{BipartiteGraph, EdgeId};
+use crate::ids::{MerchantId, UserId};
+use crate::sampled::SampledGraph;
+
+/// Which selection a [`SampleSpec`] carries, mirroring the four
+/// [`SampledGraph`] constructors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SpecKind {
+    /// The subgraph spanned by `edges` (Random Edge Sampling's shape).
+    #[default]
+    EdgeSubset,
+    /// All edges incident to `users` (One-side Node Sampling, PIN side).
+    UserSubset,
+    /// All edges incident to `merchants` (One-side Node Sampling,
+    /// merchant side).
+    MerchantSubset,
+    /// Crossing edges of `users` × `merchants` plus the chosen nodes
+    /// themselves, isolated or not (Two-side Node Sampling's shape).
+    NodeSubsets,
+}
+
+/// A sampler's selection against a fixed parent graph.
+///
+/// Only the vectors named by [`SampleSpec::kind`] are meaningful; the
+/// others stay empty. The struct is designed to be reused across samples
+/// ([`SampleSpec::reset`] keeps capacity), so a steady-state sampling run
+/// allocates nothing.
+#[derive(Clone, Debug, Default)]
+pub struct SampleSpec {
+    /// Which constructor shape this spec resolves through.
+    pub kind: SpecKind,
+    /// Chosen parent edge ids (`EdgeSubset` only), in draw order.
+    pub edges: Vec<EdgeId>,
+    /// Chosen parent users (`UserSubset` / `NodeSubsets`), in draw order.
+    pub users: Vec<UserId>,
+    /// Chosen parent merchants (`MerchantSubset` / `NodeSubsets`), in
+    /// draw order.
+    pub merchants: Vec<MerchantId>,
+    /// Multiplies every copied edge weight (`EdgeSubset` only); `1.0` for
+    /// a plain subgraph, `1/p` for the ε-approximation of Theorem 1.
+    pub weight_scale: f64,
+}
+
+impl SampleSpec {
+    /// A fresh, empty spec (equivalent to `Default` but with the unit
+    /// weight scale made explicit).
+    pub fn new() -> Self {
+        SampleSpec {
+            weight_scale: 1.0,
+            ..SampleSpec::default()
+        }
+    }
+
+    /// Clears the selection for reuse, keeping vector capacity.
+    pub fn reset(&mut self, kind: SpecKind) {
+        self.kind = kind;
+        self.edges.clear();
+        self.users.clear();
+        self.merchants.clear();
+        self.weight_scale = 1.0;
+    }
+
+    /// Bytes held by the selection itself — the mask path's entire
+    /// per-sample footprint beyond the reusable scratch.
+    pub fn selection_bytes(&self) -> u64 {
+        (self.edges.len() * std::mem::size_of::<EdgeId>()
+            + self.users.len() * std::mem::size_of::<UserId>()
+            + self.merchants.len() * std::mem::size_of::<MerchantId>()) as u64
+    }
+
+    /// Resolves the spec into a compacted [`SampledGraph`] via the
+    /// reference constructors — the materializing path the mask path is
+    /// checked against.
+    pub fn materialize(&self, parent: &BipartiteGraph) -> SampledGraph {
+        match self.kind {
+            SpecKind::EdgeSubset => {
+                SampledGraph::from_edge_subset(parent, &self.edges, self.weight_scale)
+            }
+            SpecKind::UserSubset => SampledGraph::from_user_subset(parent, &self.users),
+            SpecKind::MerchantSubset => {
+                SampledGraph::from_merchant_subset(parent, &self.merchants)
+            }
+            SpecKind::NodeSubsets => {
+                SampledGraph::from_node_subsets(parent, &self.users, &self.merchants)
+            }
+        }
+    }
+}
+
+/// Local↔parent id maps for a spec-built view: the piece of
+/// [`SampledGraph`] that voting still needs once the compacted graph copy
+/// is gone.
+///
+/// `orig_users[local] = parent user id`, in the same first-seen intern
+/// order the materializing constructors produce.
+#[derive(Clone, Debug, Default)]
+pub struct SampleMaps {
+    /// `orig_users[local_u] = parent user id`.
+    pub orig_users: Vec<u32>,
+    /// `orig_merchants[local_v] = parent merchant id`.
+    pub orig_merchants: Vec<u32>,
+}
+
+impl SampleMaps {
+    /// Clears both maps for reuse, keeping capacity.
+    pub fn clear(&mut self) {
+        self.orig_users.clear();
+        self.orig_merchants.clear();
+    }
+
+    /// Number of distinct users in the sample.
+    #[inline]
+    pub fn num_users(&self) -> usize {
+        self.orig_users.len()
+    }
+
+    /// Number of distinct merchants in the sample.
+    #[inline]
+    pub fn num_merchants(&self) -> usize {
+        self.orig_merchants.len()
+    }
+
+    /// Maps a local user id back to the parent graph.
+    #[inline]
+    pub fn parent_user(&self, local: UserId) -> UserId {
+        UserId(self.orig_users[local.index()])
+    }
+
+    /// Maps a local merchant id back to the parent graph.
+    #[inline]
+    pub fn parent_merchant(&self, local: MerchantId) -> MerchantId {
+        MerchantId(self.orig_merchants[local.index()])
+    }
+}
+
+/// Number of low bits of a resolver slot holding the local id; the
+/// remaining high bits hold the epoch stamp.
+const SLOT_LOCAL_BITS: u32 = 24;
+/// Mask extracting the local id from a slot.
+const SLOT_LOCAL_MASK: u32 = (1 << SLOT_LOCAL_BITS) - 1;
+
+/// Reusable epoch-stamped intern scratch for resolving specs.
+///
+/// The materializing constructors pay two `O(parent)` `u32::MAX` memsets
+/// per sample for their intern maps. This scratch keeps the maps alive
+/// across samples and invalidates them by bumping an 8-bit epoch stamp
+/// instead, so a steady-state resolve touches only the sampled rows.
+/// Buffers grow monotonically to the largest parent seen and the epoch
+/// wrap (once per 255 resolves) triggers the only full clear — an
+/// amortized `O(parent / 255)` per resolve.
+#[derive(Clone, Debug, Default)]
+pub struct SpecResolver {
+    /// Packed `(stamp << 24) | local` per parent user: one cache line
+    /// covers sixteen probe targets, and a single array access both
+    /// checks and reads the mapping.
+    u_slot: Vec<u32>,
+    /// Merchant-side twin of `u_slot`.
+    v_slot: Vec<u32>,
+    /// Current 8-bit stamp, 1..=255; `0` marks never-touched slots.
+    epoch: u32,
+}
+
+impl SpecResolver {
+    /// A fresh resolver; buffers grow on first use.
+    pub fn new() -> Self {
+        SpecResolver::default()
+    }
+
+    /// Starts a new resolve against a parent with the given side sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a side exceeds the packed-slot capacity of 2²⁴ − 1
+    /// (≈ 16.7 M) nodes — ~4× the full JD parent graph. Lift
+    /// `SLOT_LOCAL_BITS` to a wider slot type if a deployment ever
+    /// reaches that.
+    pub(crate) fn begin(&mut self, num_users: usize, num_merchants: usize) {
+        assert!(
+            num_users.max(num_merchants) <= SLOT_LOCAL_MASK as usize,
+            "SpecResolver supports at most {} nodes per side, got {}",
+            SLOT_LOCAL_MASK,
+            num_users.max(num_merchants),
+        );
+        if self.u_slot.len() < num_users {
+            self.u_slot.resize(num_users, 0);
+        }
+        if self.v_slot.len() < num_merchants {
+            self.v_slot.resize(num_merchants, 0);
+        }
+        self.epoch += 1;
+        if self.epoch > (u32::MAX >> SLOT_LOCAL_BITS) {
+            self.u_slot.fill(0);
+            self.v_slot.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Assigns `raw` the next dense local user index if unseen this
+    /// epoch; returns its local id. Mirrors `sampled.rs`'s `intern`.
+    #[inline]
+    pub(crate) fn intern_user(&mut self, raw: u32, originals: &mut Vec<u32>) -> u32 {
+        let i = raw as usize;
+        let slot = self.u_slot[i];
+        if slot >> SLOT_LOCAL_BITS == self.epoch {
+            slot & SLOT_LOCAL_MASK
+        } else {
+            let local = originals.len() as u32;
+            self.u_slot[i] = (self.epoch << SLOT_LOCAL_BITS) | local;
+            originals.push(raw);
+            local
+        }
+    }
+
+    /// Merchant-side twin of [`SpecResolver::intern_user`].
+    #[inline]
+    pub(crate) fn intern_merchant(&mut self, raw: u32, originals: &mut Vec<u32>) -> u32 {
+        let i = raw as usize;
+        let slot = self.v_slot[i];
+        if slot >> SLOT_LOCAL_BITS == self.epoch {
+            slot & SLOT_LOCAL_MASK
+        } else {
+            let local = originals.len() as u32;
+            self.v_slot[i] = (self.epoch << SLOT_LOCAL_BITS) | local;
+            originals.push(raw);
+            local
+        }
+    }
+
+    /// The local id of a merchant already interned this epoch, if any.
+    #[inline]
+    pub(crate) fn merchant_local(&self, raw: u32) -> Option<u32> {
+        let slot = self.v_slot[raw as usize];
+        if slot >> SLOT_LOCAL_BITS == self.epoch {
+            Some(slot & SLOT_LOCAL_MASK)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parent() -> BipartiteGraph {
+        BipartiteGraph::from_edges(4, 4, vec![(0, 0), (0, 1), (1, 1), (2, 1), (2, 2), (3, 3)])
+            .unwrap()
+    }
+
+    #[test]
+    fn materialize_routes_to_each_constructor() {
+        let p = parent();
+
+        let mut spec = SampleSpec::new();
+        spec.reset(SpecKind::EdgeSubset);
+        spec.edges.extend([1usize, 2, 3]);
+        let s = spec.materialize(&p);
+        assert_eq!(s.graph.num_edges(), 3);
+        assert_eq!(s.graph.num_merchants(), 1);
+
+        spec.reset(SpecKind::UserSubset);
+        spec.users.extend([UserId(0), UserId(2)]);
+        let s = spec.materialize(&p);
+        assert_eq!(s.graph.num_edges(), 4);
+
+        spec.reset(SpecKind::MerchantSubset);
+        spec.merchants.push(MerchantId(1));
+        let s = spec.materialize(&p);
+        assert_eq!(s.graph.num_users(), 3);
+
+        spec.reset(SpecKind::NodeSubsets);
+        spec.users.extend([UserId(0), UserId(3)]);
+        spec.merchants.extend([MerchantId(1), MerchantId(2)]);
+        let s = spec.materialize(&p);
+        assert_eq!(s.graph.num_edges(), 1);
+        assert_eq!(s.graph.num_users(), 2);
+        assert_eq!(s.graph.num_merchants(), 2);
+    }
+
+    #[test]
+    fn reset_keeps_capacity_and_clears_state() {
+        let mut spec = SampleSpec::new();
+        spec.edges.extend([1usize, 2, 3]);
+        spec.weight_scale = 4.0;
+        let cap = spec.edges.capacity();
+        spec.reset(SpecKind::UserSubset);
+        assert_eq!(spec.kind, SpecKind::UserSubset);
+        assert!(spec.edges.is_empty());
+        assert_eq!(spec.weight_scale, 1.0);
+        assert_eq!(spec.edges.capacity(), cap);
+    }
+
+    #[test]
+    fn selection_bytes_counts_only_the_selection() {
+        let mut spec = SampleSpec::new();
+        spec.edges.extend([0usize, 1]);
+        spec.users.push(UserId(0));
+        assert_eq!(
+            spec.selection_bytes(),
+            (2 * std::mem::size_of::<EdgeId>() + 4) as u64
+        );
+    }
+
+    #[test]
+    fn resolver_interning_matches_first_seen_order() {
+        let mut r = SpecResolver::new();
+        let mut orig = Vec::new();
+        r.begin(8, 8);
+        assert_eq!(r.intern_user(5, &mut orig), 0);
+        assert_eq!(r.intern_user(2, &mut orig), 1);
+        assert_eq!(r.intern_user(5, &mut orig), 0);
+        assert_eq!(orig, vec![5, 2]);
+        assert_eq!(r.merchant_local(3), None);
+        let mut vorig = Vec::new();
+        assert_eq!(r.intern_merchant(3, &mut vorig), 0);
+        assert_eq!(r.merchant_local(3), Some(0));
+
+        // A new epoch forgets everything without clearing the buffers.
+        let mut orig2 = Vec::new();
+        r.begin(8, 8);
+        assert_eq!(r.intern_user(2, &mut orig2), 0);
+        assert_eq!(orig2, vec![2]);
+        assert_eq!(r.merchant_local(3), None);
+    }
+}

@@ -26,10 +26,16 @@
 //! the Lemma 1 crossover degree used to validate the samplers empirically.
 //!
 //! All samplers are deterministic functions of `(graph, ratio, seed)`.
+//! Each method emits its draw as a [`ensemfdet_graph::SampleSpec`]
+//! (via [`Sampler::sample_spec`] into a reusable [`SamplerScratch`]),
+//! which the engine resolves lazily against the shared parent snapshot;
+//! [`Sampler::sample`] materializes the same spec into a
+//! [`ensemfdet_graph::SampledGraph`] as the reference path.
 
 pub mod method;
 pub mod ons;
 pub mod res;
+pub mod scratch;
 pub mod seed;
 pub mod theory;
 pub mod tns;
@@ -38,4 +44,5 @@ pub mod weighted;
 pub use method::{Sampler, SamplingMethod};
 pub use ons::{OneSideNodeSampling, Side};
 pub use res::RandomEdgeSampling;
+pub use scratch::SamplerScratch;
 pub use tns::TwoSideNodeSampling;

@@ -3,8 +3,9 @@
 
 use crate::ons::{OneSideNodeSampling, Side};
 use crate::res::RandomEdgeSampling;
+use crate::scratch::SamplerScratch;
 use crate::tns::TwoSideNodeSampling;
-use ensemfdet_graph::{BipartiteGraph, SampledGraph};
+use ensemfdet_graph::{BipartiteGraph, SampleSpec, SampledGraph};
 use std::fmt;
 
 /// A structural sampling method for bipartite graphs.
@@ -27,8 +28,31 @@ use std::fmt;
 /// assert!(sample.parent_user(lu).0 < 10);
 /// ```
 pub trait Sampler {
-    /// Draws one sampled subgraph at the given ratio `S ∈ (0, 1]`.
-    fn sample(&self, g: &BipartiteGraph, ratio: f64, seed: u64) -> SampledGraph;
+    /// Draws one sample at the given ratio `S ∈ (0, 1]` as a *spec* — the
+    /// raw selection of parent edge/node ids written into `spec`, with
+    /// `scratch` providing the reusable mark buffer for the
+    /// without-replacement draw. Nothing is materialized: the engine
+    /// resolves the spec lazily against the shared parent snapshot
+    /// (`CsrView::rebuild_from_spec`), and a steady-state call allocates
+    /// nothing once `scratch` and `spec` have grown.
+    fn sample_spec(
+        &self,
+        g: &BipartiteGraph,
+        ratio: f64,
+        seed: u64,
+        scratch: &mut SamplerScratch,
+        spec: &mut SampleSpec,
+    );
+
+    /// Draws one sampled subgraph at the given ratio `S ∈ (0, 1]` by
+    /// materializing the spec — the reference path, byte-identical to the
+    /// pre-spec behavior.
+    fn sample(&self, g: &BipartiteGraph, ratio: f64, seed: u64) -> SampledGraph {
+        let mut scratch = SamplerScratch::new();
+        let mut spec = SampleSpec::new();
+        self.sample_spec(g, ratio, seed, &mut scratch, &mut spec);
+        spec.materialize(g)
+    }
 
     /// Human-readable name (used in experiment output).
     fn name(&self) -> &'static str;
@@ -59,16 +83,27 @@ impl SamplingMethod {
 }
 
 impl Sampler for SamplingMethod {
-    fn sample(&self, g: &BipartiteGraph, ratio: f64, seed: u64) -> SampledGraph {
+    fn sample_spec(
+        &self,
+        g: &BipartiteGraph,
+        ratio: f64,
+        seed: u64,
+        scratch: &mut SamplerScratch,
+        spec: &mut SampleSpec,
+    ) {
         match self {
-            SamplingMethod::RandomEdge => RandomEdgeSampling.sample(g, ratio, seed),
+            SamplingMethod::RandomEdge => {
+                RandomEdgeSampling.sample_spec(g, ratio, seed, scratch, spec)
+            }
             SamplingMethod::OneSideUser => {
-                OneSideNodeSampling::new(Side::User).sample(g, ratio, seed)
+                OneSideNodeSampling::new(Side::User).sample_spec(g, ratio, seed, scratch, spec)
             }
             SamplingMethod::OneSideMerchant => {
-                OneSideNodeSampling::new(Side::Merchant).sample(g, ratio, seed)
+                OneSideNodeSampling::new(Side::Merchant).sample_spec(g, ratio, seed, scratch, spec)
             }
-            SamplingMethod::TwoSide => TwoSideNodeSampling.sample(g, ratio, seed),
+            SamplingMethod::TwoSide => {
+                TwoSideNodeSampling.sample_spec(g, ratio, seed, scratch, spec)
+            }
         }
     }
 

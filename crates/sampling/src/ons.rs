@@ -9,9 +9,9 @@
 //! demonstrates exactly this gap.
 
 use crate::method::{sample_count, Sampler};
-use crate::res::floyd_sample;
+use crate::scratch::SamplerScratch;
 use crate::seed::splitmix64;
-use ensemfdet_graph::{BipartiteGraph, MerchantId, SampledGraph, UserId};
+use ensemfdet_graph::{BipartiteGraph, MerchantId, SampleSpec, SpecKind, UserId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -54,24 +54,29 @@ impl OneSideNodeSampling {
 }
 
 impl Sampler for OneSideNodeSampling {
-    fn sample(&self, g: &BipartiteGraph, ratio: f64, seed: u64) -> SampledGraph {
+    fn sample_spec(
+        &self,
+        g: &BipartiteGraph,
+        ratio: f64,
+        seed: u64,
+        scratch: &mut SamplerScratch,
+        spec: &mut SampleSpec,
+    ) {
         let mut rng = StdRng::seed_from_u64(splitmix64(seed ^ 0x0115));
         match self.side {
             Side::User => {
                 let take = sample_count(g.num_users(), ratio);
-                let picks: Vec<UserId> = floyd_sample(g.num_users(), take, &mut rng)
-                    .into_iter()
-                    .map(|i| UserId(i as u32))
-                    .collect();
-                SampledGraph::from_user_subset(g, &picks)
+                spec.reset(SpecKind::UserSubset);
+                scratch.floyd_fill(g.num_users(), take, &mut rng, |i| {
+                    spec.users.push(UserId(i as u32))
+                });
             }
             Side::Merchant => {
                 let take = sample_count(g.num_merchants(), ratio);
-                let picks: Vec<MerchantId> = floyd_sample(g.num_merchants(), take, &mut rng)
-                    .into_iter()
-                    .map(|i| MerchantId(i as u32))
-                    .collect();
-                SampledGraph::from_merchant_subset(g, &picks)
+                spec.reset(SpecKind::MerchantSubset);
+                scratch.floyd_fill(g.num_merchants(), take, &mut rng, |i| {
+                    spec.merchants.push(MerchantId(i as u32))
+                });
             }
         }
     }

@@ -7,23 +7,30 @@
 //! the ensemble wants.
 
 use crate::method::{sample_count, Sampler};
+use crate::scratch::SamplerScratch;
 use crate::seed::splitmix64;
-use ensemfdet_graph::{BipartiteGraph, SampledGraph};
+use ensemfdet_graph::{BipartiteGraph, SampleSpec, SpecKind};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use std::collections::HashSet;
+use rand::SeedableRng;
 
 /// Uniform without-replacement edge sampler.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct RandomEdgeSampling;
 
 impl Sampler for RandomEdgeSampling {
-    fn sample(&self, g: &BipartiteGraph, ratio: f64, seed: u64) -> SampledGraph {
+    fn sample_spec(
+        &self,
+        g: &BipartiteGraph,
+        ratio: f64,
+        seed: u64,
+        scratch: &mut SamplerScratch,
+        spec: &mut SampleSpec,
+    ) {
         let m = g.num_edges();
         let take = sample_count(m, ratio);
         let mut rng = StdRng::seed_from_u64(splitmix64(seed));
-        let ids = floyd_sample(m, take, &mut rng);
-        SampledGraph::from_edge_subset(g, &ids, 1.0)
+        spec.reset(SpecKind::EdgeSubset);
+        scratch.floyd_fill(m, take, &mut rng, |e| spec.edges.push(e));
     }
 
     fn name(&self) -> &'static str {
@@ -31,26 +38,22 @@ impl Sampler for RandomEdgeSampling {
     }
 }
 
-/// Floyd's algorithm: `k` distinct values from `0..n` in O(k) expected time
-/// and memory — per-sample cost stays proportional to the sample, not the
-/// graph, which is what makes `S = 0.01` runs cheap.
+/// Floyd's algorithm: `k` distinct values from `0..n` in O(k) expected
+/// time — per-sample cost stays proportional to the sample, not the
+/// graph, which is what makes `S = 0.01` runs cheap. Convenience wrapper
+/// over [`SamplerScratch::floyd_fill`] for one-shot draws.
+#[cfg(test)]
 pub(crate) fn floyd_sample(n: usize, k: usize, rng: &mut StdRng) -> Vec<usize> {
-    debug_assert!(k <= n);
-    let mut chosen: HashSet<usize> = HashSet::with_capacity(k);
+    let mut scratch = SamplerScratch::new();
     let mut out = Vec::with_capacity(k);
-    for j in (n - k)..n {
-        let t = rng.random_range(0..=j);
-        let pick = if chosen.contains(&t) { j } else { t };
-        chosen.insert(pick);
-        out.push(pick);
-    }
+    scratch.floyd_fill(n, k, rng, |i| out.push(i));
     out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ensemfdet_graph::BipartiteGraph;
+    use std::collections::HashSet;
 
     fn big_graph() -> BipartiteGraph {
         let edges: Vec<(u32, u32)> = (0..500u32).map(|i| (i % 50, (i * 7) % 40)).collect();

@@ -1,0 +1,114 @@
+//! Reusable per-sampler scratch: the allocation-free Floyd draw.
+//!
+//! The original `floyd_sample` kept its "already chosen" set in a
+//! `HashSet`, costing one hash-map allocation plus per-pick hashing on
+//! every draw. [`SamplerScratch`] replaces it with an epoch-stamped mark
+//! buffer: membership is one array read, invalidation is an epoch bump,
+//! and the buffer is reused across every draw a thread performs — so a
+//! steady-state `S = 0.01` RES draw allocates nothing at all.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Reusable scratch for without-replacement draws.
+///
+/// The mark buffer grows monotonically to the largest population seen;
+/// `mark[i] == epoch` means `i` was already picked in the current draw.
+/// The epoch wrap (once per 2³² draws) triggers the only full clear.
+#[derive(Clone, Debug, Default)]
+pub struct SamplerScratch {
+    mark: Vec<u32>,
+    epoch: u32,
+}
+
+impl SamplerScratch {
+    /// A fresh scratch; the mark buffer grows on first use.
+    pub fn new() -> Self {
+        SamplerScratch::default()
+    }
+
+    /// Starts a new draw over a population of `n`.
+    fn begin(&mut self, n: usize) {
+        if self.mark.len() < n {
+            self.mark.resize(n, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.mark.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Floyd's algorithm: feeds `k` distinct values from `0..n` to `push`
+    /// in O(k) time with zero steady-state allocation.
+    ///
+    /// The pick sequence is bit-for-bit the one the original
+    /// `HashSet`-based implementation produced for the same RNG stream,
+    /// so every downstream sample (and therefore every ensemble vote) is
+    /// unchanged by the swap.
+    pub fn floyd_fill(
+        &mut self,
+        n: usize,
+        k: usize,
+        rng: &mut StdRng,
+        mut push: impl FnMut(usize),
+    ) {
+        debug_assert!(k <= n);
+        self.begin(n);
+        for j in (n - k)..n {
+            let t = rng.random_range(0..=j);
+            let pick = if self.mark[t] == self.epoch { j } else { t };
+            self.mark[pick] = self.epoch;
+            push(pick);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reuse_across_draws_stays_distinct() {
+        let mut scratch = SamplerScratch::new();
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut out = Vec::new();
+            scratch.floyd_fill(50, 25, &mut rng, |i| out.push(i));
+            assert_eq!(out.len(), 25);
+            let set: std::collections::HashSet<usize> = out.iter().copied().collect();
+            assert_eq!(set.len(), 25, "duplicates at seed {seed}");
+            assert!(out.iter().all(|&i| i < 50));
+        }
+    }
+
+    #[test]
+    fn shrinking_population_reuses_larger_buffer() {
+        let mut scratch = SamplerScratch::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut big = Vec::new();
+        scratch.floyd_fill(1000, 10, &mut rng, |i| big.push(i));
+        let mut small = Vec::new();
+        scratch.floyd_fill(5, 5, &mut rng, |i| small.push(i));
+        let mut sorted = small.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn epoch_wrap_clears_marks() {
+        let mut scratch = SamplerScratch::new();
+        scratch.mark.resize(4, 0);
+        scratch.epoch = u32::MAX - 1;
+        let mut rng = StdRng::seed_from_u64(1);
+        // Two draws across the wrap; both must stay distinct.
+        for _ in 0..2 {
+            let mut out = Vec::new();
+            scratch.floyd_fill(4, 4, &mut rng, |i| out.push(i));
+            out.sort_unstable();
+            assert_eq!(out, vec![0, 1, 2, 3]);
+        }
+        assert_eq!(scratch.epoch, 1, "wrap resets to epoch 1");
+    }
+}

@@ -7,9 +7,9 @@
 //! when using it.
 
 use crate::method::{sample_count, Sampler};
-use crate::res::floyd_sample;
+use crate::scratch::SamplerScratch;
 use crate::seed::splitmix64;
-use ensemfdet_graph::{BipartiteGraph, MerchantId, SampledGraph, UserId};
+use ensemfdet_graph::{BipartiteGraph, MerchantId, SampleSpec, SpecKind, UserId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -18,19 +18,26 @@ use rand::SeedableRng;
 pub struct TwoSideNodeSampling;
 
 impl Sampler for TwoSideNodeSampling {
-    fn sample(&self, g: &BipartiteGraph, ratio: f64, seed: u64) -> SampledGraph {
+    fn sample_spec(
+        &self,
+        g: &BipartiteGraph,
+        ratio: f64,
+        seed: u64,
+        scratch: &mut SamplerScratch,
+        spec: &mut SampleSpec,
+    ) {
         let mut rng = StdRng::seed_from_u64(splitmix64(seed ^ 0x2_0115));
         let take_u = sample_count(g.num_users(), ratio);
         let take_v = sample_count(g.num_merchants(), ratio);
-        let users: Vec<UserId> = floyd_sample(g.num_users(), take_u, &mut rng)
-            .into_iter()
-            .map(|i| UserId(i as u32))
-            .collect();
-        let merchants: Vec<MerchantId> = floyd_sample(g.num_merchants(), take_v, &mut rng)
-            .into_iter()
-            .map(|i| MerchantId(i as u32))
-            .collect();
-        SampledGraph::from_node_subsets(g, &users, &merchants)
+        spec.reset(SpecKind::NodeSubsets);
+        // Both draws share one RNG stream (users first), matching the
+        // original materializing implementation draw for draw.
+        scratch.floyd_fill(g.num_users(), take_u, &mut rng, |i| {
+            spec.users.push(UserId(i as u32))
+        });
+        scratch.floyd_fill(g.num_merchants(), take_v, &mut rng, |i| {
+            spec.merchants.push(MerchantId(i as u32))
+        });
     }
 
     fn name(&self) -> &'static str {

@@ -20,7 +20,7 @@
 use crate::http::{Request, Response};
 use crate::jobs::{EnqueueError, JobState, JobStore, JobView, ScanResultView, ScanSpec};
 use ensemfdet::pipeline::{IngestBuffer, ScanRunner, SnapshotStore};
-use ensemfdet::{EnsemFdet, EnsemFdetConfig, MonitorConfig};
+use ensemfdet::{EnsemFdet, EnsemFdetConfig, MonitorConfig, SamplePath};
 use ensemfdet_graph::{GraphStats, TransactionInterner};
 use ensemfdet_telemetry::{ServiceMetrics, PROMETHEUS_CONTENT_TYPE};
 use serde_json::{json, Value};
@@ -206,7 +206,7 @@ impl Api {
                 "compaction_interval": c.compaction_interval,
                 "scan_queue_capacity": c.scan_queue_capacity,
                 "result_ring": c.result_ring,
-                "scan_overrides": ["num_samples", "sample_ratio", "threshold"],
+                "scan_overrides": ["num_samples", "sample_ratio", "threshold", "path"],
             }),
         )
     }
@@ -361,11 +361,24 @@ impl Api {
                         })?;
                     threshold = t as u32;
                 }
+                "path" => {
+                    let p = value
+                        .as_str()
+                        .and_then(|s| s.parse::<SamplePath>().ok())
+                        .ok_or_else(|| {
+                            Response::error(
+                                400,
+                                "invalid_config",
+                                "path must be \"mask\" or \"materialize\"",
+                            )
+                        })?;
+                    config.path = p;
+                }
                 other => {
                     return Err(Response::error(
                         400,
                         "invalid_config",
-                        format!("unknown override {other:?} (expected num_samples, sample_ratio, threshold)"),
+                        format!("unknown override {other:?} (expected num_samples, sample_ratio, threshold, path)"),
                     ));
                 }
             }
@@ -685,6 +698,26 @@ mod tests {
         assert_eq!(done["result"]["num_samples"], 5);
         assert!(done["result"]["flagged"].as_array().unwrap().is_empty());
 
+        // Both sample paths are accepted and flag the same ring accounts
+        // (the mask path is the default; materialize is the reference).
+        let mut per_path = Vec::new();
+        for path in ["mask", "materialize"] {
+            let (status, body) =
+                post(&api, "/v1/scans", json!({ "path": path, "num_samples": 5 }));
+            assert_eq!(status, 202, "{body}");
+            let done = wait_done(&api, body["job_id"].as_u64().unwrap());
+            assert_eq!(done["status"], "done", "{done}");
+            let mut flagged: Vec<String> = done["result"]["flagged"]
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|v| v.as_str().unwrap().to_string())
+                .collect();
+            flagged.sort();
+            per_path.push(flagged);
+        }
+        assert_eq!(per_path[0], per_path[1], "paths disagree on flagged set");
+
         // Invalid overrides are 400 invalid_config.
         for bad in [
             json!({ "sample_ratio": 0.0 }),
@@ -692,6 +725,8 @@ mod tests {
             json!({ "sample_ratio": "half" }),
             json!({ "num_samples": 0 }),
             json!({ "threshold": -3 }),
+            json!({ "path": "mmap" }),
+            json!({ "path": 7 }),
             json!({ "frobnicate": true }),
             json!([1, 2, 3]),
         ] {
@@ -709,7 +744,9 @@ mod tests {
         assert_eq!(body["detector"]["num_samples"], 20);
         assert_eq!(body["alert_threshold"], 15);
         assert_eq!(body["scan_queue_capacity"], 8);
-        assert!(body["scan_overrides"].as_array().unwrap().len() == 3);
+        let overrides = body["scan_overrides"].as_array().unwrap();
+        assert_eq!(overrides.len(), 4);
+        assert!(overrides.iter().any(|v| v == "path"));
     }
 
     #[test]

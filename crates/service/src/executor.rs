@@ -52,6 +52,7 @@ fn executor_loop(engine: &Engine) {
                     outcome.stages.detection,
                     outcome.stages.aggregation,
                 ]);
+                metrics.record_sampling(outcome.stages.sampling, outcome.sample_bytes);
                 metrics.alerts.add(new_alerts.len() as u64);
                 metrics.record_snapshot(outcome.epoch, engine.snapshots.lag(&engine.buffer));
                 metrics.scans_in_flight.dec();

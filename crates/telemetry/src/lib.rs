@@ -263,6 +263,13 @@ pub struct ServiceMetrics {
     pub scan_job_duration: Histogram,
     /// Time scan jobs spend queued before the executor picks them up.
     pub scan_queue_wait: Histogram,
+    /// Per-scan sampling-stage duration (spec drawing on the mask path;
+    /// includes full subgraph construction when materializing).
+    pub sampling_duration: Histogram,
+    /// Bytes of per-sample state materialized across all scans:
+    /// selection vectors on the mask path, full subgraph buffers and
+    /// intern maps on the materializing path.
+    pub sample_bytes_materialized: Counter,
 }
 
 impl ServiceMetrics {
@@ -287,6 +294,14 @@ impl ServiceMetrics {
         self.stage_sampling.observe_duration(stages[0]);
         self.stage_detection.observe_duration(stages[1]);
         self.stage_aggregation.observe_duration(stages[2]);
+    }
+
+    /// Records one scan's sampling cost: the sampling-stage duration and
+    /// the bytes of per-sample state it materialized (from the ensemble's
+    /// `sample_bytes` diagnostics).
+    pub fn record_sampling(&self, sampling: Duration, bytes: u64) {
+        self.sampling_duration.observe_duration(sampling);
+        self.sample_bytes_materialized.add(bytes);
     }
 
     /// Renders everything in the Prometheus text exposition format.
@@ -433,6 +448,18 @@ impl ServiceMetrics {
             "ensemfdet_scan_queue_wait_seconds",
             "Time scan jobs spend queued before execution.",
             &self.scan_queue_wait,
+        );
+        write_histogram(
+            &mut out,
+            "ensemfdet_scan_sampling_duration_seconds",
+            "Per-scan sampling-stage duration.",
+            &self.sampling_duration,
+        );
+        write_counter(
+            &mut out,
+            "ensemfdet_sample_bytes_materialized_total",
+            "Bytes of per-sample state materialized across all scans.",
+            self.sample_bytes_materialized.get(),
         );
         out
     }
@@ -595,7 +622,10 @@ mod tests {
             Duration::from_millis(24),
             Duration::from_millis(1),
         ]);
+        m.record_sampling(Duration::from_millis(5), 4096);
         let text = m.render();
+        assert!(text.contains("ensemfdet_scan_sampling_duration_seconds_count 1"));
+        assert!(text.contains("ensemfdet_sample_bytes_materialized_total 4096"));
         assert!(text.contains(
             "ensemfdet_http_requests_total{route=\"/health\",status=\"200\"} 1"
         ));

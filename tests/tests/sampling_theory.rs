@@ -1,9 +1,12 @@
 //! Cross-crate validation of the sampling theory on realistic graphs:
-//! Theorem 1's ε-approximation of the density score, and the Lemma 1 bias
-//! measured on generated data.
+//! Theorem 1's ε-approximation of the density score, the Lemma 1 bias
+//! measured on generated data, and thread-count invariance of the
+//! ensemble (results are a pure function of `(graph, config)`, not of
+//! how the samples were scheduled).
 
 use ensemfdet::metric::LogWeightedMetric;
 use ensemfdet::peel::density_of_subset;
+use ensemfdet::{EnsemFdet, EnsemFdetConfig, SamplePath, SamplingMethodConfig};
 use ensemfdet_datagen::generate;
 use ensemfdet_datagen::presets::{jd_preset, JdDataset};
 use ensemfdet_graph::{MerchantId, UserId};
@@ -111,5 +114,84 @@ fn tns_edge_fraction_on_generated_data() {
         (frac - ratio * ratio).abs() < 0.05,
         "TNS kept fraction {frac:.3}, expected ≈ {:.3}",
         ratio * ratio
+    );
+}
+
+/// Ensemble votes for a fixed `(N, S, seed)` must not depend on how many
+/// worker threads ran the samples: per-sample seeds derive from the
+/// sample index, per-thread scratch (sampler marks, spec resolver,
+/// engine cache) carries no state between samples, and results are
+/// written back by position.
+#[test]
+fn ensemble_votes_are_thread_count_invariant() {
+    let ds = generate(&jd_preset(JdDataset::Jd1, 400, 21));
+    let g = &ds.graph;
+    let single = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
+
+    for path in [SamplePath::Mask, SamplePath::Materialize] {
+        for method in [
+            SamplingMethodConfig::RandomEdge,
+            SamplingMethodConfig::OneSideUser,
+            SamplingMethodConfig::TwoSide,
+        ] {
+            let det = EnsemFdet::new(EnsemFdetConfig {
+                num_samples: 12,
+                sample_ratio: 0.3,
+                seed: 0x5EED,
+                method,
+                path,
+                ..Default::default()
+            });
+            let parallel = det.detect(g);
+            let serial = single.install(|| det.detect(g));
+            assert_eq!(
+                parallel.votes, serial.votes,
+                "{method:?}/{path}: votes changed with thread count"
+            );
+            assert_eq!(
+                parallel.evidence.user_evidence, serial.evidence.user_evidence,
+                "{method:?}/{path}: evidence changed with thread count"
+            );
+            let summarize = |o: &ensemfdet::EnsembleOutcome| {
+                o.samples
+                    .iter()
+                    .map(|s| (s.index, s.sample_nodes, s.sample_edges, s.scores.clone()))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(
+                summarize(&parallel),
+                summarize(&serial),
+                "{method:?}/{path}: per-sample results changed with thread count"
+            );
+        }
+    }
+}
+
+/// The two sample paths agree on real generated data end to end, and the
+/// mask path's per-sample bookkeeping stays proportional to the sample
+/// selection rather than the parent graph.
+#[test]
+fn sample_paths_agree_on_generated_data() {
+    let ds = generate(&jd_preset(JdDataset::Jd1, 400, 22));
+    let g = &ds.graph;
+    let mut cfg = EnsemFdetConfig {
+        num_samples: 8,
+        sample_ratio: 0.1,
+        seed: 99,
+        ..Default::default()
+    };
+    cfg.path = SamplePath::Mask;
+    let mask = EnsemFdet::new(cfg).detect(g);
+    cfg.path = SamplePath::Materialize;
+    let mat = EnsemFdet::new(cfg).detect(g);
+    assert_eq!(mask.votes, mat.votes);
+    assert!(
+        mask.sample_bytes() < mat.sample_bytes() / 4,
+        "mask path should materialize far fewer bytes: {} vs {}",
+        mask.sample_bytes(),
+        mat.sample_bytes()
     );
 }

@@ -119,11 +119,117 @@ where
     }
 }
 
+std::thread_local! {
+    /// Per-thread override installed by [`ThreadPool::install`]; `0`
+    /// means "no override, use the global default".
+    static POOL_THREADS: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
 /// The number of worker threads used for parallel stages.
+///
+/// Resolution order matches real rayon closely enough for this
+/// workspace: an [`ThreadPool::install`] scope wins, then the
+/// `RAYON_NUM_THREADS` environment variable, then hardware parallelism.
 pub fn current_num_threads() -> usize {
+    let installed = POOL_THREADS.with(|t| t.get());
+    if installed > 0 {
+        return installed;
+    }
+    if let Some(n) = env_num_threads() {
+        return n;
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// `RAYON_NUM_THREADS` parsed once (real rayon also reads it only at
+/// global-pool creation). `0` / unset / unparsable mean "no limit".
+fn env_num_threads() -> Option<usize> {
+    static ENV: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    })
+}
+
+/// Error produced by [`ThreadPoolBuilder::build`]. The stub never
+/// actually fails to build, but the type keeps call sites
+/// source-compatible with real rayon.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a scoped [`ThreadPool`], mirroring rayon's API surface
+/// used by this workspace (`new().num_threads(n).build()`).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default (automatic) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps the pool at `n` worker threads; `0` restores the automatic
+    /// count.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A handle that scopes parallel stages to a fixed thread count.
+///
+/// Unlike real rayon the stub spawns threads per stage rather than
+/// keeping a warm pool; `install` only pins the *count* used by stages
+/// running inside the closure (on this thread), which is exactly what
+/// determinism tests need.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The thread count stages inside [`install`](Self::install) will use.
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            current_num_threads()
+        }
+    }
+
+    /// Runs `op` with this pool's thread count installed.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|t| t.replace(self.num_threads));
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|t| t.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        op()
+    }
 }
 
 /// Applies `f` to each item on a scoped thread pool, preserving order.
@@ -195,6 +301,25 @@ mod tests {
             .map(|v| v.to_string())
             .collect();
         assert_eq!(out, vec!["4", "2", "5"]);
+    }
+
+    #[test]
+    fn install_pins_thread_count_and_restores_it() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        assert_eq!(pool.current_num_threads(), 1);
+        let (inside, out): (usize, Vec<usize>) = pool.install(|| {
+            (
+                super::current_num_threads(),
+                (0..10usize).into_par_iter().map(|i| i + 1).collect(),
+            )
+        });
+        assert_eq!(inside, 1);
+        assert_eq!(out, (1..=10).collect::<Vec<_>>());
+        // The override does not leak past the install scope.
+        assert!(super::POOL_THREADS.with(|t| t.get()) == 0);
     }
 
     #[test]

@@ -9,14 +9,26 @@
 //! named/tuple/unit structs and enums with unit/newtype/tuple/struct
 //! variants, all without generics. Enum encoding matches real serde's
 //! external tagging (`"Variant"` for unit, `{"Variant": ...}` otherwise).
+//! The only field attribute understood is `#[serde(default)]`: on
+//! deserialization a missing key falls back to `Default::default()`
+//! (matching real serde; a present-but-null value still goes through
+//! `from_value`).
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 use std::fmt::Write;
 
+/// A named field: its identifier and whether it carries
+/// `#[serde(default)]`.
+#[derive(Debug)]
+struct Field {
+    name: String,
+    has_default: bool,
+}
+
 #[derive(Debug)]
 enum Shape {
     UnitStruct,
-    NamedStruct(Vec<String>),
+    NamedStruct(Vec<Field>),
     TupleStruct(usize),
     Enum(Vec<(String, VariantShape)>),
 }
@@ -25,7 +37,7 @@ enum Shape {
 enum VariantShape {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 /// Advances `i` past any `#[...]` attributes (doc comments included) and a
@@ -81,16 +93,46 @@ fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
     chunks
 }
 
+/// `true` when a field chunk's attributes contain `#[serde(default)]`.
+fn chunk_has_serde_default(chunk: &[TokenTree]) -> bool {
+    let mut i = 0;
+    while let Some(TokenTree::Punct(p)) = chunk.get(i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        if let Some(TokenTree::Group(attr)) = chunk.get(i + 1) {
+            let inner: Vec<TokenTree> = attr.stream().into_iter().collect();
+            if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+                (inner.first(), inner.get(1))
+            {
+                if id.to_string() == "serde"
+                    && args.stream().into_iter().any(|t| {
+                        matches!(&t, TokenTree::Ident(a) if a.to_string() == "default")
+                    })
+                {
+                    return true;
+                }
+            }
+        }
+        i += 2;
+    }
+    false
+}
+
 /// Extracts field names from the body of a brace-delimited struct/variant.
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     split_top_level_commas(&tokens)
         .into_iter()
         .map(|chunk| {
+            let has_default = chunk_has_serde_default(&chunk);
             let mut i = 0;
             skip_attrs_and_vis(&chunk, &mut i);
             match chunk.get(i) {
-                Some(TokenTree::Ident(id)) => id.to_string(),
+                Some(TokenTree::Ident(id)) => Field {
+                    name: id.to_string(),
+                    has_default,
+                },
                 other => panic!("serde stub derive: expected field name, got {other:?}"),
             }
         })
@@ -184,7 +226,7 @@ fn parse_input(input: TokenStream) -> (String, Shape) {
 // Serialize
 // ---------------------------------------------------------------------------
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let (name, shape) = parse_input(input);
     let body = match &shape {
@@ -194,7 +236,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             for f in fields {
                 let _ = writeln!(
                     out,
-                    "map.insert(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}));"
+                    "map.insert(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}));",
+                    f = f.name
                 );
             }
             out.push_str("::serde::Value::Object(map) }");
@@ -238,14 +281,16 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                         );
                     }
                     VariantShape::Named(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
                         let mut arm = format!(
                             "{name}::{vname} {{ {} }} => {{ let mut inner = ::serde::Map::new();\n",
-                            fields.join(", ")
+                            binds.join(", ")
                         );
                         for f in fields {
                             let _ = writeln!(
                                 arm,
-                                "inner.insert(\"{f}\".to_string(), ::serde::Serialize::to_value({f}));"
+                                "inner.insert(\"{f}\".to_string(), ::serde::Serialize::to_value({f}));",
+                                f = f.name
                             );
                         }
                         let _ = writeln!(
@@ -275,19 +320,32 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 // ---------------------------------------------------------------------------
 
 /// Expression string reading named fields out of a map expression `{src}`.
-fn named_fields_ctor(path: &str, fields: &[String], src: &str) -> String {
+/// Fields marked `#[serde(default)]` fall back to `Default::default()`
+/// when the key is absent (a present value, even null, still deserializes).
+fn named_fields_ctor(path: &str, fields: &[Field], src: &str) -> String {
     let mut out = format!("{path} {{\n");
     for f in fields {
-        let _ = writeln!(
-            out,
-            "{f}: ::serde::Deserialize::from_value({src}.get(\"{f}\").unwrap_or(&::serde::Value::Null))?,"
-        );
+        if f.has_default {
+            let _ = writeln!(
+                out,
+                "{f}: match {src}.get(\"{f}\") {{ \
+                 Some(val) => ::serde::Deserialize::from_value(val)?, \
+                 None => ::std::default::Default::default(), }},",
+                f = f.name
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "{f}: ::serde::Deserialize::from_value({src}.get(\"{f}\").unwrap_or(&::serde::Value::Null))?,",
+                f = f.name
+            );
+        }
     }
     out.push('}');
     out
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let (name, shape) = parse_input(input);
     let body = match &shape {
