@@ -1,5 +1,6 @@
 //! `bench_suite` — the reproducible benchmarks behind `BENCH_PR2.json`
-//! (peeling engines) and `BENCH_PR4.json` (sampling data paths).
+//! (csr vs naive peeling engines), `BENCH_PR4.json` (sampling data
+//! paths), and `BENCH_PR6.json` (bucket-queue peel engines).
 //!
 //! **Engine phase** times the two peeling engines (`csr`, the default hot
 //! path, vs `naive`, the reference implementation) on fixed-seed
@@ -24,6 +25,16 @@
 //!
 //! Both families record the bytes of per-sample state each path
 //! materializes.
+//!
+//! **Peel-engine phase** times the bucket-queue peel engines against the
+//! CSR hot path on the `peel` and `fdet` workloads, three engines
+//! interleaved back-to-back within every rep: `csr` (binary lazy heap),
+//! `bucket` (monotone bucket queue, bit-identical to csr), and
+//! `bucket-batch` (tie rounds removed whole, relaxed in parallel). Its
+//! gate checks the bucket engine bit-identical against csr on the full
+//! `KeepAll` curve, and the batched engine against the documented
+//! score-equality contract (leading-block scores within 1e-9 relative,
+//! same auto-truncation `k̂` with score-equal retained blocks).
 //!
 //! Every workload runs on the small (#1) and large (#3) Table I presets.
 //! Before any timing, an **equivalence gate** re-runs each workload through
@@ -51,6 +62,7 @@
 //!
 //! `--out FILE` (default `BENCH_PR2.json`) picks the engine artifact
 //! path, `--out-sampling FILE` (default `BENCH_PR4.json`) the sampling
+//! one, `--out-peel FILE` (default `BENCH_PR6.json`) the peel-engine
 //! one; `--scale N` resizes the datasets as in every other experiment
 //! binary. Absolute numbers are machine-dependent; the speedup ratios
 //! are the portable signal.
@@ -414,6 +426,108 @@ fn time_sampling_pair(
     (materialize, mask, bytes)
 }
 
+// ---------------------------------------------------------------------------
+// Peel-engine phase (BENCH_PR6.json)
+// ---------------------------------------------------------------------------
+
+/// The engines timed in the peel-engine phase: the incumbent CSR hot path
+/// and its two bucket-queue challengers.
+const PEEL_ENGINES: [Engine; 3] = [Engine::Csr, Engine::Bucket, Engine::BucketBatch];
+
+#[derive(Serialize)]
+struct PeelSpeedup {
+    workload: &'static str,
+    dataset: &'static str,
+    /// Median per-rep `csr / bucket` wall-time ratio — above 1 means the
+    /// sequential bucket queue is faster.
+    bucket_over_csr: f64,
+    /// Median per-rep `csr / bucket-batch` ratio.
+    bucket_batch_over_csr: f64,
+}
+
+#[derive(Serialize)]
+struct PeelArtifact {
+    schema: &'static str,
+    smoke: bool,
+    scale: u32,
+    warmup: usize,
+    reps: usize,
+    /// `"bit-identical"` for `bucket`, `"score-equality"` for
+    /// `bucket-batch` — the two gates [`peel_engine_gate`] enforced.
+    equivalence: &'static str,
+    datasets: Vec<DatasetInfo>,
+    cells: Vec<Cell>,
+    speedups: Vec<PeelSpeedup>,
+}
+
+/// The bucket engine must be bit-identical to csr on the full `KeepAll`
+/// curve; the batched engine must satisfy the score-equality contract
+/// (leading-block score within 1e-9 relative; same auto-truncation `k̂`
+/// with score-equal retained blocks).
+fn peel_engine_gate(g: &BipartiteGraph) -> Result<(), String> {
+    let keep = |e| fdet_with_engine(g, &MetricKind::default(), Truncation::KeepAll { k_max: 50 }, e);
+    let (csr, bucket) = (keep(Engine::Csr), keep(Engine::Bucket));
+    if bucket.blocks != csr.blocks {
+        return Err("bucket FDET blocks differ from csr".into());
+    }
+    if bucket.scores != csr.scores {
+        return Err("bucket FDET scores differ from csr".into());
+    }
+
+    let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(1.0);
+    let batch = keep(Engine::BucketBatch);
+    if batch.scores.is_empty() != csr.scores.is_empty() {
+        return Err("bucket-batch peeled a different number of leading blocks".into());
+    }
+    if let (Some(&a), Some(&b)) = (csr.scores.first(), batch.scores.first()) {
+        if !close(a, b) {
+            return Err(format!("bucket-batch leading block score {b} vs csr {a}"));
+        }
+    }
+    let auto = |e| fdet_with_engine(g, &MetricKind::default(), Truncation::default(), e);
+    let (csr_auto, batch_auto) = (auto(Engine::Csr), auto(Engine::BucketBatch));
+    if batch_auto.k_hat != csr_auto.k_hat {
+        return Err(format!(
+            "bucket-batch k_hat {} vs csr {}",
+            batch_auto.k_hat, csr_auto.k_hat
+        ));
+    }
+    for i in 0..csr_auto.k_hat {
+        if !close(csr_auto.scores[i], batch_auto.scores[i]) {
+            return Err(format!(
+                "bucket-batch retained score {i}: {} vs csr {}",
+                batch_auto.scores[i], csr_auto.scores[i]
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// `warmup` unmeasured alternating runs, then `reps` measured wall times
+/// per engine, the three engines interleaved back-to-back within every
+/// rep (same drift rationale as [`time_workload_pair`]).
+fn time_engine_trio(
+    w: WorkloadKind,
+    g: &BipartiteGraph,
+    warmup: usize,
+    reps: usize,
+) -> [Vec<f64>; 3] {
+    for _ in 0..warmup {
+        for e in PEEL_ENGINES {
+            run_workload(w, g, e);
+        }
+    }
+    let mut times = [Vec::new(), Vec::new(), Vec::new()];
+    for _ in 0..reps {
+        for (slot, e) in PEEL_ENGINES.into_iter().enumerate() {
+            let t = Instant::now();
+            run_workload(w, g, e);
+            times[slot].push(t.elapsed().as_secs_f64());
+        }
+    }
+    times
+}
+
 /// Both engines must agree exactly on every workload before we time them.
 fn equivalence_gate(g: &BipartiteGraph) -> Result<(), String> {
     let run = |e| fdet_with_engine(g, &MetricKind::default(), Truncation::KeepAll { k_max: 50 }, e);
@@ -560,6 +674,11 @@ fn main() {
         .position(|a| a == "--out-sampling")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_PR4.json".to_string());
+    let out_peel = args
+        .iter()
+        .position(|a| a == "--out-peel")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_PR6.json".to_string());
     // Smoke mode: tiny datasets, minimal repetitions — a CI-speed check
     // that the harness runs end-to-end and the engines stay equivalent.
     let scale = if smoke { 400 } else { resolve_scale(&args) };
@@ -594,6 +713,16 @@ fn main() {
         if let Err(e) = equivalence_gate(&ds.graph) {
             println!("FAILED");
             eprintln!("engine equivalence gate failed on {}: {e}", dataset_tag(*which));
+            std::process::exit(1);
+        }
+        println!("ok");
+        print!("equivalence gate (bucket engines) ... ");
+        if let Err(e) = peel_engine_gate(&ds.graph) {
+            println!("FAILED");
+            eprintln!(
+                "peel-engine equivalence gate failed on {}: {e}",
+                dataset_tag(*which)
+            );
             std::process::exit(1);
         }
         println!("ok");
@@ -755,7 +884,7 @@ fn main() {
         reps,
         ensemble_samples: ENSEMBLE_SAMPLES,
         equivalence: "ok",
-        datasets: infos,
+        datasets: infos.clone(),
         cells: path_cells,
         speedups: path_speedups,
     };
@@ -763,6 +892,76 @@ fn main() {
         Ok(()) => println!("\n[saved {out_sampling}]"),
         Err(e) => {
             eprintln!("cannot write {out_sampling}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // -- Peel-engine phase --------------------------------------------------
+    println!("\n== bench_suite: csr vs bucket vs bucket-batch peel engines ==\n");
+    let mut peel_cells = Vec::new();
+    let mut peel_speedups = Vec::new();
+    for w in [WORKLOADS[0], WORKLOADS[1]] {
+        for (which, ds) in &suite {
+            let trio = time_engine_trio(w.kind, &ds.graph, warmup, reps);
+            // Per-rep csr/challenger ratios — slot 0 is csr.
+            let ratio_vs_csr = |slot: usize| -> f64 {
+                let mut ratios: Vec<f64> = trio[0]
+                    .iter()
+                    .zip(&trio[slot])
+                    .map(|(c, x)| c / x.max(1e-12))
+                    .collect();
+                ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+                median(&ratios)
+            };
+            let (bucket_ratio, batch_ratio) = (ratio_vs_csr(1), ratio_vs_csr(2));
+            let mut medians = [0.0f64; 3];
+            for (slot, engine) in PEEL_ENGINES.into_iter().enumerate() {
+                let mut times = trio[slot].clone();
+                times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+                medians[slot] = median(&times);
+                peel_cells.push(Cell {
+                    workload: w.name,
+                    dataset: dataset_tag(*which),
+                    engine: engine.name(),
+                    reps,
+                    median_s: median(&times),
+                    p95_s: percentile(&times, 0.95),
+                    min_s: times[0],
+                });
+            }
+            println!(
+                "{:<6} {:<4} csr {:>9.3} ms  bucket {:>9.3} ms ({:.2}x)  bucket-batch {:>9.3} ms ({:.2}x)",
+                w.name,
+                dataset_tag(*which),
+                medians[0] * 1e3,
+                medians[1] * 1e3,
+                bucket_ratio,
+                medians[2] * 1e3,
+                batch_ratio,
+            );
+            peel_speedups.push(PeelSpeedup {
+                workload: w.name,
+                dataset: dataset_tag(*which),
+                bucket_over_csr: bucket_ratio,
+                bucket_batch_over_csr: batch_ratio,
+            });
+        }
+    }
+    let peel_artifact = PeelArtifact {
+        schema: "ensemfdet-peel-engine/v1",
+        smoke,
+        scale,
+        warmup,
+        reps,
+        equivalence: "bucket: bit-identical; bucket-batch: score-equality",
+        datasets: infos,
+        cells: peel_cells,
+        speedups: peel_speedups,
+    };
+    match ensemfdet_eval::write_json(&peel_artifact, &out_peel) {
+        Ok(()) => println!("\n[saved {out_peel}]"),
+        Err(e) => {
+            eprintln!("cannot write {out_peel}: {e}");
             std::process::exit(1);
         }
     }

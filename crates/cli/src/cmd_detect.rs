@@ -20,7 +20,8 @@ OPTIONS:
     --ratio S             sample ratio S [default: 0.1]
     --threshold T         vote threshold [default: N/2]
     --sampling M          res | ons-user | ons-merchant | tns [default: res]
-    --engine E            csr | naive peeling engine [default: csr]
+    --engine E            csr | bucket | bucket-batch | naive peeling engine
+                          [default: csr]
     --sample-path P       mask | materialize sampling data path [default: mask]
     --seed N              RNG seed [default: 42]
     --timing              print the ensemble's wall-clock breakdown
@@ -283,8 +284,10 @@ mod tests {
         let gf = graph_file();
         let base = &["--graph", gf.as_str(), "--samples", "6", "--ratio", "0.5"];
         let csr = run(&args(&[base as &[_], &["--engine", "csr"]].concat())).unwrap();
-        let naive = run(&args(&[base as &[_], &["--engine", "naive"]].concat())).unwrap();
-        assert_eq!(csr, naive, "engines must flag identical users");
+        for engine in ["naive", "bucket", "bucket-batch"] {
+            let other = run(&args(&[base as &[_], &["--engine", engine]].concat())).unwrap();
+            assert_eq!(csr, other, "{engine} must flag identical users");
+        }
         let err = run(&args(&[base as &[_], &["--engine", "warp"]].concat())).unwrap_err();
         assert!(err.contains("unknown engine"), "{err}");
     }

@@ -1,9 +1,9 @@
-//! Peeling engines: the naive reference path and the CSR hot path.
+//! Peeling engines: the naive reference path and the CSR hot paths.
 //!
-//! Both engines run the same algorithm — Charikar-style greedy peeling
-//! iterated into disjoint blocks ([`crate::fdet()`]) — and are guaranteed to
-//! produce **bit-identical** results (same blocks, same scores, same edge
-//! lists) on any graph:
+//! All engines run the same algorithm — Charikar-style greedy peeling
+//! iterated into disjoint blocks ([`crate::fdet()`]) — under two explicit
+//! equivalence contracts enforced by `tests/tests/engine_equivalence.rs`
+//! and re-checked by the benchmark suite before it times anything:
 //!
 //! - [`Engine::Naive`] walks the parent [`BipartiteGraph`] through an
 //!   alive-edge mask with an indexed decrease-key heap
@@ -16,17 +16,46 @@
 //!   no position index, no re-heapify), and keeps every scratch buffer in a
 //!   reusable [`FdetEngine`], so the `N` runs of an ensemble allocate once
 //!   instead of once per peel.
+//! - [`Engine::Bucket`] drives the *same* sequential loop with a monotone
+//!   bucket queue ([`crate::bucket::BucketQueue`]) instead of the global
+//!   heap: entries route to exponent-indexed buckets in O(1), so a full
+//!   peel costs O(E) instead of O(E log V) (Ban & Duan, arXiv:1810.06809).
+//! - [`Engine::BucketBatch`] removes *all* same-side nodes tied at the
+//!   current minimum key per round (Dupin, arXiv:2504.09311) and relaxes
+//!   their combined adjacency with `std::thread::scope` workers when the
+//!   round is large enough to pay for them.
 //!
-//! Why the outputs are identical and not merely close: keys only decrease
-//! during a peel, so an element's minimum heap entry always carries its
-//! current key, making lazy pops deliver the indexed heap's exact
-//! `(key, id)` order; the view preserves the parent graph's node ids and
-//! relative edge order, so every floating-point accumulation happens over
-//! the same values in the same sequence. The equivalence is enforced by
-//! `tests/tests/engine_equivalence.rs` and re-checked by the benchmark
-//! suite before it times anything.
+//! **Bit-identical contract** (`Naive` ≡ `Csr` ≡ `Bucket`): keys only
+//! decrease during a peel, so an element's minimum queue entry always
+//! carries its current key, making lazy pops deliver the indexed heap's
+//! exact `(key, id)` order; the bucket index is monotone in the key and
+//! the bucket queue's frontier heap always holds the whole low range, so
+//! the bucket queue pops the very same sequence. The view preserves the parent graph's node
+//! ids and relative edge order, so every floating-point accumulation
+//! happens over the same values in the same sequence — same blocks, same
+//! scores, same edge lists, bit for bit.
+//!
+//! **Score-equality contract** (`BucketBatch` vs the rest): within one
+//! round all removed nodes sit on the *same side* of the bipartite graph,
+//! so they share no edges, their keys cannot change mid-round, and the
+//! prefix objective φ is monotone across any ordering of the round — the
+//! batched trajectory is exactly a sequential peel under a different
+//! tie-break schedule. It can legitimately diverge from the `(key, id)`
+//! order when an *opposite-side* key decays to the round's key mid-round
+//! (sequential would interleave it; the batch finishes its side first).
+//! Per single peel, the best-prefix *score* therefore matches the
+//! sequential engines within 1e-9 relative tolerance, but when near-equal
+//! prefixes have different memberships the peeled block — and hence the
+//! residual graph handed to the next FDET iteration — can differ. Across a
+//! full FDET run the gate is: leading retained blocks score-equal within
+//! 1e-9 (same `k_hat` under `Truncation::Auto`); trailing noise blocks
+//! past the truncating point may diverge after such a tie-split. Results
+//! are deterministic for a given graph — worker count never affects them,
+//! because neighbor updates are applied in a canonical (chunk, emission)
+//! order that is independent of scheduling.
 
 use crate::block::Block;
+use crate::bucket::BucketQueue;
 use crate::fdet::{FdetResult, Truncation};
 use crate::heap::LazyMinHeap;
 use crate::metric::DensityMetric;
@@ -39,9 +68,11 @@ use serde::{Deserialize, Serialize};
 
 /// Which peeling implementation FDET runs on.
 ///
-/// The two engines return identical results; `Csr` is the default and
-/// `Naive` exists as the reference for equivalence tests and A/B
-/// benchmarking (`ensemfdet detect --engine naive`, `bench_suite`).
+/// `Csr`, `Bucket`, and `Naive` return bit-identical results; `BucketBatch`
+/// matches them up to tie-break order (see the module docs for both
+/// contracts). `Csr` is the default; `Naive` exists as the reference for
+/// equivalence tests and A/B benchmarking (`ensemfdet detect --engine
+/// naive`, `bench_suite`).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Engine {
     /// Mask-based peeling over the parent graph with an indexed
@@ -50,15 +81,24 @@ pub enum Engine {
     /// Flat-CSR subgraph snapshots + lazy-deletion heap + reusable scratch.
     #[default]
     Csr,
+    /// The CSR loop driven by a monotone bucket queue: O(E) per peel,
+    /// bit-identical to `Csr`.
+    Bucket,
+    /// Bucket queue + whole-tie-round removal with scoped-thread neighbor
+    /// relaxation on large rounds; score-equal to `Csr` up to tie-breaks.
+    BucketBatch,
 }
 
 impl Engine {
-    /// Stable lowercase name (`csr` / `naive`), as accepted by
-    /// [`Engine::from_str`](std::str::FromStr) and the CLI `--engine` flag.
+    /// Stable lowercase name (`csr` / `bucket` / `bucket-batch` / `naive`),
+    /// as accepted by [`Engine::from_str`](std::str::FromStr) and the CLI
+    /// `--engine` flag.
     pub fn name(self) -> &'static str {
         match self {
             Engine::Naive => "naive",
             Engine::Csr => "csr",
+            Engine::Bucket => "bucket",
+            Engine::BucketBatch => "bucket-batch",
         }
     }
 }
@@ -75,13 +115,17 @@ impl std::str::FromStr for Engine {
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s {
             "csr" => Ok(Engine::Csr),
+            "bucket" => Ok(Engine::Bucket),
+            "bucket-batch" => Ok(Engine::BucketBatch),
             "naive" => Ok(Engine::Naive),
-            other => Err(format!("unknown engine `{other}` (csr|naive)")),
+            other => Err(format!(
+                "unknown engine `{other}` (csr|bucket|bucket-batch|naive)"
+            )),
         }
     }
 }
 
-/// Reusable per-peel working memory for the CSR engine.
+/// Per-node working memory shared by every view engine.
 ///
 /// Sized on first use and grown on demand. The per-node arrays are *not*
 /// wiped between peels: `stamp`/`epoch` mark which entries belong to the
@@ -89,7 +133,7 @@ impl std::str::FromStr for Engine {
 /// nodes instead of paying O(total nodes) memsets — the dominant cost of
 /// late FDET iterations otherwise.
 #[derive(Clone, Debug, Default)]
-struct PeelScratch {
+struct NodeScratch {
     /// Merchant degrees over alive edges.
     vdeg: Vec<f64>,
     /// Fixed column weights `cw(d_v)` for this peel.
@@ -105,14 +149,112 @@ struct PeelScratch {
     /// Removal step per node (1-based; `u32::MAX` = survived / absent).
     /// Valid only where `stamp == epoch`.
     rank: Vec<u32>,
+    /// Per-pop relax staging: `(neighbor, new_key)` pairs collected before
+    /// they are handed to the queue in one run, so bucket routing can
+    /// prefetch its headers (see [`BucketQueue::push_all`]).
+    relax: Vec<(u32, f64)>,
     /// Peel id that last initialized each node's `priority`/`key`/`rank`.
     stamp: Vec<u32>,
     /// Current peel id (increments every peel; never 0 after the first).
     epoch: u32,
     /// Nodes stamped this peel — exactly the endpoints of alive edges.
     active: Vec<u32>,
-    /// The lazy-deletion heap.
+}
+
+impl NodeScratch {
+    /// Computes column weights, initial priorities, and keys for `view`,
+    /// stamping exactly the endpoints of alive edges. Returns the total
+    /// suspiciousness `f` and the participating (positive-priority) node
+    /// count, or `None` when nothing participates.
+    fn begin(&mut self, view: &CsrView, metric: &dyn DensityMetric) -> Option<(f64, usize)> {
+        if view.num_edges() == 0 {
+            return None;
+        }
+        let nu = view.num_users();
+        let nv = view.num_merchants();
+        let n = nu + nv;
+
+        // Merchant degrees over alive edges and the fixed column weights.
+        self.vdeg.clear();
+        self.vdeg.resize(nv, 0.0);
+        let (e_u, e_v, e_w) = (view.edge_users(), view.edge_merchants(), view.edge_weights());
+        for (&v, &w) in e_v.iter().zip(e_w) {
+            self.vdeg[v as usize] += w;
+        }
+        self.cw.clear();
+        self.cw.extend(self.vdeg.iter().map(|&d| metric.column_weight(d)));
+
+        // Advance the scratch epoch; node state from earlier peels becomes
+        // invalid without being wiped. (Grow-only resizes keep old stamps,
+        // which can never equal a fresh epoch.)
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.priority.resize(n, 0.0);
+            self.key.resize(n, -1.0);
+            self.rank.resize(n, u32::MAX);
+        }
+        if self.epoch == u32::MAX {
+            // Epoch wrap: old stamps could collide with a restarted counter.
+            self.stamp.iter_mut().for_each(|t| *t = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        let epoch = self.epoch;
+        self.active.clear();
+
+        // Node priorities: summed suspiciousness of alive incident edges.
+        // Node ids: users are 0..nu, merchants are nu..nu+nv. First touch
+        // stamps the node and resets its state; only endpoints of alive
+        // edges are ever visited, so a peel of a small residual graph stays
+        // cheap.
+        let mut f = 0.0f64;
+        for ((&u, &v), &w) in e_u.iter().zip(e_v).zip(e_w) {
+            let sv = w * self.cw[v as usize];
+            for node in [u as usize, nu + v as usize] {
+                if self.stamp[node] != epoch {
+                    self.stamp[node] = epoch;
+                    self.priority[node] = 0.0;
+                    self.rank[node] = u32::MAX;
+                    self.active.push(node as u32);
+                }
+                self.priority[node] += sv;
+            }
+            f += sv;
+        }
+
+        // Keys for participating (positive-priority) nodes; everyone else
+        // holds the removed sentinel so relaxations skip them (the
+        // indexed-heap path's `contains` check).
+        let mut participating = 0usize;
+        for &node in &self.active {
+            let node = node as usize;
+            let p = self.priority[node];
+            if p > 0.0 {
+                participating += 1;
+                self.key[node] = p;
+            } else {
+                self.key[node] = -1.0;
+            }
+        }
+        if participating == 0 {
+            return None;
+        }
+        Some((f, participating))
+    }
+}
+
+/// Reusable per-peel working memory for the view engines: the per-node
+/// arrays plus one queue per engine flavor and the batch-round buffers,
+/// all recycled across peels.
+#[derive(Clone, Debug, Default)]
+struct PeelScratch {
+    nodes: NodeScratch,
+    /// The lazy-deletion heap (`Engine::Csr`).
     heap: LazyMinHeap,
+    /// The monotone bucket queue (`Engine::Bucket` / `Engine::BucketBatch`).
+    bucket: BucketQueue,
+    /// Round buffers for `Engine::BucketBatch`.
+    batch: BatchScratch,
 }
 
 /// A reusable FDET runner: owns the [`CsrView`] and the peel scratch so
@@ -139,8 +281,10 @@ struct PeelScratch {
 /// let mut engine = FdetEngine::new();
 /// let fast = engine.run(&g, &MetricKind::default(), Truncation::default(), Engine::Csr);
 /// let slow = engine.run(&g, &MetricKind::default(), Truncation::default(), Engine::Naive);
+/// let lin = engine.run(&g, &MetricKind::default(), Truncation::default(), Engine::Bucket);
 /// assert_eq!(fast.blocks, slow.blocks); // engines are interchangeable
 /// assert_eq!(fast.scores, slow.scores);
+/// assert_eq!(fast.blocks, lin.blocks); // bucket engine included
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct FdetEngine {
@@ -185,7 +329,7 @@ impl FdetEngine {
     /// Runs FDET on a sample described by `spec` against `parent`,
     /// through this thread's cached engine. The zero-copy twin of
     /// materializing the spec and calling [`run_cached`](Self::run_cached)
-    /// with [`Engine::Csr`] — results are bit-identical (see
+    /// with the same view engine — results are bit-identical (see
     /// `tests/tests/spec_equivalence.rs`) but no intermediate
     /// [`ensemfdet_graph::SampledGraph`] is built.
     ///
@@ -196,17 +340,22 @@ impl FdetEngine {
         spec: &SampleSpec,
         metric: &dyn DensityMetric,
         truncation: Truncation,
+        engine: Engine,
         maps: &mut SampleMaps,
     ) -> (FdetResult, usize) {
-        CACHED_ENGINE.with(|e| e.borrow_mut().run_spec(parent, spec, metric, truncation, maps))
+        CACHED_ENGINE.with(|e| {
+            e.borrow_mut()
+                .run_spec(parent, spec, metric, truncation, engine, maps)
+        })
     }
 
-    /// Runs FDET directly on `(parent, spec)` with the CSR engine: the
-    /// view is compacted straight from the spec
+    /// Runs FDET directly on `(parent, spec)` with a view engine (`Csr`,
+    /// `Bucket`, or `BucketBatch`; `Naive` has no spec path and falls back
+    /// to `Csr`): the view is compacted straight from the spec
     /// ([`CsrView::rebuild_from_spec`]), `maps` receives the local↔parent
     /// id maps, and all per-sample state lives in reusable scratch.
     ///
-    /// Mirrors [`run`](Self::run)'s CSR loop exactly — first iteration
+    /// Mirrors [`run`](Self::run)'s view loop exactly — first iteration
     /// builds the view, later iterations [`CsrView::refilter`] it — with
     /// edge ids in the sample's local space, which is precisely how the
     /// materialized path numbers them.
@@ -216,6 +365,7 @@ impl FdetEngine {
         spec: &SampleSpec,
         metric: &dyn DensityMetric,
         truncation: Truncation,
+        engine: Engine,
         maps: &mut SampleMaps,
     ) -> (FdetResult, usize) {
         let cap = match truncation {
@@ -239,7 +389,7 @@ impl FdetEngine {
             if !blocks.is_empty() {
                 self.view.refilter(&self.edge_alive);
             }
-            let Some(block) = peel_csr(&self.view, metric, &mut self.scratch) else {
+            let Some(block) = peel_view(engine, &self.view, metric, &mut self.scratch) else {
                 break;
             };
             // Same disjointness rule as `run`: retire every edge incident
@@ -317,7 +467,7 @@ impl FdetEngine {
         while blocks.len() < cap {
             let block = match engine {
                 Engine::Naive => peel_densest(g, metric, &self.edge_alive),
-                Engine::Csr => {
+                _ => {
                     if blocks.is_empty() {
                         // First iteration: every edge is alive.
                         self.view.rebuild(g, None);
@@ -326,7 +476,7 @@ impl FdetEngine {
                         // instead of re-scanning the parent's dead edges.
                         self.view.refilter(&self.edge_alive);
                     }
-                    peel_csr(&self.view, metric, &mut self.scratch)
+                    peel_view(engine, &self.view, metric, &mut self.scratch)
                 }
             };
             let Some(block) = block else {
@@ -351,7 +501,7 @@ impl FdetEngine {
                         }
                     }
                 }
-                Engine::Csr => {
+                _ => {
                     // One pass over the view's alive edges: kill every edge
                     // with an endpoint in the block (dead edges stay dead,
                     // so the view's canonical arrays are sufficient).
@@ -409,10 +559,22 @@ impl FdetEngine {
     }
 }
 
-/// Peels the densest block out of `view` (which holds exactly the alive
-/// edges) with the lazy-deletion heap. Mirrors
-/// [`crate::peel::peel_densest`] operation for operation — see the module
-/// docs for the equivalence argument.
+/// Dispatches one peel of `view` to the selected view engine. `Naive` has
+/// no view path and is routed to the CSR loop (callers dispatch `Naive`
+/// before reaching here; this keeps the match total).
+fn peel_view(
+    engine: Engine,
+    view: &CsrView,
+    metric: &dyn DensityMetric,
+    s: &mut PeelScratch,
+) -> Option<Block> {
+    match engine {
+        Engine::Naive | Engine::Csr => peel_csr(view, metric, s),
+        Engine::Bucket => peel_bucket(view, metric, s),
+        Engine::BucketBatch => peel_bucket_batch(view, metric, s),
+    }
+}
+
 /// Requests a read of `slice[i]` into cache without touching it. The peel
 /// loop's key lookups are latency-bound random accesses whose addresses are
 /// known well before their values are needed; warming them early overlaps
@@ -434,87 +596,110 @@ fn prefetch_read<T>(slice: &[T], i: usize) {
     let _ = (slice, i);
 }
 
+/// The queue interface the sequential peel loop drives. Both
+/// implementations share the lazy-entry semantics and the exact `(key, id)`
+/// pop order (see the module docs), so one generic loop serves the `Csr`
+/// and `Bucket` engines with identical floating-point trajectories.
+trait PeelQueue {
+    /// Replaces the contents with one entry per participating node and
+    /// pre-sizes for up to `edge_hint` decrease-key pushes.
+    fn rebuild(&mut self, active: &[u32], key: &[f64], edge_hint: usize);
+    /// Pushes a run of fresh (possibly superseding) entries, identical in
+    /// effect to pushing each in sequence (implementations may overlap
+    /// routing latency).
+    fn push_all(&mut self, entries: &[(u32, f64)]);
+    /// Removes the smallest `(key, element)` entry, stale or not.
+    fn pop(&mut self) -> Option<(f64, u32)>;
+    /// The element the next pop will return, for prefetching.
+    fn peek_element(&self) -> Option<u32>;
+    /// Pending entries, stale included.
+    fn len(&self) -> usize;
+    /// Prunes stale entries (order-neutral; see `retain_current`).
+    fn compact(&mut self, current: &[f64]);
+}
+
+impl PeelQueue for LazyMinHeap {
+    fn rebuild(&mut self, active: &[u32], key: &[f64], edge_hint: usize) {
+        // Entries carry distinct node ids, so the packed order is total and
+        // the pop sequence is independent of the fill order.
+        self.fill(active.iter().filter_map(|&node| {
+            let k = key[node as usize];
+            (k >= 0.0).then_some((node, k))
+        }));
+        // One decrease-key entry per alive edge can follow; reserve once so
+        // the loop never reallocates.
+        self.reserve(edge_hint);
+    }
+    fn push_all(&mut self, entries: &[(u32, f64)]) {
+        for &(e, k) in entries {
+            LazyMinHeap::push(self, e, k);
+        }
+    }
+    fn pop(&mut self) -> Option<(f64, u32)> {
+        LazyMinHeap::pop(self)
+    }
+    fn peek_element(&self) -> Option<u32> {
+        LazyMinHeap::peek_element(self)
+    }
+    fn len(&self) -> usize {
+        LazyMinHeap::len(self)
+    }
+    fn compact(&mut self, current: &[f64]) {
+        self.retain_current(current);
+    }
+}
+
+impl PeelQueue for BucketQueue {
+    fn rebuild(&mut self, active: &[u32], key: &[f64], _edge_hint: usize) {
+        self.fill(active.iter().filter_map(|&node| {
+            let k = key[node as usize];
+            (k >= 0.0).then_some((node, k))
+        }));
+    }
+    fn push_all(&mut self, entries: &[(u32, f64)]) {
+        BucketQueue::push_all(self, entries);
+    }
+    fn pop(&mut self) -> Option<(f64, u32)> {
+        BucketQueue::pop(self)
+    }
+    fn peek_element(&self) -> Option<u32> {
+        BucketQueue::peek_element(self)
+    }
+    fn len(&self) -> usize {
+        BucketQueue::len(self)
+    }
+    fn compact(&mut self, current: &[f64]) {
+        self.retain_current(current);
+    }
+}
+
+/// Peels the densest block out of `view` (which holds exactly the alive
+/// edges) with the lazy-deletion heap — the `Csr` engine. Mirrors
+/// [`crate::peel::peel_densest`] operation for operation.
 fn peel_csr(view: &CsrView, metric: &dyn DensityMetric, s: &mut PeelScratch) -> Option<Block> {
-    if view.num_edges() == 0 {
-        return None;
-    }
+    let PeelScratch { nodes, heap, .. } = s;
+    peel_seq(view, metric, nodes, heap)
+}
+
+/// The same loop driven by the monotone bucket queue — the `Bucket`
+/// engine. Bit-identical to [`peel_csr`] (see the module docs).
+fn peel_bucket(view: &CsrView, metric: &dyn DensityMetric, s: &mut PeelScratch) -> Option<Block> {
+    let PeelScratch { nodes, bucket, .. } = s;
+    peel_seq(view, metric, nodes, bucket)
+}
+
+/// The sequential peel loop, generic over the queue. Every operation on
+/// node state happens in pop order, which both queues define identically,
+/// so the monomorphized loops produce bit-identical blocks.
+fn peel_seq<Q: PeelQueue>(
+    view: &CsrView,
+    metric: &dyn DensityMetric,
+    nodes: &mut NodeScratch,
+    q: &mut Q,
+) -> Option<Block> {
+    let (mut f, participating) = nodes.begin(view, metric)?;
     let nu = view.num_users();
-    let nv = view.num_merchants();
-    let n = nu + nv;
-
-    // Merchant degrees over alive edges and the fixed column weights.
-    s.vdeg.clear();
-    s.vdeg.resize(nv, 0.0);
-    let (e_u, e_v, e_w) = (view.edge_users(), view.edge_merchants(), view.edge_weights());
-    for (&v, &w) in e_v.iter().zip(e_w) {
-        s.vdeg[v as usize] += w;
-    }
-    s.cw.clear();
-    s.cw.extend(s.vdeg.iter().map(|&d| metric.column_weight(d)));
-
-    // Advance the scratch epoch; node state from earlier peels becomes
-    // invalid without being wiped. (Grow-only resizes keep old stamps,
-    // which can never equal a fresh epoch.)
-    if s.stamp.len() < n {
-        s.stamp.resize(n, 0);
-        s.priority.resize(n, 0.0);
-        s.key.resize(n, -1.0);
-        s.rank.resize(n, u32::MAX);
-    }
-    if s.epoch == u32::MAX {
-        // Epoch wrap: old stamps could collide with a restarted counter.
-        s.stamp.iter_mut().for_each(|t| *t = 0);
-        s.epoch = 0;
-    }
-    s.epoch += 1;
-    let epoch = s.epoch;
-    s.active.clear();
-
-    // Node priorities: summed suspiciousness of alive incident edges.
-    // Node ids: users are 0..nu, merchants are nu..nu+nv. First touch
-    // stamps the node and resets its state; only endpoints of alive edges
-    // are ever visited, so a peel of a small residual graph stays cheap.
-    let mut f = 0.0f64;
-    for ((&u, &v), &w) in e_u.iter().zip(e_v).zip(e_w) {
-        let sv = w * s.cw[v as usize];
-        for node in [u as usize, nu + v as usize] {
-            if s.stamp[node] != epoch {
-                s.stamp[node] = epoch;
-                s.priority[node] = 0.0;
-                s.rank[node] = u32::MAX;
-                s.active.push(node as u32);
-            }
-            s.priority[node] += sv;
-        }
-        f += sv;
-    }
-
-    // Heap over participating (positive-priority) nodes; everyone else
-    // holds the removed sentinel so relaxations skip them (the
-    // indexed-heap path's `contains` check).
-    let mut participating = 0usize;
-    for &node in &s.active {
-        let node = node as usize;
-        let p = s.priority[node];
-        if p > 0.0 {
-            participating += 1;
-            s.key[node] = p;
-        } else {
-            s.key[node] = -1.0;
-        }
-    }
-    if participating == 0 {
-        return None;
-    }
-    // Entries carry distinct node ids, so the packed order is total and the
-    // pop sequence is independent of the fill order.
-    s.heap.fill(s.active.iter().filter_map(|&node| {
-        let k = s.key[node as usize];
-        (k >= 0.0).then_some((node, k))
-    }));
-    // One decrease-key entry per alive edge can follow; reserve once so the
-    // loop never reallocates.
-    s.heap.reserve(view.num_edges());
+    q.rebuild(&nodes.active, &nodes.key, view.num_edges());
 
     // Peel, tracking the best prefix.
     let mut size = participating;
@@ -522,33 +707,33 @@ fn peel_csr(view: &CsrView, metric: &dyn DensityMetric, s: &mut PeelScratch) -> 
     let mut best_step = 0u32;
     let mut step = 0u32;
 
-    while let Some((p, node)) = s.heap.pop() {
+    while let Some((p, node)) = q.pop() {
         // The next pop's stale check reads `key[root element]` — a random
         // access. Its address is known now, long before the relax work
         // below finishes, so start the load early.
-        if let Some(next) = s.heap.peek_element() {
-            prefetch_read(&s.key, next as usize);
+        if let Some(next) = q.peek_element() {
+            prefetch_read(&nodes.key, next as usize);
         }
         let node = node as usize;
         // Stale check: a popped key is always non-negative, so the removed
         // sentinel (`-1.0`) and an outdated key both fail one comparison.
-        if p != s.key[node] {
+        if p != nodes.key[node] {
             continue;
         }
-        s.key[node] = -1.0;
+        nodes.key[node] = -1.0;
         step += 1;
-        s.rank[node] = step;
+        nodes.rank[node] = step;
         f -= p;
         size -= 1;
         if size == 0 {
-            // Every node is removed; anything left in the heap is stale.
+            // Every node is removed; anything left in the queue is stale.
             break;
         }
-        if s.heap.len() > 2 * size + 64 {
-            // More stale entries than live ones: prune and re-heapify so
-            // sift paths track the shrinking live set (see
-            // `LazyMinHeap::retain_current` for why this is order-neutral).
-            s.heap.retain_current(&s.key);
+        if q.len() > 2 * size + 64 {
+            // More stale entries than live ones: prune so the structure
+            // tracks the shrinking live set (order-neutral pruning — see
+            // `LazyMinHeap::retain_current`).
+            q.compact(&nodes.key);
         }
 
         // Relax the still-alive opposite endpoints: an incident edge is
@@ -557,38 +742,45 @@ fn peel_csr(view: &CsrView, metric: &dyn DensityMetric, s: &mut PeelScratch) -> 
         // Each relax reads `key[opposite endpoint]` — independent random
         // accesses at addresses the neighbor list spells out in advance, so
         // issue each load a few iterations before its value is consumed.
+        // The decreases are staged into `relax` and handed to the queue in
+        // one run (same entries, same order as pushing inline) so the queue
+        // can overlap its own routing misses too.
         const RELAX_AHEAD: usize = 8;
+        let mut relax = std::mem::take(&mut nodes.relax);
+        relax.clear();
         if node < nu {
             let nb = view.user_neighbors(UserId(node as u32));
             for (i, &(v, w)) in nb.pairs.iter().enumerate() {
                 if let Some(&(nv, _)) = nb.pairs.get(i + RELAX_AHEAD) {
-                    prefetch_read(&s.key, nu + nv as usize);
+                    prefetch_read(&nodes.key, nu + nv as usize);
                 }
                 let other = nu + v as usize;
-                let k = s.key[other];
+                let k = nodes.key[other];
                 if k >= 0.0 {
-                    let nk = (k - w * s.cw[v as usize]).max(0.0);
-                    s.key[other] = nk;
-                    s.heap.push(other as u32, nk);
+                    let nk = (k - w * nodes.cw[v as usize]).max(0.0);
+                    nodes.key[other] = nk;
+                    relax.push((other as u32, nk));
                 }
             }
         } else {
             let v = node - nu;
             let nb = view.merchant_neighbors(MerchantId(v as u32));
-            let cwv = s.cw[v];
+            let cwv = nodes.cw[v];
             for (i, &(u, w)) in nb.pairs.iter().enumerate() {
                 if let Some(&(nun, _)) = nb.pairs.get(i + RELAX_AHEAD) {
-                    prefetch_read(&s.key, nun as usize);
+                    prefetch_read(&nodes.key, nun as usize);
                 }
                 let other = u as usize;
-                let k = s.key[other];
+                let k = nodes.key[other];
                 if k >= 0.0 {
                     let nk = (k - w * cwv).max(0.0);
-                    s.key[other] = nk;
-                    s.heap.push(other as u32, nk);
+                    nodes.key[other] = nk;
+                    relax.push((other as u32, nk));
                 }
             }
         }
+        q.push_all(&relax);
+        nodes.relax = relax;
 
         if size > 0 {
             // Guard against tiny negative drift from floating cancellation.
@@ -600,10 +792,18 @@ fn peel_csr(view: &CsrView, metric: &dyn DensityMetric, s: &mut PeelScratch) -> 
         }
     }
 
-    // The best subgraph = nodes removed strictly after `best_step`.
+    Some(extract_block(view, nodes, best_phi, best_step))
+}
+
+/// Materializes the best prefix found by a peel: the block is the set of
+/// participating nodes removed strictly after `best_step` (or never).
+fn extract_block(view: &CsrView, nodes: &NodeScratch, best_phi: f64, best_step: u32) -> Block {
+    let nu = view.num_users();
+    let nv = view.num_merchants();
+    let (e_u, e_v) = (view.edge_users(), view.edge_merchants());
     // (Only valid for stamped nodes — exactly the ones reachable below.)
     let in_block = |node: usize| {
-        let rank = s.rank[node];
+        let rank = nodes.rank[node];
         rank == u32::MAX || rank > best_step
     };
     // Nodes that never participated (isolated, or zero priority under the
@@ -619,7 +819,7 @@ fn peel_csr(view: &CsrView, metric: &dyn DensityMetric, s: &mut PeelScratch) -> 
         for &u in e_u {
             if u != prev {
                 prev = u;
-                if in_block(u as usize) && s.priority[u as usize] > 0.0 {
+                if in_block(u as usize) && nodes.priority[u as usize] > 0.0 {
                     users.push(UserId(u));
                 }
             }
@@ -628,10 +828,7 @@ fn peel_csr(view: &CsrView, metric: &dyn DensityMetric, s: &mut PeelScratch) -> 
         // Unsorted canonical order (not produced by `GraphBuilder`, but
         // cheap to tolerate): fall back to a user-side degree scan.
         for u in 0..nu {
-            if view.user_degree(UserId(u as u32)) > 0
-                && in_block(u)
-                && s.priority[u] > 0.0
-            {
+            if view.user_degree(UserId(u as u32)) > 0 && in_block(u) && nodes.priority[u] > 0.0 {
                 users.push(UserId(u as u32));
             }
         }
@@ -640,7 +837,7 @@ fn peel_csr(view: &CsrView, metric: &dyn DensityMetric, s: &mut PeelScratch) -> 
         let node = nu + v;
         if view.merchant_degree(MerchantId(v as u32)) > 0
             && in_block(node)
-            && s.priority[node] > 0.0
+            && nodes.priority[node] > 0.0
         {
             merchants.push(MerchantId(v as u32));
         }
@@ -655,12 +852,388 @@ fn peel_csr(view: &CsrView, metric: &dyn DensityMetric, s: &mut PeelScratch) -> 
         }
     }
 
-    Some(Block {
+    Block {
         users,
         merchants,
         score: best_phi,
         edges,
-    })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batched peel (`Engine::BucketBatch`)
+// ---------------------------------------------------------------------------
+
+/// Round nodes per emission chunk in the parallel relax.
+const BATCH_CHUNK: usize = 256;
+/// Neighbor-id shards in the parallel relax; each shard owns a contiguous
+/// id range so workers never write the same key.
+const BATCH_SHARDS: usize = 64;
+/// Rounds whose combined adjacency is below this relax inline — the
+/// two-phase machinery only pays for itself on large rounds.
+const BATCH_PAR_EDGES: usize = 1 << 15;
+/// Cap on scoped relax workers per round.
+const BATCH_MAX_WORKERS: usize = 8;
+
+#[inline]
+fn pack_entry(element: u32, key: f64) -> u128 {
+    ((key.to_bits() as u128) << 32) | element as u128
+}
+
+#[inline]
+fn unpack_entry(entry: u128) -> (f64, u32) {
+    (f64::from_bits((entry >> 32) as u64), entry as u32)
+}
+
+/// Round buffers for the batched engine, recycled across rounds and peels.
+#[derive(Clone, Debug, Default)]
+struct BatchScratch {
+    /// Live same-side nodes tied at the round's key, ascending id.
+    round: Vec<u32>,
+    /// Phase-1 emission buffers: `[chunk][shard]` → packed
+    /// `(delta_bits << 32) | neighbor` records in adjacency order.
+    chunk_bufs: Vec<Vec<Vec<u128>>>,
+    /// Phase-2 output: one packed `(final_key, neighbor)` entry per
+    /// touched neighbor, per shard.
+    shard_pushes: Vec<Vec<u128>>,
+    /// Per-shard first-touch lists (drained every round).
+    shard_touched: Vec<Vec<u32>>,
+    /// Round tag that last touched each node (dedups the decrease entries
+    /// pushed per round without an O(n) reset).
+    touch_stamp: Vec<u32>,
+    /// Current round tag; wraps with a full stamp clear like the peel
+    /// epoch does.
+    round_seq: u32,
+}
+
+/// One shard's mutable state for the phase-2 apply: an exclusive window
+/// over the key and stamp arrays plus its output buffers.
+struct ShardTask<'a> {
+    sidx: usize,
+    start: usize,
+    keys: &'a mut [f64],
+    stamps: &'a mut [u32],
+    pushes: &'a mut Vec<u128>,
+    touched: &'a mut Vec<u32>,
+}
+
+/// The batched peel: each round removes *every* live same-side node whose
+/// key equals the current minimum, then relaxes their combined adjacency —
+/// with scoped workers when the round is large (see [`BATCH_PAR_EDGES`]).
+///
+/// Determinism: the inline and parallel relax paths apply, for every
+/// neighbor, the same update sequence in the same order (chunks ascending,
+/// emission order within a chunk), so results never depend on the worker
+/// count — only the set of queue entries differs (the parallel path
+/// coalesces each neighbor's decreases into one entry), which is invisible
+/// through the stale-entry filter.
+fn peel_bucket_batch(
+    view: &CsrView,
+    metric: &dyn DensityMetric,
+    s: &mut PeelScratch,
+) -> Option<Block> {
+    peel_bucket_batch_with(view, metric, s, BATCH_PAR_EDGES)
+}
+
+/// [`peel_bucket_batch`] with an explicit parallelism threshold, so tests
+/// can force both relax paths (`0` = always parallel, `usize::MAX` = always
+/// inline) and assert identical output.
+fn peel_bucket_batch_with(
+    view: &CsrView,
+    metric: &dyn DensityMetric,
+    s: &mut PeelScratch,
+    par_edges: usize,
+) -> Option<Block> {
+    let PeelScratch {
+        nodes,
+        bucket: q,
+        batch,
+        ..
+    } = s;
+    let (mut f, participating) = nodes.begin(view, metric)?;
+    let nu = view.num_users();
+    let n = nu + view.num_merchants();
+    q.fill(nodes.active.iter().filter_map(|&node| {
+        let k = nodes.key[node as usize];
+        (k >= 0.0).then_some((node, k))
+    }));
+    if batch.touch_stamp.len() < n {
+        batch.touch_stamp.resize(n, 0);
+    }
+    if batch.shard_pushes.is_empty() {
+        batch.shard_pushes.resize_with(BATCH_SHARDS, Vec::new);
+        batch.shard_touched.resize_with(BATCH_SHARDS, Vec::new);
+    }
+
+    let mut size = participating;
+    let mut best_phi = f / size as f64;
+    let mut best_step = 0u32;
+    let mut step = 0u32;
+
+    while let Some((p, first)) = q.pop() {
+        if p != nodes.key[first as usize] {
+            continue;
+        }
+        // Collect the round: every live node on `first`'s side holding
+        // exactly this key. Candidates all live in one bucket (exact key
+        // match implies same bucket index); stale entries and duplicates
+        // are filtered by the key check and the dedup below.
+        batch.round.clear();
+        batch.round.push(first);
+        let user_side = (first as usize) < nu;
+        {
+            let key = &nodes.key;
+            let round = &mut batch.round;
+            q.for_each_in_bucket_of(p, |k2, e2| {
+                if k2 == p
+                    && e2 != first
+                    && ((e2 as usize) < nu) == user_side
+                    && key[e2 as usize] == k2
+                {
+                    round.push(e2);
+                }
+            });
+        }
+        batch.round.sort_unstable();
+        batch.round.dedup();
+
+        // Remove the round in ascending id order. Same-side nodes share no
+        // edges, so every key in the round stays valid until its own
+        // removal — the bookkeeping below mirrors a sequential peel that
+        // happened to pop the round in id order.
+        for &node in &batch.round {
+            let node = node as usize;
+            nodes.key[node] = -1.0;
+            step += 1;
+            nodes.rank[node] = step;
+            f -= p;
+            size -= 1;
+            if size > 0 {
+                let phi = f.max(0.0) / size as f64;
+                if phi > best_phi {
+                    best_phi = phi;
+                    best_step = step;
+                }
+            }
+        }
+        if size == 0 {
+            break;
+        }
+
+        let adjacency: usize = batch
+            .round
+            .iter()
+            .map(|&nd| {
+                let nd = nd as usize;
+                if nd < nu {
+                    view.user_neighbors(UserId(nd as u32)).pairs.len()
+                } else {
+                    view.merchant_neighbors(MerchantId((nd - nu) as u32)).pairs.len()
+                }
+            })
+            .sum();
+
+        if adjacency < par_edges || batch.round.len() < 2 {
+            // Inline relax in canonical order: round nodes ascending,
+            // adjacency order within each node.
+            for &node in &batch.round {
+                let node = node as usize;
+                if node < nu {
+                    for &(v, w) in view.user_neighbors(UserId(node as u32)).pairs {
+                        let other = nu + v as usize;
+                        let k = nodes.key[other];
+                        if k >= 0.0 {
+                            let nk = (k - w * nodes.cw[v as usize]).max(0.0);
+                            nodes.key[other] = nk;
+                            q.push(other as u32, nk);
+                        }
+                    }
+                } else {
+                    let v = node - nu;
+                    let cwv = nodes.cw[v];
+                    for &(u, w) in view.merchant_neighbors(MerchantId(v as u32)).pairs {
+                        let other = u as usize;
+                        let k = nodes.key[other];
+                        if k >= 0.0 {
+                            let nk = (k - w * cwv).max(0.0);
+                            nodes.key[other] = nk;
+                            q.push(other as u32, nk);
+                        }
+                    }
+                }
+            }
+        } else {
+            relax_round_parallel(view, nodes, batch, q, nu, n);
+        }
+    }
+
+    Some(extract_block(view, nodes, best_phi, best_step))
+}
+
+/// Two-phase scoped-thread relax of one round's combined adjacency.
+///
+/// Phase 1 partitions the round into fixed chunks; workers emit
+/// `(neighbor, delta)` records into per-`(chunk, shard)` buffers, where a
+/// neighbor's shard is a contiguous id range. Phase 2 assigns each shard
+/// to exactly one worker, which applies its records in (chunk ascending,
+/// emission order) — the same canonical order the inline path uses — then
+/// pushes one coalesced decrease entry per touched neighbor. The main
+/// thread merges the per-shard entries into the queue. No two workers ever
+/// touch the same key, and the application order is scheduling-independent,
+/// so the relax is deterministic and exactly equal to the inline path.
+fn relax_round_parallel(
+    view: &CsrView,
+    nodes: &mut NodeScratch,
+    batch: &mut BatchScratch,
+    q: &mut BucketQueue,
+    nu: usize,
+    n: usize,
+) {
+    let chunk_count = batch.round.len().div_ceil(BATCH_CHUNK);
+    while batch.chunk_bufs.len() < chunk_count {
+        batch
+            .chunk_bufs
+            .push((0..BATCH_SHARDS).map(|_| Vec::new()).collect());
+    }
+    // Shard = high bits of the neighbor id: shard `s` owns ids
+    // `[s << shift, (s+1) << shift)`, clamped to `n`.
+    let shift = (usize::BITS - n.leading_zeros()).saturating_sub(BATCH_SHARDS.trailing_zeros());
+    // Unique per-round tag for the first-touch dedup stamps.
+    if batch.round_seq == u32::MAX {
+        batch.touch_stamp.iter_mut().for_each(|t| *t = 0);
+        batch.round_seq = 0;
+    }
+    batch.round_seq += 1;
+    let tag = batch.round_seq;
+
+    let workers = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+        .clamp(1, BATCH_MAX_WORKERS);
+
+    // Phase 1: emit (neighbor, delta) records, sharded by neighbor id.
+    {
+        let round: &[u32] = &batch.round;
+        let key: &[f64] = &nodes.key;
+        let cw: &[f64] = &nodes.cw;
+        /// One worker's share of phase 1: `(chunk index, that chunk's
+        /// per-shard record buffers)`.
+        type WorkerTasks<'a> = Vec<(usize, &'a mut Vec<Vec<u128>>)>;
+        let mut per_worker: Vec<WorkerTasks> = (0..workers).map(|_| Vec::new()).collect();
+        for (c, buf) in batch.chunk_bufs[..chunk_count].iter_mut().enumerate() {
+            per_worker[c % workers].push((c, buf));
+        }
+        std::thread::scope(|sc| {
+            for tasks in per_worker {
+                sc.spawn(move || {
+                    for (c, buf) in tasks {
+                        let lo = c * BATCH_CHUNK;
+                        let hi = (lo + BATCH_CHUNK).min(round.len());
+                        for &nd in &round[lo..hi] {
+                            let nd = nd as usize;
+                            if nd < nu {
+                                for &(v, w) in view.user_neighbors(UserId(nd as u32)).pairs {
+                                    let other = nu + v as usize;
+                                    // Opposite-side neighbors cannot die
+                                    // mid-round, so aliveness here equals
+                                    // aliveness at apply time.
+                                    if key[other] >= 0.0 {
+                                        let delta = w * cw[v as usize];
+                                        buf[other >> shift].push(pack_entry(other as u32, delta));
+                                    }
+                                }
+                            } else {
+                                let v = nd - nu;
+                                let cwv = cw[v];
+                                for &(u, w) in view.merchant_neighbors(MerchantId(v as u32)).pairs {
+                                    let other = u as usize;
+                                    if key[other] >= 0.0 {
+                                        let delta = w * cwv;
+                                        buf[other >> shift].push(pack_entry(other as u32, delta));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    // Phase 2: apply deltas per shard in canonical (chunk, emission) order.
+    {
+        let bufs: &[Vec<Vec<u128>>] = &batch.chunk_bufs;
+        let mut tasks: Vec<ShardTask<'_>> = Vec::with_capacity(BATCH_SHARDS);
+        let mut keys_rest: &mut [f64] = &mut nodes.key[..n];
+        let mut stamps_rest: &mut [u32] = &mut batch.touch_stamp[..n];
+        let mut start = 0usize;
+        for (sidx, (pushes, touched)) in batch
+            .shard_pushes
+            .iter_mut()
+            .zip(batch.shard_touched.iter_mut())
+            .enumerate()
+        {
+            let end = ((sidx + 1) << shift).min(n).max(start);
+            let (ks, kr) = keys_rest.split_at_mut(end - start);
+            let (ss, sr) = stamps_rest.split_at_mut(end - start);
+            keys_rest = kr;
+            stamps_rest = sr;
+            tasks.push(ShardTask {
+                sidx,
+                start,
+                keys: ks,
+                stamps: ss,
+                pushes,
+                touched,
+            });
+            start = end;
+        }
+        let mut per_worker: Vec<Vec<ShardTask<'_>>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, t) in tasks.into_iter().enumerate() {
+            per_worker[i % workers].push(t);
+        }
+        std::thread::scope(|sc| {
+            for mut tasks in per_worker {
+                sc.spawn(move || {
+                    for t in &mut tasks {
+                        for cbuf in &bufs[..chunk_count] {
+                            for &e in &cbuf[t.sidx] {
+                                let (delta, other) = unpack_entry(e);
+                                let local = other as usize - t.start;
+                                // Per-record clamp, exactly as the inline
+                                // path applies each edge.
+                                t.keys[local] = (t.keys[local] - delta).max(0.0);
+                                if t.stamps[local] != tag {
+                                    t.stamps[local] = tag;
+                                    t.touched.push(other);
+                                }
+                            }
+                        }
+                        for &node in t.touched.iter() {
+                            t.pushes
+                                .push(pack_entry(node, t.keys[node as usize - t.start]));
+                        }
+                        t.touched.clear();
+                    }
+                });
+            }
+        });
+    }
+
+    // Merge the coalesced decrease entries (ascending shard = ascending id
+    // ranges) and reset the emission buffers for the next round.
+    for sidx in 0..BATCH_SHARDS {
+        for &e in &batch.shard_pushes[sidx] {
+            let (k, node) = unpack_entry(e);
+            q.push(node, k);
+        }
+        batch.shard_pushes[sidx].clear();
+    }
+    for cbuf in &mut batch.chunk_bufs[..chunk_count] {
+        for sbuf in cbuf.iter_mut() {
+            sbuf.clear();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -703,6 +1276,21 @@ mod tests {
     }
 
     #[test]
+    fn bucket_peel_is_bit_identical_to_csr() {
+        let g = planted_graph();
+        for metric in [
+            &AverageDegreeMetric as &dyn DensityMetric,
+            &LogWeightedMetric::paper_default(),
+        ] {
+            let view = CsrView::from_graph(&g);
+            let csr = peel_csr(&view, metric, &mut PeelScratch::default()).unwrap();
+            let bucket = peel_bucket(&view, metric, &mut PeelScratch::default()).unwrap();
+            assert_eq!(csr, bucket);
+            assert_eq!(csr.score.to_bits(), bucket.score.to_bits());
+        }
+    }
+
+    #[test]
     fn csr_peel_matches_naive_on_weighted_graph() {
         let mut edges = Vec::new();
         let mut weights = Vec::new();
@@ -718,6 +1306,9 @@ mod tests {
         let naive = peel_densest_full(&g, &AverageDegreeMetric).unwrap();
         let csr = peel_csr_full(&g, &AverageDegreeMetric).unwrap();
         assert_eq!(naive, csr);
+        let view = CsrView::from_graph(&g);
+        let bucket = peel_bucket(&view, &AverageDegreeMetric, &mut PeelScratch::default()).unwrap();
+        assert_eq!(naive, bucket);
     }
 
     #[test]
@@ -727,6 +1318,10 @@ mod tests {
         let g = planted_graph();
         let view = CsrView::from_graph_filtered(&g, &vec![false; g.num_edges()]);
         assert!(peel_csr(&view, &AverageDegreeMetric, &mut PeelScratch::default()).is_none());
+        assert!(peel_bucket(&view, &AverageDegreeMetric, &mut PeelScratch::default()).is_none());
+        assert!(
+            peel_bucket_batch(&view, &AverageDegreeMetric, &mut PeelScratch::default()).is_none()
+        );
     }
 
     #[test]
@@ -748,6 +1343,70 @@ mod tests {
             let reused = peel_csr(&view, &AverageDegreeMetric, &mut scratch);
             let fresh = peel_csr_full(g, &AverageDegreeMetric);
             assert_eq!(reused, fresh);
+            let bucket_reused = peel_bucket(&view, &AverageDegreeMetric, &mut scratch);
+            assert_eq!(bucket_reused, fresh);
+        }
+    }
+
+    /// A graph engineered to have large tie rounds: a complete block whose
+    /// users are interchangeable, plus uniform background rows.
+    fn tie_heavy_graph() -> BipartiteGraph {
+        let mut b = GraphBuilder::new();
+        for u in 0..40u32 {
+            for v in 0..6u32 {
+                b.add_edge(UserId(u), MerchantId(v));
+            }
+        }
+        for u in 40..200u32 {
+            b.add_edge(UserId(u), MerchantId(6 + u % 11));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn batch_peel_is_thread_count_invariant() {
+        // Forcing the parallel relax (threshold 0) and forcing the inline
+        // relax (threshold MAX) must produce byte-identical blocks.
+        for g in [&planted_graph(), &tie_heavy_graph()] {
+            let view = CsrView::from_graph(g);
+            let inline = peel_bucket_batch_with(
+                &view,
+                &LogWeightedMetric::paper_default(),
+                &mut PeelScratch::default(),
+                usize::MAX,
+            )
+            .unwrap();
+            let parallel = peel_bucket_batch_with(
+                &view,
+                &LogWeightedMetric::paper_default(),
+                &mut PeelScratch::default(),
+                0,
+            )
+            .unwrap();
+            assert_eq!(inline, parallel);
+            assert_eq!(inline.score.to_bits(), parallel.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_peel_scores_match_csr_within_tolerance() {
+        for g in [&planted_graph(), &tie_heavy_graph()] {
+            let view = CsrView::from_graph(g);
+            let csr = peel_csr(&view, &LogWeightedMetric::paper_default(), &mut PeelScratch::default())
+                .unwrap();
+            let batch = peel_bucket_batch(
+                &view,
+                &LogWeightedMetric::paper_default(),
+                &mut PeelScratch::default(),
+            )
+            .unwrap();
+            let tol = 1e-9 * csr.score.abs().max(1.0);
+            assert!(
+                (csr.score - batch.score).abs() <= tol,
+                "batch score {} vs csr {}",
+                batch.score,
+                csr.score
+            );
         }
     }
 
@@ -760,15 +1419,17 @@ mod tests {
             Truncation::KeepAll { k_max: 10 },
             Engine::Naive,
         );
-        let csr = fdet_with_engine(
-            &g,
-            &MetricKind::default(),
-            Truncation::KeepAll { k_max: 10 },
-            Engine::Csr,
-        );
-        assert_eq!(naive.blocks, csr.blocks);
-        assert_eq!(naive.scores, csr.scores);
-        assert_eq!(naive.k_hat, csr.k_hat);
+        for engine in [Engine::Csr, Engine::Bucket] {
+            let got = fdet_with_engine(
+                &g,
+                &MetricKind::default(),
+                Truncation::KeepAll { k_max: 10 },
+                engine,
+            );
+            assert_eq!(naive.blocks, got.blocks, "{engine}");
+            assert_eq!(naive.scores, got.scores, "{engine}");
+            assert_eq!(naive.k_hat, got.k_hat, "{engine}");
+        }
     }
 
     #[test]
@@ -785,25 +1446,40 @@ mod tests {
             Truncation::KeepAll { k_max: 10 },
             Truncation::FixedK(2),
         ] {
-            let (spec_res, sample_edges) =
-                engine.run_spec(&g, &spec, &MetricKind::default(), truncation, &mut maps);
-            let sampled = spec.materialize(&g);
-            let mat = engine.run(&sampled.graph, &MetricKind::default(), truncation, Engine::Csr);
-            assert_eq!(spec_res.blocks, mat.blocks);
-            assert_eq!(spec_res.scores, mat.scores);
-            assert_eq!(spec_res.k_hat, mat.k_hat);
-            assert_eq!(sample_edges, sampled.graph.num_edges());
-            assert_eq!(maps.orig_users, sampled.orig_users);
-            assert_eq!(maps.orig_merchants, sampled.orig_merchants);
+            for eng in [Engine::Csr, Engine::Bucket] {
+                let (spec_res, sample_edges) = engine.run_spec(
+                    &g,
+                    &spec,
+                    &MetricKind::default(),
+                    truncation,
+                    eng,
+                    &mut maps,
+                );
+                let sampled = spec.materialize(&g);
+                let mat = engine.run(&sampled.graph, &MetricKind::default(), truncation, eng);
+                assert_eq!(spec_res.blocks, mat.blocks);
+                assert_eq!(spec_res.scores, mat.scores);
+                assert_eq!(spec_res.k_hat, mat.k_hat);
+                assert_eq!(sample_edges, sampled.graph.num_edges());
+                assert_eq!(maps.orig_users, sampled.orig_users);
+                assert_eq!(maps.orig_merchants, sampled.orig_merchants);
+            }
         }
     }
 
     #[test]
     fn engine_parsing_round_trips() {
-        assert_eq!("csr".parse::<Engine>().unwrap(), Engine::Csr);
-        assert_eq!("naive".parse::<Engine>().unwrap(), Engine::Naive);
-        assert_eq!(Engine::Csr.to_string(), "csr");
+        for engine in [
+            Engine::Csr,
+            Engine::Naive,
+            Engine::Bucket,
+            Engine::BucketBatch,
+        ] {
+            assert_eq!(engine.name().parse::<Engine>().unwrap(), engine);
+            assert_eq!(engine.to_string(), engine.name());
+        }
         assert!("fast".parse::<Engine>().is_err());
+        assert!("bucket_batch".parse::<Engine>().is_err());
         assert_eq!(Engine::default(), Engine::Csr);
     }
 }

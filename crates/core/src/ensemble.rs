@@ -32,7 +32,9 @@ pub struct EnsemFdetConfig {
     /// Block truncation strategy (Definition 3 by default).
     pub truncation: Truncation,
     /// Peeling engine backing every FDET run (CSR hot path by default;
-    /// the naive reference path produces identical results, slower).
+    /// `bucket` is its bit-identical O(E) twin, `bucket-batch` the
+    /// tie-round parallel variant, and the naive reference path produces
+    /// identical results, slower).
     pub engine: Engine,
     /// Sampling data path: resolve sample specs lazily against the shared
     /// parent snapshot (`Mask`, default) or materialize each sample as a
@@ -280,17 +282,17 @@ impl EnsemFdet {
     /// Runs Algorithm 2 on `g`: sample `N` subgraphs, run FDET on each in
     /// parallel, and tally votes in the parent id space.
     ///
-    /// With [`SamplePath::Mask`] (the default) and the CSR engine, every
-    /// sample is a lightweight spec resolved against `g` through
-    /// per-thread scratch — no subgraph copies. The materializing path
-    /// runs otherwise (including under the naive engine, which peels a
-    /// real `BipartiteGraph` by definition); both produce bit-identical
-    /// votes, evidence, and scores.
+    /// With [`SamplePath::Mask`] (the default) and any view engine (CSR,
+    /// bucket, or bucket-batch), every sample is a lightweight spec
+    /// resolved against `g` through per-thread scratch — no subgraph
+    /// copies. The materializing path runs otherwise (including under the
+    /// naive engine, which peels a real `BipartiteGraph` by definition);
+    /// both produce bit-identical votes, evidence, and scores.
     pub fn detect(&self, g: &BipartiteGraph) -> EnsembleOutcome {
         let start = Instant::now();
         let cfg = &self.config;
         let method: SamplingMethod = cfg.method.into();
-        let use_mask = cfg.path == SamplePath::Mask && cfg.engine == Engine::Csr;
+        let use_mask = cfg.path == SamplePath::Mask && cfg.engine != Engine::Naive;
 
         let per_sample: Vec<(VoteTally, EvidenceTally, SampleSummary)> = (0..cfg.num_samples)
             .into_par_iter()
@@ -413,7 +415,7 @@ impl EnsemFdet {
             let sampling_elapsed = t0.elapsed();
             let t1 = Instant::now();
             let (result, sample_edges) =
-                FdetEngine::run_spec_cached(g, spec, &cfg.metric, cfg.truncation, maps);
+                FdetEngine::run_spec_cached(g, spec, &cfg.metric, cfg.truncation, cfg.engine, maps);
             let detect_elapsed = t1.elapsed();
 
             let maps = &*maps;

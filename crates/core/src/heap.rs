@@ -17,10 +17,16 @@
 //!   4-ary array, which is what makes the high pop volume of lazy deletion
 //!   affordable.
 //!
+//! A third structure, [`crate::bucket::BucketQueue`], keeps the lazy-entry
+//! contract but shards the entries across exponent-indexed append logs,
+//! absorbing each bucket into one small frontier `LazyMinHeap` only when
+//! the minimum reaches it — trading the global `O(log n)` sift for
+//! near-constant routing (the bucket engine's linear-peel claim).
+//!
 //! Keys only ever decrease during a peel, so for every element the entry
 //! carrying its *current* key is the element's minimum entry — the first
 //! non-stale pop is exactly the pop [`IndexedMinHeap`] would deliver, which
-//! is why the two engines produce bit-identical peel orders.
+//! is why the engines produce bit-identical peel orders.
 //!
 //! Keys are `f64` priorities (never NaN — asserted on insert in the indexed
 //! heap, debug-asserted in the lazy one).
@@ -316,6 +322,17 @@ impl LazyMinHeap {
         self.base
             .extend(entries.into_iter().map(|(e, k)| Self::pack(e, k)));
         self.base.sort_unstable();
+    }
+
+    /// Visits every pending entry — stale ones included — in unspecified
+    /// order. Callers filter against their own notion of staleness, exactly
+    /// as they do for [`pop`](Self::pop).
+    #[inline]
+    pub fn for_each_entry(&self, mut f: impl FnMut(f64, u32)) {
+        for &e in self.base[self.cursor..].iter().chain(self.entries.iter()) {
+            let (k, id) = Self::unpack(e);
+            f(k, id);
+        }
     }
 
     /// Drops every entry that no longer carries its element's current key

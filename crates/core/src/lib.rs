@@ -55,6 +55,7 @@
 
 pub mod aggregate;
 pub mod block;
+pub mod bucket;
 pub mod engine;
 pub mod ensemble;
 pub mod evidence;
@@ -68,6 +69,7 @@ pub mod truncate;
 
 pub use aggregate::VoteTally;
 pub use block::Block;
+pub use bucket::BucketQueue;
 pub use engine::{Engine, FdetEngine};
 pub use ensemble::{
     EnsembleOutcome, EnsemFdet, EnsemFdetConfig, SamplePath, SampleSummary,

@@ -214,6 +214,24 @@ impl SpecResolver {
         }
     }
 
+    /// Checks that the next local id still fits the slot's low bits.
+    ///
+    /// [`SpecResolver::begin`] already caps each *side*, which bounds how
+    /// many distinct ids can be interned, so this can only fire if a
+    /// caller feeds a pre-populated `originals` vector or the packing ever
+    /// changes — but a violation would not crash, it would silently
+    /// corrupt the epoch bits (`(epoch << 24) | local` with `local ≥ 2²⁴`
+    /// carries into the stamp) and alias unrelated parent ids across
+    /// samples. Worth one branch per first-seen node to keep impossible.
+    #[inline]
+    fn check_local_cap(next_local: usize) {
+        assert!(
+            next_local <= SLOT_LOCAL_MASK as usize,
+            "SpecResolver slot overflow: {next_local} locals exceed the \
+             {SLOT_LOCAL_BITS}-bit local-id cap ({SLOT_LOCAL_MASK})",
+        );
+    }
+
     /// Assigns `raw` the next dense local user index if unseen this
     /// epoch; returns its local id. Mirrors `sampled.rs`'s `intern`.
     #[inline]
@@ -223,6 +241,7 @@ impl SpecResolver {
         if slot >> SLOT_LOCAL_BITS == self.epoch {
             slot & SLOT_LOCAL_MASK
         } else {
+            Self::check_local_cap(originals.len());
             let local = originals.len() as u32;
             self.u_slot[i] = (self.epoch << SLOT_LOCAL_BITS) | local;
             originals.push(raw);
@@ -238,6 +257,7 @@ impl SpecResolver {
         if slot >> SLOT_LOCAL_BITS == self.epoch {
             slot & SLOT_LOCAL_MASK
         } else {
+            Self::check_local_cap(originals.len());
             let local = originals.len() as u32;
             self.v_slot[i] = (self.epoch << SLOT_LOCAL_BITS) | local;
             originals.push(raw);
@@ -340,5 +360,37 @@ mod tests {
         assert_eq!(r.intern_user(2, &mut orig2), 0);
         assert_eq!(orig2, vec![2]);
         assert_eq!(r.merchant_local(3), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "SpecResolver supports at most")]
+    fn begin_rejects_sides_beyond_the_slot_cap() {
+        // The assert fires before any slot buffer is resized, so this
+        // never allocates the 64 MiB a legal side of that size would need.
+        SpecResolver::new().begin(SLOT_LOCAL_MASK as usize + 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "SpecResolver slot overflow")]
+    fn intern_refuses_local_ids_past_the_packed_cap() {
+        // Simulate the 2²⁴-th first-seen node of one sample: a pre-filled
+        // `originals` vector makes the next local id 2²⁴, which would
+        // carry into the epoch bits if packed. The guard must fire instead
+        // of silently corrupting the slot.
+        let mut r = SpecResolver::new();
+        r.begin(8, 8);
+        let mut originals = vec![0u32; (SLOT_LOCAL_MASK as usize) + 1];
+        r.intern_user(1, &mut originals);
+    }
+
+    #[test]
+    fn intern_accepts_the_last_representable_local_id() {
+        // local == SLOT_LOCAL_MASK is the boundary: it still packs without
+        // touching the epoch bits, so it must round-trip.
+        let mut r = SpecResolver::new();
+        r.begin(8, 8);
+        let mut originals = vec![0u32; SLOT_LOCAL_MASK as usize];
+        assert_eq!(r.intern_user(3, &mut originals), SLOT_LOCAL_MASK);
+        assert_eq!(r.intern_user(3, &mut originals), SLOT_LOCAL_MASK);
     }
 }

@@ -18,9 +18,9 @@
 //! synchronous 200 contract by enqueueing and waiting for the job.
 
 use crate::http::{Request, Response};
-use crate::jobs::{EnqueueError, JobState, JobStore, JobView, ScanResultView, ScanSpec};
+use crate::jobs::{EnqueueError, JobLookup, JobState, JobStore, JobView, ScanResultView, ScanSpec};
 use ensemfdet::pipeline::{IngestBuffer, ScanRunner, SnapshotStore};
-use ensemfdet::{EnsemFdet, EnsemFdetConfig, MonitorConfig, SamplePath};
+use ensemfdet::{Engine as PeelEngine, EnsemFdet, EnsemFdetConfig, MonitorConfig, SamplePath};
 use ensemfdet_graph::{GraphStats, TransactionInterner};
 use ensemfdet_telemetry::{ServiceMetrics, PROMETHEUS_CONTENT_TYPE};
 use serde_json::{json, Value};
@@ -206,7 +206,7 @@ impl Api {
                 "compaction_interval": c.compaction_interval,
                 "scan_queue_capacity": c.scan_queue_capacity,
                 "result_ring": c.result_ring,
-                "scan_overrides": ["num_samples", "sample_ratio", "threshold", "path"],
+                "scan_overrides": ["num_samples", "sample_ratio", "threshold", "path", "engine"],
             }),
         )
     }
@@ -374,11 +374,24 @@ impl Api {
                         })?;
                     config.path = p;
                 }
+                "engine" => {
+                    let eng = value
+                        .as_str()
+                        .and_then(|s| s.parse::<PeelEngine>().ok())
+                        .ok_or_else(|| {
+                            Response::error(
+                                400,
+                                "invalid_config",
+                                "engine must be \"csr\", \"bucket\", \"bucket-batch\", or \"naive\"",
+                            )
+                        })?;
+                    config.engine = eng;
+                }
                 other => {
                     return Err(Response::error(
                         400,
                         "invalid_config",
-                        format!("unknown override {other:?} (expected num_samples, sample_ratio, threshold, path)"),
+                        format!("unknown override {other:?} (expected num_samples, sample_ratio, threshold, path, engine)"),
                     ));
                 }
             }
@@ -475,9 +488,16 @@ impl Api {
         let Ok(id) = id.parse::<u64>() else {
             return Response::error(400, "bad_request", "scan job ids are decimal integers");
         };
-        match self.engine.jobs.get(id) {
-            Some(view) => Response::json(200, &job_json(&view)),
-            None => Response::error(404, "unknown_job", format!("no such scan job: {id}")),
+        match self.engine.jobs.lookup(id) {
+            JobLookup::Found(view) => Response::json(200, &job_json(&view)),
+            JobLookup::Evicted => Response::error(
+                410,
+                "gone",
+                format!("scan job {id} existed but its result aged out of the ring"),
+            ),
+            JobLookup::Unknown => {
+                Response::error(404, "unknown_job", format!("no such scan job: {id}"))
+            }
         }
     }
 
@@ -543,6 +563,7 @@ fn result_json(r: &ScanResultView) -> Value {
         "scan_millis": r.scan_millis,
         "num_samples": r.config.num_samples,
         "sample_ratio": r.config.sample_ratio,
+        "engine": r.config.engine.name(),
         "threshold": r.threshold,
     })
 }
@@ -718,6 +739,29 @@ mod tests {
         }
         assert_eq!(per_path[0], per_path[1], "paths disagree on flagged set");
 
+        // Every peel engine is selectable and flags the same ring (csr and
+        // bucket are bit-identical; bucket-batch by the score contract).
+        let mut per_engine = Vec::new();
+        for engine in ["csr", "bucket", "bucket-batch", "naive"] {
+            let (status, body) =
+                post(&api, "/v1/scans", json!({ "engine": engine, "num_samples": 5 }));
+            assert_eq!(status, 202, "{body}");
+            let done = wait_done(&api, body["job_id"].as_u64().unwrap());
+            assert_eq!(done["status"], "done", "{done}");
+            assert_eq!(done["result"]["engine"], engine, "{done}");
+            let mut flagged: Vec<String> = done["result"]["flagged"]
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|v| v.as_str().unwrap().to_string())
+                .collect();
+            flagged.sort();
+            per_engine.push(flagged);
+        }
+        for other in &per_engine[1..] {
+            assert_eq!(per_engine[0], *other, "engines disagree on flagged set");
+        }
+
         // Invalid overrides are 400 invalid_config.
         for bad in [
             json!({ "sample_ratio": 0.0 }),
@@ -727,6 +771,8 @@ mod tests {
             json!({ "threshold": -3 }),
             json!({ "path": "mmap" }),
             json!({ "path": 7 }),
+            json!({ "engine": "quantum" }),
+            json!({ "engine": 7 }),
             json!({ "frobnicate": true }),
             json!([1, 2, 3]),
         ] {
@@ -745,8 +791,9 @@ mod tests {
         assert_eq!(body["alert_threshold"], 15);
         assert_eq!(body["scan_queue_capacity"], 8);
         let overrides = body["scan_overrides"].as_array().unwrap();
-        assert_eq!(overrides.len(), 4);
+        assert_eq!(overrides.len(), 5);
         assert!(overrides.iter().any(|v| v == "path"));
+        assert!(overrides.iter().any(|v| v == "engine"));
     }
 
     #[test]
@@ -758,6 +805,41 @@ mod tests {
         let (status, body) = get(&api, "/v1/scans/not-a-number");
         assert_eq!(status, 400);
         assert_eq!(body["error"]["code"], "bad_request");
+    }
+
+    #[test]
+    fn evicted_job_is_410_gone() {
+        // A one-slot result ring: finishing the second scan evicts the
+        // first, whose id must then answer `410 gone`, not `404`.
+        let api = Api::new(ApiConfig {
+            monitor: MonitorConfig {
+                detector: EnsemFdetConfig {
+                    num_samples: 20,
+                    sample_ratio: 0.5,
+                    seed: 3,
+                    ..Default::default()
+                },
+                scan_interval: 1_000_000,
+                alert_threshold: 15,
+                min_transactions: 0,
+            },
+            result_ring: 1,
+            ..Default::default()
+        });
+        post(&api, "/v1/transactions", json!({ "records": ring_records() }));
+        let (_, first) = post(&api, "/v1/scans", json!({ "num_samples": 4 }));
+        let first_id = first["job_id"].as_u64().unwrap();
+        wait_done(&api, first_id);
+        let (_, second) = post(&api, "/v1/scans", json!({ "num_samples": 4 }));
+        wait_done(&api, second["job_id"].as_u64().unwrap());
+
+        let (status, body) = get(&api, &format!("/v1/scans/{first_id}"));
+        assert_eq!(status, 410, "{body}");
+        assert_eq!(body["error"]["code"], "gone");
+        // Never-issued ids still 404.
+        let (status, body) = get(&api, "/v1/scans/424242");
+        assert_eq!(status, 404, "{body}");
+        assert_eq!(body["error"]["code"], "unknown_job");
     }
 
     #[test]

@@ -150,6 +150,19 @@ struct Inner {
     stopping: bool,
 }
 
+/// Outcome of a [`JobStore::lookup`]: the three externally
+/// distinguishable fates of a job id.
+#[derive(Clone, Debug)]
+pub enum JobLookup {
+    /// The job is still tracked (queued, running, or in the ring).
+    Found(JobView),
+    /// The id was issued, but its terminal record fell off the
+    /// recent-results ring and was pruned (HTTP 410).
+    Evicted,
+    /// The id was never issued by this store (HTTP 404).
+    Unknown,
+}
+
 /// Errors enqueueing a scan job.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EnqueueError {
@@ -293,9 +306,32 @@ impl JobStore {
     }
 
     /// A point-in-time view of one job, if it is still known (queued,
-    /// running, or within the recent-results ring).
+    /// running, or within the recent-results ring). Collapses
+    /// [`lookup`](Self::lookup)'s evicted/unknown distinction to `None`
+    /// for callers that do not care why the job is gone.
     pub fn get(&self, id: u64) -> Option<JobView> {
-        lock_recover(&self.inner).jobs.get(&id).map(|j| j.view(id))
+        match self.lookup(id) {
+            JobLookup::Found(view) => Some(view),
+            JobLookup::Evicted | JobLookup::Unknown => None,
+        }
+    }
+
+    /// A point-in-time lookup that distinguishes *evicted* ids from ids
+    /// that never existed.
+    ///
+    /// Ids are handed out monotonically from 1 and terminal jobs are
+    /// pruned once they fall off the recent-results ring, so an id that is
+    /// within `1..=last issued` but absent from the map must have been
+    /// issued and later evicted — its result is gone for capacity reasons,
+    /// not because the caller made the id up. The API layer maps the two
+    /// cases to HTTP 410 (`gone`) and 404 (`unknown_job`) respectively.
+    pub fn lookup(&self, id: u64) -> JobLookup {
+        let inner = lock_recover(&self.inner);
+        match inner.jobs.get(&id) {
+            Some(job) => JobLookup::Found(job.view(id)),
+            None if id >= 1 && id <= inner.next_id => JobLookup::Evicted,
+            None => JobLookup::Unknown,
+        }
     }
 
     /// The most recently published scan result, if any scan has
@@ -421,6 +457,33 @@ mod tests {
         assert!(store.get(ids[1]).is_some());
         assert!(store.get(ids[2]).is_some());
         assert_eq!(store.get(ids[3]).unwrap().state, JobState::Queued);
+        // The pruned id is *evicted*, not unknown: it was issued.
+        assert!(
+            matches!(store.lookup(ids[0]), JobLookup::Evicted),
+            "issued-then-pruned id must read as evicted"
+        );
+        assert!(matches!(store.lookup(ids[3]), JobLookup::Found(_)));
+    }
+
+    #[test]
+    fn lookup_distinguishes_evicted_from_unknown() {
+        let store = JobStore::new(4, 1);
+        let a = store.enqueue(spec(1)).unwrap();
+        let b = store.enqueue(spec(1)).unwrap();
+        for _ in 0..2 {
+            let (id, _, _) = store.next_job().unwrap();
+            store.complete(id, result(id, 1));
+        }
+        // Ring of 1 keeps only the second result.
+        assert!(matches!(store.lookup(a), JobLookup::Evicted));
+        assert!(matches!(store.lookup(b), JobLookup::Found(_)));
+        // Ids outside [1, last issued] were never handed out.
+        assert!(matches!(store.lookup(0), JobLookup::Unknown));
+        assert!(matches!(store.lookup(b + 1), JobLookup::Unknown));
+        assert!(matches!(store.lookup(9_999), JobLookup::Unknown));
+        // get() collapses both non-found cases to None.
+        assert!(store.get(a).is_none());
+        assert!(store.get(9_999).is_none());
     }
 
     #[test]

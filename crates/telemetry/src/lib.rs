@@ -144,9 +144,9 @@ impl Histogram {
         self.observe(d.as_secs_f64());
     }
 
-    /// Number of observations.
+    /// Number of observations (derived from one [`snapshot`](Self::snapshot)).
     pub fn count(&self) -> u64 {
-        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+        self.snapshot().count()
     }
 
     /// Sum of observations in seconds.
@@ -154,13 +154,53 @@ impl Histogram {
         self.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9
     }
 
+    /// Copies every bucket cell in one pass. All derived figures — the
+    /// cumulative rows *and* the total count — must come from a single
+    /// snapshot: loading cells on demand lets a concurrent `observe` land
+    /// between two loads, so a scrape could expose a `+Inf` bucket that
+    /// disagrees with `_count`, which Prometheus treats as a malformed
+    /// histogram.
+    pub fn snapshot(&self) -> HistogramSnapshot<'_> {
+        HistogramSnapshot {
+            bounds: &self.bounds,
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
     /// Cumulative `(upper_bound, count ≤ bound)` pairs; the final entry is
     /// the `+Inf` bucket, equal to the total count of the same snapshot.
     pub fn cumulative(&self) -> Vec<(f64, u64)> {
+        self.snapshot().cumulative()
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]'s bucket cells, from which the
+/// exposition derives every per-scrape figure consistently.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot<'a> {
+    bounds: &'a [f64],
+    /// Non-cumulative cell values; the last entry is the `+Inf` bucket.
+    buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot<'_> {
+    /// Total observations in this snapshot — always equal to the final
+    /// (`+Inf`) entry of [`cumulative`](Self::cumulative) by construction.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Cumulative `(upper_bound, count ≤ bound)` pairs over this snapshot;
+    /// the final entry is the `+Inf` bucket.
+    pub fn cumulative(&self) -> Vec<(f64, u64)> {
         let mut acc = 0u64;
         let mut out = Vec::with_capacity(self.buckets.len());
-        for (i, b) in self.buckets.iter().enumerate() {
-            acc += b.load(Ordering::Relaxed);
+        for (i, &b) in self.buckets.iter().enumerate() {
+            acc += b;
             out.push((self.bounds.get(i).copied().unwrap_or(f64::INFINITY), acc));
         }
         out
@@ -501,11 +541,13 @@ fn write_histogram(out: &mut String, name: &str, help: &str, h: &Histogram) {
 
 /// Emits one histogram's samples with `extra_labels` (e.g. `stage="x",`,
 /// trailing comma included) prepended to each bucket's `le` label.
+///
+/// Every figure comes from one [`Histogram::snapshot`], so the emitted
+/// `+Inf` bucket and `_count` always agree even under concurrent observes.
 fn write_histogram_samples(out: &mut String, name: &str, extra_labels: &str, h: &Histogram) {
-    let cumulative = h.cumulative();
-    let mut total = 0;
-    for &(bound, count) in &cumulative {
-        total = count;
+    let snapshot = h.snapshot();
+    let total = snapshot.count();
+    for (bound, count) in snapshot.cumulative() {
         if bound.is_finite() {
             let _ = writeln!(out, "{name}_bucket{{{extra_labels}le=\"{bound}\"}} {count}");
         } else {
@@ -604,6 +646,47 @@ mod tests {
             t.join().unwrap();
         }
         assert_eq!(h.count(), 4000);
+    }
+
+    #[test]
+    fn snapshot_keeps_inf_bucket_and_count_consistent_under_writes() {
+        // Scrape-vs-observe race: every snapshot's +Inf row must equal its
+        // own total, and successive scrapes must be monotone. (Per-cell
+        // on-demand loads violated the first invariant when an observe
+        // landed between two loads.)
+        let h = std::sync::Arc::new(Histogram::latency());
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writers: Vec<_> = (0..3)
+            .map(|_| {
+                let h = std::sync::Arc::clone(&h);
+                let stop = std::sync::Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        h.observe((i % 1000) as f64 * 1e-4);
+                        i += 1;
+                    }
+                })
+            })
+            .collect();
+        let mut last_total = 0u64;
+        for _ in 0..200 {
+            let snap = h.snapshot();
+            let cumulative = snap.cumulative();
+            let inf_row = cumulative.last().expect("has +Inf row");
+            assert!(inf_row.0.is_infinite());
+            assert_eq!(inf_row.1, snap.count(), "+Inf bucket vs _count");
+            assert!(
+                cumulative.windows(2).all(|w| w[0].1 <= w[1].1),
+                "cumulative rows must be monotone"
+            );
+            assert!(snap.count() >= last_total, "scrapes must be monotone");
+            last_total = snap.count();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for t in writers {
+            t.join().unwrap();
+        }
     }
 
     #[test]

@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 
 const SEED: u64 = 77;
 
-fn api(scan_queue_capacity: usize) -> Api {
+fn api(scan_queue_capacity: usize, result_ring: usize) -> Api {
     Api::new(ApiConfig {
         monitor: MonitorConfig {
             detector: EnsemFdetConfig {
@@ -34,15 +34,24 @@ fn api(scan_queue_capacity: usize) -> Api {
             min_transactions: 0,
         },
         scan_queue_capacity,
+        result_ring,
         ..Default::default()
     })
 }
 
 fn start(scan_queue_capacity: usize) -> ServerHandle {
-    Server::bind_with("127.0.0.1:0", api(scan_queue_capacity), ServerConfig::default())
-        .expect("bind")
-        .start()
-        .expect("start")
+    start_with_ring(scan_queue_capacity, 16)
+}
+
+fn start_with_ring(scan_queue_capacity: usize, result_ring: usize) -> ServerHandle {
+    Server::bind_with(
+        "127.0.0.1:0",
+        api(scan_queue_capacity, result_ring),
+        ServerConfig::default(),
+    )
+    .expect("bind")
+    .start()
+    .expect("start")
 }
 
 fn roundtrip(addr: SocketAddr, raw: &str) -> String {
@@ -297,6 +306,10 @@ fn job_lookups_and_overrides_use_the_error_envelope() {
     assert_eq!(status, 400);
     assert_eq!(body["error"]["code"], "invalid_config", "{body}");
 
+    let (status, body) = post(addr, "/v1/scans", "{\"engine\": \"warp\"}");
+    assert_eq!(status, 400);
+    assert_eq!(body["error"]["code"], "invalid_config", "{body}");
+
     let (status, body) = get(addr, "/v1/scans/latest");
     assert_eq!(status, 404);
     assert_eq!(body["error"]["code"], "no_completed_scan", "{body}");
@@ -304,6 +317,39 @@ fn job_lookups_and_overrides_use_the_error_envelope() {
     let (status, body) = get(addr, "/no/such/route");
     assert_eq!(status, 404);
     assert_eq!(body["error"]["code"], "not_found", "{body}");
+    server.shutdown();
+}
+
+/// An id that fell off the result ring answers `410 gone` — distinct from
+/// the `404 unknown_job` a never-issued id gets — so clients can tell
+/// "poll slower or raise `result_ring`" apart from "you have a bug".
+#[test]
+fn evicted_job_id_answers_410_gone() {
+    let server = start_with_ring(8, 1);
+    let addr = server.addr();
+    ingest(addr, &ring_records(6, 4, 80));
+
+    let (status, b1) = post(addr, "/v1/scans", "{}");
+    assert_eq!(status, 202, "{b1}");
+    let id1 = b1["job_id"].as_u64().unwrap();
+    wait_done(addr, id1);
+
+    // The second finished scan evicts the first from the one-slot ring.
+    let (_, b2) = post(addr, "/v1/scans", "{}");
+    let id2 = b2["job_id"].as_u64().unwrap();
+    wait_done(addr, id2);
+
+    let (status, body) = get(addr, &format!("/v1/scans/{id1}"));
+    assert_eq!(status, 410, "{body}");
+    assert_eq!(body["error"]["code"], "gone", "{body}");
+    assert!(body["error"]["message"].as_str().is_some(), "{body}");
+
+    // The survivor still serves, and never-issued ids still 404.
+    let (status, body) = get(addr, &format!("/v1/scans/{id2}"));
+    assert_eq!(status, 200, "{body}");
+    let (status, body) = get(addr, "/v1/scans/999999");
+    assert_eq!(status, 404, "{body}");
+    assert_eq!(body["error"]["code"], "unknown_job", "{body}");
     server.shutdown();
 }
 

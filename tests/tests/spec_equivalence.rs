@@ -74,8 +74,14 @@ fn check_engine_level(parent: &BipartiteGraph) {
                     Truncation::KeepAll { k_max: 6 },
                 ] {
                     method.sample_spec(parent, ratio, seed, &mut scratch, &mut spec);
-                    let (spec_result, spec_edges) =
-                        engine.run_spec(parent, &spec, &metric, truncation, &mut maps);
+                    let (spec_result, spec_edges) = engine.run_spec(
+                        parent,
+                        &spec,
+                        &metric,
+                        truncation,
+                        ensemfdet::Engine::Csr,
+                        &mut maps,
+                    );
 
                     let sampled = spec.materialize(parent);
                     let mat_result = engine.run(
