@@ -1,6 +1,7 @@
 //! `bench_suite` — the reproducible benchmarks behind `BENCH_PR2.json`
 //! (csr vs naive peeling engines), `BENCH_PR4.json` (sampling data
-//! paths), and `BENCH_PR6.json` (bucket-queue peel engines).
+//! paths), `BENCH_PR6.json` (bucket-queue peel engines), and
+//! `BENCH_PR7.json` (incremental vs full scans under sustained ingest).
 //!
 //! **Engine phase** times the two peeling engines (`csr`, the default hot
 //! path, vs `naive`, the reference implementation) on fixed-seed
@@ -36,6 +37,18 @@
 //! score-equality contract (leading-block scores within 1e-9 relative,
 //! same auto-truncation `k̂` with score-equal retained blocks).
 //!
+//! **Incremental phase** replays a ramping fraud campaign
+//! (`ensemfdet_datagen::ramp_timeline`: one base batch registering every
+//! account, then fraud-ring edges arriving over several epochs) through
+//! the snapshot pipeline and scans every epoch twice — a from-scratch
+//! full scan vs `ScanRunner::run_incremental`'s dirty-sample reuse — with
+//! the two chains interleaved within every rep. Its gate checks the two
+//! modes bit-identical (votes and flagged sets) on every epoch before any
+//! timing. Per-epoch latency is recorded honestly: the first incremental
+//! epoch is the cold-cache fallback (a full scan plus cache priming) and
+//! is reported as such, and each epoch's row carries the delta footprint
+//! and reuse counts the speedup depends on.
+//!
 //! Every workload runs on the small (#1) and large (#3) Table I presets.
 //! Before any timing, an **equivalence gate** re-runs each workload through
 //! both engines (and both sampling paths, across all four sampling
@@ -63,19 +76,25 @@
 //! `--out FILE` (default `BENCH_PR2.json`) picks the engine artifact
 //! path, `--out-sampling FILE` (default `BENCH_PR4.json`) the sampling
 //! one, `--out-peel FILE` (default `BENCH_PR6.json`) the peel-engine
-//! one; `--scale N` resizes the datasets as in every other experiment
-//! binary. Absolute numbers are machine-dependent; the speedup ratios
-//! are the portable signal.
+//! one, `--out-incremental FILE` (default `BENCH_PR7.json`) the
+//! incremental-scan one; `--scale N` resizes the datasets as in every
+//! other experiment binary. Absolute numbers are machine-dependent; the
+//! speedup ratios are the portable signal.
 
+use ensemfdet::pipeline::{IngestBuffer, ScanRunner, SnapshotStore};
 use ensemfdet::{
-    fdet_with_engine, Engine, EnsemFdet, EnsemFdetConfig, MetricKind, SamplePath,
-    SamplingMethodConfig, Truncation,
+    fdet_with_engine, Engine, EnsemFdet, EnsemFdetConfig, IncrementalPolicy, MetricKind,
+    ReuseStats, SamplePath, SamplingMethodConfig, Truncation,
 };
 use ensemfdet_bench::{datasets, resolve_scale};
-use ensemfdet_datagen::presets::JdDataset;
-use ensemfdet_graph::{BipartiteGraph, CsrView, SampleMaps, SampleSpec, SpecResolver};
+use ensemfdet_datagen::presets::{jd_preset, JdDataset};
+use ensemfdet_datagen::ramp_timeline;
+use ensemfdet_graph::{
+    BipartiteGraph, CsrView, MerchantId, SampleMaps, SampleSpec, SpecResolver, UserId,
+};
 use ensemfdet_sampling::{seed, Sampler, SamplerScratch, SamplingMethod};
 use serde::Serialize;
+use std::sync::Arc;
 use std::time::Instant;
 
 const ENSEMBLE_SAMPLES: usize = 20;
@@ -556,6 +575,198 @@ fn equivalence_gate(g: &BipartiteGraph) -> Result<(), String> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// Incremental-scan phase (BENCH_PR7.json)
+// ---------------------------------------------------------------------------
+
+/// Fraud-ring ramp epochs after the base batch.
+const RAMP_EPOCHS: usize = 5;
+
+/// Expected users per sample at the monitoring operating point. A cached
+/// user-subset sample survives an epoch with probability
+/// `(1 - ratio)^touched_users ≈ exp(-sample_users × touched_fraction)`,
+/// so holding the sample *size* fixed (a per-sample peel budget) instead
+/// of the ratio makes the reuse rate depend only on the delta's touched
+/// fraction — scale-invariant across the presets (see docs/MONITORING.md
+/// for the tuning math).
+const SAMPLE_TARGET_USERS: f64 = 150.0;
+
+const INCREMENTAL_THRESHOLD: u32 = ENSEMBLE_SAMPLES as u32 / 2;
+
+fn incremental_ratio(users: usize) -> f64 {
+    (SAMPLE_TARGET_USERS / users.max(1) as f64).min(0.05)
+}
+
+fn incremental_config(ratio: f64) -> EnsemFdetConfig {
+    EnsemFdetConfig {
+        num_samples: ENSEMBLE_SAMPLES,
+        sample_ratio: ratio,
+        method: SamplingMethodConfig::OneSideUser,
+        seed: ENSEMBLE_SEED,
+        ..Default::default()
+    }
+}
+
+/// One ramping-campaign ingest sequence, compacted to a snapshot per
+/// epoch. Built once per dataset; the timed reps replay scans over the
+/// same snapshots so full and incremental always see identical graphs.
+struct RampScenario {
+    snapshots: Vec<Arc<ensemfdet::pipeline::Snapshot>>,
+    store: SnapshotStore,
+}
+
+fn build_ramp(which: JdDataset, scale: u32) -> RampScenario {
+    let tl = ramp_timeline(&jd_preset(which, scale, ENSEMBLE_SEED), RAMP_EPOCHS);
+    let buffer = IngestBuffer::new();
+    let store = SnapshotStore::new(1);
+    let mut snapshots = Vec::new();
+    for batch in std::iter::once(&tl.base).chain(tl.epochs.iter()) {
+        buffer.append_batch(batch.iter().map(|&(u, v)| (UserId(u), MerchantId(v))));
+        snapshots.push(store.refresh(&buffer, true));
+    }
+    RampScenario { snapshots, store }
+}
+
+/// The incremental chain must match a from-scratch scan bit for bit on
+/// every epoch — votes and flagged set — before any timing happens.
+fn incremental_gate(
+    scenario: &RampScenario,
+    ratio: f64,
+    policy: &IncrementalPolicy,
+) -> Result<(), String> {
+    let cfg = incremental_config(ratio);
+    let mut inc = ScanRunner::new();
+    for (i, snapshot) in scenario.snapshots.iter().enumerate() {
+        let a = inc.run_incremental(snapshot, &scenario.store, &cfg, INCREMENTAL_THRESHOLD, policy);
+        let b = ScanRunner::new().run(snapshot, &cfg, INCREMENTAL_THRESHOLD);
+        if a.votes != b.votes {
+            return Err(format!("epoch {i}: vote tallies diverged"));
+        }
+        if a.flagged != b.flagged {
+            return Err(format!("epoch {i}: flagged sets diverged"));
+        }
+    }
+    Ok(())
+}
+
+/// Timing output of [`time_incremental_pair`]: outer index is the epoch,
+/// inner vectors hold one wall time per measured rep; `reuse` carries the
+/// deterministic per-epoch reuse stats plus the snapshot's transaction
+/// count.
+struct IncrementalTimings {
+    full: Vec<Vec<f64>>,
+    incremental: Vec<Vec<f64>>,
+    reuse: Vec<(ReuseStats, usize)>,
+}
+
+/// Per-epoch wall times for the full and incremental chains, interleaved
+/// back-to-back within every rep (same drift rationale as
+/// [`time_workload_pair`]). Each rep replays the whole epoch sequence
+/// with fresh runners, so the incremental chain's cache state is exactly
+/// what a live `--follow` deployment would hold at that epoch: the first
+/// epoch is always the cold-cache fallback and is timed as such. The
+/// reuse stats are deterministic across reps (same seeds, same
+/// snapshots) so they are recorded from the first measured rep.
+fn time_incremental_pair(
+    scenario: &RampScenario,
+    ratio: f64,
+    policy: &IncrementalPolicy,
+    warmup: usize,
+    reps: usize,
+) -> IncrementalTimings {
+    let cfg = incremental_config(ratio);
+    let epochs = scenario.snapshots.len();
+    for _ in 0..warmup {
+        let mut full = ScanRunner::new();
+        let mut inc = ScanRunner::new();
+        for s in &scenario.snapshots {
+            std::hint::black_box(full.run(s, &cfg, INCREMENTAL_THRESHOLD).flagged.len());
+            std::hint::black_box(
+                inc.run_incremental(s, &scenario.store, &cfg, INCREMENTAL_THRESHOLD, policy)
+                    .flagged
+                    .len(),
+            );
+        }
+    }
+    let mut full_times = vec![Vec::with_capacity(reps); epochs];
+    let mut inc_times = vec![Vec::with_capacity(reps); epochs];
+    let mut reuse = Vec::with_capacity(epochs);
+    for rep in 0..reps {
+        let mut full = ScanRunner::new();
+        let mut inc = ScanRunner::new();
+        for (e, s) in scenario.snapshots.iter().enumerate() {
+            let t = Instant::now();
+            let f = full.run(s, &cfg, INCREMENTAL_THRESHOLD);
+            full_times[e].push(t.elapsed().as_secs_f64());
+            std::hint::black_box(f.flagged.len());
+            let t = Instant::now();
+            let o = inc.run_incremental(s, &scenario.store, &cfg, INCREMENTAL_THRESHOLD, policy);
+            inc_times[e].push(t.elapsed().as_secs_f64());
+            std::hint::black_box(o.flagged.len());
+            if rep == 0 {
+                reuse.push((o.reuse, o.transactions));
+            }
+        }
+    }
+    IncrementalTimings {
+        full: full_times,
+        incremental: inc_times,
+        reuse,
+    }
+}
+
+#[derive(Serialize)]
+struct IncrementalCell {
+    dataset: &'static str,
+    epoch: u64,
+    transactions: usize,
+    /// `"incremental"` when the reuse path ran, `"full"` otherwise (the
+    /// cold-cache first epoch, or an oversized delta).
+    mode: &'static str,
+    fallback: Option<&'static str>,
+    samples_reused: usize,
+    samples_repeeled: usize,
+    delta_touched_nodes: usize,
+    delta_touched_fraction: f64,
+    reps: usize,
+    full_median_s: f64,
+    incremental_median_s: f64,
+    /// Median per-rep `full / incremental` wall-time ratio — above 1
+    /// means the incremental scan won this epoch.
+    full_over_incremental: f64,
+}
+
+#[derive(Serialize)]
+struct IncrementalSpeedup {
+    dataset: &'static str,
+    /// Per-dataset ratio realizing [`SAMPLE_TARGET_USERS`].
+    sample_ratio: f64,
+    /// Median of the per-epoch `full_over_incremental` ratios across the
+    /// epochs that actually took the reuse path (cold-cache and other
+    /// fallback epochs excluded — those are full scans plus cache
+    /// bookkeeping and are reported per-epoch, not here).
+    full_over_incremental: f64,
+    epochs_incremental: usize,
+    epochs_fallback: usize,
+}
+
+#[derive(Serialize)]
+struct IncrementalArtifact {
+    schema: &'static str,
+    smoke: bool,
+    scale: u32,
+    warmup: usize,
+    reps: usize,
+    ensemble_samples: usize,
+    sample_target_users: f64,
+    ramp_epochs: usize,
+    max_touched_fraction: f64,
+    equivalence: &'static str,
+    datasets: Vec<DatasetInfo>,
+    cells: Vec<IncrementalCell>,
+    speedups: Vec<IncrementalSpeedup>,
+}
+
 /// Drives the HTTP service's v1 surface over a real socket: ingest a
 /// small ring, submit an async scan job, poll it to completion, read the
 /// latest result. Any deviation is a hard error.
@@ -679,6 +890,11 @@ fn main() {
         .position(|a| a == "--out-peel")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_PR6.json".to_string());
+    let out_incremental = args
+        .iter()
+        .position(|a| a == "--out-incremental")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_PR7.json".to_string());
     // Smoke mode: tiny datasets, minimal repetitions — a CI-speed check
     // that the harness runs end-to-end and the engines stay equivalent.
     let scale = if smoke { 400 } else { resolve_scale(&args) };
@@ -962,6 +1178,140 @@ fn main() {
         Ok(()) => println!("\n[saved {out_peel}]"),
         Err(e) => {
             eprintln!("cannot write {out_peel}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // -- Incremental-scan phase ---------------------------------------------
+    println!("\n== bench_suite: full vs incremental scans on a ramping campaign ==\n");
+    let policy = IncrementalPolicy::default();
+    let mut inc_infos = Vec::new();
+    let mut inc_cells = Vec::new();
+    let mut inc_speedups = Vec::new();
+    for which in [JdDataset::Jd1, JdDataset::Jd3] {
+        let scenario = build_ramp(which, scale);
+        let last = scenario.snapshots.last().expect("at least the base epoch");
+        let ratio = incremental_ratio(last.graph.num_users());
+        println!(
+            "{}: {} users, {} merchants, {} edges at the final epoch ({} epochs, ratio {:.4})",
+            dataset_tag(which),
+            last.graph.num_users(),
+            last.graph.num_merchants(),
+            last.graph.num_edges(),
+            scenario.snapshots.len(),
+            ratio,
+        );
+        inc_infos.push(DatasetInfo {
+            name: dataset_tag(which),
+            users: last.graph.num_users(),
+            merchants: last.graph.num_merchants(),
+            edges: last.graph.num_edges(),
+        });
+        print!("equivalence gate (incremental vs full) ... ");
+        if let Err(e) = incremental_gate(&scenario, ratio, &policy) {
+            println!("FAILED");
+            eprintln!(
+                "incremental equivalence gate failed on {}: {e}",
+                dataset_tag(which)
+            );
+            std::process::exit(1);
+        }
+        println!("ok");
+
+        let timings = time_incremental_pair(&scenario, ratio, &policy, warmup, reps);
+        let mut reuse_ratios = Vec::new();
+        let (mut n_incremental, mut n_fallback) = (0usize, 0usize);
+        for (e, (stats, transactions)) in timings.reuse.iter().enumerate() {
+            let mut ratios: Vec<f64> = timings.full[e]
+                .iter()
+                .zip(&timings.incremental[e])
+                .map(|(f, i)| f / i.max(1e-12))
+                .collect();
+            ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+            let ratio = median(&ratios);
+            if stats.incremental {
+                n_incremental += 1;
+                reuse_ratios.push(ratio);
+            } else {
+                n_fallback += 1;
+            }
+            let sorted = |times: &[f64]| {
+                let mut t = times.to_vec();
+                t.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+                t
+            };
+            let (full_sorted, inc_sorted) =
+                (sorted(&timings.full[e]), sorted(&timings.incremental[e]));
+            let snapshot = &scenario.snapshots[e];
+            println!(
+                "epoch {:<2} {:<4} full {:>8.3} ms  incremental {:>8.3} ms ({:.2}x)  \
+                 {:>2}/{:<2} reused  delta {:>4} nodes ({:.1}%){}",
+                snapshot.epoch,
+                dataset_tag(which),
+                median(&full_sorted) * 1e3,
+                median(&inc_sorted) * 1e3,
+                ratio,
+                stats.samples_reused,
+                ENSEMBLE_SAMPLES,
+                stats.delta_touched_nodes,
+                stats.delta_touched_fraction * 100.0,
+                match stats.fallback {
+                    Some(r) => format!("  [{}]", r.name()),
+                    None => String::new(),
+                },
+            );
+            inc_cells.push(IncrementalCell {
+                dataset: dataset_tag(which),
+                epoch: snapshot.epoch,
+                transactions: *transactions,
+                mode: if stats.incremental { "incremental" } else { "full" },
+                fallback: stats.fallback.map(|r| r.name()),
+                samples_reused: stats.samples_reused,
+                samples_repeeled: stats.samples_repeeled,
+                delta_touched_nodes: stats.delta_touched_nodes,
+                delta_touched_fraction: stats.delta_touched_fraction,
+                reps,
+                full_median_s: median(&full_sorted),
+                incremental_median_s: median(&inc_sorted),
+                full_over_incremental: ratio,
+            });
+        }
+        reuse_ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+        let overall = if reuse_ratios.is_empty() { 1.0 } else { median(&reuse_ratios) };
+        println!(
+            "{}: incremental speedup {:.2}x over {} reuse epochs ({} fallback)",
+            dataset_tag(which),
+            overall,
+            n_incremental,
+            n_fallback,
+        );
+        inc_speedups.push(IncrementalSpeedup {
+            dataset: dataset_tag(which),
+            sample_ratio: ratio,
+            full_over_incremental: overall,
+            epochs_incremental: n_incremental,
+            epochs_fallback: n_fallback,
+        });
+    }
+    let incremental_artifact = IncrementalArtifact {
+        schema: "ensemfdet-incremental-scan/v1",
+        smoke,
+        scale,
+        warmup,
+        reps,
+        ensemble_samples: ENSEMBLE_SAMPLES,
+        sample_target_users: SAMPLE_TARGET_USERS,
+        ramp_epochs: RAMP_EPOCHS,
+        max_touched_fraction: policy.max_touched_fraction,
+        equivalence: "votes and flagged set bit-identical per epoch",
+        datasets: inc_infos,
+        cells: inc_cells,
+        speedups: inc_speedups,
+    };
+    match ensemfdet_eval::write_json(&incremental_artifact, &out_incremental) {
+        Ok(()) => println!("\n[saved {out_incremental}]"),
+        Err(e) => {
+            eprintln!("cannot write {out_incremental}: {e}");
             std::process::exit(1);
         }
     }

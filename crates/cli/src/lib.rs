@@ -22,6 +22,7 @@ pub mod cmd_detect;
 pub mod cmd_eval;
 pub mod cmd_figures;
 pub mod cmd_generate;
+pub mod cmd_monitor;
 pub mod cmd_stats;
 pub mod cmd_sweep;
 pub mod cmd_timeline;
@@ -38,6 +39,7 @@ USAGE:
 COMMANDS:
     generate   Generate a synthetic JD-like dataset (edge list + blacklist)
     timeline   Generate a multi-period campaign with drifting fraud
+    monitor    Replay a ramping campaign epoch by epoch (--follow scans incrementally)
     stats      Print statistics of an edge-list graph
     detect     Run a detector and write the flagged user ids
     sweep      Evaluate a detector's full operating curve against labels
@@ -59,6 +61,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
     match command.as_str() {
         "generate" => cmd_generate::run(&args),
         "timeline" => cmd_timeline::run(&args),
+        "monitor" => cmd_monitor::run(&args),
         "stats" => cmd_stats::run(&args),
         "detect" => cmd_detect::run(&args),
         "sweep" => cmd_sweep::run(&args),

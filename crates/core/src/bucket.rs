@@ -5,7 +5,7 @@
 //! minimum, never below it — a decrease below the minimum clamps the popped
 //! sequence, not the queue invariant; see Ban & Duan, arXiv:1810.06809, for
 //! why monotone decrease-key workloads admit bucket queues). That lets the
-//! global `O(log n)` sift of [`LazyMinHeap`](crate::heap::LazyMinHeap) be
+//! global `O(log n)` sift of [`LazyMinHeap`] be
 //! replaced by constant-time routing for the bulk of the traffic:
 //!
 //! - Entries are the same lazy `(key, id)` pairs the heap uses, packed into
@@ -23,7 +23,7 @@
 //! - The structure is split at a *frontier* bucket that only ever advances.
 //!   Buckets above the frontier are plain **unordered append logs** — a
 //!   push there is one `Vec` append, no comparison, no sift — and
-//!   [`fill`](Self::fill) is a pure distribution pass with no sorting at
+//!   [`fill`](BucketQueue::fill) is a pure distribution pass with no sorting at
 //!   all. When the minimum reaches a bucket, the bucket is *absorbed*: its
 //!   entries move (one sort) into a single small [`LazyMinHeap`] holding
 //!   everything at or below the frontier. Pushes that land at or below the

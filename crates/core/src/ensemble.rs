@@ -10,16 +10,23 @@ use crate::aggregate::VoteTally;
 use crate::engine::{Engine, FdetEngine};
 use crate::evidence::EvidenceTally;
 use crate::fdet::Truncation;
+use crate::incremental::{ReuseStats, SampleContribution, ScanCache};
 use crate::metric::MetricKind;
-use ensemfdet_graph::{BipartiteGraph, SampleMaps, SampleSpec, SampledGraph};
-use ensemfdet_sampling::{seed, Sampler, SamplerScratch, SamplingMethod};
+use ensemfdet_graph::{BipartiteGraph, GraphDelta, SampleMaps, SampleSpec, SampledGraph};
+use ensemfdet_sampling::{seed, spec_unaffected, Sampler, SamplerScratch, SamplingMethod};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use std::time::Duration;
 use std::time::Instant;
 
 /// Configuration of an ENSEMFDET run (the parameters of Table II).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+///
+/// `PartialEq` compares every field (including the seed): two configs are
+/// equal iff they produce bit-identical scans of the same snapshot, which
+/// is exactly the question the incremental scan cache asks before
+/// trusting its entries.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct EnsemFdetConfig {
     /// `N` — number of sampled graphs.
     pub num_samples: usize,
@@ -289,34 +296,178 @@ impl EnsemFdet {
     /// naive engine, which peels a real `BipartiteGraph` by definition);
     /// both produce bit-identical votes, evidence, and scores.
     pub fn detect(&self, g: &BipartiteGraph) -> EnsembleOutcome {
+        self.detect_with_cache(g, 0).0
+    }
+
+    /// [`detect`](Self::detect), additionally handing back the per-sample
+    /// contributions as a [`ScanCache`] keyed to `epoch`, so a later
+    /// [`detect_incremental`](Self::detect_incremental) against the
+    /// snapshot published at `epoch` can replay the clean samples.
+    pub fn detect_with_cache(&self, g: &BipartiteGraph, epoch: u64) -> (EnsembleOutcome, ScanCache) {
         let start = Instant::now();
         let cfg = &self.config;
         let method: SamplingMethod = cfg.method.into();
-        let use_mask = cfg.path == SamplePath::Mask && cfg.engine != Engine::Naive;
 
-        let per_sample: Vec<(VoteTally, EvidenceTally, SampleSummary)> = (0..cfg.num_samples)
+        let entries: Vec<Arc<SampleContribution>> = (0..cfg.num_samples)
+            .into_par_iter()
+            .map(|i| Arc::new(self.run_sample(g, method, i)))
+            .collect();
+
+        let outcome = self.aggregate(g, &entries, None, start);
+        let cache = ScanCache {
+            base_epoch: epoch,
+            base_dims: (g.num_users(), g.num_merchants(), g.num_edges()),
+            config: self.config,
+            entries,
+        };
+        (outcome, cache)
+    }
+
+    /// Incremental Algorithm 2: re-peel only the samples `delta` dirtied,
+    /// replay the rest from `cache`.
+    ///
+    /// For every sample index the draw is repeated (an O(selection) Floyd
+    /// fill — the draw is a pure function of `(population, ratio, seed)`,
+    /// so with populations unchanged it *is* the cached draw) and checked
+    /// against the delta with [`spec_unaffected`]. Clean samples replay
+    /// their cached parent-space contribution; dirty ones run the full
+    /// sample → peel path. Aggregation always re-tallies every
+    /// contribution in index order into fresh dimension-sized tallies, so
+    /// the outcome is bit-identical to [`detect`](Self::detect) on the
+    /// same `(graph, config)` — only wall-clock differs.
+    ///
+    /// Returns the outcome, the reuse accounting, and the refreshed cache
+    /// for the *next* epoch. [`StageTimings`] and the outcome's `elapsed`
+    /// measure this pass's actual work; a replayed
+    /// [`SampleSummary`]'s own timing fields still describe the run that
+    /// produced it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache` was recorded under a different configuration or
+    /// sample count — callers gate on [`ScanCache::config`] first (see
+    /// [`ScanRunner::run_incremental`]).
+    ///
+    /// [`ScanRunner::run_incremental`]: crate::pipeline::ScanRunner::run_incremental
+    pub fn detect_incremental(
+        &self,
+        g: &BipartiteGraph,
+        delta: &GraphDelta,
+        cache: &ScanCache,
+    ) -> (EnsembleOutcome, ReuseStats, ScanCache) {
+        assert_eq!(
+            cache.config, self.config,
+            "scan cache recorded under a different config"
+        );
+        assert_eq!(cache.entries.len(), self.config.num_samples);
+        let start = Instant::now();
+        let cfg = &self.config;
+        let method: SamplingMethod = cfg.method.into();
+
+        let per_sample: Vec<(Arc<SampleContribution>, bool)> = (0..cfg.num_samples)
             .into_par_iter()
             .map(|i| {
-                if use_mask {
-                    self.run_sample_mask(g, method, i)
+                let clean = SAMPLE_SCRATCH.with(|cell| {
+                    let (scratch, spec, _maps) = &mut *cell.borrow_mut();
+                    let sample_seed = seed::derive(cfg.seed, i as u64);
+                    method.sample_spec(g, cfg.sample_ratio, sample_seed, scratch, spec);
+                    spec_unaffected(spec, delta)
+                });
+                if clean {
+                    (Arc::clone(&cache.entries[i]), true)
                 } else {
-                    self.run_sample_materialized(g, method, i)
+                    (Arc::new(self.run_sample(g, method, i)), false)
                 }
             })
             .collect();
 
+        let reused = per_sample.iter().filter(|(_, r)| *r).count();
+        let fresh: Vec<bool> = per_sample.iter().map(|(_, r)| !*r).collect();
+        let entries: Vec<Arc<SampleContribution>> =
+            per_sample.into_iter().map(|(c, _)| c).collect();
+
+        let outcome = self.aggregate(g, &entries, Some(&fresh), start);
+        let stats = ReuseStats {
+            incremental: true,
+            fallback: None,
+            samples_reused: reused,
+            samples_repeeled: cfg.num_samples - reused,
+            delta_touched_nodes: delta.touched_nodes(),
+            delta_touched_fraction: delta.touched_fraction(),
+        };
+        let next = ScanCache {
+            base_epoch: delta.to_epoch,
+            base_dims: (g.num_users(), g.num_merchants(), g.num_edges()),
+            config: self.config,
+            entries,
+        };
+        (outcome, stats, next)
+    }
+
+    /// One sampled run by the configured path (see
+    /// [`detect`](Self::detect) for the mask/materialize split).
+    ///
+    /// The naive engine deliberately ignores [`SamplePath::Mask`] and
+    /// always materializes. It is the equivalence-only oracle: its value
+    /// is being a direct, independent transcription of the paper's FDET
+    /// over a plain [`BipartiteGraph`], sharing *no* machinery with the
+    /// optimized path. Threading `SamplePath` through it would mean
+    /// teaching it the `CsrView`/`SpecResolver` mask infrastructure — the
+    /// very code it exists to cross-check — so any resolver bug would
+    /// cancel out of the equivalence gates instead of tripping them. The
+    /// gates in `tests/tests/spec_equivalence.rs` close the loop from the
+    /// other side (mask path ≡ materialized path under the view engines),
+    /// so every pairing is still covered: naive ≡ materialized ≡ mask.
+    fn run_sample(&self, g: &BipartiteGraph, method: SamplingMethod, i: usize) -> SampleContribution {
+        let use_mask = self.config.path == SamplePath::Mask && self.config.engine != Engine::Naive;
+        if use_mask {
+            self.run_sample_mask(g, method, i)
+        } else {
+            self.run_sample_materialized(g, method, i)
+        }
+    }
+
+    /// Tallies contributions in sample-index order into fresh
+    /// dimension-sized tallies. Vote counts are order-independent and each
+    /// node receives at most one evidence addend per sample (blocks are
+    /// node-disjoint), so full and incremental scans — which differ only
+    /// in *where* a contribution came from — aggregate bit-identically.
+    ///
+    /// `fresh`: which samples were actually computed this pass (`None` =
+    /// all of them); stage timings sum over those only.
+    fn aggregate(
+        &self,
+        g: &BipartiteGraph,
+        entries: &[Arc<SampleContribution>],
+        fresh: Option<&[bool]>,
+        start: Instant,
+    ) -> EnsembleOutcome {
         let t_agg = Instant::now();
         let mut votes = VoteTally::new(g.num_users(), g.num_merchants());
         let mut evidence = EvidenceTally::new(g.num_users(), g.num_merchants());
-        let mut samples = Vec::with_capacity(per_sample.len());
-        for (tally, ev, summary) in per_sample {
-            votes.merge(&tally);
-            evidence.merge(&ev);
-            samples.push(summary);
+        let mut samples = Vec::with_capacity(entries.len());
+        for c in entries {
+            votes.add_sample(c.users.iter().copied(), c.merchants.iter().copied());
+            evidence.add_sample(
+                c.user_evidence.iter().copied(),
+                c.merchant_evidence.iter().copied(),
+            );
+            samples.push(c.summary.clone());
         }
+        let computed = |i: usize| fresh.is_none_or(|f| f[i]);
         let stages = StageTimings {
-            sampling: samples.iter().map(|s| s.sampling_elapsed).sum(),
-            detection: samples.iter().map(|s| s.detect_elapsed).sum(),
+            sampling: samples
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| computed(*i))
+                .map(|(_, s)| s.sampling_elapsed)
+                .sum(),
+            detection: samples
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| computed(*i))
+                .map(|(_, s)| s.detect_elapsed)
+                .sum(),
             aggregation: t_agg.elapsed(),
         };
 
@@ -336,7 +487,7 @@ impl EnsemFdet {
         g: &BipartiteGraph,
         method: SamplingMethod,
         i: usize,
-    ) -> (VoteTally, EvidenceTally, SampleSummary) {
+    ) -> SampleContribution {
         let cfg = &self.config;
         let t0 = Instant::now();
         let sample_seed = seed::derive(cfg.seed, i as u64);
@@ -373,27 +524,36 @@ impl EnsemFdet {
             detect_elapsed,
             sample_bytes: materialized_bytes(g, &sampled),
         };
-        let mut tally = VoteTally::new(g.num_users(), g.num_merchants());
-        tally.add_sample(users, merchants);
 
         // Evidence: each detected node carries its block's score.
         // FDET blocks are node-disjoint, so a node appears at most
         // once per sample.
-        let mut evidence = EvidenceTally::new(g.num_users(), g.num_merchants());
         let sampled_ref = &sampled;
-        evidence.add_sample(
-            result.detected_blocks().iter().flat_map(|b| {
+        let user_evidence: Vec<_> = result
+            .detected_blocks()
+            .iter()
+            .flat_map(|b| {
                 b.users
                     .iter()
                     .map(move |&lu| (sampled_ref.parent_user(lu), b.score))
-            }),
-            result.detected_blocks().iter().flat_map(|b| {
+            })
+            .collect();
+        let merchant_evidence: Vec<_> = result
+            .detected_blocks()
+            .iter()
+            .flat_map(|b| {
                 b.merchants
                     .iter()
                     .map(move |&lv| (sampled_ref.parent_merchant(lv), b.score))
-            }),
-        );
-        (tally, evidence, summary)
+            })
+            .collect();
+        SampleContribution {
+            users,
+            merchants,
+            user_evidence,
+            merchant_evidence,
+            summary,
+        }
     }
 
     /// One sampled run on the mask path: draw a spec into per-thread
@@ -405,7 +565,7 @@ impl EnsemFdet {
         g: &BipartiteGraph,
         method: SamplingMethod,
         i: usize,
-    ) -> (VoteTally, EvidenceTally, SampleSummary) {
+    ) -> SampleContribution {
         let cfg = &self.config;
         SAMPLE_SCRATCH.with(|cell| {
             let (scratch, spec, maps) = &mut *cell.borrow_mut();
@@ -444,21 +604,29 @@ impl EnsemFdet {
                 detect_elapsed,
                 sample_bytes: spec.selection_bytes(),
             };
-            let mut tally = VoteTally::new(g.num_users(), g.num_merchants());
-            tally.add_sample(users, merchants);
-
-            let mut evidence = EvidenceTally::new(g.num_users(), g.num_merchants());
-            evidence.add_sample(
-                result.detected_blocks().iter().flat_map(|b| {
+            let user_evidence: Vec<_> = result
+                .detected_blocks()
+                .iter()
+                .flat_map(|b| {
                     b.users.iter().map(move |&lu| (maps.parent_user(lu), b.score))
-                }),
-                result.detected_blocks().iter().flat_map(|b| {
+                })
+                .collect();
+            let merchant_evidence: Vec<_> = result
+                .detected_blocks()
+                .iter()
+                .flat_map(|b| {
                     b.merchants
                         .iter()
                         .map(move |&lv| (maps.parent_merchant(lv), b.score))
-                }),
-            );
-            (tally, evidence, summary)
+                })
+                .collect();
+            SampleContribution {
+                users,
+                merchants,
+                user_evidence,
+                merchant_evidence,
+                summary,
+            }
         })
     }
 }
@@ -653,6 +821,89 @@ mod tests {
         cfg.engine = Engine::Csr;
         let csr = EnsemFdet::new(cfg).detect(&g);
         assert_eq!(naive.votes, csr.votes);
+    }
+
+    /// Replaying every sample across an unchanged-graph delta must be
+    /// bit-identical to a fresh scan, with zero re-peels.
+    #[test]
+    fn incremental_reuses_everything_across_unchanged_delta() {
+        let g = planted(10, 4, 80);
+        let det = EnsemFdet::new(quick_config(8, 0.4));
+        let (full, cache) = det.detect_with_cache(&g, 1);
+        let delta = ensemfdet_graph::GraphDelta::unchanged(
+            1,
+            2,
+            (g.num_users(), g.num_merchants(), g.num_edges()),
+        );
+        let (inc, stats, next) = det.detect_incremental(&g, &delta, &cache);
+        assert_eq!(stats.samples_reused, 8);
+        assert_eq!(stats.samples_repeeled, 0);
+        assert_eq!(inc.votes, full.votes);
+        assert_eq!(inc.evidence.user_evidence, full.evidence.user_evidence);
+        assert_eq!(next.base_epoch, 2);
+    }
+
+    /// A real delta (new edges on a few existing nodes) re-peels only the
+    /// intersecting samples, and the mixed replay/re-peel outcome is
+    /// bit-identical to a from-scratch scan of the grown graph.
+    #[test]
+    fn incremental_matches_full_scan_after_growth() {
+        // Both snapshots in canonical sorted-unique edge order, as the
+        // snapshot store publishes them — sample reuse is only claimed
+        // across canonical snapshots (local id assignment, and with it
+        // peel tie-breaking, follows edge order).
+        let base = planted(10, 4, 80);
+        let mut edges = base.edge_slice().to_vec();
+        edges.sort_unstable();
+        edges.dedup();
+        let g1 =
+            BipartiteGraph::from_edges(base.num_users(), base.num_merchants(), edges.clone())
+                .unwrap();
+        let dims1 = (g1.num_users(), g1.num_merchants(), g1.num_edges());
+        // Grow: two background users start hitting a fraud merchant.
+        let new_edges = [(40u32, 0u32), (41, 1)];
+        edges.extend_from_slice(&new_edges);
+        edges.sort_unstable();
+        edges.dedup();
+        let g2 = BipartiteGraph::from_edges(dims1.0, dims1.1, edges).unwrap();
+        let dims2 = (g2.num_users(), g2.num_merchants(), g2.num_edges());
+        let delta = ensemfdet_graph::GraphDelta::from_new_edges(1, 2, dims1, dims2, &new_edges);
+
+        // ONS draws from the (unchanged) user population, so samples
+        // avoiding users 40/41 replay.
+        let mut cfg = quick_config(12, 0.4);
+        cfg.method = SamplingMethodConfig::OneSideUser;
+        let det = EnsemFdet::new(cfg);
+        let (_, cache) = det.detect_with_cache(&g1, 1);
+        let (inc, stats, _) = det.detect_incremental(&g2, &delta, &cache);
+        let full = det.detect(&g2);
+
+        assert_eq!(stats.samples_reused + stats.samples_repeeled, 12);
+        assert!(stats.samples_reused > 0, "no sample avoided 2 of 90 users");
+        assert!(stats.samples_repeeled > 0, "some sample must see the delta");
+        assert_eq!(inc.votes, full.votes);
+        assert_eq!(inc.evidence.user_evidence, full.evidence.user_evidence);
+        assert_eq!(inc.evidence.merchant_evidence, full.evidence.merchant_evidence);
+        for (a, b) in inc.samples.iter().zip(&full.samples) {
+            assert_eq!(a.scores, b.scores, "sample {}", a.index);
+            assert_eq!(a.k_hat, b.k_hat, "sample {}", a.index);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different config")]
+    fn incremental_rejects_mismatched_cache() {
+        let g = planted(8, 3, 40);
+        let det = EnsemFdet::new(quick_config(4, 0.5));
+        let (_, cache) = det.detect_with_cache(&g, 1);
+        let mut other = quick_config(4, 0.5);
+        other.seed = 999;
+        let delta = ensemfdet_graph::GraphDelta::unchanged(
+            1,
+            2,
+            (g.num_users(), g.num_merchants(), g.num_edges()),
+        );
+        EnsemFdet::new(other).detect_incremental(&g, &delta, &cache);
     }
 
     /// Mask-path bookkeeping is O(sample selection); the materializing

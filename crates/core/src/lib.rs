@@ -61,6 +61,7 @@ pub mod ensemble;
 pub mod evidence;
 pub mod fdet;
 pub mod heap;
+pub mod incremental;
 pub mod metric;
 pub mod monitor;
 pub mod peel;
@@ -77,7 +78,12 @@ pub use ensemble::{
 };
 pub use evidence::EvidenceTally;
 pub use fdet::{fdet, fdet_with_engine, FdetResult, Truncation};
+pub use incremental::{
+    FallbackReason, IncrementalPolicy, ReuseStats, SampleContribution, ScanCache,
+};
 pub use metric::{AverageDegreeMetric, DensityMetric, LogWeightedMetric, MetricKind};
 pub use monitor::{CampaignMonitor, MonitorConfig, ScanReport};
 pub use peel::peel_densest;
-pub use pipeline::{IngestBuffer, ScanOutcome, ScanRunner, Snapshot, SnapshotStore};
+pub use pipeline::{
+    IngestBuffer, ScanOutcome, ScanRunner, Snapshot, SnapshotStore, DELTA_HISTORY,
+};

@@ -31,13 +31,21 @@
 //! scan never contend.
 
 use crate::aggregate::VoteTally;
-use crate::ensemble::{EnsemFdet, EnsemFdetConfig, StageTimings};
+use crate::ensemble::{EnsemFdet, EnsemFdetConfig, EnsembleOutcome, StageTimings};
+use crate::incremental::{FallbackReason, IncrementalPolicy, ReuseStats, ScanCache};
 use ensemfdet_graph::builder::DuplicatePolicy;
-use ensemfdet_graph::{BipartiteGraph, GraphBuilder, MerchantId, UserId};
-use std::collections::HashSet;
+use ensemfdet_graph::{BipartiteGraph, GraphBuilder, GraphDelta, GraphDims, MerchantId, UserId};
+use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::time::Duration;
+
+/// How many per-epoch deltas a [`SnapshotStore`] retains for
+/// [`delta_since`](SnapshotStore::delta_since) composition. A follow-mode
+/// scanner is normally at most one epoch behind; 64 gives slow scanners
+/// (or paused ones) a deep window before they fall back to a full
+/// re-peel.
+pub const DELTA_HISTORY: usize = 64;
 
 /// Number of append shards an [`IngestBuffer`] uses by default. Appends
 /// pick shards round-robin, so concurrent writers rarely collide on the
@@ -161,8 +169,14 @@ pub struct Snapshot {
     pub epoch: u64,
     /// Transactions compacted into this snapshot.
     pub transactions: usize,
-    /// The deduplicated purchase graph.
+    /// The deduplicated purchase graph, always in canonical sorted-unique
+    /// edge order — the property the whole incremental machinery rests
+    /// on (see [`GraphDelta`]).
     pub graph: Arc<BipartiteGraph>,
+    /// The delta-CSR leading here from the *previous* epoch: which
+    /// adjacency runs changed, in O(touched) space. `None` only for the
+    /// primordial epoch-0 snapshot.
+    pub delta: Option<GraphDelta>,
 }
 
 impl Snapshot {
@@ -173,8 +187,33 @@ impl Snapshot {
             graph: Arc::new(
                 BipartiteGraph::from_edges(0, 0, vec![]).expect("empty graph is valid"),
             ),
+            delta: None,
         }
     }
+
+    /// `(users, merchants, edges)` of this snapshot's graph.
+    pub fn dims(&self) -> GraphDims {
+        (
+            self.graph.num_users(),
+            self.graph.num_merchants(),
+            self.graph.num_edges(),
+        )
+    }
+}
+
+/// Per-buffer progress of incremental compaction, held under the
+/// compaction mutex.
+///
+/// `consumed[i]` is how many records of shard `i` previous compactions
+/// already folded into the published snapshot; a compaction drains only
+/// the suffix beyond it. `buffer_id` is the address of the buffer the
+/// offsets describe — a different (or cloned) buffer resets the state and
+/// the next compaction takes the full-rebuild recovery path, which is
+/// always correct: it recollects everything and rebuilds from scratch.
+#[derive(Debug, Default)]
+struct CompactState {
+    buffer_id: usize,
+    consumed: Vec<usize>,
 }
 
 /// Epoch-versioned snapshot publication.
@@ -183,13 +222,26 @@ impl Snapshot {
 /// a compaction in progress, because graphs are built *outside* the lock
 /// and swapped in atomically. Compactions themselves serialize on an
 /// internal mutex so epochs stay strictly increasing.
+///
+/// Compaction is **incremental**: per-shard consumed offsets mean each
+/// epoch drains only the records appended since the last one, duplicate
+/// purchases dedup against the previous snapshot's sorted edge list by
+/// binary search, and genuinely new edges sorted-merge into it — cost
+/// scales with the delta, not the graph, and the result is bit-identical
+/// to a from-scratch rebuild (gated by a unit test below). Each publish
+/// also records a [`GraphDelta`] so scanners can ask
+/// [`delta_since`](Self::delta_since) what changed across any recent
+/// epoch span.
 #[derive(Debug)]
 pub struct SnapshotStore {
     current: RwLock<Arc<Snapshot>>,
     /// Serializes compactions (graph builds happen outside `current`'s
     /// lock, so two racing compactions could otherwise publish out of
-    /// epoch order).
-    compacting: Mutex<()>,
+    /// epoch order) and carries the incremental drain offsets.
+    compacting: Mutex<CompactState>,
+    /// The last [`DELTA_HISTORY`] published deltas, oldest first, with
+    /// consecutive epoch spans.
+    deltas: Mutex<VecDeque<GraphDelta>>,
     compaction_interval: usize,
 }
 
@@ -206,7 +258,8 @@ impl SnapshotStore {
         assert!(compaction_interval > 0, "compaction_interval must be positive");
         SnapshotStore {
             current: RwLock::new(Arc::new(Snapshot::empty())),
-            compacting: Mutex::new(()),
+            compacting: Mutex::new(CompactState::default()),
+            deltas: Mutex::new(VecDeque::new()),
             compaction_interval,
         }
     }
@@ -255,30 +308,143 @@ impl SnapshotStore {
     }
 
     /// Builds and publishes a new snapshot from the buffer's current
-    /// contents, bumping the epoch. If another thread compacted
-    /// concurrently and already covered at least as many transactions,
-    /// its (newer or equal) snapshot is returned instead.
+    /// contents, bumping the epoch. If nothing was appended since the
+    /// previous compaction, that snapshot is returned unchanged (no epoch
+    /// bump).
+    ///
+    /// When this store has been compacting this same buffer all along,
+    /// the work is incremental: drain each shard's new suffix, dedup the
+    /// batch against the previous snapshot's sorted edge list, and merge
+    /// the genuinely new edges — O(delta + log-factor lookups) instead of
+    /// O(graph). A buffer the store has not seen before (first
+    /// compaction, or after either side was cloned) takes the
+    /// full-rebuild recovery path. Both paths publish the same snapshot
+    /// bit for bit and record the epoch's [`GraphDelta`].
     pub fn compact(&self, buffer: &IngestBuffer) -> Arc<Snapshot> {
-        let _serial = lock_recover(&self.compacting);
-        let edges = buffer.collect_edges();
-        let transactions = edges.len();
+        let mut state = lock_recover(&self.compacting);
         let previous = self.latest();
-        if transactions <= previous.transactions && previous.epoch > 0 {
-            // Nothing new since the snapshot published under the
-            // compaction lock we now hold.
+        let buffer_id = buffer as *const IngestBuffer as usize;
+        let tracked = state.buffer_id == buffer_id
+            && state.consumed.len() == buffer.shards.len()
+            // Shards only grow; a shorter shard means this is not the
+            // buffer (or not the state) we thought it was.
+            && state
+                .consumed
+                .iter()
+                .zip(&buffer.shards)
+                .all(|(&c, s)| c <= lock_recover(s).len());
+
+        if !tracked {
+            // Recovery / first-contact path: recollect everything and
+            // rebuild from scratch, then adopt the buffer for future
+            // incremental compactions.
+            let mut consumed = vec![0usize; buffer.shards.len()];
+            let mut edges = Vec::with_capacity(buffer.len());
+            for (c, shard) in consumed.iter_mut().zip(&buffer.shards) {
+                let guard = lock_recover(shard);
+                edges.extend_from_slice(&guard);
+                *c = guard.len();
+            }
+            let transactions = edges.len();
+            if transactions <= previous.transactions && previous.epoch > 0 {
+                // Nothing beyond what the snapshot already covers; adopt
+                // the buffer without publishing.
+                *state = CompactState { buffer_id, consumed };
+                return previous;
+            }
+            let mut builder = GraphBuilder::new();
+            builder.extend_edges(edges.into_iter().map(|(u, v)| (UserId(u), MerchantId(v))));
+            let graph = Arc::new(builder.build_with(DuplicatePolicy::MergeBinary));
+            // The delta vs the previous snapshot: both edge lists are
+            // sorted unique, and edges are append-only, so the new list's
+            // extras are exactly the set difference.
+            let fresh: Vec<(u32, u32)> = diff_sorted(graph.edge_pairs(), previous.graph.edge_pairs());
+            let snapshot = self.publish(&previous, transactions, graph, &fresh);
+            *state = CompactState { buffer_id, consumed };
+            return snapshot;
+        }
+
+        // Incremental path: drain only the per-shard suffixes appended
+        // since the last compaction.
+        let mut batch = Vec::new();
+        let mut consumed = std::mem::take(&mut state.consumed);
+        for (c, shard) in consumed.iter_mut().zip(&buffer.shards) {
+            let guard = lock_recover(shard);
+            batch.extend_from_slice(&guard[*c..]);
+            *c = guard.len();
+        }
+        state.consumed = consumed;
+        if batch.is_empty() {
             return previous;
         }
-        let mut builder = GraphBuilder::new();
-        builder.extend_edges(
-            edges
-                .into_iter()
-                .map(|(u, v)| (UserId(u), MerchantId(v))),
-        );
-        let graph = builder.build_with(DuplicatePolicy::MergeBinary);
+        let transactions = previous.transactions + batch.len();
+        batch.sort_unstable();
+        batch.dedup();
+        let prev_edges = previous.graph.edge_pairs();
+        batch.retain(|e| prev_edges.binary_search(e).is_err());
+
+        let (graph, fresh) = if batch.is_empty() {
+            // Every drained record was a repeat purchase: the graph is
+            // unchanged, share it. (The epoch still bumps — transaction
+            // counts are part of the snapshot.)
+            (previous.graph.clone(), Vec::new())
+        } else {
+            let mut merged = Vec::with_capacity(prev_edges.len() + batch.len());
+            let (mut i, mut j) = (0, 0);
+            while i < prev_edges.len() && j < batch.len() {
+                if prev_edges[i] < batch[j] {
+                    merged.push(prev_edges[i]);
+                    i += 1;
+                } else {
+                    // Strictly less: `batch` was filtered against
+                    // `prev_edges`, so the lists are disjoint.
+                    merged.push(batch[j]);
+                    j += 1;
+                }
+            }
+            merged.extend_from_slice(&prev_edges[i..]);
+            merged.extend_from_slice(&batch[j..]);
+            let (pu, pv, _) = previous.dims();
+            let nu = pu.max(batch.iter().map(|&(u, _)| u as usize + 1).max().unwrap_or(0));
+            let nv = pv.max(batch.iter().map(|&(_, v)| v as usize + 1).max().unwrap_or(0));
+            let graph = Arc::new(
+                BipartiteGraph::from_edges(nu, nv, merged)
+                    .expect("merged sorted-unique edge list is valid"),
+            );
+            (graph, batch)
+        };
+        self.publish(&previous, transactions, graph, &fresh)
+    }
+
+    /// Publishes `graph` as the next epoch and records its delta.
+    /// `fresh` is the sorted-unique list of edges present in `graph` but
+    /// not in `previous`. Caller holds the compaction lock.
+    fn publish(
+        &self,
+        previous: &Snapshot,
+        transactions: usize,
+        graph: Arc<BipartiteGraph>,
+        fresh: &[(u32, u32)],
+    ) -> Arc<Snapshot> {
+        let epoch = previous.epoch + 1;
+        let new_dims = (graph.num_users(), graph.num_merchants(), graph.num_edges());
+        let delta = if fresh.is_empty() {
+            GraphDelta::unchanged(previous.epoch, epoch, new_dims)
+        } else {
+            GraphDelta::from_new_edges(previous.epoch, epoch, previous.dims(), new_dims, fresh)
+        };
+        {
+            let mut deltas = lock_recover(&self.deltas);
+            deltas.push_back(delta.clone());
+            while deltas.len() > DELTA_HISTORY {
+                deltas.pop_front();
+            }
+        }
         let snapshot = Arc::new(Snapshot {
-            epoch: previous.epoch + 1,
+            epoch,
             transactions,
-            graph: Arc::new(graph),
+            graph,
+            delta: Some(delta),
         });
         *self
             .current
@@ -286,13 +452,59 @@ impl SnapshotStore {
             .unwrap_or_else(PoisonError::into_inner) = snapshot.clone();
         snapshot
     }
+
+    /// The composed [`GraphDelta`] spanning `base_epoch → target_epoch`,
+    /// or `None` when the retained history (the last [`DELTA_HISTORY`]
+    /// publishes) no longer covers that span. `None` is a signal to fall
+    /// back to a full scan, never an error.
+    pub fn delta_since(&self, base_epoch: u64, target_epoch: u64) -> Option<GraphDelta> {
+        if base_epoch >= target_epoch {
+            return None;
+        }
+        let deltas = lock_recover(&self.deltas);
+        let mut acc: Option<GraphDelta> = None;
+        for d in deltas.iter() {
+            acc = match acc {
+                None if d.from_epoch == base_epoch => Some(d.clone()),
+                None => continue,
+                Some(a) => a.compose(d),
+            };
+            match &acc {
+                Some(a) if a.to_epoch == target_epoch => return acc,
+                Some(_) => {}
+                // History is consecutive, so a failed compose means
+                // corruption rather than a gap; treat as not covered.
+                None => return None,
+            }
+        }
+        None
+    }
+}
+
+/// Elements of sorted-unique `a` not present in sorted-unique `b`.
+fn diff_sorted(a: &[(u32, u32)], b: &[(u32, u32)]) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    let mut j = 0;
+    for &e in a {
+        while j < b.len() && b[j] < e {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != e {
+            out.push(e);
+        }
+    }
+    out
 }
 
 impl Clone for SnapshotStore {
     fn clone(&self) -> Self {
         SnapshotStore {
             current: RwLock::new(self.latest()),
-            compacting: Mutex::new(()),
+            // Drain offsets describe a (store, buffer) pairing; a clone
+            // starts untracked and recovers via the full-rebuild path on
+            // its first compaction.
+            compacting: Mutex::new(CompactState::default()),
+            deltas: Mutex::new(lock_recover(&self.deltas).clone()),
             compaction_interval: self.compaction_interval,
         }
     }
@@ -322,6 +534,10 @@ pub struct ScanOutcome {
     /// (selection vectors on the mask path, full subgraph buffers on the
     /// materializing path).
     pub sample_bytes: u64,
+    /// How this outcome was produced: full scan, incremental with
+    /// per-sample reuse accounting, or a fallback (and why). The flagged
+    /// set is identical either way — this is performance telemetry.
+    pub reuse: ReuseStats,
 }
 
 /// Runs ensemble scans against snapshots and tracks which accounts have
@@ -330,10 +546,14 @@ pub struct ScanOutcome {
 /// The *flagged set* of a scan is a pure function of
 /// `(snapshot epoch, detector config)` — per-sample seeds derive from the
 /// config seed, so re-running the same epoch with the same seed
-/// reproduces it bit-for-bit. Only `new_alerts` is stateful.
+/// reproduces it bit-for-bit. Besides `new_alerts`, the runner's only
+/// other state is the sample cache behind
+/// [`run_incremental`](Self::run_incremental), which never changes
+/// results — only how much work producing them takes.
 #[derive(Clone, Debug, Default)]
 pub struct ScanRunner {
     alerted: HashSet<u32>,
+    cache: Option<ScanCache>,
 }
 
 impl ScanRunner {
@@ -342,7 +562,12 @@ impl ScanRunner {
         Self::default()
     }
 
-    /// Runs one ensemble pass over `snapshot`.
+    /// Runs one full ensemble pass over `snapshot`.
+    ///
+    /// Always peels every sample from scratch, and deliberately does
+    /// *not* read or write the incremental cache — this is the reference
+    /// path the incremental one is benchmarked (and equivalence-gated)
+    /// against.
     ///
     /// # Panics
     ///
@@ -356,6 +581,113 @@ impl ScanRunner {
     ) -> ScanOutcome {
         assert!(threshold > 0, "alert threshold must be positive");
         let outcome = EnsemFdet::new(*config).detect(&snapshot.graph);
+        let reuse = ReuseStats::full(config.num_samples);
+        self.finish(snapshot, outcome, reuse, threshold)
+    }
+
+    /// Runs one ensemble pass over `snapshot`, reusing cached per-sample
+    /// results where the epoch delta provably cannot have changed them.
+    ///
+    /// The flagged set is **bit-identical** to [`run`](Self::run) on the
+    /// same `(snapshot, config)` — reuse is a pure performance
+    /// optimization (gated by `tests/tests/incremental_scan.rs`). When
+    /// reuse is impossible or not worth it, the scan degrades to a full
+    /// pass and says so in [`ScanOutcome::reuse`]:
+    ///
+    /// * [`FallbackReason::ColdCache`] — first scan through this runner.
+    /// * [`FallbackReason::ConfigChanged`] — any config difference.
+    /// * [`FallbackReason::MissingDelta`] — `store` no longer retains the
+    ///   delta chain from the cached epoch to `snapshot.epoch`.
+    /// * [`FallbackReason::OversizedDelta`] — the delta touched more than
+    ///   [`IncrementalPolicy::max_touched_fraction`] of the nodes.
+    ///
+    /// Either way the cache is (re)primed for the next epoch.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_incremental(
+        &mut self,
+        snapshot: &Snapshot,
+        store: &SnapshotStore,
+        config: &EnsemFdetConfig,
+        threshold: u32,
+        policy: &IncrementalPolicy,
+    ) -> ScanOutcome {
+        assert!(threshold > 0, "alert threshold must be positive");
+        let detector = EnsemFdet::new(*config);
+        let attempt: Result<GraphDelta, FallbackReason> = match &self.cache {
+            None => Err(FallbackReason::ColdCache),
+            Some(cache) if cache.config != *config => Err(FallbackReason::ConfigChanged),
+            Some(cache) => {
+                let delta = if cache.base_epoch == snapshot.epoch {
+                    // Re-scan of the very epoch the cache was built on.
+                    if cache.base_dims == snapshot.dims() {
+                        Ok(GraphDelta::unchanged(
+                            snapshot.epoch,
+                            snapshot.epoch,
+                            snapshot.dims(),
+                        ))
+                    } else {
+                        Err(FallbackReason::MissingDelta)
+                    }
+                } else {
+                    store
+                        .delta_since(cache.base_epoch, snapshot.epoch)
+                        // The cache must describe the same epoch the delta
+                        // starts from; a dims mismatch means it came from
+                        // some other store's epoch numbering.
+                        .filter(|d| d.base_dims == cache.base_dims)
+                        .ok_or(FallbackReason::MissingDelta)
+                };
+                delta.and_then(|d| {
+                    if d.touched_fraction() > policy.max_touched_fraction {
+                        Err(FallbackReason::OversizedDelta)
+                    } else {
+                        Ok(d)
+                    }
+                })
+            }
+        };
+        match attempt {
+            Ok(delta) => {
+                let cache = self.cache.as_ref().expect("checked above");
+                let (outcome, stats, next) =
+                    detector.detect_incremental(&snapshot.graph, &delta, cache);
+                self.cache = Some(next);
+                self.finish(snapshot, outcome, stats, threshold)
+            }
+            Err(reason) => {
+                let (outcome, cache) =
+                    detector.detect_with_cache(&snapshot.graph, snapshot.epoch);
+                self.cache = Some(cache);
+                let reuse = ReuseStats::fallback(config.num_samples, reason);
+                self.finish(snapshot, outcome, reuse, threshold)
+            }
+        }
+    }
+
+    /// Epoch of the snapshot the incremental cache currently describes.
+    pub fn cached_epoch(&self) -> Option<u64> {
+        self.cache.as_ref().map(|c| c.base_epoch)
+    }
+
+    /// Drops the incremental cache; the next
+    /// [`run_incremental`](Self::run_incremental) takes the
+    /// [`FallbackReason::ColdCache`] full-scan path.
+    pub fn invalidate_cache(&mut self) {
+        self.cache = None;
+    }
+
+    /// Converts an ensemble outcome into a [`ScanOutcome`], updating the
+    /// alert-once set.
+    fn finish(
+        &mut self,
+        snapshot: &Snapshot,
+        outcome: EnsembleOutcome,
+        reuse: ReuseStats,
+        threshold: u32,
+    ) -> ScanOutcome {
         let flagged = outcome.votes.detected_users(threshold);
         let new_alerts: Vec<UserId> = flagged
             .iter()
@@ -372,6 +704,7 @@ impl ScanRunner {
             elapsed: outcome.elapsed,
             stages: outcome.stages,
             votes: outcome.votes,
+            reuse,
         }
     }
 
@@ -557,6 +890,164 @@ mod tests {
         assert_eq!(out.epoch, 2);
         assert_eq!(out.transactions, snap.transactions);
         assert_eq!(out.sample_times.len(), 10);
+    }
+
+    /// The incremental compaction path (per-shard drains, binary-search
+    /// dedup, sorted merge) must publish the exact graph a from-scratch
+    /// rebuild of the same buffer would.
+    #[test]
+    fn incremental_compaction_matches_full_rebuild() {
+        let b = IngestBuffer::with_shards(4);
+        let store = SnapshotStore::new(1);
+        ring_and_background(&b);
+        store.compact(&b);
+        // Several epochs of mixed traffic: new edges, repeat purchases,
+        // and a batch that is duplicates only.
+        for round in 0..4u32 {
+            match round {
+                0 => {
+                    for i in 0..50u32 {
+                        b.append(UserId(200 + i), MerchantId(i % 9));
+                    }
+                }
+                1 => {
+                    // Repeat purchases only — dedup to nothing.
+                    for _ in 0..30 {
+                        b.append(UserId(0), MerchantId(0));
+                    }
+                }
+                _ => {
+                    for i in 0..20u32 {
+                        b.append(UserId(i), MerchantId(100 + round + i % 3));
+                    }
+                }
+            }
+            let inc = store.compact(&b);
+            // An untracked store takes the full-rebuild path over the
+            // same buffer.
+            let full = SnapshotStore::new(1).compact(&b);
+            assert_eq!(
+                inc.graph.edge_pairs(),
+                full.graph.edge_pairs(),
+                "round {round}"
+            );
+            assert_eq!(inc.graph.num_users(), full.graph.num_users());
+            assert_eq!(inc.graph.num_merchants(), full.graph.num_merchants());
+            assert_eq!(inc.transactions, full.transactions);
+        }
+    }
+
+    #[test]
+    fn compaction_publishes_deltas() {
+        let b = IngestBuffer::new();
+        let store = SnapshotStore::new(1);
+        b.append(UserId(3), MerchantId(1));
+        let s1 = store.compact(&b);
+        let d1 = s1.delta.as_ref().expect("epoch 1 has a delta");
+        assert_eq!((d1.from_epoch, d1.to_epoch), (0, 1));
+        assert_eq!(d1.touched_users, vec![3]);
+
+        // Duplicate-only batch: epoch bumps, graph is shared untouched.
+        b.append(UserId(3), MerchantId(1));
+        let s2 = store.compact(&b);
+        assert_eq!(s2.epoch, 2);
+        assert!(Arc::ptr_eq(&s2.graph, &s1.graph));
+        assert!(s2.delta.as_ref().unwrap().graph_unchanged());
+        assert_eq!(s2.transactions, 2);
+
+        b.append(UserId(5), MerchantId(2));
+        let s3 = store.compact(&b);
+        let d3 = s3.delta.as_ref().unwrap();
+        assert_eq!(d3.touched_users, vec![5]);
+        assert_eq!(d3.touched_merchants, vec![2]);
+
+        // Composition across the whole span.
+        let span = store.delta_since(1, 3).expect("history retained");
+        assert_eq!(span.touched_users, vec![5]);
+        assert_eq!(span.base_dims, s1.dims());
+        assert_eq!(span.new_dims, s3.dims());
+        // Uncovered or inverted spans refuse.
+        assert!(store.delta_since(3, 1).is_none());
+        assert!(store.delta_since(7, 9).is_none());
+    }
+
+    #[test]
+    fn incremental_run_reuses_and_matches_full() {
+        let b = IngestBuffer::new();
+        ring_and_background(&b);
+        let store = SnapshotStore::new(1);
+        let snap1 = store.compact(&b);
+        let cfg = quick_config();
+        let policy = IncrementalPolicy::default();
+
+        let mut inc_runner = ScanRunner::new();
+        let cold = inc_runner.run_incremental(&snap1, &store, &cfg, 6, &policy);
+        assert_eq!(cold.reuse.fallback, Some(FallbackReason::ColdCache));
+        assert_eq!(cold.reuse.mode(), "full");
+        assert_eq!(inc_runner.cached_epoch(), Some(1));
+
+        // Re-scan of the same epoch: everything replays.
+        let again = inc_runner.run_incremental(&snap1, &store, &cfg, 6, &policy);
+        assert!(again.reuse.incremental);
+        assert_eq!(again.reuse.samples_reused, cfg.num_samples);
+        assert_eq!(again.flagged, cold.flagged);
+        assert_eq!(again.votes, cold.votes);
+
+        // Grow by a few edges on existing nodes and scan incrementally;
+        // a fresh runner's full scan is the oracle.
+        for i in 0..6u32 {
+            b.append(UserId(20 + i), MerchantId(2));
+        }
+        let snap2 = store.compact(&b);
+        let inc = inc_runner.run_incremental(&snap2, &store, &cfg, 6, &policy);
+        let full = ScanRunner::new().run(&snap2, &cfg, 6);
+        assert!(inc.reuse.incremental);
+        assert_eq!(inc.flagged, full.flagged);
+        assert_eq!(inc.votes, full.votes);
+        assert_eq!(
+            inc.reuse.samples_reused + inc.reuse.samples_repeeled,
+            cfg.num_samples
+        );
+        assert_eq!(inc.reuse.delta_touched_nodes, 7); // 6 users + 1 merchant
+        assert_eq!(inc_runner.cached_epoch(), Some(2));
+    }
+
+    #[test]
+    fn incremental_run_fallbacks() {
+        let b = IngestBuffer::new();
+        ring_and_background(&b);
+        let store = SnapshotStore::new(1);
+        let snap = store.compact(&b);
+        let cfg = quick_config();
+        let mut runner = ScanRunner::new();
+        runner.run_incremental(&snap, &store, &cfg, 6, &IncrementalPolicy::default());
+
+        // Config change invalidates wholesale.
+        let mut other = cfg;
+        other.seed = 1234;
+        let out = runner.run_incremental(&snap, &store, &other, 6, &IncrementalPolicy::default());
+        assert_eq!(out.reuse.fallback, Some(FallbackReason::ConfigChanged));
+        let oracle = ScanRunner::new().run(&snap, &other, 6);
+        assert_eq!(out.flagged, oracle.flagged);
+
+        // A zero-tolerance policy rejects any real delta as oversized.
+        b.append(UserId(300), MerchantId(300));
+        let snap2 = store.compact(&b);
+        let strict = IncrementalPolicy {
+            max_touched_fraction: 0.0,
+        };
+        let out = runner.run_incremental(&snap2, &store, &other, 6, &strict);
+        assert_eq!(out.reuse.fallback, Some(FallbackReason::OversizedDelta));
+        assert_eq!(
+            out.flagged,
+            ScanRunner::new().run(&snap2, &other, 6).flagged
+        );
+
+        // Explicit invalidation goes back to the cold path.
+        runner.invalidate_cache();
+        assert_eq!(runner.cached_epoch(), None);
+        let out = runner.run_incremental(&snap2, &store, &other, 6, &IncrementalPolicy::default());
+        assert_eq!(out.reuse.fallback, Some(FallbackReason::ColdCache));
     }
 
     #[test]

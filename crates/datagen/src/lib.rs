@@ -42,4 +42,6 @@ pub mod zipf;
 pub use config::{CamouflageTargeting, FraudGroupConfig, GeneratorConfig};
 pub use dataset::Dataset;
 pub use generator::generate;
-pub use timeline::{generate_timeline, BehaviorDrift, TimelineConfig};
+pub use timeline::{
+    generate_timeline, ramp_timeline, BehaviorDrift, IngestTimeline, TimelineConfig,
+};

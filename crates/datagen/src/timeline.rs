@@ -13,6 +13,7 @@ use crate::config::GeneratorConfig;
 use crate::dataset::Dataset;
 use crate::generator::generate;
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 
 /// Drift applied to every fraud group per period step.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -71,6 +72,97 @@ pub fn period_config(cfg: &TimelineConfig, p: usize) -> GeneratorConfig {
         g.camouflage_per_user += cfg.drift.camouflage_step * p;
     }
     derived
+}
+
+/// One dataset split into an ingest sequence: a base batch followed by
+/// per-epoch batches of fraud-ring edges ramping in.
+///
+/// This is the continuous-monitoring scenario the incremental scan path
+/// (`ScanRunner::run_incremental` in the core crate) is benchmarked on.
+/// The base batch carries *all* honest traffic plus every fraud account's
+/// camouflage purchases and the rings' honest background — so every user
+/// and merchant of the final graph is already registered at epoch 0, and
+/// later batches only add edges between existing nodes. That keeps the
+/// graph dimensions fixed across the ramp, which is what lets the
+/// sampling layer prove most cached samples untouched epoch over epoch:
+/// a delta that grew the node population would dirty every node-subset
+/// sample at once. It is also the realistic shape of a campaign — fraud
+/// accounts build honest-looking cover before the ring lights up.
+#[derive(Clone, Debug)]
+pub struct IngestTimeline {
+    /// Epoch-0 batch: honest traffic, camouflage, ring background, and
+    /// one registration purchase for any node nothing else covers.
+    pub base: Vec<(u32, u32)>,
+    /// Per-epoch batches of in-ring edges, disjoint from `base` and each
+    /// other; batch sizes grow linearly (the campaign accelerates).
+    pub epochs: Vec<Vec<(u32, u32)>>,
+    /// The full dataset all batches union to — the ground truth for the
+    /// final epoch.
+    pub dataset: Dataset,
+}
+
+/// Splits one generated dataset into the [`IngestTimeline`] ingest
+/// sequence: ring-internal edges ramp in over `epochs` batches, all other
+/// edges form the base batch.
+///
+/// Deterministic for a given `(config, epochs)`. The union of all batches
+/// is exactly the dataset's edge set, with no duplicates across batches.
+///
+/// # Panics
+///
+/// Panics if `epochs == 0` or the config is invalid.
+pub fn ramp_timeline(cfg: &GeneratorConfig, epochs: usize) -> IngestTimeline {
+    assert!(epochs > 0, "need at least one ramp epoch");
+    let dataset = generate(cfg);
+
+    let fraud_users: HashSet<u32> = dataset.true_fraud_users.iter().copied().collect();
+    let ring_merchants: HashSet<u32> = dataset.fraud_merchants.iter().copied().collect();
+    let mut base = Vec::new();
+    let mut ring = Vec::new();
+    for &(u, v) in dataset.graph.edge_slice() {
+        if fraud_users.contains(&u) && ring_merchants.contains(&v) {
+            ring.push((u, v));
+        } else {
+            base.push((u, v));
+        }
+    }
+
+    // Registration pass: any node only the ring ever touches (e.g. a ring
+    // merchant with no honest background) gets its first ring edge moved
+    // into the base batch, so later batches never grow the dimensions.
+    let mut seen_users: HashSet<u32> = base.iter().map(|e| e.0).collect();
+    let mut seen_merchants: HashSet<u32> = base.iter().map(|e| e.1).collect();
+    ring.retain(|&(u, v)| {
+        if seen_users.contains(&u) && seen_merchants.contains(&v) {
+            true
+        } else {
+            seen_users.insert(u);
+            seen_merchants.insert(v);
+            base.push((u, v));
+            false
+        }
+    });
+
+    // Linear ramp: epoch e (1-based) gets weight e of the remaining ring
+    // edges, so the campaign's per-epoch footprint grows over time.
+    let total_weight: usize = (1..=epochs).sum();
+    let mut batches = Vec::with_capacity(epochs);
+    let mut offset = 0;
+    for e in 1..=epochs {
+        let take = if e == epochs {
+            ring.len() - offset
+        } else {
+            ring.len() * e / total_weight
+        };
+        batches.push(ring[offset..offset + take].to_vec());
+        offset += take;
+    }
+
+    IngestTimeline {
+        base,
+        epochs: batches,
+        dataset,
+    }
 }
 
 #[cfg(test)]
@@ -153,6 +245,52 @@ mod tests {
             assert_eq!(x.graph.edge_slice(), y.graph.edge_slice());
             assert_eq!(x.blacklist, y.blacklist);
         }
+    }
+
+    #[test]
+    fn ramp_batches_partition_the_dataset() {
+        let tl = ramp_timeline(&base(), 4);
+        assert_eq!(tl.epochs.len(), 4);
+        let mut all: Vec<(u32, u32)> = tl.base.clone();
+        for batch in &tl.epochs {
+            all.extend_from_slice(batch);
+        }
+        all.sort_unstable();
+        let mut expected: Vec<(u32, u32)> = tl.dataset.graph.edge_slice().to_vec();
+        expected.sort_unstable();
+        assert_eq!(all, expected, "batches must partition the edge set exactly");
+    }
+
+    #[test]
+    fn ramp_never_grows_the_dimensions() {
+        let tl = ramp_timeline(&base(), 3);
+        let users: std::collections::HashSet<u32> = tl.base.iter().map(|e| e.0).collect();
+        let merchants: std::collections::HashSet<u32> = tl.base.iter().map(|e| e.1).collect();
+        for batch in &tl.epochs {
+            for &(u, v) in batch {
+                assert!(users.contains(&u), "user {u} not registered in base");
+                assert!(merchants.contains(&v), "merchant {v} not registered in base");
+            }
+        }
+    }
+
+    #[test]
+    fn ramp_accelerates_and_is_deterministic() {
+        let tl = ramp_timeline(&base(), 4);
+        // Linear ramp: later epochs carry at least as many edges.
+        for w in tl.epochs.windows(2) {
+            assert!(w[0].len() <= w[1].len(), "ramp must not shrink");
+        }
+        assert!(tl.epochs.iter().all(|b| !b.is_empty()), "ring is large enough");
+        let again = ramp_timeline(&base(), 4);
+        assert_eq!(tl.base, again.base);
+        assert_eq!(tl.epochs, again.epochs);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one ramp epoch")]
+    fn zero_ramp_epochs_rejected() {
+        ramp_timeline(&base(), 0);
     }
 
     #[test]

@@ -43,6 +43,7 @@
 pub mod builder;
 pub mod components;
 pub mod csr;
+pub mod delta;
 pub mod error;
 pub mod graph;
 pub mod ids;
@@ -55,6 +56,7 @@ pub mod stats;
 
 pub use builder::GraphBuilder;
 pub use csr::{CsrView, NeighborSlices};
+pub use delta::{GraphDelta, GraphDims};
 pub use error::GraphError;
 pub use graph::{BipartiteGraph, EdgeId, NeighborIter};
 pub use ids::{MerchantId, NodeRef, UserId};

@@ -25,7 +25,10 @@
 //! rescaled by `1/p`), and [`theory`] provides the Eq. 3 expectations and
 //! the Lemma 1 crossover degree used to validate the samplers empirically.
 //!
-//! All samplers are deterministic functions of `(graph, ratio, seed)`.
+//! All samplers are deterministic functions of `(graph, ratio, seed)` —
+//! in fact of `(population sizes, ratio, seed)`, which is what lets
+//! [`stability::spec_unaffected`] prove a cached draw identical across a
+//! snapshot delta for incremental scans.
 //! Each method emits its draw as a [`ensemfdet_graph::SampleSpec`]
 //! (via [`Sampler::sample_spec`] into a reusable [`SamplerScratch`]),
 //! which the engine resolves lazily against the shared parent snapshot;
@@ -37,6 +40,7 @@ pub mod ons;
 pub mod res;
 pub mod scratch;
 pub mod seed;
+pub mod stability;
 pub mod theory;
 pub mod tns;
 pub mod weighted;
@@ -45,4 +49,5 @@ pub use method::{Sampler, SamplingMethod};
 pub use ons::{OneSideNodeSampling, Side};
 pub use res::RandomEdgeSampling;
 pub use scratch::SamplerScratch;
+pub use stability::spec_unaffected;
 pub use tns::TwoSideNodeSampling;

@@ -20,7 +20,9 @@
 use crate::http::{Request, Response};
 use crate::jobs::{EnqueueError, JobLookup, JobState, JobStore, JobView, ScanResultView, ScanSpec};
 use ensemfdet::pipeline::{IngestBuffer, ScanRunner, SnapshotStore};
-use ensemfdet::{Engine as PeelEngine, EnsemFdet, EnsemFdetConfig, MonitorConfig, SamplePath};
+use ensemfdet::{
+    Engine as PeelEngine, EnsemFdet, EnsemFdetConfig, IncrementalPolicy, MonitorConfig, SamplePath,
+};
 use ensemfdet_graph::{GraphStats, TransactionInterner};
 use ensemfdet_telemetry::{ServiceMetrics, PROMETHEUS_CONTENT_TYPE};
 use serde_json::{json, Value};
@@ -50,6 +52,15 @@ pub struct ApiConfig {
     pub scan_queue_capacity: usize,
     /// Finished scan jobs kept queryable via `GET /v1/scans/{id}`.
     pub result_ring: usize,
+    /// Follow mode: scans default to the incremental dirty-sample-reuse
+    /// path (identical results, less work per epoch under sustained
+    /// ingest). Any scan can still pick its path with the `"mode"`
+    /// override; `GET /v1/follow` reports the monitoring state. See
+    /// `docs/MONITORING.md`.
+    pub follow: bool,
+    /// When incremental scans give up on reuse and re-peel everything
+    /// (oversized deltas).
+    pub incremental_policy: IncrementalPolicy,
 }
 
 impl Default for ApiConfig {
@@ -68,6 +79,8 @@ impl Default for ApiConfig {
             compaction_interval: 1_000,
             scan_queue_capacity: 8,
             result_ring: 16,
+            follow: false,
+            incremental_policy: IncrementalPolicy::default(),
         }
     }
 }
@@ -88,6 +101,7 @@ pub fn route_label(_method: &str, path: &str) -> (&'static str, bool) {
         "/v1/scans" => ("/v1/scans", false),
         "/scan" => ("/v1/scans", true),
         "/v1/scans/latest" => ("/v1/scans/latest", false),
+        "/v1/follow" => ("/v1/follow", false),
         "/v1/config" => ("/v1/config", false),
         "/metrics" | "/v1/metrics" => ("/metrics", false),
         p if p.starts_with("/v1/scans/") => ("/v1/scans/{id}", false),
@@ -164,6 +178,7 @@ impl Api {
             ("GET", "/v1/stats" | "/stats") => self.stats(),
             ("GET", "/metrics" | "/v1/metrics") => self.metrics_page(),
             ("GET", "/v1/config") => self.config_page(),
+            ("GET", "/v1/follow") => self.follow_status(),
             ("POST", "/v1/transactions" | "/transactions") => self.transactions(&request.body),
             ("POST", "/v1/scans") => self.submit_scan(&request.body),
             ("POST", "/scan") => self.scan_sync(&request.body),
@@ -206,7 +221,46 @@ impl Api {
                 "compaction_interval": c.compaction_interval,
                 "scan_queue_capacity": c.scan_queue_capacity,
                 "result_ring": c.result_ring,
-                "scan_overrides": ["num_samples", "sample_ratio", "threshold", "path", "engine"],
+                "follow": c.follow,
+                "max_touched_fraction": c.incremental_policy.max_touched_fraction,
+                "scan_overrides": [
+                    "num_samples", "sample_ratio", "threshold", "path", "engine", "mode",
+                ],
+            }),
+        )
+    }
+
+    /// `GET /v1/follow`: the continuous-monitoring view — whether follow
+    /// mode is on, which epoch the incremental cache is primed for, how
+    /// far ingest has run ahead of it, and the reuse profile of the last
+    /// published scan. This is the page an operator watches while
+    /// `--follow` is live; `docs/MONITORING.md` explains the fields.
+    fn follow_status(&self) -> Response {
+        let e = &self.engine;
+        let cached_epoch = lock_recover(&e.runner).cached_epoch();
+        let latest = e.snapshots.latest();
+        let last_scan = e.jobs.latest().map(|r| {
+            json!({
+                "job_id": r.job_id,
+                "epoch": r.epoch,
+                "mode": r.reuse.mode(),
+                "fallback": r.reuse.fallback.map(|f| f.name()),
+                "samples_reused": r.reuse.samples_reused,
+                "samples_repeeled": r.reuse.samples_repeeled,
+                "dirty_fraction": r.reuse.dirty_fraction(),
+                "delta_touched_nodes": r.reuse.delta_touched_nodes,
+                "scan_millis": r.scan_millis,
+            })
+        });
+        Response::json(
+            200,
+            &json!({
+                "follow": e.config.follow,
+                "snapshot_epoch": latest.epoch,
+                "cached_epoch": cached_epoch,
+                "ingest_lag": e.snapshots.lag(&e.buffer),
+                "max_touched_fraction": e.config.incremental_policy.max_touched_fraction,
+                "last_scan": last_scan,
             }),
         )
     }
@@ -298,25 +352,32 @@ impl Api {
         {
             return None;
         }
-        self.enqueue_scan(e.config.monitor.detector, e.config.monitor.alert_threshold)
-            .ok()
-            .map(|(id, _epoch)| id)
+        self.enqueue_scan(
+            e.config.monitor.detector,
+            e.config.monitor.alert_threshold,
+            e.config.follow,
+        )
+        .ok()
+        .map(|(id, _epoch)| id)
     }
 
-    /// Effective detector config + threshold for one scan request:
-    /// service defaults overlaid with any per-request overrides from the
-    /// body (`{}`/`null`/empty body mean "defaults").
-    fn scan_overrides(&self, body: &[u8]) -> Result<(EnsemFdetConfig, u32), Response> {
+    /// Effective detector config + threshold + scan mode for one scan
+    /// request: service defaults overlaid with any per-request overrides
+    /// from the body (`{}`/`null`/empty body mean "defaults"). The
+    /// default mode follows the service: incremental when follow mode is
+    /// on, full otherwise; an explicit `"mode"` override wins either way.
+    fn scan_overrides(&self, body: &[u8]) -> Result<(EnsemFdetConfig, u32, bool), Response> {
         let m = &self.engine.config.monitor;
         let mut config = m.detector;
         let mut threshold = m.alert_threshold;
+        let mut incremental = self.engine.config.follow;
         if body.iter().all(u8::is_ascii_whitespace) {
-            return Ok((config, threshold));
+            return Ok((config, threshold, incremental));
         }
         let parsed: Value = serde_json::from_slice(body)
             .map_err(|e| Response::error(400, "bad_request", format!("invalid JSON: {e}")))?;
         if parsed.is_null() {
-            return Ok((config, threshold));
+            return Ok((config, threshold, incremental));
         }
         let obj = parsed.as_object().ok_or_else(|| {
             Response::error(400, "invalid_config", "expected a JSON object of overrides")
@@ -387,16 +448,29 @@ impl Api {
                         })?;
                     config.engine = eng;
                 }
+                "mode" => {
+                    incremental = match value.as_str() {
+                        Some("full") => false,
+                        Some("incremental") => true,
+                        _ => {
+                            return Err(Response::error(
+                                400,
+                                "invalid_config",
+                                "mode must be \"full\" or \"incremental\"",
+                            ))
+                        }
+                    };
+                }
                 other => {
                     return Err(Response::error(
                         400,
                         "invalid_config",
-                        format!("unknown override {other:?} (expected num_samples, sample_ratio, threshold, path, engine)"),
+                        format!("unknown override {other:?} (expected num_samples, sample_ratio, threshold, path, engine, mode)"),
                     ));
                 }
             }
         }
-        Ok((config, threshold))
+        Ok((config, threshold, incremental))
     }
 
     /// Pins the freshest snapshot and enqueues a scan job on it.
@@ -404,6 +478,7 @@ impl Api {
         &self,
         config: EnsemFdetConfig,
         threshold: u32,
+        incremental: bool,
     ) -> Result<(u64, u64), Response> {
         let e = &self.engine;
         let snapshot = e.snapshots.refresh(&e.buffer, true);
@@ -414,6 +489,7 @@ impl Api {
             snapshot,
             config,
             threshold,
+            incremental,
         }) {
             Ok(id) => {
                 e.metrics.scan_queue_depth.set(e.jobs.queue_depth() as i64);
@@ -434,11 +510,11 @@ impl Api {
     }
 
     fn submit_scan(&self, body: &[u8]) -> Response {
-        let (config, threshold) = match self.scan_overrides(body) {
+        let (config, threshold, incremental) = match self.scan_overrides(body) {
             Ok(x) => x,
             Err(resp) => return resp,
         };
-        match self.enqueue_scan(config, threshold) {
+        match self.enqueue_scan(config, threshold, incremental) {
             Ok((job_id, epoch)) => Response::json(
                 202,
                 &json!({
@@ -454,11 +530,11 @@ impl Api {
     /// Deprecated `POST /scan`: enqueue like everyone else, then block
     /// until the job finishes, preserving the old synchronous 200 shape.
     fn scan_sync(&self, body: &[u8]) -> Response {
-        let (config, threshold) = match self.scan_overrides(body) {
+        let (config, threshold, incremental) = match self.scan_overrides(body) {
             Ok(x) => x,
             Err(resp) => return resp,
         };
-        let (id, _epoch) = match self.enqueue_scan(config, threshold) {
+        let (id, _epoch) = match self.enqueue_scan(config, threshold, incremental) {
             Ok(x) => x,
             Err(resp) => return resp,
         };
@@ -565,6 +641,12 @@ fn result_json(r: &ScanResultView) -> Value {
         "sample_ratio": r.config.sample_ratio,
         "engine": r.config.engine.name(),
         "threshold": r.threshold,
+        "mode": r.reuse.mode(),
+        "fallback": r.reuse.fallback.map(|f| f.name()),
+        "samples_reused": r.reuse.samples_reused,
+        "samples_repeeled": r.reuse.samples_repeeled,
+        "dirty_fraction": r.reuse.dirty_fraction(),
+        "delta_touched_nodes": r.reuse.delta_touched_nodes,
     })
 }
 
@@ -773,6 +855,8 @@ mod tests {
             json!({ "path": 7 }),
             json!({ "engine": "quantum" }),
             json!({ "engine": 7 }),
+            json!({ "mode": "turbo" }),
+            json!({ "mode": 1 }),
             json!({ "frobnicate": true }),
             json!([1, 2, 3]),
         ] {
@@ -780,6 +864,109 @@ mod tests {
             assert_eq!(status, 400, "override {bad} accepted: {body}");
             assert_eq!(body["error"]["code"], "invalid_config", "{body}");
         }
+    }
+
+    /// Sorted flagged keys of a finished job's result.
+    fn flagged_of(done: &Value) -> Vec<String> {
+        let mut flagged: Vec<String> = done["result"]["flagged"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_str().unwrap().to_string())
+            .collect();
+        flagged.sort();
+        flagged
+    }
+
+    #[test]
+    fn incremental_mode_reuses_and_matches_full() {
+        let api = quick_api();
+        post(&api, "/v1/transactions", json!({ "records": ring_records() }));
+
+        // Reference full scan.
+        let (_, body) = post(&api, "/v1/scans", json!({ "mode": "full" }));
+        let full = wait_done(&api, body["job_id"].as_u64().unwrap());
+        assert_eq!(full["result"]["mode"], "full");
+        assert!(full["result"]["fallback"].is_null());
+        assert_eq!(full["result"]["samples_repeeled"], 20);
+
+        // First incremental request: cache is cold, so it degrades to a
+        // full scan (reported honestly) and primes the cache.
+        let (_, body) = post(&api, "/v1/scans", json!({ "mode": "incremental" }));
+        let cold = wait_done(&api, body["job_id"].as_u64().unwrap());
+        assert_eq!(cold["result"]["mode"], "full", "{cold}");
+        assert_eq!(cold["result"]["fallback"], "cold_cache");
+        assert_eq!(flagged_of(&cold), flagged_of(&full));
+
+        // Same epoch again: everything replays from the cache.
+        let (_, body) = post(&api, "/v1/scans", json!({ "mode": "incremental" }));
+        let warm = wait_done(&api, body["job_id"].as_u64().unwrap());
+        assert_eq!(warm["result"]["mode"], "incremental", "{warm}");
+        assert_eq!(warm["result"]["samples_reused"], 20);
+        assert_eq!(warm["result"]["samples_repeeled"], 0);
+        assert_eq!(warm["result"]["dirty_fraction"], 0.0);
+        assert_eq!(flagged_of(&warm), flagged_of(&full));
+
+        // A small ingest delta: the incremental scan crosses the epoch
+        // and still matches a from-scratch scan of the new epoch.
+        post(
+            &api,
+            "/v1/transactions",
+            json!({ "records": [["late-1", "late-shop"], ["late-2", "late-shop"]] }),
+        );
+        let (_, body) = post(&api, "/v1/scans", json!({ "mode": "incremental" }));
+        let inc = wait_done(&api, body["job_id"].as_u64().unwrap());
+        assert_eq!(inc["result"]["mode"], "incremental", "{inc}");
+        assert!(inc["result"]["delta_touched_nodes"].as_u64().unwrap() >= 3);
+        let (_, body) = post(&api, "/v1/scans", json!({ "mode": "full" }));
+        let oracle = wait_done(&api, body["job_id"].as_u64().unwrap());
+        assert_eq!(inc["epoch"], oracle["epoch"], "scans must pin the same epoch");
+        assert_eq!(flagged_of(&inc), flagged_of(&oracle));
+    }
+
+    #[test]
+    fn follow_mode_defaults_to_incremental_and_reports_state() {
+        let api = Api::new(ApiConfig {
+            monitor: MonitorConfig {
+                detector: EnsemFdetConfig {
+                    num_samples: 8,
+                    sample_ratio: 0.5,
+                    seed: 3,
+                    ..Default::default()
+                },
+                scan_interval: 1_000_000,
+                alert_threshold: 6,
+                min_transactions: 0,
+            },
+            follow: true,
+            ..Default::default()
+        });
+        // Before any activity the follow page reports a cold pipeline.
+        let (status, body) = get(&api, "/v1/follow");
+        assert_eq!(status, 200);
+        assert_eq!(body["follow"], true);
+        assert_eq!(body["snapshot_epoch"], 0);
+        assert!(body["cached_epoch"].is_null());
+        assert!(body["last_scan"].is_null());
+
+        post(&api, "/v1/transactions", json!({ "records": ring_records() }));
+        // Default mode in follow mode is incremental; the first scan
+        // falls back (cold cache), the second reuses everything.
+        let (_, body) = post(&api, "/v1/scans", json!({}));
+        let first = wait_done(&api, body["job_id"].as_u64().unwrap());
+        assert_eq!(first["result"]["fallback"], "cold_cache", "{first}");
+        let (_, body) = post(&api, "/v1/scans", json!({}));
+        let second = wait_done(&api, body["job_id"].as_u64().unwrap());
+        assert_eq!(second["result"]["mode"], "incremental", "{second}");
+        assert_eq!(second["result"]["samples_reused"], 8);
+
+        let (status, body) = get(&api, "/v1/follow");
+        assert_eq!(status, 200);
+        assert_eq!(body["cached_epoch"], 1);
+        assert_eq!(body["snapshot_epoch"], 1);
+        assert_eq!(body["last_scan"]["mode"], "incremental", "{body}");
+        assert_eq!(body["last_scan"]["samples_reused"], 8);
+        assert!((body["max_touched_fraction"].as_f64().unwrap() - 0.1).abs() < 1e-12);
     }
 
     #[test]
@@ -791,9 +978,12 @@ mod tests {
         assert_eq!(body["alert_threshold"], 15);
         assert_eq!(body["scan_queue_capacity"], 8);
         let overrides = body["scan_overrides"].as_array().unwrap();
-        assert_eq!(overrides.len(), 5);
+        assert_eq!(overrides.len(), 6);
         assert!(overrides.iter().any(|v| v == "path"));
         assert!(overrides.iter().any(|v| v == "engine"));
+        assert!(overrides.iter().any(|v| v == "mode"));
+        assert_eq!(body["follow"], false);
+        assert!((body["max_touched_fraction"].as_f64().unwrap() - 0.1).abs() < 1e-12);
     }
 
     #[test]
@@ -998,6 +1188,7 @@ mod tests {
         assert_eq!(route_label("POST", "/v1/scans"), ("/v1/scans", false));
         assert_eq!(route_label("GET", "/v1/scans/17"), ("/v1/scans/{id}", false));
         assert_eq!(route_label("GET", "/v1/scans/latest"), ("/v1/scans/latest", false));
+        assert_eq!(route_label("GET", "/v1/follow"), ("/v1/follow", false));
         assert_eq!(route_label("GET", "/health"), ("/v1/health", true));
     }
 }

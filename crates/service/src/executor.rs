@@ -33,7 +33,17 @@ fn executor_loop(engine: &Engine) {
         // before the ledger is touched.
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let mut runner = lock_recover(&engine.runner);
-            runner.run(&spec.snapshot, &spec.config, spec.threshold)
+            if spec.incremental {
+                runner.run_incremental(
+                    &spec.snapshot,
+                    &engine.snapshots,
+                    &spec.config,
+                    spec.threshold,
+                    &engine.config.incremental_policy,
+                )
+            } else {
+                runner.run(&spec.snapshot, &spec.config, spec.threshold)
+            }
         }));
         match outcome {
             Ok(outcome) => {
@@ -53,6 +63,13 @@ fn executor_loop(engine: &Engine) {
                     outcome.stages.aggregation,
                 ]);
                 metrics.record_sampling(outcome.stages.sampling, outcome.sample_bytes);
+                metrics.record_scan_reuse(
+                    outcome.reuse.incremental,
+                    outcome.reuse.fallback.is_some(),
+                    outcome.reuse.dirty_fraction(),
+                    outcome.reuse.delta_touched_nodes,
+                    outcome.elapsed,
+                );
                 metrics.alerts.add(new_alerts.len() as u64);
                 metrics.record_snapshot(outcome.epoch, engine.snapshots.lag(&engine.buffer));
                 metrics.scans_in_flight.dec();
@@ -70,6 +87,7 @@ fn executor_loop(engine: &Engine) {
                         config: spec.config,
                         threshold: spec.threshold,
                         scan_millis: outcome.elapsed.as_secs_f64() * 1e3,
+                        reuse: outcome.reuse,
                     },
                 );
             }

@@ -10,7 +10,7 @@
 //! brief.
 
 use ensemfdet::pipeline::Snapshot;
-use ensemfdet::EnsemFdetConfig;
+use ensemfdet::{EnsemFdetConfig, ReuseStats};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
@@ -34,6 +34,11 @@ pub struct ScanSpec {
     pub config: EnsemFdetConfig,
     /// Vote threshold for flagging.
     pub threshold: u32,
+    /// Run via the executor's incremental path (dirty-sample reuse with
+    /// fallback to a full scan) instead of an unconditional full scan.
+    /// Either way the flagged set is the same — see
+    /// [`ensemfdet::pipeline::ScanRunner::run_incremental`].
+    pub incremental: bool,
 }
 
 /// Lifecycle of a scan job.
@@ -85,6 +90,9 @@ pub struct ScanResultView {
     pub threshold: u32,
     /// Ensemble wall-clock in milliseconds.
     pub scan_millis: f64,
+    /// How the scan was produced: full vs incremental, fallback reason,
+    /// samples reused vs re-peeled, and the delta's footprint.
+    pub reuse: ReuseStats,
 }
 
 /// One job's externally visible record.
@@ -385,9 +393,11 @@ mod tests {
                 epoch,
                 transactions: 0,
                 graph: Arc::new(BipartiteGraph::from_edges(0, 0, vec![]).unwrap()),
+                delta: None,
             }),
             config: EnsemFdetConfig::default(),
             threshold: 1,
+            incremental: false,
         }
     }
 
@@ -401,6 +411,7 @@ mod tests {
             config: EnsemFdetConfig::default(),
             threshold: 1,
             scan_millis: 1.0,
+            reuse: ReuseStats::full(0),
         }
     }
 

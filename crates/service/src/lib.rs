@@ -13,6 +13,7 @@
 //! | `POST /v1/scans`         | optional overrides                     | enqueue an async scan → `202 {job_id, epoch}` |
 //! | `GET /v1/scans/{id}`     | —                                      | job status: `queued`/`running`/`done`/`failed` |
 //! | `GET /v1/scans/latest`   | —                                      | last published scan result |
+//! | `GET /v1/follow`         | —                                      | continuous-monitoring state: cached epoch, ingest lag, last scan's reuse profile |
 //! | `GET /v1/stats`          | —                                      | current graph statistics |
 //! | `GET /v1/config`         | —                                      | effective service configuration |
 //! | `GET /metrics`           | —                                      | Prometheus text metrics |
@@ -28,7 +29,11 @@
 //! ([`ensemfdet::pipeline::SnapshotStore`]) by a single background
 //! executor thread draining a bounded job queue ([`jobs::JobStore`]). A
 //! scan of any size leaves `POST /v1/transactions` latency untouched,
-//! and a job's result is bit-identical for a given (epoch, seed).
+//! and a job's result is bit-identical for a given (epoch, seed) — in
+//! either scan mode: follow mode (`--follow`, [`ApiConfig::follow`])
+//! makes scans default to the incremental dirty-sample-reuse path, which
+//! replays cached per-sample results the epoch delta provably left
+//! unchanged and re-peels only the rest.
 //!
 //! The HTTP layer is deliberately tiny (hand-rolled HTTP/1.1, no TLS): it
 //! exists so the detector can be driven by `curl` and integration-tested

@@ -1,18 +1,23 @@
 //! `ensemfdet-serve` — run the live-monitoring HTTP service.
 //!
 //! ```text
-//! ensemfdet-serve [ADDR] [N] [S] [T] [SCAN_INTERVAL] [MIN_TRANSACTIONS] [WORKERS] [QUEUE]
-//! # defaults:       127.0.0.1:7878  20  0.2  10  5000  2000  8  8
+//! ensemfdet-serve [--follow] [ADDR] [N] [S] [T] [SCAN_INTERVAL] [MIN_TRANSACTIONS] [WORKERS] [QUEUE]
+//! # defaults:                 127.0.0.1:7878  20  0.2  10  5000  2000  8  8
 //! ```
 //!
 //! `QUEUE` is the scan-job queue capacity (`429 queue_full` beyond it).
-//! The full HTTP contract lives in `docs/API.md`.
+//! `--follow` turns on follow mode: scans default to the incremental
+//! dirty-sample-reuse path and `GET /v1/follow` reports the monitoring
+//! state (see `docs/MONITORING.md`). The full HTTP contract lives in
+//! `docs/API.md`.
 
 use ensemfdet::{EnsemFdetConfig, MonitorConfig};
 use ensemfdet_service::{Api, ApiConfig, Server, ServerConfig};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let follow = args.iter().any(|a| a == "--follow");
+    args.retain(|a| a != "--follow");
     let addr = args.first().cloned().unwrap_or_else(|| "127.0.0.1:7878".into());
     let parse = |i: usize, default: f64| -> f64 {
         args.get(i).and_then(|s| s.parse().ok()).unwrap_or(default)
@@ -29,6 +34,7 @@ fn main() {
             min_transactions: parse(5, 2_000.0) as usize,
         },
         scan_queue_capacity: (parse(7, 8.0) as usize).max(1),
+        follow,
         ..Default::default()
     };
     let server_config = ServerConfig {
@@ -46,8 +52,12 @@ fn main() {
         server_config.workers
     );
     println!("endpoints (v1): GET /v1/health, GET /v1/stats, GET /v1/config, GET /metrics,");
-    println!("  POST /v1/transactions, POST /v1/scans, GET /v1/scans/{{id}}, GET /v1/scans/latest");
+    println!("  POST /v1/transactions, POST /v1/scans, GET /v1/scans/{{id}}, GET /v1/scans/latest,");
+    println!("  GET /v1/follow");
     println!("deprecated aliases: /health /stats /transactions /scan");
+    if follow {
+        println!("follow mode: scans default to incremental dirty-sample reuse");
+    }
     if let Err(e) = server.run() {
         eprintln!("server error: {e}");
         std::process::exit(1);

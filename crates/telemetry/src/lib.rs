@@ -310,6 +310,36 @@ pub struct ServiceMetrics {
     /// selection vectors on the mask path, full subgraph buffers and
     /// intern maps on the materializing path.
     pub sample_bytes_materialized: Counter,
+    /// Scans that actually ran the incremental per-sample reuse path.
+    pub scans_incremental: Counter,
+    /// Incremental scan requests that degraded to a full re-peel (cold
+    /// cache, config change, missing delta, or oversized delta).
+    pub scan_fallbacks: Counter,
+    /// Fraction of samples an incremental scan had to re-peel (one
+    /// observation per incremental scan; fallbacks observe 1.0).
+    pub dirty_sample_fraction: FractionHistogram,
+    /// Nodes touched by the delta behind the most recent incremental
+    /// scan.
+    pub delta_touched_nodes: Gauge,
+    /// Wall-clock of full-mode scans (the `mode="full"` series of
+    /// `ensemfdet_scan_mode_duration_seconds`).
+    pub scan_duration_full: Histogram,
+    /// Wall-clock of incremental-mode scans (`mode="incremental"`).
+    pub scan_duration_incremental: Histogram,
+}
+
+/// A [`Histogram`] whose default buckets cover a `[0, 1]` fraction
+/// instead of a latency — used for the dirty-sample fraction, where the
+/// interesting resolution is near 0 (most samples replayed).
+#[derive(Debug)]
+pub struct FractionHistogram(pub Histogram);
+
+impl Default for FractionHistogram {
+    fn default() -> Self {
+        FractionHistogram(Histogram::new(&[
+            0.0, 0.01, 0.025, 0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 1.0,
+        ]))
+    }
 }
 
 impl ServiceMetrics {
@@ -501,7 +531,74 @@ impl ServiceMetrics {
             "Bytes of per-sample state materialized across all scans.",
             self.sample_bytes_materialized.get(),
         );
+        write_counter(
+            &mut out,
+            "ensemfdet_scans_incremental_total",
+            "Scans that ran the incremental per-sample reuse path.",
+            self.scans_incremental.get(),
+        );
+        write_counter(
+            &mut out,
+            "ensemfdet_scan_fallbacks_total",
+            "Incremental scan requests that degraded to a full re-peel.",
+            self.scan_fallbacks.get(),
+        );
+        write_histogram(
+            &mut out,
+            "ensemfdet_dirty_sample_fraction",
+            "Fraction of samples an incremental scan re-peeled.",
+            &self.dirty_sample_fraction.0,
+        );
+        write_gauge(
+            &mut out,
+            "ensemfdet_delta_touched_nodes",
+            "Nodes touched by the delta behind the latest incremental scan.",
+            self.delta_touched_nodes.get(),
+        );
+        write_header(
+            &mut out,
+            "ensemfdet_scan_mode_duration_seconds",
+            "histogram",
+            "Wall-clock per scan, split by full vs incremental mode.",
+        );
+        for (mode, h) in [
+            ("full", &self.scan_duration_full),
+            ("incremental", &self.scan_duration_incremental),
+        ] {
+            write_histogram_samples(
+                &mut out,
+                "ensemfdet_scan_mode_duration_seconds",
+                &format!("mode=\"{mode}\","),
+                h,
+            );
+        }
         out
+    }
+
+    /// Records one scan's reuse telemetry: the mode-labelled duration
+    /// series, and — for incremental scans — the dirty-sample fraction
+    /// and delta size. A fallback counts as a full-mode scan with a
+    /// dirty fraction of 1.0 (every sample re-peeled).
+    pub fn record_scan_reuse(
+        &self,
+        incremental: bool,
+        fell_back: bool,
+        dirty_fraction: f64,
+        delta_touched: usize,
+        elapsed: Duration,
+    ) {
+        if incremental {
+            self.scans_incremental.inc();
+            self.dirty_sample_fraction.0.observe(dirty_fraction);
+            self.delta_touched_nodes.set(delta_touched as i64);
+            self.scan_duration_incremental.observe_duration(elapsed);
+        } else {
+            if fell_back {
+                self.scan_fallbacks.inc();
+                self.dirty_sample_fraction.0.observe(1.0);
+            }
+            self.scan_duration_full.observe_duration(elapsed);
+        }
     }
 
     /// Records one completed scan job: time spent queued and the
@@ -765,5 +862,29 @@ mod tests {
         assert!(text.contains("ensemfdet_snapshot_lag_transactions 42"));
         assert!(text.contains("ensemfdet_scan_job_duration_seconds_count 1"));
         assert!(text.contains("ensemfdet_scan_queue_wait_seconds_count 1"));
+    }
+
+    #[test]
+    fn incremental_scan_metrics_render() {
+        let m = ServiceMetrics::new();
+        // One incremental scan: 2 of 8 samples re-peeled, 14 nodes touched.
+        m.record_scan_reuse(true, false, 0.25, 14, Duration::from_millis(12));
+        // One plain full scan (no fallback).
+        m.record_scan_reuse(false, false, 1.0, 0, Duration::from_millis(80));
+        // One fallback (oversized delta, say).
+        m.record_scan_reuse(false, true, 1.0, 0, Duration::from_millis(75));
+        let text = m.render();
+        assert!(text.contains("ensemfdet_scans_incremental_total 1"));
+        assert!(text.contains("ensemfdet_scan_fallbacks_total 1"));
+        assert!(text.contains("ensemfdet_delta_touched_nodes 14"));
+        // 0.25 lands in the le=0.35 bucket; the fallback's 1.0 joins at 1.
+        assert!(text.contains("ensemfdet_dirty_sample_fraction_bucket{le=\"0.35\"} 1"));
+        assert!(text.contains("ensemfdet_dirty_sample_fraction_bucket{le=\"1\"} 2"));
+        assert!(text.contains("ensemfdet_dirty_sample_fraction_count 2"));
+        // Mode-labelled duration series: 1 incremental, 2 full.
+        assert!(text.contains(
+            "ensemfdet_scan_mode_duration_seconds_count{mode=\"incremental\"} 1"
+        ));
+        assert!(text.contains("ensemfdet_scan_mode_duration_seconds_count{mode=\"full\"} 2"));
     }
 }
