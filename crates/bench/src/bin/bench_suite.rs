@@ -1,7 +1,9 @@
 //! `bench_suite` — the reproducible benchmarks behind `BENCH_PR2.json`
 //! (csr vs naive peeling engines), `BENCH_PR4.json` (sampling data
-//! paths), `BENCH_PR6.json` (bucket-queue peel engines), and
-//! `BENCH_PR7.json` (incremental vs full scans under sustained ingest).
+//! paths), `BENCH_PR6.json` (bucket-queue peel engines), `BENCH_PR7.json`
+//! (incremental vs full scans under sustained ingest), and
+//! `BENCH_PR8.json` (the full-JD-scale sharded build + parallel
+//! ensemble).
 //!
 //! **Engine phase** times the two peeling engines (`csr`, the default hot
 //! path, vs `naive`, the reference implementation) on fixed-seed
@@ -56,10 +58,24 @@
 //! blocks, scores, and ensemble votes — a timing comparison between
 //! non-equivalent implementations would be meaningless.
 //!
+//! **Full-scale phase** runs on jd3 at `1/4` of Table I (≈1.08M users,
+//! ≈2.0M edges — ten times the default suite scale) regardless of
+//! `--scale`, and times the three parallel paths this repo grew for that
+//! size against their sequential baselines, each pair gated bit-identical
+//! first: the sharded CSR build vs the sequential counting sort, the
+//! worker-pool ensemble (`workers = N`) vs the single-worker drain, the
+//! mask vs materialize sample paths under the pool (per-sample subgraph
+//! materialization contends on the allocator across threads; masks over
+//! the shared parent CSR don't), and the NDJSON ingest parser vs the
+//! legacy JSON-array parser on the same records. The speedups are
+//! *measured*, not ideal-parallel projections —
+//! on a single-core machine the parallel variants land near (or below)
+//! 1×, and that is the number recorded.
+//!
 //! `--smoke` additionally drives the HTTP service's v1 surface over a real
-//! socket (ingest → async scan job → result) and aborts if any step
-//! misbehaves, so CI catches service regressions without a separate
-//! harness.
+//! socket (JSON-array and NDJSON ingest → async scan jobs, one with a
+//! `workers` override → results) and aborts if any step misbehaves, so CI
+//! catches service regressions without a separate harness.
 //!
 //! Timing protocol: `--warmup` unmeasured iterations, then `--reps`
 //! measured ones with the two engines interleaved back-to-back within
@@ -77,9 +93,11 @@
 //! path, `--out-sampling FILE` (default `BENCH_PR4.json`) the sampling
 //! one, `--out-peel FILE` (default `BENCH_PR6.json`) the peel-engine
 //! one, `--out-incremental FILE` (default `BENCH_PR7.json`) the
-//! incremental-scan one; `--scale N` resizes the datasets as in every
-//! other experiment binary. Absolute numbers are machine-dependent; the
-//! speedup ratios are the portable signal.
+//! incremental-scan one, `--out-scale FILE` (default `BENCH_PR8.json`)
+//! the full-scale one; `--scale N` resizes the datasets as in every
+//! other experiment binary (the full-scale phase pins its own divisor).
+//! Absolute numbers are machine-dependent; the speedup ratios are the
+//! portable signal.
 
 use ensemfdet::pipeline::{IngestBuffer, ScanRunner, SnapshotStore};
 use ensemfdet::{
@@ -93,6 +111,7 @@ use ensemfdet_graph::{
     BipartiteGraph, CsrView, MerchantId, SampleMaps, SampleSpec, SpecResolver, UserId,
 };
 use ensemfdet_sampling::{seed, Sampler, SamplerScratch, SamplingMethod};
+use ensemfdet_service::api::{parse_json_records, parse_ndjson_records};
 use serde::Serialize;
 use std::sync::Arc;
 use std::time::Instant;
@@ -767,6 +786,233 @@ struct IncrementalArtifact {
     speedups: Vec<IncrementalSpeedup>,
 }
 
+// ---------------------------------------------------------------------------
+// Full-scale phase (BENCH_PR8.json)
+// ---------------------------------------------------------------------------
+
+/// Population divisor for the full-scale phase: jd3 at `1/4` of Table I
+/// (≈1.08M users, ≈0.66M merchants, ≈2.0M edges) — the largest graph the
+/// suite times. Smoke runs substitute the tiny smoke scale.
+const SCALE_DIVISOR: u32 = 4;
+
+/// Ensemble ratios timed at full scale — the paper's operating points.
+const SCALE_RATIOS: [f64; 2] = [0.01, 0.1];
+
+/// Records in the ingest-parse comparison — sized to roughly one
+/// `MAX_BODY` (1 MiB) batch, the largest body the endpoint accepts.
+const INGEST_RECORDS: usize = 45_000;
+const INGEST_RECORDS_SMOKE: usize = 2_000;
+
+/// Worker threads the parallel variants run with: every core the machine
+/// offers, but at least two so the sharded build and the sample pool
+/// actually cross threads even on a single-core box — where the honest
+/// result is the coordination overhead, not an ideal-parallel projection.
+fn scale_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2)
+}
+
+/// The same records rendered as the two wire formats the ingest endpoint
+/// accepts: the legacy `{"records": [[u, m], …]}` envelope and one
+/// `["u", "m"]` line per record (NDJSON).
+fn ingest_bodies(records: &[(String, String)]) -> (Vec<u8>, Vec<u8>) {
+    let rendered: Vec<String> = records
+        .iter()
+        .map(|(u, m)| format!("[\"{u}\",\"{m}\"]"))
+        .collect();
+    let json = format!("{{\"records\":[{}]}}", rendered.join(",")).into_bytes();
+    let mut ndjson = rendered.join("\n");
+    ndjson.push('\n');
+    (json, ndjson.into_bytes())
+}
+
+/// Every parallel variant must match its sequential baseline before any
+/// timing: the sharded CSR build bit-identical to the sequential counting
+/// sort (edge arrays and every adjacency row), the worker-pool ensemble
+/// bit-identical to the single-worker drain (votes, evidence, per-sample
+/// diagnostics), and the NDJSON parser agreeing with the JSON-array
+/// parser on the same records.
+fn scale_equivalence_gate(g: &BipartiteGraph, workers: usize) -> Result<(), String> {
+    let seq = CsrView::from_graph(g);
+    let shard = CsrView::from_graph_sharded(g, workers);
+    if shard.edge_ids() != seq.edge_ids()
+        || shard.edge_users() != seq.edge_users()
+        || shard.edge_merchants() != seq.edge_merchants()
+        || shard.edge_weights() != seq.edge_weights()
+    {
+        return Err("sharded CSR edge arrays differ from sequential".into());
+    }
+    for u in 0..g.num_users() as u32 {
+        if shard.user_neighbors(UserId(u)).pairs != seq.user_neighbors(UserId(u)).pairs {
+            return Err(format!("sharded CSR user row {u} differs from sequential"));
+        }
+    }
+    for v in 0..g.num_merchants() as u32 {
+        if shard.merchant_neighbors(MerchantId(v)).pairs != seq.merchant_neighbors(MerchantId(v)).pairs
+        {
+            return Err(format!("sharded CSR merchant row {v} differs from sequential"));
+        }
+    }
+
+    let cfg = EnsemFdetConfig {
+        num_samples: ENSEMBLE_SAMPLES,
+        sample_ratio: SCALE_RATIOS[0],
+        seed: ENSEMBLE_SEED,
+        ..Default::default()
+    };
+    let one = EnsemFdet::with_workers(cfg, 1).detect(g);
+    let par = EnsemFdet::with_workers(cfg, workers).detect(g);
+    if par.votes != one.votes {
+        return Err(format!("ensemble votes differ between 1 and {workers} workers"));
+    }
+    if par.evidence.user_evidence != one.evidence.user_evidence {
+        return Err(format!("evidence differs between 1 and {workers} workers"));
+    }
+    for (a, b) in one.samples.iter().zip(&par.samples) {
+        if a.scores != b.scores
+            || a.sample_nodes != b.sample_nodes
+            || a.sample_edges != b.sample_edges
+            || a.k_hat != b.k_hat
+        {
+            return Err(format!(
+                "sample #{} diagnostics differ between 1 and {workers} workers",
+                a.index
+            ));
+        }
+    }
+
+    let records: Vec<(String, String)> = (0..512)
+        .map(|i| (format!("user-{i}"), format!("store-{}", i % 37)))
+        .collect();
+    let (json, ndjson) = ingest_bodies(&records);
+    let a = parse_json_records(&json).map_err(|_| "JSON-array parser rejected valid records")?;
+    let b = parse_ndjson_records(&ndjson).map_err(|_| "NDJSON parser rejected valid records")?;
+    if a != records || b != records {
+        return Err("ingest parsers disagree with the source records".into());
+    }
+    Ok(())
+}
+
+/// `warmup` unmeasured alternating runs, then `reps` measured wall times
+/// per variant, interleaved baseline/variant within every rep (same
+/// drift rationale as [`time_workload_pair`]).
+fn time_variant_pair(
+    warmup: usize,
+    reps: usize,
+    mut baseline: impl FnMut(),
+    mut variant: impl FnMut(),
+) -> (Vec<f64>, Vec<f64>) {
+    for _ in 0..warmup {
+        baseline();
+        variant();
+    }
+    let mut base_t = Vec::with_capacity(reps);
+    let mut var_t = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        baseline();
+        base_t.push(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        variant();
+        var_t.push(t.elapsed().as_secs_f64());
+    }
+    (base_t, var_t)
+}
+
+#[derive(Serialize)]
+struct ScaleCell {
+    workload: String,
+    variant: String,
+    reps: usize,
+    median_s: f64,
+    p95_s: f64,
+    min_s: f64,
+}
+
+#[derive(Serialize)]
+struct ScaleSpeedup {
+    workload: String,
+    baseline: String,
+    variant: String,
+    /// Median of the per-rep `baseline / variant` wall-time ratios —
+    /// above 1 means the parallel (or NDJSON) variant won. Measured, not
+    /// an ideal-parallel projection: on a single-core machine the
+    /// threaded variants land near (or below) 1×, and that is the number
+    /// recorded.
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct ScaleArtifact {
+    schema: &'static str,
+    smoke: bool,
+    /// Population divisor of this phase's jd3 graph (always
+    /// [`SCALE_DIVISOR`] on full runs, regardless of `--scale`).
+    scale: u32,
+    warmup: usize,
+    reps: usize,
+    ensemble_samples: usize,
+    /// Worker threads the parallel variants ran with.
+    workers: usize,
+    /// What the machine actually offered; when `workers` exceeds it the
+    /// pool oversubscribes and the speedups honestly show the overhead.
+    available_parallelism: usize,
+    ingest_records: usize,
+    ingest_json_bytes: usize,
+    ingest_ndjson_bytes: usize,
+    equivalence: &'static str,
+    dataset: DatasetInfo,
+    cells: Vec<ScaleCell>,
+    speedups: Vec<ScaleSpeedup>,
+}
+
+/// Reduces one timed baseline/variant pair to its two [`ScaleCell`]s and
+/// a [`ScaleSpeedup`], printing the console row.
+fn summarize_scale_pair(
+    workload: &str,
+    names: [&str; 2],
+    base: Vec<f64>,
+    var: Vec<f64>,
+    reps: usize,
+    cells: &mut Vec<ScaleCell>,
+    speedups: &mut Vec<ScaleSpeedup>,
+) {
+    let mut ratios: Vec<f64> = base.iter().zip(&var).map(|(b, v)| b / v.max(1e-12)).collect();
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+    let speedup = median(&ratios);
+    let mut medians = [0.0f64; 2];
+    for (slot, (name, times)) in names.into_iter().zip([base, var]).enumerate() {
+        let mut times = times;
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        medians[slot] = median(&times);
+        cells.push(ScaleCell {
+            workload: workload.to_string(),
+            variant: name.to_string(),
+            reps,
+            median_s: median(&times),
+            p95_s: percentile(&times, 0.95),
+            min_s: times[0],
+        });
+    }
+    println!(
+        "{:<18} {:<12} {:>10.3} ms  {:<12} {:>10.3} ms  speedup {:.2}x",
+        workload,
+        names[0],
+        medians[0] * 1e3,
+        names[1],
+        medians[1] * 1e3,
+        speedup
+    );
+    speedups.push(ScaleSpeedup {
+        workload: workload.to_string(),
+        baseline: names[0].to_string(),
+        variant: names[1].to_string(),
+        speedup,
+    });
+}
+
 /// Drives the HTTP service's v1 surface over a real socket: ingest a
 /// small ring, submit an async scan job, poll it to completion, read the
 /// latest result. Any deviation is a hard error.
@@ -831,42 +1077,80 @@ fn service_smoke() -> Result<(), String> {
     ))?;
     expect(&resp, "200", "POST /v1/transactions")?;
 
-    let resp = roundtrip("POST /v1/scans HTTP/1.1\r\ncontent-length: 2\r\n\r\n{}".into())?;
-    expect(&resp, "202", "POST /v1/scans")?;
-    let job_id: u64 = resp
-        .split("\"job_id\":")
-        .nth(1)
-        .and_then(|s| s.split(|c: char| !c.is_ascii_digit()).next())
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| format!("no job_id in: {resp}"))?;
+    // NDJSON bulk path on the same endpoint: one record per line, and a
+    // malformed line must 400 with its 1-based line number without
+    // ingesting anything.
+    let nd_body: String = (0..10)
+        .map(|p| format!("[\"pin-nd-{p}\",\"store-{}\"]\n", p % 20))
+        .collect();
+    let resp = roundtrip(format!(
+        "POST /v1/transactions HTTP/1.1\r\ncontent-type: application/x-ndjson\r\n\
+         content-length: {}\r\n\r\n{nd_body}",
+        nd_body.len()
+    ))?;
+    expect(&resp, "200", "POST /v1/transactions (ndjson)")?;
+    let bad = "[\"only-one-field\"]\n";
+    let resp = roundtrip(format!(
+        "POST /v1/transactions HTTP/1.1\r\ncontent-type: application/x-ndjson\r\n\
+         content-length: {}\r\n\r\n{bad}",
+        bad.len()
+    ))?;
+    expect(&resp, "400", "POST bad NDJSON line")?;
+    if !resp.contains("\"line\":1") {
+        return Err(format!("bad NDJSON line not pinpointed: {resp}"));
+    }
 
-    let deadline = Instant::now() + Duration::from_secs(30);
-    loop {
-        let resp = roundtrip(format!("GET /v1/scans/{job_id} HTTP/1.1\r\n\r\n"))?;
-        expect(&resp, "200", "GET /v1/scans/{id}")?;
-        if resp.contains("\"status\":\"done\"") {
-            if !resp.contains("bot-") {
-                return Err(format!("scan flagged no ring accounts: {resp}"));
+    let submit = |body: &str| -> Result<u64, String> {
+        let resp = roundtrip(format!(
+            "POST /v1/scans HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        ))?;
+        expect(&resp, "202", "POST /v1/scans")?;
+        resp.split("\"job_id\":")
+            .nth(1)
+            .and_then(|s| s.split(|c: char| !c.is_ascii_digit()).next())
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("no job_id in: {resp}"))
+    };
+    let poll_done = |job_id: u64| -> Result<String, String> {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let resp = roundtrip(format!("GET /v1/scans/{job_id} HTTP/1.1\r\n\r\n"))?;
+            expect(&resp, "200", "GET /v1/scans/{id}")?;
+            if resp.contains("\"status\":\"done\"") {
+                return Ok(resp);
             }
-            break;
+            if resp.contains("\"status\":\"failed\"") {
+                return Err(format!("scan job failed: {resp}"));
+            }
+            if Instant::now() > deadline {
+                return Err(format!("scan job never finished: {resp}"));
+            }
+            std::thread::sleep(Duration::from_millis(10));
         }
-        if resp.contains("\"status\":\"failed\"") {
-            return Err(format!("scan job failed: {resp}"));
-        }
-        if Instant::now() > deadline {
-            return Err(format!("scan job never finished: {resp}"));
-        }
-        std::thread::sleep(Duration::from_millis(10));
+    };
+
+    let resp = poll_done(submit("{}")?)?;
+    if !resp.contains("bot-") {
+        return Err(format!("scan flagged no ring accounts: {resp}"));
+    }
+    // A per-scan workers override must run and echo the effective count.
+    let resp = poll_done(submit("{\"workers\":2}")?)?;
+    if !resp.contains("\"workers\":2") {
+        return Err(format!("workers override not echoed in result: {resp}"));
     }
 
     let resp = roundtrip("GET /v1/scans/latest HTTP/1.1\r\n\r\n".into())?;
     expect(&resp, "200", "GET /v1/scans/latest")?;
     let resp = roundtrip("GET /v1/config HTTP/1.1\r\n\r\n".into())?;
     expect(&resp, "200", "GET /v1/config")?;
+    if !resp.contains("\"workers\"") {
+        return Err(format!("config page missing workers: {resp}"));
+    }
     let resp = roundtrip("GET /metrics HTTP/1.1\r\n\r\n".into())?;
     expect(&resp, "200", "GET /metrics")?;
-    if !resp.contains("ensemfdet_scans_total 1") {
-        return Err(format!("scan not counted in metrics: {resp}"));
+    if !resp.contains("ensemfdet_scans_total 2") {
+        return Err(format!("scans not counted in metrics: {resp}"));
     }
     server.shutdown();
     Ok(())
@@ -895,6 +1179,11 @@ fn main() {
         .position(|a| a == "--out-incremental")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_PR7.json".to_string());
+    let out_scale = args
+        .iter()
+        .position(|a| a == "--out-scale")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_PR8.json".to_string());
     // Smoke mode: tiny datasets, minimal repetitions — a CI-speed check
     // that the harness runs end-to-end and the engines stay equivalent.
     let scale = if smoke { 400 } else { resolve_scale(&args) };
@@ -1312,6 +1601,188 @@ fn main() {
         Ok(()) => println!("\n[saved {out_incremental}]"),
         Err(e) => {
             eprintln!("cannot write {out_incremental}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // -- Full-scale phase ---------------------------------------------------
+    let scale_divisor = if smoke { scale } else { SCALE_DIVISOR };
+    let workers = scale_workers();
+    let available = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "\n== bench_suite: full-JD-scale sharded build + parallel ensemble \
+         (jd3 at 1/{scale_divisor}, {workers} workers, {available} cores) ==\n"
+    );
+    let ds = datasets::load(JdDataset::Jd3, scale_divisor);
+    let g = &ds.graph;
+    println!(
+        "jd3: {} users, {} merchants, {} edges",
+        g.num_users(),
+        g.num_merchants(),
+        g.num_edges()
+    );
+    print!("equivalence gate (sharded build / worker pool / ingest parsers) ... ");
+    if let Err(e) = scale_equivalence_gate(g, workers) {
+        println!("FAILED");
+        eprintln!("full-scale equivalence gate failed: {e}");
+        std::process::exit(1);
+    }
+    println!("ok\n");
+
+    let mut scale_cells = Vec::new();
+    let mut scale_speedups = Vec::new();
+    let sharded_name = format!("sharded_w{workers}");
+    {
+        let mut seq_view = CsrView::new();
+        let mut shard_view = CsrView::new();
+        let (base, var) = time_variant_pair(
+            warmup,
+            reps,
+            || {
+                seq_view.rebuild(g, None);
+                std::hint::black_box(seq_view.num_edges());
+            },
+            || {
+                shard_view.rebuild_sharded(g, workers);
+                std::hint::black_box(shard_view.num_edges());
+            },
+        );
+        summarize_scale_pair(
+            "csr_build",
+            ["sequential", &sharded_name],
+            base,
+            var,
+            reps,
+            &mut scale_cells,
+            &mut scale_speedups,
+        );
+    }
+    let workers_name = format!("workers_{workers}");
+    for ratio in SCALE_RATIOS {
+        let cfg = EnsemFdetConfig {
+            num_samples: ENSEMBLE_SAMPLES,
+            sample_ratio: ratio,
+            seed: ENSEMBLE_SEED,
+            ..Default::default()
+        };
+        let (base, var) = time_variant_pair(
+            warmup,
+            reps,
+            || {
+                std::hint::black_box(
+                    EnsemFdet::with_workers(cfg, 1).detect(g).votes.max_user_votes(),
+                );
+            },
+            || {
+                std::hint::black_box(
+                    EnsemFdet::with_workers(cfg, workers).detect(g).votes.max_user_votes(),
+                );
+            },
+        );
+        summarize_scale_pair(
+            &format!("ensemble_s{ratio:.2}"),
+            ["workers_1", &workers_name],
+            base,
+            var,
+            reps,
+            &mut scale_cells,
+            &mut scale_speedups,
+        );
+    }
+    // The mask path's allocator-contention win: under the worker pool,
+    // materialize builds every sample as its own compacted subgraph —
+    // N threads hammering the global allocator — while mask threads only
+    // write selection vectors over the shared parent CSR.
+    {
+        let cfg_of = |path| EnsemFdetConfig {
+            num_samples: ENSEMBLE_SAMPLES,
+            sample_ratio: SCALE_RATIOS[1],
+            path,
+            seed: ENSEMBLE_SEED,
+            ..Default::default()
+        };
+        let (base, var) = time_variant_pair(
+            warmup,
+            reps,
+            || {
+                std::hint::black_box(
+                    EnsemFdet::with_workers(cfg_of(SamplePath::Materialize), workers)
+                        .detect(g)
+                        .votes
+                        .max_user_votes(),
+                );
+            },
+            || {
+                std::hint::black_box(
+                    EnsemFdet::with_workers(cfg_of(SamplePath::Mask), workers)
+                        .detect(g)
+                        .votes
+                        .max_user_votes(),
+                );
+            },
+        );
+        summarize_scale_pair(
+            &format!("pool_path_s{:.2}", SCALE_RATIOS[1]),
+            [&format!("materialize_w{workers}"), &format!("mask_w{workers}")],
+            base,
+            var,
+            reps,
+            &mut scale_cells,
+            &mut scale_speedups,
+        );
+    }
+    let ingest_records = if smoke { INGEST_RECORDS_SMOKE } else { INGEST_RECORDS };
+    let records: Vec<(String, String)> = (0..ingest_records)
+        .map(|i| (format!("user-{i}"), format!("store-{}", i % 9973)))
+        .collect();
+    let (json_body, ndjson_body) = ingest_bodies(&records);
+    {
+        let (base, var) = time_variant_pair(
+            warmup,
+            reps,
+            || {
+                std::hint::black_box(parse_json_records(&json_body).expect("gated").len());
+            },
+            || {
+                std::hint::black_box(parse_ndjson_records(&ndjson_body).expect("gated").len());
+            },
+        );
+        summarize_scale_pair(
+            "ingest_parse",
+            ["json_array", "ndjson"],
+            base,
+            var,
+            reps,
+            &mut scale_cells,
+            &mut scale_speedups,
+        );
+    }
+    let scale_artifact = ScaleArtifact {
+        schema: "ensemfdet-full-scale/v1",
+        smoke,
+        scale: scale_divisor,
+        warmup,
+        reps,
+        ensemble_samples: ENSEMBLE_SAMPLES,
+        workers,
+        available_parallelism: available,
+        ingest_records,
+        ingest_json_bytes: json_body.len(),
+        ingest_ndjson_bytes: ndjson_body.len(),
+        equivalence: "sharded build and worker pool bit-identical; ingest parsers agree",
+        dataset: DatasetInfo {
+            name: "jd3",
+            users: g.num_users(),
+            merchants: g.num_merchants(),
+            edges: g.num_edges(),
+        },
+        cells: scale_cells,
+        speedups: scale_speedups,
+    };
+    match ensemfdet_eval::write_json(&scale_artifact, &out_scale) {
+        Ok(()) => println!("\n[saved {out_scale}]"),
+        Err(e) => {
+            eprintln!("cannot write {out_scale}: {e}");
             std::process::exit(1);
         }
     }

@@ -24,6 +24,8 @@ OPTIONS:
                           [default: csr]
     --sample-path P       mask | materialize sampling data path [default: mask]
     --seed N              RNG seed [default: 42]
+    --workers W           worker threads for the sample pool; results are
+                          identical for every W [default: 0 = auto]
     --timing              print the ensemble's wall-clock breakdown
   fraudar:
     --k N                 number of blocks [default: 30]
@@ -71,15 +73,25 @@ pub(crate) fn sampling_method(args: &Args) -> Result<SamplingMethodConfig, Strin
 }
 
 /// Ensemble timing: total wall-clock, per-sample mean/max, the speedup
-/// rayon actually realized (sum of sample times / wall-clock), the
-/// per-stage CPU-time split (sampling / detection / aggregation), and
-/// the sampling data path with the bytes it materialized.
+/// the worker pool actually realized (sum of sample times / wall-clock), the
+/// worker count with each worker's busy time, the per-stage CPU-time
+/// split (sampling / detection / aggregation), and the sampling data path
+/// with the bytes it materialized.
 pub(crate) fn timing_summary(path: SamplePath, outcome: &EnsembleOutcome) -> String {
     let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
     let n = outcome.samples.len().max(1);
     let total = outcome.total_sample_time();
+    let busy_max = outcome
+        .worker_times
+        .iter()
+        .max()
+        .copied()
+        .unwrap_or_default();
+    let busy_mean =
+        outcome.worker_times.iter().map(|d| ms(*d)).sum::<f64>() / outcome.workers.max(1) as f64;
     format!(
         "timing: {:.1} ms wall-clock over {} samples; per-sample mean {:.1} ms, max {:.1} ms; realized speedup {:.1}x\n\
+         workers: {} (busy mean {:.1} ms, max {:.1} ms)\n\
          stages: sampling {:.1} ms, detection {:.1} ms, aggregation {:.1} ms (CPU time summed over samples)\n\
          sample path: {path}, {} bytes materialized ({:.0} per sample)",
         ms(outcome.elapsed),
@@ -87,6 +99,9 @@ pub(crate) fn timing_summary(path: SamplePath, outcome: &EnsembleOutcome) -> Str
         ms(total) / n as f64,
         ms(outcome.max_sample_time()),
         ms(total) / ms(outcome.elapsed).max(1e-9),
+        outcome.workers,
+        busy_mean,
+        ms(busy_max),
         ms(outcome.stages.sampling),
         ms(outcome.stages.detection),
         ms(outcome.stages.aggregation),
@@ -132,9 +147,10 @@ pub fn run(args: &Args) -> Result<String, String> {
         "ensemfdet" => {
             let cfg = ensemfdet_config(args)?;
             let threshold: u32 = args.get_or("threshold", (cfg.num_samples as u32).div_ceil(2))?;
+            let workers: usize = args.get_or("workers", 0)?;
             let timing = args.flag("timing");
             args.finish()?;
-            let outcome = EnsemFdet::new(cfg).detect(&g);
+            let outcome = EnsemFdet::with_workers(cfg, workers).detect(&g);
             if timing {
                 timing_note = Some(timing_summary(cfg.path, &outcome));
             }
@@ -257,6 +273,22 @@ mod tests {
         assert!(out.contains("stages: sampling"), "{out}");
         assert!(out.contains("sample path: mask"), "{out}");
         assert!(out.contains("bytes materialized"), "{out}");
+        assert!(out.contains("workers: "), "{out}");
+    }
+
+    #[test]
+    fn workers_flag_is_result_invariant_and_reported() {
+        let gf = graph_file();
+        let base = &["--graph", gf.as_str(), "--samples", "6", "--ratio", "0.5"];
+        let one = run(&args(&[base as &[_], &["--workers", "1"]].concat())).unwrap();
+        let four = run(&args(&[base as &[_], &["--workers", "4"]].concat())).unwrap();
+        assert_eq!(one, four, "worker count changed the flagged set");
+        // --timing names the pinned pool size.
+        let timed = run(&args(
+            &[base as &[_], &["--workers", "2", "--timing"]].concat(),
+        ))
+        .unwrap();
+        assert!(timed.contains("workers: 2"), "{timed}");
     }
 
     #[test]

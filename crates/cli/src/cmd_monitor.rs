@@ -36,6 +36,8 @@ OPTIONS:
     --sample-path P       mask | materialize [default: mask]
     --threshold T         vote threshold [default: N/2]
     --seed N              RNG seed [default: 42]
+    --workers W           worker threads for the sample pool; results are
+                          identical for every W [default: 0 = auto]
 ";
 
 /// Runs the command.
@@ -88,12 +90,14 @@ pub fn run(args: &Args) -> Result<String, String> {
         ..Default::default()
     };
     let threshold: u32 = args.get_or("threshold", (cfg.num_samples as u32).div_ceil(2))?;
+    let workers: usize = args.get_or("workers", 0)?;
     args.finish()?;
 
     let tl = ramp_timeline(&jd_preset(which, scale, cfg.seed), epochs);
     let buffer = IngestBuffer::new();
     let store = SnapshotStore::new(1);
     let mut runner = ScanRunner::new();
+    runner.set_workers(workers);
 
     let mut lines = vec![format!(
         "mode: {} | {} epochs after base | N={} S={} sampling={:?}",

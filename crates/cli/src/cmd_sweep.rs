@@ -18,7 +18,7 @@ OPTIONS:
     --json FILE           also write the curve as JSON
   ensemfdet:
     --samples N  --ratio S  --sampling M  --engine E  --sample-path P  --seed N
-                          (as in `detect`)
+    --workers W           (as in `detect`)
     --timing              print the ensemble's wall-clock breakdown
   fraudar:
     --k N                 blocks to sweep [default: 30]
@@ -52,9 +52,10 @@ pub fn run(args: &Args) -> Result<String, String> {
     let (pr, roc): (PrCurve, RocCurve) = match method.as_str() {
         "ensemfdet" => {
             let cfg = ensemfdet_config(args)?;
+            let workers: usize = args.get_or("workers", 0)?;
             let timing = args.flag("timing");
             args.finish()?;
-            let outcome = EnsemFdet::new(cfg).detect(&g);
+            let outcome = EnsemFdet::with_workers(cfg, workers).detect(&g);
             if timing {
                 timing_note = Some(timing_summary(cfg.path, &outcome));
             }

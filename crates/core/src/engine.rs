@@ -295,6 +295,14 @@ pub struct FdetEngine {
     in_block: Vec<bool>,
     /// Epoch-stamped intern scratch for [`FdetEngine::run_spec`].
     resolver: SpecResolver,
+    /// Threads for the first-iteration full-graph view build
+    /// ([`CsrView::rebuild_sharded`]); `0`/`1` = sequential. Never
+    /// affects results — the sharded build is bit-identical — so it
+    /// lives outside every equality/config surface. Defaults to
+    /// sequential: ensemble samples are small and already run on a pool;
+    /// direct full-parent peels (benches, full-ratio runs) opt in via
+    /// [`set_build_workers`](Self::set_build_workers).
+    build_workers: usize,
 }
 
 thread_local! {
@@ -311,6 +319,13 @@ impl FdetEngine {
     /// A fresh engine with empty (unallocated) scratch.
     pub fn new() -> Self {
         FdetEngine::default()
+    }
+
+    /// Sets the thread count for the first-iteration full-graph view
+    /// build (see the `build_workers` field). A pure throughput knob:
+    /// any value peels bit-identically.
+    pub fn set_build_workers(&mut self, workers: usize) {
+        self.build_workers = workers;
     }
 
     /// Runs FDET through this thread's cached engine, recycling the view
@@ -470,7 +485,7 @@ impl FdetEngine {
                 _ => {
                     if blocks.is_empty() {
                         // First iteration: every edge is alive.
-                        self.view.rebuild(g, None);
+                        self.view.rebuild_sharded(g, self.build_workers);
                     } else {
                         // Later iterations: shrink the previous snapshot
                         // instead of re-scanning the parent's dead edges.

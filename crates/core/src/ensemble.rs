@@ -1,10 +1,14 @@
 //! ENSEMFDET (Algorithm 2): sample → FDET in parallel → vote.
 //!
-//! The `N` sampled runs are independent, so they map perfectly onto rayon's
-//! work-stealing pool — this is the parallelism behind the paper's
-//! `Time(EnsemFDet) < S × Time(Fraudar)` claim. Per-sample seeds are derived
-//! deterministically from the master seed, so the outcome is identical
-//! regardless of thread count or scheduling.
+//! The `N` sampled runs are independent, so they drain perfectly off a
+//! shared work list — this is the parallelism behind the paper's
+//! `Time(EnsemFDet) < S × Time(Fraudar)` claim. The ensemble runs on an
+//! explicit worker pool ([`EnsemFdet::with_workers`]): `W` scoped threads,
+//! each owning its own thread-local [`FdetEngine`] and
+//! [`SamplerScratch`], claim sample indices from an atomic cursor until
+//! the list is dry. Per-sample seeds are derived deterministically from
+//! the master seed and results are gathered by sample index, so the
+//! outcome is identical regardless of worker count or scheduling.
 
 use crate::aggregate::VoteTally;
 use crate::engine::{Engine, FdetEngine};
@@ -14,8 +18,8 @@ use crate::incremental::{ReuseStats, SampleContribution, ScanCache};
 use crate::metric::MetricKind;
 use ensemfdet_graph::{BipartiteGraph, GraphDelta, SampleMaps, SampleSpec, SampledGraph};
 use ensemfdet_sampling::{seed, spec_unaffected, Sampler, SamplerScratch, SamplingMethod};
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use std::time::Instant;
@@ -207,6 +211,13 @@ pub struct EnsembleOutcome {
     pub elapsed: Duration,
     /// Per-stage wall-clock breakdown (sampling / detection / aggregation).
     pub stages: StageTimings,
+    /// Worker threads the sample pool actually ran with (after clamping
+    /// to the sample count).
+    pub workers: usize,
+    /// Per-worker busy time for this pass — the wall-clock each pool
+    /// worker spent draining samples, one entry per worker. Never affects
+    /// results; pure diagnostics.
+    pub worker_times: Vec<Duration>,
 }
 
 impl EnsembleOutcome {
@@ -237,6 +248,85 @@ impl EnsembleOutcome {
 #[derive(Clone, Debug)]
 pub struct EnsemFdet {
     config: EnsemFdetConfig,
+    /// Worker threads for the sample pool; `0` = one per available core.
+    /// Deliberately *outside* [`EnsemFdetConfig`]: the config's equality
+    /// is the "bit-identical scans" contract the incremental cache keys
+    /// on, and the worker count never changes results — only wall-clock.
+    workers: usize,
+}
+
+/// Resolves a configured worker count: `0` means one worker per available
+/// core, anything else is taken literally.
+pub fn effective_workers(workers: usize) -> usize {
+    if workers == 0 {
+        std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1)
+    } else {
+        workers
+    }
+}
+
+/// Runs `f` over `0..n` on a pool of `workers` scoped threads draining an
+/// atomic cursor, gathering results in index order. Each spawned thread
+/// carries its own thread-local engine/scratch set, so per-worker state
+/// never crosses threads. A single worker (or a single item) runs inline
+/// on the calling thread — no spawn, same results.
+///
+/// Returns the results and each worker's busy time (the pool's
+/// parallelism diagnostics).
+fn drain_pool<T, F>(n: usize, workers: usize, f: F) -> (Vec<T>, Vec<Duration>)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.clamp(1, n.max(1));
+    if workers == 1 {
+        let t0 = Instant::now();
+        let out: Vec<T> = (0..n).map(&f).collect();
+        return (out, vec![t0.elapsed()]);
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let cursor = &cursor;
+    let per_worker: Vec<(Vec<(usize, T)>, Duration)> = std::thread::scope(|sc| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                sc.spawn(move || {
+                    let t0 = Instant::now();
+                    let mut claimed = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        claimed.push((i, f(i)));
+                    }
+                    (claimed, t0.elapsed())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("ensemble pool worker panicked"))
+            .collect()
+    });
+
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let mut times = Vec::with_capacity(workers);
+    for (claimed, busy) in per_worker {
+        times.push(busy);
+        for (i, v) in claimed {
+            slots[i] = Some(v);
+        }
+    }
+    let out = slots
+        .into_iter()
+        .map(|s| s.expect("every sample index claimed exactly once"))
+        .collect();
+    (out, times)
 }
 
 thread_local! {
@@ -272,18 +362,34 @@ impl EnsemFdet {
     ///
     /// Panics if `num_samples == 0` or `sample_ratio ∉ (0, 1]`.
     pub fn new(config: EnsemFdetConfig) -> Self {
+        Self::with_workers(config, 0)
+    }
+
+    /// [`new`](Self::new) with an explicit worker-pool size (`0` = one
+    /// worker per available core). Worker count is a throughput knob
+    /// only — any two counts produce bit-identical outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_samples == 0` or `sample_ratio ∉ (0, 1]`.
+    pub fn with_workers(config: EnsemFdetConfig, workers: usize) -> Self {
         assert!(config.num_samples > 0, "N must be at least 1");
         assert!(
             config.sample_ratio > 0.0 && config.sample_ratio <= 1.0,
             "S must be in (0, 1], got {}",
             config.sample_ratio
         );
-        EnsemFdet { config }
+        EnsemFdet { config, workers }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &EnsemFdetConfig {
         &self.config
+    }
+
+    /// The configured worker-pool size (`0` = auto).
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// Runs Algorithm 2 on `g`: sample `N` subgraphs, run FDET on each in
@@ -308,12 +414,13 @@ impl EnsemFdet {
         let cfg = &self.config;
         let method: SamplingMethod = cfg.method.into();
 
-        let entries: Vec<Arc<SampleContribution>> = (0..cfg.num_samples)
-            .into_par_iter()
-            .map(|i| Arc::new(self.run_sample(g, method, i)))
-            .collect();
+        let (entries, worker_times): (Vec<Arc<SampleContribution>>, Vec<Duration>) = drain_pool(
+            cfg.num_samples,
+            effective_workers(self.workers),
+            |i| Arc::new(self.run_sample(g, method, i)),
+        );
 
-        let outcome = self.aggregate(g, &entries, None, start);
+        let outcome = self.aggregate(g, &entries, None, start, worker_times);
         let cache = ScanCache {
             base_epoch: epoch,
             base_dims: (g.num_users(), g.num_merchants(), g.num_edges()),
@@ -364,9 +471,8 @@ impl EnsemFdet {
         let cfg = &self.config;
         let method: SamplingMethod = cfg.method.into();
 
-        let per_sample: Vec<(Arc<SampleContribution>, bool)> = (0..cfg.num_samples)
-            .into_par_iter()
-            .map(|i| {
+        let (per_sample, worker_times): (Vec<(Arc<SampleContribution>, bool)>, Vec<Duration>) =
+            drain_pool(cfg.num_samples, effective_workers(self.workers), |i| {
                 let clean = SAMPLE_SCRATCH.with(|cell| {
                     let (scratch, spec, _maps) = &mut *cell.borrow_mut();
                     let sample_seed = seed::derive(cfg.seed, i as u64);
@@ -378,15 +484,14 @@ impl EnsemFdet {
                 } else {
                     (Arc::new(self.run_sample(g, method, i)), false)
                 }
-            })
-            .collect();
+            });
 
         let reused = per_sample.iter().filter(|(_, r)| *r).count();
         let fresh: Vec<bool> = per_sample.iter().map(|(_, r)| !*r).collect();
         let entries: Vec<Arc<SampleContribution>> =
             per_sample.into_iter().map(|(c, _)| c).collect();
 
-        let outcome = self.aggregate(g, &entries, Some(&fresh), start);
+        let outcome = self.aggregate(g, &entries, Some(&fresh), start, worker_times);
         let stats = ReuseStats {
             incremental: true,
             fallback: None,
@@ -434,13 +539,16 @@ impl EnsemFdet {
     /// in *where* a contribution came from — aggregate bit-identically.
     ///
     /// `fresh`: which samples were actually computed this pass (`None` =
-    /// all of them); stage timings sum over those only.
+    /// all of them); stage timings sum over those only. `worker_times` is
+    /// the pool's per-worker busy time, passed straight through to the
+    /// outcome.
     fn aggregate(
         &self,
         g: &BipartiteGraph,
         entries: &[Arc<SampleContribution>],
         fresh: Option<&[bool]>,
         start: Instant,
+        worker_times: Vec<Duration>,
     ) -> EnsembleOutcome {
         let t_agg = Instant::now();
         let mut votes = VoteTally::new(g.num_users(), g.num_merchants());
@@ -477,6 +585,8 @@ impl EnsemFdet {
             samples,
             elapsed: start.elapsed(),
             stages,
+            workers: worker_times.len(),
+            worker_times,
         }
     }
 
@@ -904,6 +1014,63 @@ mod tests {
             (g.num_users(), g.num_merchants(), g.num_edges()),
         );
         EnsemFdet::new(other).detect_incremental(&g, &delta, &cache);
+    }
+
+    /// The worker pool is a throughput knob only: workers=1 (inline, no
+    /// spawn) and workers=4 (scoped pool) must produce bit-identical
+    /// votes, evidence, and per-sample blocks/scores for every seed.
+    #[test]
+    fn worker_count_never_changes_results() {
+        let g = planted(10, 4, 80);
+        for seed in [7u64, 1234, 0xDEAD_BEEF] {
+            let mut cfg = quick_config(8, 0.4);
+            cfg.seed = seed;
+            let seq = EnsemFdet::with_workers(cfg, 1).detect(&g);
+            let par = EnsemFdet::with_workers(cfg, 4).detect(&g);
+
+            assert_eq!(seq.workers, 1, "seed {seed}");
+            assert_eq!(seq.worker_times.len(), 1, "seed {seed}");
+            assert_eq!(par.workers, 4, "seed {seed}");
+            assert_eq!(par.worker_times.len(), 4, "seed {seed}");
+
+            assert_eq!(seq.votes, par.votes, "seed {seed}");
+            assert_eq!(
+                seq.evidence.user_evidence, par.evidence.user_evidence,
+                "seed {seed}"
+            );
+            assert_eq!(
+                seq.evidence.merchant_evidence, par.evidence.merchant_evidence,
+                "seed {seed}"
+            );
+            for (a, b) in seq.samples.iter().zip(&par.samples) {
+                assert_eq!(a.index, b.index, "seed {seed}");
+                assert_eq!(a.blocks_peeled, b.blocks_peeled, "seed {seed} #{}", a.index);
+                assert_eq!(a.k_hat, b.k_hat, "seed {seed} #{}", a.index);
+                assert_eq!(a.scores, b.scores, "seed {seed} #{}", a.index);
+            }
+        }
+    }
+
+    /// The incremental path runs through the same pool: replay/re-peel
+    /// with 4 workers matches a 1-worker run and a from-scratch scan.
+    #[test]
+    fn incremental_is_worker_count_invariant() {
+        let g = planted(10, 4, 80);
+        let cfg = quick_config(8, 0.4);
+        let delta = ensemfdet_graph::GraphDelta::unchanged(
+            1,
+            2,
+            (g.num_users(), g.num_merchants(), g.num_edges()),
+        );
+        let det1 = EnsemFdet::with_workers(cfg, 1);
+        let det4 = EnsemFdet::with_workers(cfg, 4);
+        let (_, cache1) = det1.detect_with_cache(&g, 1);
+        let (_, cache4) = det4.detect_with_cache(&g, 1);
+        let (inc1, s1, _) = det1.detect_incremental(&g, &delta, &cache1);
+        let (inc4, s4, _) = det4.detect_incremental(&g, &delta, &cache4);
+        assert_eq!(s1.samples_reused, s4.samples_reused);
+        assert_eq!(inc1.votes, inc4.votes);
+        assert_eq!(inc1.evidence.user_evidence, inc4.evidence.user_evidence);
     }
 
     /// Mask-path bookkeeping is O(sample selection); the materializing

@@ -534,6 +534,10 @@ pub struct ScanOutcome {
     /// (selection vectors on the mask path, full subgraph buffers on the
     /// materializing path).
     pub sample_bytes: u64,
+    /// Worker threads the ensemble's sample pool ran with.
+    pub workers: usize,
+    /// Per-worker busy time, one entry per pool worker.
+    pub worker_times: Vec<Duration>,
     /// How this outcome was produced: full scan, incremental with
     /// per-sample reuse accounting, or a fallback (and why). The flagged
     /// set is identical either way — this is performance telemetry.
@@ -554,12 +558,30 @@ pub struct ScanOutcome {
 pub struct ScanRunner {
     alerted: HashSet<u32>,
     cache: Option<ScanCache>,
+    /// Sample-pool worker threads for every pass this runner drives;
+    /// `0` = one per available core. A wall-clock knob only — any value
+    /// produces the same flagged set (see [`EnsemFdet::with_workers`]),
+    /// which is why it lives outside [`EnsemFdetConfig`] and never
+    /// invalidates the incremental cache.
+    workers: usize,
 }
 
 impl ScanRunner {
     /// A runner with no alert history.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Sets the sample-pool worker count for subsequent passes (`0` =
+    /// auto). Safe to change between scans — results are worker-count
+    /// invariant, so the cache stays valid.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers;
+    }
+
+    /// The configured sample-pool worker count (`0` = auto).
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// Runs one full ensemble pass over `snapshot`.
@@ -580,7 +602,7 @@ impl ScanRunner {
         threshold: u32,
     ) -> ScanOutcome {
         assert!(threshold > 0, "alert threshold must be positive");
-        let outcome = EnsemFdet::new(*config).detect(&snapshot.graph);
+        let outcome = EnsemFdet::with_workers(*config, self.workers).detect(&snapshot.graph);
         let reuse = ReuseStats::full(config.num_samples);
         self.finish(snapshot, outcome, reuse, threshold)
     }
@@ -615,7 +637,7 @@ impl ScanRunner {
         policy: &IncrementalPolicy,
     ) -> ScanOutcome {
         assert!(threshold > 0, "alert threshold must be positive");
-        let detector = EnsemFdet::new(*config);
+        let detector = EnsemFdet::with_workers(*config, self.workers);
         let attempt: Result<GraphDelta, FallbackReason> = match &self.cache {
             None => Err(FallbackReason::ColdCache),
             Some(cache) if cache.config != *config => Err(FallbackReason::ConfigChanged),
@@ -703,6 +725,8 @@ impl ScanRunner {
             sample_bytes: outcome.sample_bytes(),
             elapsed: outcome.elapsed,
             stages: outcome.stages,
+            workers: outcome.workers,
+            worker_times: outcome.worker_times,
             votes: outcome.votes,
             reuse,
         }

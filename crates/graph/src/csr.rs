@@ -109,6 +109,14 @@ impl CsrView {
         view
     }
 
+    /// [`from_graph`](Self::from_graph) with the build sharded over
+    /// `workers` threads; see [`rebuild_sharded`](Self::rebuild_sharded).
+    pub fn from_graph_sharded(g: &BipartiteGraph, workers: usize) -> Self {
+        let mut view = CsrView::new();
+        view.rebuild_sharded(g, workers);
+        view
+    }
+
     /// Builds the view of the subgraph spanned by edges with
     /// `edge_alive[e] == true`.
     ///
@@ -172,6 +180,95 @@ impl CsrView {
             }
         }
         self.fill_sides();
+    }
+
+    /// Full-graph [`rebuild`](Self::rebuild) sharded over `workers`
+    /// scoped threads — the parent-snapshot build for full-JD-scale
+    /// scans, where the two counting sorts dominate.
+    ///
+    /// Each stage parallelizes over contiguous edge ranges: the canonical
+    /// arrays are copied in disjoint chunks, per-shard degree counts feed
+    /// one sequential prefix sum that assigns every shard a per-node write
+    /// cursor, and the scatter then writes each shard's edge range through
+    /// its own cursors. Because shard `s` covers edges `[s·c, (s+1)·c)`
+    /// and its cursor for a node starts after all earlier shards'
+    /// occurrences of that node, the output order per CSR row is exactly
+    /// ascending edge index — the same stable counting sort
+    /// [`rebuild`](Self::rebuild) runs sequentially, so the result is
+    /// **bit-identical** for any worker count (gated in tests and by the
+    /// `bench_suite` scale phase).
+    ///
+    /// `workers == 0` or `1` (or an edgeless graph) falls back to the
+    /// sequential builder. Transient cost: one `num_nodes`-sized count
+    /// array per shard per unsorted side.
+    pub fn rebuild_sharded(&mut self, g: &BipartiteGraph, workers: usize) {
+        let m = g.num_edges();
+        let workers = workers.clamp(1, m.max(1));
+        if workers == 1 {
+            self.rebuild(g, None);
+            return;
+        }
+        self.num_users = g.num_users();
+        self.num_merchants = g.num_merchants();
+
+        let pairs = g.edge_pairs();
+        let chunk = m.div_ceil(workers);
+        self.e_id.clear();
+        self.e_id.resize(m, 0);
+        self.e_u.clear();
+        self.e_u.resize(m, 0);
+        self.e_v.clear();
+        self.e_v.resize(m, 0);
+        self.e_w.clear();
+        self.e_w.resize(m, 1.0);
+        let weights = g.weight_values();
+        std::thread::scope(|sc| {
+            let shards = self
+                .e_id
+                .chunks_mut(chunk)
+                .zip(self.e_u.chunks_mut(chunk))
+                .zip(self.e_v.chunks_mut(chunk))
+                .zip(self.e_w.chunks_mut(chunk))
+                .enumerate();
+            for (s, (((ids, us), vs), ws)) in shards {
+                let base = s * chunk;
+                let src = &pairs[base..base + ids.len()];
+                let w_src = weights.map(|w| &w[base..base + ids.len()]);
+                sc.spawn(move || {
+                    for (j, (id, ((u, v), &(pu, pv)))) in ids
+                        .iter_mut()
+                        .zip(us.iter_mut().zip(vs.iter_mut()).zip(src))
+                        .enumerate()
+                    {
+                        *id = (base + j) as u32;
+                        *u = pu;
+                        *v = pv;
+                    }
+                    if let Some(w_src) = w_src {
+                        ws.copy_from_slice(w_src);
+                    }
+                });
+            }
+        });
+
+        fill_side_sharded(
+            &mut self.u_off,
+            &mut self.u_adj,
+            self.num_users,
+            &self.e_u,
+            &self.e_v,
+            &self.e_w,
+            workers,
+        );
+        fill_side_sharded(
+            &mut self.v_off,
+            &mut self.v_adj,
+            self.num_merchants,
+            &self.e_v,
+            &self.e_u,
+            &self.e_w,
+            workers,
+        );
     }
 
     /// Re-fills the view in place directly from a sampler's
@@ -481,6 +578,128 @@ fn fill_side(
     off[0] = 0;
 }
 
+/// A raw pointer that may cross scoped-thread boundaries. Used for the
+/// sharded scatter, where disjointness of the writes is established by
+/// the cursor construction rather than by slice splitting (each shard's
+/// write set is interleaved across the whole adjacency array).
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// Sharded [`fill_side`]: parallel per-shard degree counts over edge
+/// ranges, one sequential prefix sum handing every `(shard, node)` pair
+/// its write cursor, then a parallel scatter of each shard's edge range.
+///
+/// Output is bit-identical to the sequential stable counting sort: a
+/// shard's cursor for node `n` starts at `off[n]` plus all earlier
+/// shards' occurrences of `n`, and within a shard edges are visited in
+/// ascending index, so every CSR row lists its edges in global edge
+/// order — exactly what stability means.
+fn fill_side_sharded(
+    off: &mut Vec<u32>,
+    adj: &mut Vec<(u32, f64)>,
+    num_nodes: usize,
+    own: &[u32],
+    other: &[u32],
+    weights: &[f64],
+    workers: usize,
+) {
+    let m = own.len();
+    let workers = workers.clamp(1, m.max(1));
+    if workers == 1 {
+        fill_side(off, adj, num_nodes, own, other, weights);
+        return;
+    }
+    let chunk = m.div_ceil(workers);
+
+    // Stage 1: per-shard degree counts, each over its own edge range.
+    let mut counts: Vec<Vec<u32>> = std::thread::scope(|sc| {
+        let handles: Vec<_> = own
+            .chunks(chunk)
+            .map(|range| {
+                sc.spawn(move || {
+                    let mut cnt = vec![0u32; num_nodes];
+                    for &n in range {
+                        cnt[n as usize] += 1;
+                    }
+                    cnt
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("csr degree-count shard panicked"))
+            .collect()
+    });
+
+    // Stage 2: prefix sum. `off[n]` becomes node n's row start; each
+    // shard's count entry becomes its write cursor for that node (row
+    // start advanced past every earlier shard's occurrences).
+    off.clear();
+    off.resize(num_nodes + 1, 0);
+    let mut total = 0u32;
+    for n in 0..num_nodes {
+        off[n] = total;
+        for cnt in counts.iter_mut() {
+            let deg = cnt[n];
+            cnt[n] = total;
+            total += deg;
+        }
+    }
+    off[num_nodes] = total;
+
+    adj.clear();
+    // Same fast path as the sequential builder: sorted endpoints make the
+    // stable sort the identity, so the adjacency is a chunked parallel
+    // copy of the canonical arrays.
+    if own.is_sorted() {
+        adj.resize(m, (0, 0.0));
+        std::thread::scope(|sc| {
+            for ((dst, o), w) in adj
+                .chunks_mut(chunk)
+                .zip(other.chunks(chunk))
+                .zip(weights.chunks(chunk))
+            {
+                sc.spawn(move || {
+                    for (d, (&o, &w)) in dst.iter_mut().zip(o.iter().zip(w)) {
+                        *d = (o, w);
+                    }
+                });
+            }
+        });
+        return;
+    }
+
+    // Stage 3: scatter. Each shard writes its edge range through its own
+    // cursors. SAFETY: the cursor construction above partitions `0..m`
+    // exactly — slot `cursor_s[n] + k` is claimed by precisely one
+    // `(shard, node, occurrence)` triple — so all writes are disjoint and
+    // every slot is written exactly once before the scope joins.
+    adj.resize(m, (0, 0.0));
+    let adj_ptr = SendPtr(adj.as_mut_ptr());
+    std::thread::scope(|sc| {
+        for (s, (own_c, (other_c, w_c))) in own
+            .chunks(chunk)
+            .zip(other.chunks(chunk).zip(weights.chunks(chunk)))
+            .enumerate()
+        {
+            let mut cursor = std::mem::take(&mut counts[s]);
+            sc.spawn(move || {
+                let adj_ptr = adj_ptr;
+                for i in 0..own_c.len() {
+                    let n = own_c[i] as usize;
+                    let slot = cursor[n] as usize;
+                    unsafe {
+                        *adj_ptr.0.add(slot) = (other_c[i], w_c[i]);
+                    }
+                    cursor[n] += 1;
+                }
+            });
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -684,6 +903,69 @@ mod tests {
         assert_views_identical(&view, &CsrView::from_graph(&sampled.graph));
         assert_eq!(maps.orig_users, sampled.orig_users);
         assert_eq!(maps.orig_merchants, sampled.orig_merchants);
+    }
+
+    /// A pseudo-random graph with multi-edges and skewed degrees — enough
+    /// irregularity that a scatter-order bug would misplace entries.
+    fn scrambled_graph(nu: u32, nv: u32, m: usize, weighted: bool) -> BipartiteGraph {
+        let mut x = 0x9E37_79B9u64;
+        let mut step = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let edges: Vec<(u32, u32)> = (0..m)
+            .map(|_| {
+                let u = (step() % nu as u64) as u32;
+                // Skew merchants so some rows are long, some empty.
+                let v = ((step() % nv as u64) * (step() % nv as u64) / nv as u64) as u32;
+                (u, v)
+            })
+            .collect();
+        if weighted {
+            let w = (0..m).map(|_| (step() % 1000) as f64 / 10.0 + 0.1).collect();
+            BipartiteGraph::from_weighted_edges(nu as usize, nv as usize, edges, w).unwrap()
+        } else {
+            BipartiteGraph::from_edges(nu as usize, nv as usize, edges).unwrap()
+        }
+    }
+
+    /// The sharded build is the same stable counting sort — every private
+    /// field bit-identical to the sequential builder, for any worker
+    /// count, graph shape, and weighting.
+    #[test]
+    fn sharded_build_matches_sequential_bit_for_bit() {
+        let graphs = [
+            scrambled_graph(97, 41, 1_123, false),
+            scrambled_graph(97, 41, 1_123, true),
+            scrambled_graph(5, 400, 777, true),
+            sample_graph(),
+            BipartiteGraph::from_edges(3, 3, vec![]).unwrap(),
+            BipartiteGraph::from_edges(0, 0, vec![]).unwrap(),
+            BipartiteGraph::from_edges(1, 1, vec![(0, 0), (0, 0)]).unwrap(),
+        ];
+        for (gi, g) in graphs.iter().enumerate() {
+            let sequential = CsrView::from_graph(g);
+            for workers in [0, 1, 2, 3, 5, 16] {
+                let sharded = CsrView::from_graph_sharded(g, workers);
+                assert_views_identical(&sharded, &sequential);
+                let _ = (gi, workers); // context on failure via panic site
+            }
+        }
+    }
+
+    /// `rebuild_sharded` reuses a dirty view's allocations without
+    /// leaking state from the previous fill.
+    #[test]
+    fn sharded_rebuild_reuses_dirty_view() {
+        let big = scrambled_graph(60, 30, 500, true);
+        let small = sample_graph();
+        let mut view = CsrView::from_graph_sharded(&big, 4);
+        view.rebuild_sharded(&small, 4);
+        assert_views_identical(&view, &CsrView::from_graph(&small));
+        view.rebuild_sharded(&big, 3);
+        assert_views_identical(&view, &CsrView::from_graph(&big));
     }
 
     #[test]

@@ -153,29 +153,36 @@ impl SampleMaps {
 }
 
 /// Number of low bits of a resolver slot holding the local id; the
-/// remaining high bits hold the epoch stamp.
-const SLOT_LOCAL_BITS: u32 = 24;
+/// remaining high bits hold the epoch stamp. The full `u32` id space
+/// fits, so every node id the graph layer can represent is resolvable —
+/// full-JD-scale parents (~4.3 M users) use a fraction of the range.
+const SLOT_LOCAL_BITS: u32 = 32;
 /// Mask extracting the local id from a slot.
-const SLOT_LOCAL_MASK: u32 = (1 << SLOT_LOCAL_BITS) - 1;
+const SLOT_LOCAL_MASK: u64 = (1 << SLOT_LOCAL_BITS) - 1;
 
 /// Reusable epoch-stamped intern scratch for resolving specs.
 ///
 /// The materializing constructors pay two `O(parent)` `u32::MAX` memsets
 /// per sample for their intern maps. This scratch keeps the maps alive
-/// across samples and invalidates them by bumping an 8-bit epoch stamp
+/// across samples and invalidates them by bumping a 32-bit epoch stamp
 /// instead, so a steady-state resolve touches only the sampled rows.
 /// Buffers grow monotonically to the largest parent seen and the epoch
-/// wrap (once per 255 resolves) triggers the only full clear — an
-/// amortized `O(parent / 255)` per resolve.
+/// wrap (once per 2³² − 1 resolves) triggers the only full clear — an
+/// amortized cost of effectively zero. Slots were originally packed
+/// `u32`s with an 8-bit epoch / 24-bit local split; the 2²⁴ side cap
+/// that split imposed sat ~4× under the full JD parent graph, so the
+/// slots were widened to `u64` — same single-probe layout, headroom for
+/// the whole id space.
 #[derive(Clone, Debug, Default)]
 pub struct SpecResolver {
-    /// Packed `(stamp << 24) | local` per parent user: one cache line
-    /// covers sixteen probe targets, and a single array access both
+    /// Packed `(stamp << 32) | local` per parent user: one cache line
+    /// covers eight probe targets, and a single array access both
     /// checks and reads the mapping.
-    u_slot: Vec<u32>,
+    u_slot: Vec<u64>,
     /// Merchant-side twin of `u_slot`.
-    v_slot: Vec<u32>,
-    /// Current 8-bit stamp, 1..=255; `0` marks never-touched slots.
+    v_slot: Vec<u64>,
+    /// Current 32-bit stamp, 1..=`u32::MAX`; `0` marks never-touched
+    /// slots.
     epoch: u32,
 }
 
@@ -186,43 +193,33 @@ impl SpecResolver {
     }
 
     /// Starts a new resolve against a parent with the given side sizes.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a side exceeds the packed-slot capacity of 2²⁴ − 1
-    /// (≈ 16.7 M) nodes — ~4× the full JD parent graph. Lift
-    /// `SLOT_LOCAL_BITS` to a wider slot type if a deployment ever
-    /// reaches that.
+    /// Any side the `u32` id space can address is accepted.
     pub(crate) fn begin(&mut self, num_users: usize, num_merchants: usize) {
-        assert!(
-            num_users.max(num_merchants) <= SLOT_LOCAL_MASK as usize,
-            "SpecResolver supports at most {} nodes per side, got {}",
-            SLOT_LOCAL_MASK,
-            num_users.max(num_merchants),
-        );
         if self.u_slot.len() < num_users {
             self.u_slot.resize(num_users, 0);
         }
         if self.v_slot.len() < num_merchants {
             self.v_slot.resize(num_merchants, 0);
         }
-        self.epoch += 1;
-        if self.epoch > (u32::MAX >> SLOT_LOCAL_BITS) {
+        if self.epoch == u32::MAX {
+            // Epoch wrap: a restarted counter could collide with stale
+            // stamps, so this is the one full clear.
             self.u_slot.fill(0);
             self.v_slot.fill(0);
-            self.epoch = 1;
+            self.epoch = 0;
         }
+        self.epoch += 1;
     }
 
     /// Checks that the next local id still fits the slot's low bits.
     ///
-    /// [`SpecResolver::begin`] already caps each *side*, which bounds how
-    /// many distinct ids can be interned, so this can only fire if a
-    /// caller feeds a pre-populated `originals` vector or the packing ever
-    /// changes — but a violation would not crash, it would silently
-    /// corrupt the epoch bits (`(epoch << 24) | local` with `local ≥ 2²⁴`
-    /// carries into the stamp) and alias unrelated parent ids across
-    /// samples. Worth one branch per first-seen node to keep impossible.
+    /// Graph sides are addressed by `u32`, which bounds how many distinct
+    /// ids can be interned, so this can only fire if a caller feeds a
+    /// pre-populated `originals` vector past `u32::MAX` entries — but a
+    /// violation would not crash, it would silently corrupt the epoch
+    /// bits (`(epoch << 32) | local` with `local ≥ 2³²` carries into the
+    /// stamp) and alias unrelated parent ids across samples. Worth one
+    /// branch per first-seen node to keep impossible.
     #[inline]
     fn check_local_cap(next_local: usize) {
         assert!(
@@ -238,12 +235,12 @@ impl SpecResolver {
     pub(crate) fn intern_user(&mut self, raw: u32, originals: &mut Vec<u32>) -> u32 {
         let i = raw as usize;
         let slot = self.u_slot[i];
-        if slot >> SLOT_LOCAL_BITS == self.epoch {
-            slot & SLOT_LOCAL_MASK
+        if (slot >> SLOT_LOCAL_BITS) as u32 == self.epoch {
+            (slot & SLOT_LOCAL_MASK) as u32
         } else {
             Self::check_local_cap(originals.len());
             let local = originals.len() as u32;
-            self.u_slot[i] = (self.epoch << SLOT_LOCAL_BITS) | local;
+            self.u_slot[i] = ((self.epoch as u64) << SLOT_LOCAL_BITS) | local as u64;
             originals.push(raw);
             local
         }
@@ -254,12 +251,12 @@ impl SpecResolver {
     pub(crate) fn intern_merchant(&mut self, raw: u32, originals: &mut Vec<u32>) -> u32 {
         let i = raw as usize;
         let slot = self.v_slot[i];
-        if slot >> SLOT_LOCAL_BITS == self.epoch {
-            slot & SLOT_LOCAL_MASK
+        if (slot >> SLOT_LOCAL_BITS) as u32 == self.epoch {
+            (slot & SLOT_LOCAL_MASK) as u32
         } else {
             Self::check_local_cap(originals.len());
             let local = originals.len() as u32;
-            self.v_slot[i] = (self.epoch << SLOT_LOCAL_BITS) | local;
+            self.v_slot[i] = ((self.epoch as u64) << SLOT_LOCAL_BITS) | local as u64;
             originals.push(raw);
             local
         }
@@ -269,8 +266,8 @@ impl SpecResolver {
     #[inline]
     pub(crate) fn merchant_local(&self, raw: u32) -> Option<u32> {
         let slot = self.v_slot[raw as usize];
-        if slot >> SLOT_LOCAL_BITS == self.epoch {
-            Some(slot & SLOT_LOCAL_MASK)
+        if (slot >> SLOT_LOCAL_BITS) as u32 == self.epoch {
+            Some((slot & SLOT_LOCAL_MASK) as u32)
         } else {
             None
         }
@@ -362,35 +359,73 @@ mod tests {
         assert_eq!(r.merchant_local(3), None);
     }
 
+    /// The packed-u32 layout this replaced capped each side (and every
+    /// local id) at 2²⁴ − 1.
+    const OLD_U32_CAP: usize = (1 << 24) - 1;
+
     #[test]
-    #[should_panic(expected = "SpecResolver supports at most")]
-    fn begin_rejects_sides_beyond_the_slot_cap() {
-        // The assert fires before any slot buffer is resized, so this
-        // never allocates the 64 MiB a legal side of that size would need.
-        SpecResolver::new().begin(SLOT_LOCAL_MASK as usize + 1, 1);
+    fn begin_accepts_sides_beyond_the_old_packed_u32_cap() {
+        // The retired 8-bit-epoch/24-bit-local u32 layout panicked here;
+        // u64 slots make a full-JD-sized side (and well beyond) legal.
+        let side = OLD_U32_CAP + 2;
+        let mut r = SpecResolver::new();
+        let mut orig = Vec::new();
+        r.begin(side, 8);
+        // Raw ids past the old cap intern and re-probe without touching
+        // the epoch bits.
+        assert_eq!(r.intern_user(OLD_U32_CAP as u32 + 1, &mut orig), 0);
+        assert_eq!(r.intern_user(7, &mut orig), 1);
+        assert_eq!(r.intern_user(OLD_U32_CAP as u32 + 1, &mut orig), 0);
+        assert_eq!(orig, vec![OLD_U32_CAP as u32 + 1, 7]);
+    }
+
+    #[test]
+    fn locals_past_the_old_packed_cap_do_not_alias() {
+        // Regression for the 2²⁴ boundary: under the packed-u32 layout a
+        // local id of exactly 2²⁴ carried into the epoch stamp, aliasing
+        // unrelated parent ids across samples. Cross the boundary for
+        // real — intern 2²⁴ + 64 distinct users — and verify every
+        // mapping round-trips, then that a new epoch forgets them all.
+        let side = OLD_U32_CAP + 65;
+        let mut r = SpecResolver::new();
+        let mut orig = Vec::new();
+        r.begin(side, 8);
+        for raw in 0..side as u32 {
+            assert_eq!(r.intern_user(raw, &mut orig), raw);
+        }
+        assert_eq!(orig.len(), side);
+        // Re-probe a spread of ids either side of the old boundary: each
+        // must return its original local, not an epoch-corrupted alias.
+        for raw in [
+            0u32,
+            OLD_U32_CAP as u32 - 1,
+            OLD_U32_CAP as u32,
+            OLD_U32_CAP as u32 + 1,
+            side as u32 - 1,
+        ] {
+            assert_eq!(r.intern_user(raw, &mut orig), raw, "alias at {raw}");
+        }
+        assert_eq!(orig.len(), side, "re-probes must not re-intern");
+
+        // A new epoch invalidates every slot, including those whose local
+        // ids exceeded the old cap.
+        let mut orig2 = Vec::new();
+        r.begin(side, 8);
+        assert_eq!(r.intern_user(side as u32 - 1, &mut orig2), 0);
+        assert_eq!(orig2, vec![side as u32 - 1]);
     }
 
     #[test]
     #[should_panic(expected = "SpecResolver slot overflow")]
-    fn intern_refuses_local_ids_past_the_packed_cap() {
-        // Simulate the 2²⁴-th first-seen node of one sample: a pre-filled
-        // `originals` vector makes the next local id 2²⁴, which would
-        // carry into the epoch bits if packed. The guard must fire instead
-        // of silently corrupting the slot.
-        let mut r = SpecResolver::new();
-        r.begin(8, 8);
-        let mut originals = vec![0u32; (SLOT_LOCAL_MASK as usize) + 1];
-        r.intern_user(1, &mut originals);
+    fn check_local_cap_still_guards_the_u64_packing() {
+        // The guard survives the widening: a local id of 2³² would carry
+        // into the (now 32-bit) epoch stamp. Unreachable through graph
+        // sides (u32-addressed) — exercised directly.
+        SpecResolver::check_local_cap(SLOT_LOCAL_MASK as usize + 1);
     }
 
     #[test]
-    fn intern_accepts_the_last_representable_local_id() {
-        // local == SLOT_LOCAL_MASK is the boundary: it still packs without
-        // touching the epoch bits, so it must round-trip.
-        let mut r = SpecResolver::new();
-        r.begin(8, 8);
-        let mut originals = vec![0u32; SLOT_LOCAL_MASK as usize];
-        assert_eq!(r.intern_user(3, &mut originals), SLOT_LOCAL_MASK);
-        assert_eq!(r.intern_user(3, &mut originals), SLOT_LOCAL_MASK);
+    fn check_local_cap_accepts_the_last_representable_local_id() {
+        SpecResolver::check_local_cap(SLOT_LOCAL_MASK as usize);
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! Every sampled graph in an ensemble run gets its own RNG seeded by
 //! `derive(master_seed, sample_index)`, so results are identical no matter
-//! how rayon schedules the samples across threads.
+//! how the worker pool schedules the samples across threads.
 
 /// SplitMix64 step — the standard 64-bit finalizer, good enough to decouple
 /// consecutive seeds.

@@ -61,6 +61,11 @@ pub struct ApiConfig {
     /// When incremental scans give up on reuse and re-peel everything
     /// (oversized deltas).
     pub incremental_policy: IncrementalPolicy,
+    /// Worker threads for the ensemble's sample pool (`0` = auto-detect
+    /// from the machine). Purely a wall-clock knob: scan results are
+    /// identical for every worker count, so it lives outside the
+    /// detector config and any scan may override it per request.
+    pub workers: usize,
 }
 
 impl Default for ApiConfig {
@@ -81,6 +86,7 @@ impl Default for ApiConfig {
             result_ring: 16,
             follow: false,
             incremental_policy: IncrementalPolicy::default(),
+            workers: 0,
         }
     }
 }
@@ -179,7 +185,7 @@ impl Api {
             ("GET", "/metrics" | "/v1/metrics") => self.metrics_page(),
             ("GET", "/v1/config") => self.config_page(),
             ("GET", "/v1/follow") => self.follow_status(),
-            ("POST", "/v1/transactions" | "/transactions") => self.transactions(&request.body),
+            ("POST", "/v1/transactions" | "/transactions") => self.transactions(request),
             ("POST", "/v1/scans") => self.submit_scan(&request.body),
             ("POST", "/scan") => self.scan_sync(&request.body),
             ("GET", "/v1/scans/latest") => self.latest_scan(),
@@ -223,8 +229,10 @@ impl Api {
                 "result_ring": c.result_ring,
                 "follow": c.follow,
                 "max_touched_fraction": c.incremental_policy.max_touched_fraction,
+                "workers": c.workers,
                 "scan_overrides": [
                     "num_samples", "sample_ratio", "threshold", "path", "engine", "mode",
+                    "workers",
                 ],
             }),
         )
@@ -290,41 +298,35 @@ impl Api {
         )
     }
 
-    fn transactions(&self, body: &[u8]) -> Response {
-        let parsed: Value = match serde_json::from_slice(body) {
-            Ok(v) => v,
-            Err(e) => return Response::error(400, "bad_request", format!("invalid JSON: {e}")),
+    /// `POST /v1/transactions`: bulk ingest, negotiated on content type.
+    ///
+    /// * `application/x-ndjson` — one `["user", "merchant"]` record per
+    ///   line, each line parsed directly into its pair (no JSON value
+    ///   tree is ever built for the batch).
+    /// * anything else (including no `Content-Type` header) — the
+    ///   original `{"records": [[user, merchant], …]}` JSON-array shape.
+    ///
+    /// Both paths validate the whole batch before touching any state, so
+    /// a bad batch is rejected whole and ingests nothing.
+    fn transactions(&self, request: &Request) -> Response {
+        let ndjson = request.content_type == "application/x-ndjson";
+        let started = std::time::Instant::now();
+        let keys = if ndjson {
+            parse_ndjson_records(&request.body)
+        } else {
+            parse_json_records(&request.body)
         };
-        let Some(records) = parsed.get("records").and_then(Value::as_array) else {
-            return Response::error(
-                400,
-                "bad_request",
-                "expected {\"records\": [[user, merchant], …]}",
-            );
+        self.engine.metrics.record_ingest_parse(ndjson, started.elapsed());
+        let keys = match keys {
+            Ok(keys) => keys,
+            Err(resp) => return resp,
         };
-        // Validate every record before touching any state, so a bad batch
-        // is rejected whole.
-        let mut keys = Vec::with_capacity(records.len());
-        for (i, record) in records.iter().enumerate() {
-            let pair = record.as_array().filter(|a| a.len() >= 2);
-            let (Some(user), Some(merchant)) = (
-                pair.and_then(|a| a[0].as_str()),
-                pair.and_then(|a| a[1].as_str()),
-            ) else {
-                return Response::error(
-                    400,
-                    "invalid_record",
-                    format!("record {i}: expected [user, merchant]"),
-                );
-            };
-            keys.push((user, merchant));
-        }
 
         let e = &self.engine;
         let ids: Vec<_> = {
             let mut interner = lock_recover(&e.interner);
             keys.iter()
-                .map(|&(u, v)| (interner.user(u), interner.merchant(v)))
+                .map(|(u, v)| (interner.user(u), interner.merchant(v)))
                 .collect()
         };
         let ingested = ids.len();
@@ -356,28 +358,34 @@ impl Api {
             e.config.monitor.detector,
             e.config.monitor.alert_threshold,
             e.config.follow,
+            e.config.workers,
         )
         .ok()
         .map(|(id, _epoch)| id)
     }
 
-    /// Effective detector config + threshold + scan mode for one scan
-    /// request: service defaults overlaid with any per-request overrides
-    /// from the body (`{}`/`null`/empty body mean "defaults"). The
-    /// default mode follows the service: incremental when follow mode is
-    /// on, full otherwise; an explicit `"mode"` override wins either way.
-    fn scan_overrides(&self, body: &[u8]) -> Result<(EnsemFdetConfig, u32, bool), Response> {
+    /// Effective detector config + threshold + scan mode + worker count
+    /// for one scan request: service defaults overlaid with any
+    /// per-request overrides from the body (`{}`/`null`/empty body mean
+    /// "defaults"). The default mode follows the service: incremental
+    /// when follow mode is on, full otherwise; an explicit `"mode"`
+    /// override wins either way.
+    fn scan_overrides(
+        &self,
+        body: &[u8],
+    ) -> Result<(EnsemFdetConfig, u32, bool, usize), Response> {
         let m = &self.engine.config.monitor;
         let mut config = m.detector;
         let mut threshold = m.alert_threshold;
         let mut incremental = self.engine.config.follow;
+        let mut workers = self.engine.config.workers;
         if body.iter().all(u8::is_ascii_whitespace) {
-            return Ok((config, threshold, incremental));
+            return Ok((config, threshold, incremental, workers));
         }
         let parsed: Value = serde_json::from_slice(body)
             .map_err(|e| Response::error(400, "bad_request", format!("invalid JSON: {e}")))?;
         if parsed.is_null() {
-            return Ok((config, threshold, incremental));
+            return Ok((config, threshold, incremental, workers));
         }
         let obj = parsed.as_object().ok_or_else(|| {
             Response::error(400, "invalid_config", "expected a JSON object of overrides")
@@ -461,16 +469,29 @@ impl Api {
                         }
                     };
                 }
+                "workers" => {
+                    let w = value
+                        .as_u64()
+                        .filter(|&w| w <= 256)
+                        .ok_or_else(|| {
+                            Response::error(
+                                400,
+                                "invalid_config",
+                                "workers must be an integer in [0, 256] (0 = auto)",
+                            )
+                        })?;
+                    workers = w as usize;
+                }
                 other => {
                     return Err(Response::error(
                         400,
                         "invalid_config",
-                        format!("unknown override {other:?} (expected num_samples, sample_ratio, threshold, path, engine, mode)"),
+                        format!("unknown override {other:?} (expected num_samples, sample_ratio, threshold, path, engine, mode, workers)"),
                     ));
                 }
             }
         }
-        Ok((config, threshold, incremental))
+        Ok((config, threshold, incremental, workers))
     }
 
     /// Pins the freshest snapshot and enqueues a scan job on it.
@@ -479,6 +500,7 @@ impl Api {
         config: EnsemFdetConfig,
         threshold: u32,
         incremental: bool,
+        workers: usize,
     ) -> Result<(u64, u64), Response> {
         let e = &self.engine;
         let snapshot = e.snapshots.refresh(&e.buffer, true);
@@ -490,6 +512,7 @@ impl Api {
             config,
             threshold,
             incremental,
+            workers,
         }) {
             Ok(id) => {
                 e.metrics.scan_queue_depth.set(e.jobs.queue_depth() as i64);
@@ -510,11 +533,11 @@ impl Api {
     }
 
     fn submit_scan(&self, body: &[u8]) -> Response {
-        let (config, threshold, incremental) = match self.scan_overrides(body) {
+        let (config, threshold, incremental, workers) = match self.scan_overrides(body) {
             Ok(x) => x,
             Err(resp) => return resp,
         };
-        match self.enqueue_scan(config, threshold, incremental) {
+        match self.enqueue_scan(config, threshold, incremental, workers) {
             Ok((job_id, epoch)) => Response::json(
                 202,
                 &json!({
@@ -530,11 +553,11 @@ impl Api {
     /// Deprecated `POST /scan`: enqueue like everyone else, then block
     /// until the job finishes, preserving the old synchronous 200 shape.
     fn scan_sync(&self, body: &[u8]) -> Response {
-        let (config, threshold, incremental) = match self.scan_overrides(body) {
+        let (config, threshold, incremental, workers) = match self.scan_overrides(body) {
             Ok(x) => x,
             Err(resp) => return resp,
         };
-        let (id, _epoch) = match self.enqueue_scan(config, threshold, incremental) {
+        let (id, _epoch) = match self.enqueue_scan(config, threshold, incremental, workers) {
             Ok(x) => x,
             Err(resp) => return resp,
         };
@@ -640,6 +663,7 @@ fn result_json(r: &ScanResultView) -> Value {
         "num_samples": r.config.num_samples,
         "sample_ratio": r.config.sample_ratio,
         "engine": r.config.engine.name(),
+        "workers": r.workers,
         "threshold": r.threshold,
         "mode": r.reuse.mode(),
         "fallback": r.reuse.fallback.map(|f| f.name()),
@@ -648,6 +672,78 @@ fn result_json(r: &ScanResultView) -> Value {
         "dirty_fraction": r.reuse.dirty_fraction(),
         "delta_touched_nodes": r.reuse.delta_touched_nodes,
     })
+}
+
+/// Parses the legacy JSON-array ingest shape
+/// `{"records": [[user, merchant], …]}` into owned key pairs,
+/// validating every record up front.
+///
+/// Public so the bench suite can time the two ingest parsers directly,
+/// without socket noise.
+pub fn parse_json_records(body: &[u8]) -> Result<Vec<(String, String)>, Response> {
+    let parsed: Value = serde_json::from_slice(body)
+        .map_err(|e| Response::error(400, "bad_request", format!("invalid JSON: {e}")))?;
+    let Some(records) = parsed.get("records").and_then(Value::as_array) else {
+        return Err(Response::error(
+            400,
+            "bad_request",
+            "expected {\"records\": [[user, merchant], …]}",
+        ));
+    };
+    let mut keys = Vec::with_capacity(records.len());
+    for (i, record) in records.iter().enumerate() {
+        let pair = record.as_array().filter(|a| a.len() >= 2);
+        let (Some(user), Some(merchant)) = (
+            pair.and_then(|a| a[0].as_str()),
+            pair.and_then(|a| a[1].as_str()),
+        ) else {
+            return Err(Response::error(
+                400,
+                "invalid_record",
+                format!("record {i}: expected [user, merchant]"),
+            ));
+        };
+        keys.push((user.to_string(), merchant.to_string()));
+    }
+    Ok(keys)
+}
+
+/// Parses an `application/x-ndjson` ingest body: one
+/// `["user", "merchant"]` record per line, blank lines ignored.
+///
+/// Each line deserializes straight into its string pair — the batch
+/// never builds a `serde_json::Value` tree, which is what makes this the
+/// bulk path. A bad line fails the whole batch with `400 invalid_record`
+/// carrying the 1-based `"line"` number in the error object.
+///
+/// Public so the bench suite can time the two ingest parsers directly,
+/// without socket noise.
+pub fn parse_ndjson_records(body: &[u8]) -> Result<Vec<(String, String)>, Response> {
+    let mut keys = Vec::new();
+    for (i, line) in body.split(|&b| b == b'\n').enumerate() {
+        if line.iter().all(u8::is_ascii_whitespace) {
+            continue;
+        }
+        let n = i + 1;
+        match serde_json::from_slice::<(String, String)>(line) {
+            Ok(pair) => keys.push(pair),
+            Err(e) => {
+                return Err(Response::json(
+                    400,
+                    &json!({
+                        "error": {
+                            "code": "invalid_record",
+                            "message": format!(
+                                "line {n}: expected [\"user\", \"merchant\"]: {e}"
+                            ),
+                            "line": n,
+                        }
+                    }),
+                ));
+            }
+        }
+    }
+    Ok(keys)
 }
 
 #[cfg(test)]
@@ -659,7 +755,19 @@ mod tests {
         let resp = api.handle(&Request {
             method: "POST".into(),
             path: path.into(),
+            content_type: String::new(),
             body: body.to_string().into_bytes(),
+        });
+        let parsed = serde_json::from_slice(&resp.body).unwrap_or(Value::Null);
+        (resp.status, parsed)
+    }
+
+    fn post_ndjson(api: &Api, path: &str, body: &str) -> (u16, Value) {
+        let resp = api.handle(&Request {
+            method: "POST".into(),
+            path: path.into(),
+            content_type: "application/x-ndjson".into(),
+            body: body.as_bytes().to_vec(),
         });
         let parsed = serde_json::from_slice(&resp.body).unwrap_or(Value::Null);
         (resp.status, parsed)
@@ -669,6 +777,7 @@ mod tests {
         let resp = api.handle(&Request {
             method: "GET".into(),
             path: path.into(),
+            content_type: String::new(),
             body: vec![],
         });
         let parsed = serde_json::from_slice(&resp.body).unwrap_or(Value::Null);
@@ -857,6 +966,9 @@ mod tests {
             json!({ "engine": 7 }),
             json!({ "mode": "turbo" }),
             json!({ "mode": 1 }),
+            json!({ "workers": -1 }),
+            json!({ "workers": 257 }),
+            json!({ "workers": "many" }),
             json!({ "frobnicate": true }),
             json!([1, 2, 3]),
         ] {
@@ -978,10 +1090,12 @@ mod tests {
         assert_eq!(body["alert_threshold"], 15);
         assert_eq!(body["scan_queue_capacity"], 8);
         let overrides = body["scan_overrides"].as_array().unwrap();
-        assert_eq!(overrides.len(), 6);
+        assert_eq!(overrides.len(), 7);
         assert!(overrides.iter().any(|v| v == "path"));
         assert!(overrides.iter().any(|v| v == "engine"));
         assert!(overrides.iter().any(|v| v == "mode"));
+        assert!(overrides.iter().any(|v| v == "workers"));
+        assert_eq!(body["workers"], 0, "default workers is auto (0)");
         assert_eq!(body["follow"], false);
         assert!((body["max_touched_fraction"].as_f64().unwrap() - 0.1).abs() < 1e-12);
     }
@@ -1060,6 +1174,7 @@ mod tests {
         let resp = api.handle(&Request {
             method: "GET".into(),
             path: "/metrics".into(),
+            content_type: String::new(),
             body: vec![],
         });
         assert_eq!(resp.status, 200);
@@ -1072,6 +1187,15 @@ mod tests {
         // The pipeline gauges are published.
         assert!(text.contains("ensemfdet_snapshot_epoch 1"), "{text}");
         assert!(text.contains("ensemfdet_scan_job_duration_seconds_count 1"), "{text}");
+        // Worker-pool and ingest-parse telemetry. The effective worker
+        // count is machine-dependent (0 = auto), so only presence and a
+        // non-zero busy-time count are asserted.
+        assert!(text.contains("\nensemfdet_scan_workers "), "{text}");
+        assert!(!text.contains("ensemfdet_scan_worker_busy_seconds_count 0"), "{text}");
+        assert!(
+            text.contains("ensemfdet_ingest_parse_duration_seconds_count{content_type=\"json\"} 1"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -1080,6 +1204,7 @@ mod tests {
         let resp = api.handle(&Request {
             method: "POST".into(),
             path: "/v1/transactions".into(),
+            content_type: String::new(),
             body: b"not json".to_vec(),
         });
         assert_eq!(resp.status, 400);
@@ -1105,6 +1230,85 @@ mod tests {
     }
 
     #[test]
+    fn ndjson_ingest_accepts_one_record_per_line() {
+        let api = quick_api();
+        let body = "[\"a\", \"x\"]\n[\"b\", \"x\"]\n\n[\"a\", \"y\"]\n";
+        let (status, resp) = post_ndjson(&api, "/v1/transactions", body);
+        assert_eq!(status, 200, "{resp}");
+        assert_eq!(resp["ingested"], 3);
+        assert_eq!(resp["transactions"], 3);
+        let (_, stats) = get(&api, "/v1/stats");
+        assert_eq!(stats["users"], 2);
+        assert_eq!(stats["merchants"], 2);
+        assert_eq!(stats["edges"], 3);
+    }
+
+    #[test]
+    fn ndjson_and_json_array_ingest_build_the_same_graph() {
+        let ndjson_api = quick_api();
+        let json_api = quick_api();
+        let records = ring_records();
+        let lines: String = records.iter().map(|r| format!("{r}\n")).collect();
+        let (status, _) = post_ndjson(&ndjson_api, "/v1/transactions", &lines);
+        assert_eq!(status, 200);
+        let (status, _) = post(&json_api, "/v1/transactions", json!({ "records": records }));
+        assert_eq!(status, 200);
+        let (_, a) = get(&ndjson_api, "/v1/stats");
+        let (_, b) = get(&json_api, "/v1/stats");
+        assert_eq!(a["users"], b["users"]);
+        assert_eq!(a["merchants"], b["merchants"]);
+        assert_eq!(a["edges"], b["edges"]);
+    }
+
+    #[test]
+    fn ndjson_bad_line_is_400_with_line_number_and_ingests_nothing() {
+        let api = quick_api();
+        let body = "[\"good\", \"pair\"]\n{\"not\": \"a pair\"}\n[\"more\", \"good\"]\n";
+        let (status, resp) = post_ndjson(&api, "/v1/transactions", body);
+        assert_eq!(status, 400, "{resp}");
+        assert_eq!(resp["error"]["code"], "invalid_record");
+        assert_eq!(resp["error"]["line"], 2, "{resp}");
+        // All-or-nothing: the good lines around the bad one are dropped.
+        let (_, health) = get(&api, "/v1/health");
+        assert_eq!(health["transactions"], 0);
+
+        // Truncated trailing line (a cut-off upload) also names its line.
+        let (status, resp) = post_ndjson(&api, "/v1/transactions", "[\"a\", \"x\"]\n[\"b\", ");
+        assert_eq!(status, 400);
+        assert_eq!(resp["error"]["line"], 2, "{resp}");
+        let (_, health) = get(&api, "/v1/health");
+        assert_eq!(health["transactions"], 0);
+    }
+
+    #[test]
+    fn legacy_transactions_alias_accepts_ndjson_too() {
+        let api = quick_api();
+        let (status, resp) = post_ndjson(&api, "/transactions", "[\"a\", \"x\"]\n");
+        assert_eq!(status, 200, "{resp}");
+        assert_eq!(resp["ingested"], 1);
+    }
+
+    #[test]
+    fn workers_override_is_echoed_and_result_invariant() {
+        let api = quick_api();
+        post(&api, "/v1/transactions", json!({ "records": ring_records() }));
+        let mut per_workers = Vec::new();
+        for workers in [1, 4] {
+            let (status, body) =
+                post(&api, "/v1/scans", json!({ "workers": workers, "num_samples": 6 }));
+            assert_eq!(status, 202, "{body}");
+            let done = wait_done(&api, body["job_id"].as_u64().unwrap());
+            assert_eq!(done["status"], "done", "{done}");
+            assert_eq!(done["result"]["workers"], workers, "{done}");
+            per_workers.push(flagged_of(&done));
+        }
+        assert_eq!(per_workers[0], per_workers[1], "workers changed the flagged set");
+        // The latest-result page echoes the worker count too.
+        let (_, latest) = get(&api, "/v1/scans/latest");
+        assert_eq!(latest["workers"], 4);
+    }
+
+    #[test]
     fn unknown_route_is_404_unknown_method_405() {
         let api = quick_api();
         let (status, body) = get(&api, "/nope");
@@ -1113,6 +1317,7 @@ mod tests {
         let resp = api.handle(&Request {
             method: "DELETE".into(),
             path: "/v1/health".into(),
+            content_type: String::new(),
             body: vec![],
         });
         assert_eq!(resp.status, 405);

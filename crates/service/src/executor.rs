@@ -33,6 +33,7 @@ fn executor_loop(engine: &Engine) {
         // before the ledger is touched.
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let mut runner = lock_recover(&engine.runner);
+            runner.set_workers(spec.workers);
             if spec.incremental {
                 runner.run_incremental(
                     &spec.snapshot,
@@ -57,6 +58,7 @@ fn executor_loop(engine: &Engine) {
                     (to_keys(&outcome.flagged), to_keys(&outcome.new_alerts))
                 };
                 metrics.record_scan(outcome.elapsed, &outcome.sample_times);
+                metrics.record_scan_workers(outcome.workers, &outcome.worker_times);
                 metrics.record_scan_stages([
                     outcome.stages.sampling,
                     outcome.stages.detection,
@@ -88,6 +90,7 @@ fn executor_loop(engine: &Engine) {
                         threshold: spec.threshold,
                         scan_millis: outcome.elapsed.as_secs_f64() * 1e3,
                         reuse: outcome.reuse,
+                        workers: outcome.workers,
                     },
                 );
             }

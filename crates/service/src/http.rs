@@ -79,6 +79,11 @@ pub struct Request {
     pub method: String,
     /// Path component, e.g. `/health` (query strings are not split off).
     pub path: String,
+    /// Lowercased media type from the `Content-Type` header, parameters
+    /// stripped (`application/x-ndjson`, `application/json`, …); empty
+    /// when the header is absent. Routes that negotiate on content type
+    /// (bulk ingest) read this; everything else ignores it.
+    pub content_type: String,
     /// Raw body bytes (empty when no `Content-Length`).
     pub body: Vec<u8>,
 }
@@ -184,8 +189,9 @@ pub fn read_request<R: Read>(stream: R) -> Result<Request, HttpError> {
         .ok_or_else(|| HttpError::bad_request("missing request path"))?
         .to_string();
 
-    // Headers: we only care about Content-Length.
+    // Headers: we only care about Content-Length and Content-Type.
     let mut content_length = 0usize;
+    let mut content_type = String::new();
     let mut header_count = 0usize;
     loop {
         let line = read_bounded_line(&mut reader, &mut header_budget)?
@@ -206,6 +212,11 @@ pub fn read_request<R: Read>(stream: R) -> Result<Request, HttpError> {
                 content_length = value.trim().parse().map_err(|_| {
                     HttpError::bad_request(format!("bad content-length `{}`", value.trim()))
                 })?;
+            } else if name.eq_ignore_ascii_case("content-type") {
+                // Media type only — `application/json; charset=utf-8`
+                // negotiates the same as `application/json`.
+                let media = value.split(';').next().unwrap_or("").trim();
+                content_type = media.to_ascii_lowercase();
             }
         }
     }
@@ -221,7 +232,12 @@ pub fn read_request<R: Read>(stream: R) -> Result<Request, HttpError> {
     reader
         .read_exact(&mut body)
         .map_err(|e| HttpError::from_io(&e, "body"))?;
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        content_type,
+        body,
+    })
 }
 
 /// Writes a response to a stream.
@@ -285,6 +301,15 @@ mod tests {
         let raw = b"POST /x HTTP/1.1\r\ncontent-LENGTH: 2\r\n\r\nhi";
         let r = read_request(&raw[..]).unwrap();
         assert_eq!(r.body, b"hi");
+    }
+
+    #[test]
+    fn content_type_is_normalized_to_the_media_type() {
+        let raw = b"POST /x HTTP/1.1\r\nContent-Type: Application/X-NDJSON; charset=utf-8\r\ncontent-length: 2\r\n\r\nhi";
+        let r = read_request(&raw[..]).unwrap();
+        assert_eq!(r.content_type, "application/x-ndjson");
+        let raw = b"GET /health HTTP/1.1\r\n\r\n";
+        assert_eq!(read_request(&raw[..]).unwrap().content_type, "");
     }
 
     #[test]

@@ -39,6 +39,11 @@ pub struct ScanSpec {
     /// Either way the flagged set is the same — see
     /// [`ensemfdet::pipeline::ScanRunner::run_incremental`].
     pub incremental: bool,
+    /// Worker threads for the ensemble pass (`0` = auto). A wall-clock
+    /// knob only: results are identical for every worker count, so it
+    /// lives outside [`EnsemFdetConfig`] and never perturbs the
+    /// incremental cache's config-equality contract.
+    pub workers: usize,
 }
 
 /// Lifecycle of a scan job.
@@ -93,6 +98,8 @@ pub struct ScanResultView {
     /// How the scan was produced: full vs incremental, fallback reason,
     /// samples reused vs re-peeled, and the delta's footprint.
     pub reuse: ReuseStats,
+    /// Worker threads the ensemble pass actually ran with.
+    pub workers: usize,
 }
 
 /// One job's externally visible record.
@@ -398,6 +405,7 @@ mod tests {
             config: EnsemFdetConfig::default(),
             threshold: 1,
             incremental: false,
+            workers: 1,
         }
     }
 
@@ -412,6 +420,7 @@ mod tests {
             threshold: 1,
             scan_millis: 1.0,
             reuse: ReuseStats::full(0),
+            workers: 1,
         }
     }
 

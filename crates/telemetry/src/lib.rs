@@ -326,6 +326,18 @@ pub struct ServiceMetrics {
     pub scan_duration_full: Histogram,
     /// Wall-clock of incremental-mode scans (`mode="incremental"`).
     pub scan_duration_incremental: Histogram,
+    /// Worker threads the most recent scan's sample pool ran with.
+    pub scan_workers: Gauge,
+    /// Busy time per ensemble worker per scan (`workers` observations
+    /// per scan) — the spread shows how evenly the sample pool balances.
+    pub worker_busy_duration: Histogram,
+    /// Ingest-body parse time for JSON-array batches (the
+    /// `content_type="json"` series of
+    /// `ensemfdet_ingest_parse_duration_seconds`).
+    pub ingest_parse_json: Histogram,
+    /// Ingest-body parse time for NDJSON batches
+    /// (`content_type="ndjson"`).
+    pub ingest_parse_ndjson: Histogram,
 }
 
 /// A [`Histogram`] whose default buckets cover a `[0, 1]` fraction
@@ -572,6 +584,35 @@ impl ServiceMetrics {
                 h,
             );
         }
+        write_gauge(
+            &mut out,
+            "ensemfdet_scan_workers",
+            "Worker threads the most recent scan's sample pool ran with.",
+            self.scan_workers.get(),
+        );
+        write_histogram(
+            &mut out,
+            "ensemfdet_scan_worker_busy_seconds",
+            "Busy time per ensemble worker per scan.",
+            &self.worker_busy_duration,
+        );
+        write_header(
+            &mut out,
+            "ensemfdet_ingest_parse_duration_seconds",
+            "histogram",
+            "Ingest-body parse time, by content type.",
+        );
+        for (ct, h) in [
+            ("json", &self.ingest_parse_json),
+            ("ndjson", &self.ingest_parse_ndjson),
+        ] {
+            write_histogram_samples(
+                &mut out,
+                "ensemfdet_ingest_parse_duration_seconds",
+                &format!("content_type=\"{ct}\","),
+                h,
+            );
+        }
         out
     }
 
@@ -599,6 +640,27 @@ impl ServiceMetrics {
             }
             self.scan_duration_full.observe_duration(elapsed);
         }
+    }
+
+    /// Records one scan's worker-pool telemetry: the effective worker
+    /// count and each worker's busy time (from the ensemble's
+    /// `worker_times` diagnostics).
+    pub fn record_scan_workers(&self, workers: usize, worker_times: &[Duration]) {
+        self.scan_workers.set(workers as i64);
+        for &t in worker_times {
+            self.worker_busy_duration.observe_duration(t);
+        }
+    }
+
+    /// Records one ingest body parse, labelled by content type (NDJSON
+    /// vs the default JSON array).
+    pub fn record_ingest_parse(&self, ndjson: bool, elapsed: Duration) {
+        let h = if ndjson {
+            &self.ingest_parse_ndjson
+        } else {
+            &self.ingest_parse_json
+        };
+        h.observe_duration(elapsed);
     }
 
     /// Records one completed scan job: time spent queued and the
@@ -862,6 +924,27 @@ mod tests {
         assert!(text.contains("ensemfdet_snapshot_lag_transactions 42"));
         assert!(text.contains("ensemfdet_scan_job_duration_seconds_count 1"));
         assert!(text.contains("ensemfdet_scan_queue_wait_seconds_count 1"));
+    }
+
+    #[test]
+    fn worker_and_ingest_parse_metrics_render() {
+        let m = ServiceMetrics::new();
+        m.record_scan_workers(
+            2,
+            &[Duration::from_millis(40), Duration::from_millis(35)],
+        );
+        m.record_ingest_parse(false, Duration::from_micros(300));
+        m.record_ingest_parse(true, Duration::from_micros(120));
+        m.record_ingest_parse(true, Duration::from_micros(90));
+        let text = m.render();
+        assert!(text.contains("ensemfdet_scan_workers 2"));
+        assert!(text.contains("ensemfdet_scan_worker_busy_seconds_count 2"));
+        assert!(text.contains(
+            "ensemfdet_ingest_parse_duration_seconds_count{content_type=\"json\"} 1"
+        ));
+        assert!(text.contains(
+            "ensemfdet_ingest_parse_duration_seconds_count{content_type=\"ndjson\"} 2"
+        ));
     }
 
     #[test]

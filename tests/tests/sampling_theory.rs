@@ -126,10 +126,6 @@ fn tns_edge_fraction_on_generated_data() {
 fn ensemble_votes_are_thread_count_invariant() {
     let ds = generate(&jd_preset(JdDataset::Jd1, 400, 21));
     let g = &ds.graph;
-    let single = rayon::ThreadPoolBuilder::new()
-        .num_threads(1)
-        .build()
-        .unwrap();
 
     for path in [SamplePath::Mask, SamplePath::Materialize] {
         for method in [
@@ -137,16 +133,16 @@ fn ensemble_votes_are_thread_count_invariant() {
             SamplingMethodConfig::OneSideUser,
             SamplingMethodConfig::TwoSide,
         ] {
-            let det = EnsemFdet::new(EnsemFdetConfig {
+            let cfg = EnsemFdetConfig {
                 num_samples: 12,
                 sample_ratio: 0.3,
                 seed: 0x5EED,
                 method,
                 path,
                 ..Default::default()
-            });
-            let parallel = det.detect(g);
-            let serial = single.install(|| det.detect(g));
+            };
+            let parallel = EnsemFdet::with_workers(cfg, 4).detect(g);
+            let serial = EnsemFdet::with_workers(cfg, 1).detect(g);
             assert_eq!(
                 parallel.votes, serial.votes,
                 "{method:?}/{path}: votes changed with thread count"

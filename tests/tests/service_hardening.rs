@@ -239,6 +239,15 @@ fn oversized_content_length_is_413_and_graceful_shutdown_serves_queued_work() {
     );
     assert!(resp.starts_with("HTTP/1.1 413 Payload Too Large"), "{resp}");
 
+    // The NDJSON bulk path sits behind the same body cap: declaring an
+    // oversized streaming batch is refused before any line is parsed.
+    let resp = roundtrip(
+        addr,
+        "POST /v1/transactions HTTP/1.1\r\ncontent-type: application/x-ndjson\r\n\
+         content-length: 999999999\r\n\r\n",
+    );
+    assert!(resp.starts_with("HTTP/1.1 413 Payload Too Large"), "{resp}");
+
     // In-flight work completes across shutdown: send a request, wait just
     // until the server has it (queued, in a worker, or already counted),
     // then shut down — the response must still arrive.

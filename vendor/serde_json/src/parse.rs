@@ -195,18 +195,21 @@ impl<'a> Parser<'a> {
                         }
                     }
                 }
+                _ if c < 0x20 => {
+                    return Err(self.err("unescaped control character in string"));
+                }
                 _ => {
-                    // Consume one UTF-8 scalar (multi-byte sequences pass
-                    // through untouched; input is already valid UTF-8).
+                    // Consume the longest run of plain bytes in one go and
+                    // validate UTF-8 over just that run. Runs end only at
+                    // `"`, `\`, or a control byte — all ASCII, so a run
+                    // never splits a multi-byte sequence.
                     let start = self.pos;
-                    let rest = std::str::from_utf8(&self.bytes[start..])
-                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
-                    let ch = rest.chars().next().unwrap();
-                    if (ch as u32) < 0x20 {
-                        return Err(self.err("unescaped control character in string"));
+                    while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\' && c >= 0x20) {
+                        self.pos += 1;
                     }
-                    out.push(ch);
-                    self.pos += ch.len_utf8();
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(run);
                 }
             }
         }
