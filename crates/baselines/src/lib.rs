@@ -23,6 +23,7 @@
 //! [`degree`] a trivial degree-threshold sanity floor.
 
 pub mod degree;
+pub mod detectors;
 pub mod fbox;
 pub mod fraudar;
 pub mod hits;
@@ -30,6 +31,7 @@ pub mod kcore;
 pub mod spoken;
 
 pub use degree::DegreeBaseline;
+pub use detectors::standard_detectors;
 pub use fbox::{FBox, FBoxConfig};
 pub use fraudar::{Fraudar, FraudarConfig, FraudarResult};
 pub use hits::{Hits, HitsConfig, HitsScores};

@@ -1,0 +1,69 @@
+//! Property tests for the unified `Detector` registry: every adapter is
+//! total (no panics) and emits finite per-user scores in `[0, 1]` on
+//! arbitrary bipartite graphs, including degenerate ones.
+
+use ensemfdet::DetectContext;
+use ensemfdet_baselines::standard_detectors;
+use ensemfdet_graph::BipartiteGraph;
+use proptest::prelude::*;
+
+fn arb_graph(max_side: u32, max_edges: usize) -> impl Strategy<Value = BipartiteGraph> {
+    (1..=max_side, 1..=max_side).prop_flat_map(move |(nu, nv)| {
+        prop::collection::vec((0..nu, 0..nv), 1..=max_edges).prop_map(move |mut edges| {
+            edges.sort_unstable();
+            edges.dedup();
+            BipartiteGraph::from_edges(nu as usize, nv as usize, edges).unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every registry detector returns one finite score in `[0, 1]` per
+    /// user, and any blocks it reports only reference nodes that exist.
+    #[test]
+    fn detectors_are_finite_unit_interval(g in arb_graph(12, 60)) {
+        let ctx = DetectContext::new(&g);
+        for d in standard_detectors() {
+            let out = d.score(&ctx);
+            prop_assert_eq!(out.scores.len(), g.num_users(), "{}", d.name());
+            for &s in &out.scores {
+                prop_assert!(
+                    s.is_finite() && (0.0..=1.0).contains(&s),
+                    "{} score {s}", d.name()
+                );
+            }
+            if let Some(blocks) = &out.blocks {
+                for b in blocks {
+                    prop_assert!(b.users.iter().all(|u| u.index() < g.num_users()));
+                    prop_assert!(b.merchants.iter().all(|v| v.index() < g.num_merchants()));
+                }
+            }
+        }
+    }
+}
+
+/// Empty, edgeless, and single-edge graphs go through every detector
+/// without panicking.
+#[test]
+fn detectors_survive_degenerate_graphs() {
+    for g in [
+        BipartiteGraph::from_edges(0, 0, vec![]).unwrap(),
+        BipartiteGraph::from_edges(4, 3, vec![]).unwrap(),
+        BipartiteGraph::from_edges(1, 1, vec![(0, 0)]).unwrap(),
+    ] {
+        let ctx = DetectContext::new(&g);
+        for d in standard_detectors() {
+            let out = d.score(&ctx);
+            assert_eq!(out.scores.len(), g.num_users(), "{}", d.name());
+            assert!(
+                out.scores
+                    .iter()
+                    .all(|s| s.is_finite() && (0.0..=1.0).contains(s)),
+                "{}",
+                d.name()
+            );
+        }
+    }
+}

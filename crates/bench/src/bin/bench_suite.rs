@@ -1,9 +1,10 @@
 //! `bench_suite` — the reproducible benchmarks behind `BENCH_PR2.json`
 //! (csr vs naive peeling engines), `BENCH_PR4.json` (sampling data
 //! paths), `BENCH_PR6.json` (bucket-queue peel engines), `BENCH_PR7.json`
-//! (incremental vs full scans under sustained ingest), and
-//! `BENCH_PR8.json` (the full-JD-scale sharded build + parallel
-//! ensemble).
+//! (incremental vs full scans under sustained ingest), `BENCH_PR8.json`
+//! (the full-JD-scale sharded build + parallel ensemble), and
+//! `BENCH_PR9.json` (single methods vs the calibrated hybrid scorer
+//! under camouflage).
 //!
 //! **Engine phase** times the two peeling engines (`csr`, the default hot
 //! path, vs `naive`, the reference implementation) on fixed-seed
@@ -72,10 +73,23 @@
 //! on a single-core machine the parallel variants land near (or below)
 //! 1×, and that is the number recorded.
 //!
+//! **Hybrid-scoring phase** sweeps the camouflage ablation against the
+//! unified detector registry: at each camouflage level (0/2/6/12
+//! purchases per fraud user on dataset #1) it scores the graph with every
+//! single method — the ensemble's vote sweep plus all six baselines
+//! behind the `Detector` trait — and with the calibrated hybrid
+//! (vote + spectral + k-core fusion, weights and normalization fitted
+//! per level — a 66-point simplex grid under each normalization). Its gate first checks every detector adapter
+//! rank-identical to its bespoke entry point and every degenerate fusion
+//! corner reproducing its component's ranking; afterwards the suite
+//! asserts the hybrid's best F1 at-or-above every single method at every
+//! level and exits 1 on any violation.
+//!
 //! `--smoke` additionally drives the HTTP service's v1 surface over a real
 //! socket (JSON-array and NDJSON ingest → async scan jobs, one with a
-//! `workers` override → results) and aborts if any step misbehaves, so CI
-//! catches service regressions without a separate harness.
+//! `workers` override, one with a `scoring` override → results) and
+//! aborts if any step misbehaves, so CI catches service regressions
+//! without a separate harness.
 //!
 //! Timing protocol: `--warmup` unmeasured iterations, then `--reps`
 //! measured ones with the two engines interleaved back-to-back within
@@ -94,17 +108,23 @@
 //! one, `--out-peel FILE` (default `BENCH_PR6.json`) the peel-engine
 //! one, `--out-incremental FILE` (default `BENCH_PR7.json`) the
 //! incremental-scan one, `--out-scale FILE` (default `BENCH_PR8.json`)
-//! the full-scale one; `--scale N` resizes the datasets as in every
+//! the full-scale one, `--out-hybrid FILE` (default `BENCH_PR9.json`)
+//! the hybrid-scoring one; `--scale N` resizes the datasets as in every
 //! other experiment binary (the full-scale phase pins its own divisor).
 //! Absolute numbers are machine-dependent; the speedup ratios are the
 //! portable signal.
 
 use ensemfdet::pipeline::{IngestBuffer, ScanRunner, SnapshotStore};
 use ensemfdet::{
-    fdet_with_engine, Engine, EnsemFdet, EnsemFdetConfig, IncrementalPolicy, MetricKind,
-    ReuseStats, SamplePath, SamplingMethodConfig, Truncation,
+    fdet_with_engine, kcore_scores, normalize_scores, spectral_scores, DetectContext, Detector,
+    Engine, EnsemFdet, EnsemFdetConfig, HybridScorer, IncrementalPolicy, MetricKind, ReuseStats,
+    SamplePath, SamplingMethodConfig, ScoreNormalization, ScoringConfig, Truncation,
 };
-use ensemfdet_bench::{datasets, resolve_scale};
+use ensemfdet_baselines::{
+    standard_detectors, DegreeBaseline, FBox, Fraudar, Hits, KCoreBaseline, Spoken,
+};
+use ensemfdet_bench::{datasets, methods, resolve_scale};
+use ensemfdet_datagen::generate;
 use ensemfdet_datagen::presets::{jd_preset, JdDataset};
 use ensemfdet_datagen::ramp_timeline;
 use ensemfdet_graph::{
@@ -1013,6 +1033,141 @@ fn summarize_scale_pair(
     });
 }
 
+// ---------------------------------------------------------------------------
+// Hybrid-scoring phase (BENCH_PR9.json)
+// ---------------------------------------------------------------------------
+
+/// Camouflage purchases per fraud user at each swept operating point.
+const CAMO_LEVELS: [usize; 4] = [0, 2, 6, 12];
+/// Ensemble operating point of the camouflage ablation. Stronger than
+/// the `ablation_camouflage` binary's N=40/S=0.1: under heavy
+/// camouflage the vote component needs deep sampling before the fused
+/// score can match Fraudar's full-graph peeling.
+const HYBRID_SAMPLES: usize = 120;
+const HYBRID_RATIO: f64 = 0.4;
+const HYBRID_SEED: u64 = 0xCA31;
+/// Tolerance of the dominance assertion: the calibrated hybrid must
+/// reach at least `best_single - eps` at every camouflage level.
+const HYBRID_EPS: f64 = 1e-9;
+
+/// The detector registry must reproduce the bespoke entry points before
+/// the hybrid fusion built on it is trusted: every adapter's scores
+/// finite in `[0, 1]` and ranking users exactly as the legacy
+/// `score_users` path (compared via rank normalization, which ignores
+/// how ties are stored), Fraudar's block structure unchanged, and each
+/// degenerate fusion corner reproducing its component's ranking.
+fn hybrid_equivalence_gate(g: &BipartiteGraph) -> Result<(), String> {
+    let ctx = DetectContext::new(g);
+    let ranks = |s: &[f64]| normalize_scores(s, ScoreNormalization::Rank);
+    for det in standard_detectors() {
+        let out = det.score(&ctx);
+        if out.scores.len() != g.num_users() {
+            return Err(format!("{}: wrong score length", det.name()));
+        }
+        if !out
+            .scores
+            .iter()
+            .all(|s| s.is_finite() && (0.0..=1.0).contains(s))
+        {
+            return Err(format!("{}: scores leave [0, 1]", det.name()));
+        }
+        let legacy = match det.name() {
+            "spoken" => Some(Spoken::default().score_users(g)),
+            "fbox" => Some(FBox::default().score_users(g)),
+            "hits" => Some(Hits::default().score_users(g)),
+            "kcore" => Some(KCoreBaseline.score_users(g)),
+            "degree" => Some(DegreeBaseline.score_users(g)),
+            _ => None,
+        };
+        if let Some(legacy) = legacy {
+            if ranks(&out.scores) != ranks(&legacy) {
+                return Err(format!(
+                    "{}: adapter ranking differs from the bespoke entry point",
+                    det.name()
+                ));
+            }
+        }
+    }
+    let fraudar = Fraudar::default();
+    let trait_blocks = fraudar
+        .score(&ctx)
+        .blocks
+        .ok_or("fraudar: adapter lost the block structure")?;
+    if trait_blocks != fraudar.run(g).blocks {
+        return Err("fraudar: adapter blocks differ from Fraudar::run".into());
+    }
+
+    let vote = EnsemFdet::new(EnsemFdetConfig {
+        num_samples: 8,
+        sample_ratio: 0.3,
+        seed: ENSEMBLE_SEED,
+        ..Default::default()
+    })
+    .detect(g)
+    .votes
+    .user_scores();
+    let base = ScoringConfig::enabled();
+    let spectral = spectral_scores(&ctx, &base);
+    let kcore = kcore_scores(&ctx);
+    for (weights, component, name) in [
+        ([1.0, 0.0, 0.0], &vote, "vote"),
+        ([0.0, 1.0, 0.0], &spectral, "spectral"),
+        ([0.0, 0.0, 1.0], &kcore, "kcore"),
+    ] {
+        let corner = ScoringConfig {
+            vote_weight: weights[0],
+            spectral_weight: weights[1],
+            kcore_weight: weights[2],
+            ..base
+        };
+        let fused = HybridScorer::new(corner).fuse(&vote, &spectral, &kcore);
+        if ranks(&fused) != ranks(component) {
+            return Err(format!(
+                "degenerate weight corner `{name}` does not reproduce the component ranking"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[derive(Serialize)]
+struct HybridCell {
+    camouflage_per_user: usize,
+    method: String,
+    best_f1: f64,
+    auc_pr: f64,
+}
+
+#[derive(Serialize)]
+struct HybridLevel {
+    camouflage_per_user: usize,
+    hybrid_best_f1: f64,
+    hybrid_auc_pr: f64,
+    /// The fitted `[vote, spectral, kcore]` weights at this level.
+    calibrated_weights: [f64; 3],
+    /// The strongest single method at this level and its best F1 — the
+    /// bar the hybrid must clear.
+    best_single_method: String,
+    best_single_f1: f64,
+    /// `hybrid_best_f1 - best_single_f1`; never below `-eps` or the
+    /// suite exits 1.
+    margin: f64,
+}
+
+#[derive(Serialize)]
+struct HybridArtifact {
+    schema: &'static str,
+    smoke: bool,
+    scale: u32,
+    ensemble_samples: usize,
+    sample_ratio: f64,
+    camouflage_levels: Vec<usize>,
+    equivalence: &'static str,
+    dominance: &'static str,
+    cells: Vec<HybridCell>,
+    levels: Vec<HybridLevel>,
+}
+
 /// Drives the HTTP service's v1 surface over a real socket: ingest a
 /// small ring, submit an async scan job, poll it to completion, read the
 /// latest result. Any deviation is a hard error.
@@ -1139,6 +1294,15 @@ fn service_smoke() -> Result<(), String> {
     if !resp.contains("\"workers\":2") {
         return Err(format!("workers override not echoed in result: {resp}"));
     }
+    // A per-scan scoring override must run the hybrid pass and echo the
+    // component breakdown in the result.
+    let resp = poll_done(submit("{\"scoring\":{\"hybrid_threshold\":0.5}}")?)?;
+    if !resp.contains("\"scoring\"") || !resp.contains("\"hybrid_flagged\"") {
+        return Err(format!("scoring override not echoed in result: {resp}"));
+    }
+    if !resp.contains("\"account_scores\"") {
+        return Err(format!("scoring result missing component scores: {resp}"));
+    }
 
     let resp = roundtrip("GET /v1/scans/latest HTTP/1.1\r\n\r\n".into())?;
     expect(&resp, "200", "GET /v1/scans/latest")?;
@@ -1149,8 +1313,11 @@ fn service_smoke() -> Result<(), String> {
     }
     let resp = roundtrip("GET /metrics HTTP/1.1\r\n\r\n".into())?;
     expect(&resp, "200", "GET /metrics")?;
-    if !resp.contains("ensemfdet_scans_total 2") {
+    if !resp.contains("ensemfdet_scans_total 3") {
         return Err(format!("scans not counted in metrics: {resp}"));
+    }
+    if !resp.contains("ensemfdet_scans_hybrid_total 1") {
+        return Err(format!("hybrid scan not counted in metrics: {resp}"));
     }
     server.shutdown();
     Ok(())
@@ -1184,6 +1351,11 @@ fn main() {
         .position(|a| a == "--out-scale")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_PR8.json".to_string());
+    let out_hybrid = args
+        .iter()
+        .position(|a| a == "--out-hybrid")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_PR9.json".to_string());
     // Smoke mode: tiny datasets, minimal repetitions — a CI-speed check
     // that the harness runs end-to-end and the engines stay equivalent.
     let scale = if smoke { 400 } else { resolve_scale(&args) };
@@ -1783,6 +1955,125 @@ fn main() {
         Ok(()) => println!("\n[saved {out_scale}]"),
         Err(e) => {
             eprintln!("cannot write {out_scale}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // -- Hybrid-scoring phase -----------------------------------------------
+    println!(
+        "\n== bench_suite: camouflage ablation — single methods vs calibrated hybrid \
+         (jd1 at 1/{scale}) ==\n"
+    );
+    print!("equivalence gate (detector registry / fusion corners) ... ");
+    if let Err(e) = hybrid_equivalence_gate(&suite[0].1.graph) {
+        println!("FAILED");
+        eprintln!("hybrid equivalence gate failed: {e}");
+        std::process::exit(1);
+    }
+    println!("ok\n");
+
+    let mut hybrid_cells = Vec::new();
+    let mut hybrid_levels = Vec::new();
+    let mut violations = Vec::new();
+    for camo in CAMO_LEVELS {
+        let mut cfg = jd_preset(JdDataset::Jd1, scale, 0xCA30);
+        for gcfg in &mut cfg.fraud_groups {
+            gcfg.camouflage_per_user = camo;
+        }
+        let ds = generate(&cfg);
+        let labels = ds.labels();
+        let outcome = methods::run_ensemfdet(
+            &ds.graph,
+            EnsemFdetConfig {
+                num_samples: HYBRID_SAMPLES,
+                sample_ratio: HYBRID_RATIO,
+                seed: HYBRID_SEED,
+                ..Default::default()
+            },
+        );
+
+        let mut singles: Vec<(String, f64, f64)> = Vec::new();
+        let vote_curve = methods::ensemfdet_curve(&outcome, &labels);
+        singles.push(("ensemfdet".into(), vote_curve.best_f1(), vote_curve.auc_pr()));
+        for (name, curve) in methods::detector_curves(&ds.graph, &labels) {
+            singles.push((name.into(), curve.best_f1(), curve.auc_pr()));
+        }
+        let (cal, hybrid) =
+            methods::hybrid_curve(&ds.graph, &outcome, &labels, &ScoringConfig::enabled());
+        let (hybrid_f1, hybrid_auc) = (hybrid.best_f1(), hybrid.auc_pr());
+
+        let (mut best_name, mut best_single) = (String::new(), f64::NEG_INFINITY);
+        for (name, f1, auc) in &singles {
+            hybrid_cells.push(HybridCell {
+                camouflage_per_user: camo,
+                method: name.clone(),
+                best_f1: *f1,
+                auc_pr: *auc,
+            });
+            if *f1 > best_single {
+                best_single = *f1;
+                best_name = name.clone();
+            }
+            if hybrid_f1 + HYBRID_EPS < *f1 {
+                violations.push(format!(
+                    "camo {camo}: hybrid best F1 {hybrid_f1:.4} below {name} {f1:.4}"
+                ));
+            }
+        }
+        hybrid_cells.push(HybridCell {
+            camouflage_per_user: camo,
+            method: "hybrid".into(),
+            best_f1: hybrid_f1,
+            auc_pr: hybrid_auc,
+        });
+        let weights = cal.config.weights();
+        println!(
+            "camo {:<2} hybrid F1 {:.3} (weights {:.1}/{:.1}/{:.1})  best single: {} {:.3}  \
+             margin {:+.3}",
+            camo,
+            hybrid_f1,
+            weights[0],
+            weights[1],
+            weights[2],
+            best_name,
+            best_single,
+            hybrid_f1 - best_single,
+        );
+        hybrid_levels.push(HybridLevel {
+            camouflage_per_user: camo,
+            hybrid_best_f1: hybrid_f1,
+            hybrid_auc_pr: hybrid_auc,
+            calibrated_weights: weights,
+            best_single_method: best_name,
+            best_single_f1: best_single,
+            margin: hybrid_f1 - best_single,
+        });
+    }
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("hybrid dominance violated — {v}");
+        }
+        std::process::exit(1);
+    }
+    println!("\nhybrid at-or-above every single method at every camouflage level");
+
+    let hybrid_artifact = HybridArtifact {
+        schema: "ensemfdet-hybrid-scoring/v1",
+        smoke,
+        scale,
+        ensemble_samples: HYBRID_SAMPLES,
+        sample_ratio: HYBRID_RATIO,
+        camouflage_levels: CAMO_LEVELS.to_vec(),
+        equivalence: "detector adapters rank-identical to bespoke entry points; \
+                      fusion corners reproduce component rankings",
+        dominance: "hybrid best F1 >= every single method at every camouflage level",
+        cells: hybrid_cells,
+        levels: hybrid_levels,
+    };
+    match ensemfdet_eval::write_json(&hybrid_artifact, &out_hybrid) {
+        Ok(()) => println!("\n[saved {out_hybrid}]"),
+        Err(e) => {
+            eprintln!("cannot write {out_hybrid}: {e}");
             std::process::exit(1);
         }
     }

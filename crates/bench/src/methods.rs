@@ -1,7 +1,12 @@
 //! Uniform curve builders for every method under evaluation.
 
-use ensemfdet::{EnsemFdet, EnsemFdetConfig, EnsembleOutcome};
-use ensemfdet_baselines::{FBox, FBoxConfig, Fraudar, FraudarConfig, Spoken, SpokenConfig};
+use ensemfdet::{
+    calibrate_weights, kcore_scores, spectral_scores, Calibration, DetectContext, EnsemFdet,
+    EnsemFdetConfig, EnsembleOutcome, HybridScorer, ScoreNormalization, ScoringConfig,
+};
+use ensemfdet_baselines::{
+    standard_detectors, FBox, FBoxConfig, Fraudar, FraudarConfig, Spoken, SpokenConfig,
+};
 use ensemfdet_eval::PrCurve;
 use ensemfdet_graph::BipartiteGraph;
 
@@ -50,6 +55,50 @@ pub fn fbox_curve(g: &BipartiteGraph, labels: &[bool]) -> PrCurve {
     PrCurve::from_scores(&FBox::new(FBoxConfig::default()).score_users(g), labels)
 }
 
+/// One score-sweep curve per baseline in the [`Detector`] registry
+/// (default-configured), labeled by method name. One shared
+/// [`DetectContext`], so the adjacency matrix is assembled at most once
+/// across all six methods.
+///
+/// [`Detector`]: ensemfdet::Detector
+pub fn detector_curves(g: &BipartiteGraph, labels: &[bool]) -> Vec<(&'static str, PrCurve)> {
+    let ctx = DetectContext::new(g);
+    standard_detectors()
+        .iter()
+        .map(|d| (d.name(), PrCurve::from_scores(&d.score(&ctx).scores, labels)))
+        .collect()
+}
+
+/// The calibrated hybrid's curve: the three components computed once on
+/// the parent graph (vote fraction from a finished ensemble outcome,
+/// spectral and k-core from a shared context), fusion weights fitted on
+/// the labels under both normalizations, and the PR curve swept over the
+/// best fused score.
+pub fn hybrid_curve(
+    g: &BipartiteGraph,
+    outcome: &EnsembleOutcome,
+    labels: &[bool],
+    base: &ScoringConfig,
+) -> (Calibration, PrCurve) {
+    let ctx = DetectContext::new(g);
+    let vote = outcome.votes.user_scores();
+    let spectral = spectral_scores(&ctx, base);
+    let kcore = kcore_scores(&ctx);
+    let cal = [ScoreNormalization::MinMax, ScoreNormalization::Rank]
+        .into_iter()
+        .map(|normalization| {
+            let base = ScoringConfig {
+                normalization,
+                ..*base
+            };
+            calibrate_weights(&vote, &spectral, &kcore, labels, &base)
+        })
+        .max_by(|a, b| a.best_f1.partial_cmp(&b.best_f1).expect("finite F1"))
+        .expect("two candidates");
+    let fused = HybridScorer::new(cal.config).fuse(&vote, &spectral, &kcore);
+    (cal, PrCurve::from_scores(&fused, labels))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,6 +140,33 @@ mod tests {
         for p in fbox_curve(&g, &labels).points {
             assert!(p.precision.is_finite() && p.recall.is_finite());
         }
+    }
+
+    #[test]
+    fn registry_and_hybrid_curves_are_well_formed() {
+        let (g, labels) = planted();
+        let curves = detector_curves(&g, &labels);
+        assert_eq!(curves.len(), 6);
+        for (name, curve) in &curves {
+            for p in &curve.points {
+                assert!(p.precision.is_finite() && p.recall.is_finite(), "{name}");
+            }
+        }
+        let out = run_ensemfdet(
+            &g,
+            EnsemFdetConfig {
+                num_samples: 8,
+                sample_ratio: 0.5,
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        let base = ScoringConfig::enabled();
+        let (cal, curve) = hybrid_curve(&g, &out, &labels, &base);
+        assert_eq!(cal.grid_evaluated, 66);
+        // Calibration includes the pure-vote corner, so the fitted hybrid
+        // never scores below the ensemble's own sweep.
+        assert!(curve.best_f1() >= ensemfdet_curve(&out, &labels).best_f1() - 1e-12);
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! `ensemfdet detect` — run a detector and write flagged users.
 
 use crate::args::Args;
-use ensemfdet::{EnsemFdet, EnsemFdetConfig, EnsembleOutcome, SamplePath, SamplingMethodConfig};
+use ensemfdet::{
+    hybrid_scan_scores, DetectContext, EnsemFdet, EnsemFdetConfig, EnsembleOutcome,
+    HybridScanScores, SamplePath, SamplingMethodConfig,
+};
 use ensemfdet_baselines::{DegreeBaseline, FBox, FBoxConfig, Fraudar, FraudarConfig, Hits, KCoreBaseline, Spoken, SpokenConfig};
 use ensemfdet_graph::{io, BipartiteGraph};
 use std::io::Write;
@@ -27,6 +30,13 @@ OPTIONS:
     --workers W           worker threads for the sample pool; results are
                           identical for every W [default: 0 = auto]
     --timing              print the ensemble's wall-clock breakdown
+    --scoring SPEC        fuse the vote fraction with spectral and k-core
+                          components (hybrid scoring). SPEC is `hybrid`
+                          for the defaults or `key=value` pairs:
+                          vote|spectral|kcore (weights), norm=minmax|rank,
+                          threshold, vote-floor|spectral-floor|kcore-floor,
+                          components, seed. Flags the hybrid set and writes
+                          hybrid scores to --scores.
   fraudar:
     --k N                 number of blocks [default: 30]
   spoken / fbox:
@@ -126,8 +136,40 @@ pub(crate) fn ensemfdet_config(args: &Args) -> Result<EnsemFdetConfig, String> {
             .transpose()?
             .unwrap_or_default(),
         seed: args.get_or("seed", 42)?,
+        scoring: args
+            .get("scoring")
+            .map(|s| s.parse())
+            .transpose()?
+            .unwrap_or_default(),
         ..Default::default()
     })
+}
+
+/// Runs the hybrid scoring pass on the parent graph when the config asks
+/// for it. Shared by `detect` and `sweep`.
+pub(crate) fn hybrid_pass(
+    g: &BipartiteGraph,
+    outcome: &EnsembleOutcome,
+    cfg: &EnsemFdetConfig,
+) -> Option<HybridScanScores> {
+    cfg.scoring.enabled.then(|| {
+        let ctx = DetectContext::new(g);
+        hybrid_scan_scores(&ctx, &outcome.votes, &cfg.scoring)
+    })
+}
+
+/// One-line human summary of a hybrid pass.
+pub(crate) fn hybrid_summary(scores: &HybridScanScores) -> String {
+    let cfg = &scores.config;
+    format!(
+        "hybrid: {} users at threshold {} (weights vote={} spectral={} kcore={}, {} normalization)",
+        scores.hybrid_flagged.len(),
+        cfg.hybrid_threshold,
+        cfg.vote_weight,
+        cfg.spectral_weight,
+        cfg.kcore_weight,
+        cfg.normalization,
+    )
 }
 
 /// Runs the command.
@@ -143,6 +185,7 @@ pub fn run(args: &Args) -> Result<String, String> {
     let g = io::load_edge_list(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
 
     let mut timing_note: Option<String> = None;
+    let mut hybrid_note: Option<String> = None;
     let (detected, scores): (Vec<u32>, Option<Vec<f64>>) = match method.as_str() {
         "ensemfdet" => {
             let cfg = ensemfdet_config(args)?;
@@ -154,13 +197,21 @@ pub fn run(args: &Args) -> Result<String, String> {
             if timing {
                 timing_note = Some(timing_summary(cfg.path, &outcome));
             }
-            let detected = outcome
-                .votes
-                .detected_users(threshold.max(1))
-                .into_iter()
-                .map(|u| u.0)
-                .collect();
-            (detected, Some(outcome.votes.user_scores()))
+            if let Some(hybrid) = hybrid_pass(&g, &outcome, &cfg) {
+                // The hybrid set and fused scores replace the vote ones
+                // in --out / --scores; the summary names both counts.
+                hybrid_note = Some(hybrid_summary(&hybrid));
+                let detected = hybrid.hybrid_flagged.iter().map(|u| u.0).collect();
+                (detected, Some(hybrid.hybrid))
+            } else {
+                let detected = outcome
+                    .votes
+                    .detected_users(threshold.max(1))
+                    .into_iter()
+                    .map(|u| u.0)
+                    .collect();
+                (detected, Some(outcome.votes.user_scores()))
+            }
         }
         "fraudar" => {
             let k: usize = args.get_or("k", 30)?;
@@ -212,6 +263,10 @@ pub fn run(args: &Args) -> Result<String, String> {
         detected.len(),
         g.num_users()
     );
+    if let Some(h) = hybrid_note {
+        report.push('\n');
+        report.push_str(&h);
+    }
     if let Some(t) = timing_note {
         report.push('\n');
         report.push_str(&t);
@@ -259,6 +314,50 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("detected"));
+    }
+
+    #[test]
+    fn scoring_flag_runs_hybrid_and_reports() {
+        let gf = graph_file();
+        let dir = std::env::temp_dir().join("ensemfdet_cli_detect");
+        let scores = dir.join("hybrid.tsv");
+        let out = run(&args(&[
+            "--graph",
+            &gf,
+            "--samples",
+            "10",
+            "--ratio",
+            "0.5",
+            "--scoring",
+            "vote=0.6,spectral=0.25,kcore=0.15,threshold=0.5",
+            "--scores",
+            scores.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("hybrid:"), "{out}");
+        assert!(out.contains("minmax normalization"), "{out}");
+        // Written scores are the fused hybrid, all in [0, 1].
+        let content = std::fs::read_to_string(&scores).unwrap();
+        assert_eq!(content.lines().count(), 60);
+        for line in content.lines() {
+            let s: f64 = line.split('\t').nth(1).unwrap().parse().unwrap();
+            assert!((0.0..=1.0).contains(&s), "{line}");
+        }
+    }
+
+    #[test]
+    fn scoring_flag_determinism_and_validation() {
+        let gf = graph_file();
+        let base = &["--graph", gf.as_str(), "--samples", "8", "--ratio", "0.5"];
+        let one = run(&args(&[base as &[_], &["--scoring", "hybrid"]].concat())).unwrap();
+        let two = run(&args(&[base as &[_], &["--scoring", "hybrid"]].concat())).unwrap();
+        assert_eq!(one, two, "hybrid scans must be deterministic");
+        let err =
+            run(&args(&[base as &[_], &["--scoring", "vote=0,spectral=0,kcore=0"]].concat()))
+                .unwrap_err();
+        assert!(err.contains("all be zero"), "{err}");
+        let err = run(&args(&[base as &[_], &["--scoring", "banana=1"]].concat())).unwrap_err();
+        assert!(err.contains("unknown scoring key"), "{err}");
     }
 
     #[test]

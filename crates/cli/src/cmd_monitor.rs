@@ -38,6 +38,11 @@ OPTIONS:
     --seed N              RNG seed [default: 42]
     --workers W           worker threads for the sample pool; results are
                           identical for every W [default: 0 = auto]
+    --scoring SPEC        run the hybrid scorer after every scan (spec as
+                          in `detect --scoring`); the summary line reports
+                          the final epoch's hybrid-flagged count. Scoring
+                          joins the incremental cache key, so --follow
+                          reuse is unaffected while the spec stays fixed
 ";
 
 /// Runs the command.
@@ -87,6 +92,11 @@ pub fn run(args: &Args) -> Result<String, String> {
             .transpose()?
             .unwrap_or_default(),
         seed: args.get_or("seed", 42)?,
+        scoring: args
+            .get("scoring")
+            .map(|s| s.parse())
+            .transpose()?
+            .unwrap_or_default(),
         ..Default::default()
     };
     let threshold: u32 = args.get_or("threshold", (cfg.num_samples as u32).div_ceil(2))?;
@@ -100,12 +110,17 @@ pub fn run(args: &Args) -> Result<String, String> {
     runner.set_workers(workers);
 
     let mut lines = vec![format!(
-        "mode: {} | {} epochs after base | N={} S={} sampling={:?}",
+        "mode: {} | {} epochs after base | N={} S={} sampling={:?}{}",
         if follow { "follow (incremental)" } else { "full scans" },
         epochs,
         cfg.num_samples,
         cfg.sample_ratio,
         sampling,
+        if cfg.scoring.enabled {
+            format!(" | hybrid@{}", cfg.scoring.hybrid_threshold)
+        } else {
+            String::new()
+        },
     )];
     lines.push(
         "epoch  txns     delta-nodes  mode         reused/repeeled  flagged  new  millis"
@@ -120,6 +135,7 @@ pub fn run(args: &Args) -> Result<String, String> {
     };
     let batches = std::iter::once(&tl.base).chain(tl.epochs.iter());
     let mut last_flagged: Vec<u32> = Vec::new();
+    let mut last_hybrid: Option<usize> = None;
     for batch in batches {
         buffer.append_batch(to_ids(batch));
         let snapshot = store.refresh(&buffer, true);
@@ -145,6 +161,7 @@ pub fn run(args: &Args) -> Result<String, String> {
             out.elapsed.as_secs_f64() * 1e3,
         ));
         last_flagged = out.flagged.iter().map(|u| u.0).collect();
+        last_hybrid = out.scoring.as_ref().map(|s| s.hybrid_flagged.len());
     }
 
     let blacklisted = {
@@ -152,10 +169,14 @@ pub fn run(args: &Args) -> Result<String, String> {
         last_flagged.iter().filter(|u| bl.contains(u)).count()
     };
     lines.push(format!(
-        "final epoch: {} flagged, {} of them blacklisted ({} accounts on the expert blacklist)",
+        "final epoch: {} flagged, {} of them blacklisted ({} accounts on the expert blacklist){}",
         last_flagged.len(),
         blacklisted,
         tl.dataset.blacklist.len(),
+        match last_hybrid {
+            Some(n) => format!(", {n} hybrid-flagged"),
+            None => String::new(),
+        },
     ));
     Ok(lines.join("\n"))
 }
@@ -229,6 +250,24 @@ mod tests {
         for row in rows {
             assert_eq!(reused_of(row), 0, "res must not reuse: {out}");
         }
+    }
+
+    #[test]
+    fn scoring_keeps_follow_reuse_and_reports_hybrid_count() {
+        let out = run(&args(&[
+            "--follow", "--scale", "400", "--epochs", "3", "--samples", "8",
+            "--ratio", "0.05", "--max-touched", "1.0", "--scoring", "hybrid",
+        ]))
+        .unwrap();
+        let rows: Vec<&str> = out.lines().collect();
+        assert!(rows[0].contains("hybrid@0.35"), "{out}");
+        // A fixed scoring spec never perturbs the incremental cache: the
+        // first scan is still the only fallback.
+        assert!(rows[2].contains("cold_cache*"), "{out}");
+        for row in &rows[3..rows.len() - 1] {
+            assert!(row.contains("incremental"), "ramp epochs reuse: {out}");
+        }
+        assert!(out.lines().last().unwrap().contains("hybrid-flagged"), "{out}");
     }
 
     #[test]

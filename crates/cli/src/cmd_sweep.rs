@@ -1,7 +1,7 @@
 //! `ensemfdet sweep` — a detector's full operating curve against labels.
 
 use crate::args::Args;
-use crate::cmd_detect::{ensemfdet_config, score_users, timing_summary};
+use crate::cmd_detect::{ensemfdet_config, hybrid_pass, hybrid_summary, score_users, timing_summary};
 use ensemfdet::EnsemFdet;
 use ensemfdet_baselines::{Fraudar, FraudarConfig};
 use ensemfdet_eval::{PrCurve, RocCurve, Table};
@@ -20,6 +20,8 @@ OPTIONS:
     --samples N  --ratio S  --sampling M  --engine E  --sample-path P  --seed N
     --workers W           (as in `detect`)
     --timing              print the ensemble's wall-clock breakdown
+    --scoring SPEC        sweep the fused hybrid score instead of the raw
+                          vote counts (spec as in `detect --scoring`)
   fraudar:
     --k N                 blocks to sweep [default: 30]
   spoken / fbox:
@@ -49,6 +51,7 @@ pub fn run(args: &Args) -> Result<String, String> {
     }
 
     let mut timing_note: Option<String> = None;
+    let mut hybrid_note: Option<String> = None;
     let (pr, roc): (PrCurve, RocCurve) = match method.as_str() {
         "ensemfdet" => {
             let cfg = ensemfdet_config(args)?;
@@ -59,23 +62,39 @@ pub fn run(args: &Args) -> Result<String, String> {
             if timing {
                 timing_note = Some(timing_summary(cfg.path, &outcome));
             }
-            let sets: Vec<(f64, Vec<u32>)> = (1..=outcome.votes.max_user_votes())
-                .map(|t| {
-                    (
-                        t as f64,
-                        outcome
-                            .votes
-                            .detected_users(t)
-                            .into_iter()
-                            .map(|u| u.0)
-                            .collect(),
-                    )
-                })
-                .collect();
-            (
-                PrCurve::from_threshold_sets(sets.iter().map(|(t, d)| (*t, d.as_slice())), &labels),
-                RocCurve::from_threshold_sets(sets.iter().map(|(t, d)| (*t, d.as_slice())), &labels),
-            )
+            if let Some(hybrid) = hybrid_pass(&g, &outcome, &cfg) {
+                // Sweep the fused score itself — a far finer operating
+                // curve than the N discrete vote thresholds.
+                hybrid_note = Some(hybrid_summary(&hybrid));
+                (
+                    PrCurve::from_scores(&hybrid.hybrid, &labels),
+                    RocCurve::from_scores(&hybrid.hybrid, &labels),
+                )
+            } else {
+                let sets: Vec<(f64, Vec<u32>)> = (1..=outcome.votes.max_user_votes())
+                    .map(|t| {
+                        (
+                            t as f64,
+                            outcome
+                                .votes
+                                .detected_users(t)
+                                .into_iter()
+                                .map(|u| u.0)
+                                .collect(),
+                        )
+                    })
+                    .collect();
+                (
+                    PrCurve::from_threshold_sets(
+                        sets.iter().map(|(t, d)| (*t, d.as_slice())),
+                        &labels,
+                    ),
+                    RocCurve::from_threshold_sets(
+                        sets.iter().map(|(t, d)| (*t, d.as_slice())),
+                        &labels,
+                    ),
+                )
+            }
         }
         "fraudar" => {
             let k: usize = args.get_or("k", 30)?;
@@ -131,6 +150,10 @@ pub fn run(args: &Args) -> Result<String, String> {
         roc.auc(),
         roc.max_tpr_jump()
     ));
+    if let Some(h) = hybrid_note {
+        report.push_str(&h);
+        report.push('\n');
+    }
     if let Some(t) = timing_note {
         report.push_str(&t);
         report.push('\n');
@@ -181,6 +204,27 @@ mod tests {
         .unwrap();
         assert!(out.contains("best F1"), "{out}");
         assert!(out.contains("AUC-ROC"));
+    }
+
+    #[test]
+    fn scoring_flag_sweeps_the_hybrid_score() {
+        let (g, l) = dataset_files();
+        let out = run(&args(&[
+            "--graph", &g, "--labels", &l, "--samples", "8", "--ratio", "0.5",
+            "--scoring", "hybrid",
+        ]))
+        .unwrap();
+        assert!(out.contains("hybrid:"), "{out}");
+        // The planted 8×4 block dominates every component, so the fused
+        // sweep nearly separates it.
+        let f1: f64 = out
+            .lines()
+            .find(|l| l.starts_with("best F1:"))
+            .and_then(|l| l.split_whitespace().nth(2))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(f1 > 0.85, "{out}");
     }
 
     #[test]

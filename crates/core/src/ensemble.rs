@@ -55,6 +55,14 @@ pub struct EnsemFdetConfig {
     pub path: SamplePath,
     /// Master RNG seed.
     pub seed: u64,
+    /// Hybrid scoring: fuse the vote fraction with spectral and k-core
+    /// components computed once on the parent graph (off by default —
+    /// see [`crate::scoring`]). Lives inside the config, and hence
+    /// inside the incremental cache's equality key, because it changes
+    /// what a scan reports: any scoring change between epochs triggers
+    /// the `config_changed` full-scan fallback.
+    #[serde(default)]
+    pub scoring: crate::scoring::ScoringConfig,
 }
 
 /// How each sampled run gets its subgraph.
@@ -143,6 +151,7 @@ impl Default for EnsemFdetConfig {
             engine: Engine::default(),
             path: SamplePath::default(),
             seed: 0x0001_15ED,
+            scoring: crate::scoring::ScoringConfig::default(),
         }
     }
 }

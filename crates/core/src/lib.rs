@@ -56,6 +56,7 @@
 pub mod aggregate;
 pub mod block;
 pub mod bucket;
+pub mod detector;
 pub mod engine;
 pub mod ensemble;
 pub mod evidence;
@@ -66,11 +67,13 @@ pub mod metric;
 pub mod monitor;
 pub mod peel;
 pub mod pipeline;
+pub mod scoring;
 pub mod truncate;
 
 pub use aggregate::VoteTally;
 pub use block::Block;
 pub use bucket::BucketQueue;
+pub use detector::{DetectContext, Detector, DetectorOutput};
 pub use engine::{Engine, FdetEngine};
 pub use ensemble::{
     EnsembleOutcome, EnsemFdet, EnsemFdetConfig, SamplePath, SampleSummary,
@@ -86,4 +89,9 @@ pub use monitor::{CampaignMonitor, MonitorConfig, ScanReport};
 pub use peel::peel_densest;
 pub use pipeline::{
     IngestBuffer, ScanOutcome, ScanRunner, Snapshot, SnapshotStore, DELTA_HISTORY,
+};
+pub use scoring::{
+    best_f1, calibrate_weights, hybrid_scan_scores, kcore_scores, normalize_scores,
+    spectral_scores, Calibration, HybridScanScores, HybridScorer, ScoreNormalization,
+    ScoringConfig,
 };

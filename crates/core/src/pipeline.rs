@@ -31,8 +31,10 @@
 //! scan never contend.
 
 use crate::aggregate::VoteTally;
+use crate::detector::DetectContext;
 use crate::ensemble::{EnsemFdet, EnsemFdetConfig, EnsembleOutcome, StageTimings};
 use crate::incremental::{FallbackReason, IncrementalPolicy, ReuseStats, ScanCache};
+use crate::scoring::{hybrid_scan_scores, HybridScanScores};
 use ensemfdet_graph::builder::DuplicatePolicy;
 use ensemfdet_graph::{BipartiteGraph, GraphBuilder, GraphDelta, GraphDims, MerchantId, UserId};
 use std::collections::{HashSet, VecDeque};
@@ -542,6 +544,13 @@ pub struct ScanOutcome {
     /// per-sample reuse accounting, or a fallback (and why). The flagged
     /// set is identical either way — this is performance telemetry.
     pub reuse: ReuseStats,
+    /// Hybrid component and fused scores, when the config enables
+    /// scoring. Computed once on the parent snapshot after the ensemble
+    /// pass (never per sample), so it is identical on the full and
+    /// incremental paths. `flagged` above stays the plain vote-threshold
+    /// set either way; the hybrid's own flag set is
+    /// [`HybridScanScores::hybrid_flagged`].
+    pub scoring: Option<HybridScanScores>,
 }
 
 /// Runs ensemble scans against snapshots and tracks which accounts have
@@ -604,7 +613,7 @@ impl ScanRunner {
         assert!(threshold > 0, "alert threshold must be positive");
         let outcome = EnsemFdet::with_workers(*config, self.workers).detect(&snapshot.graph);
         let reuse = ReuseStats::full(config.num_samples);
-        self.finish(snapshot, outcome, reuse, threshold)
+        self.finish(snapshot, outcome, reuse, threshold, config)
     }
 
     /// Runs one ensemble pass over `snapshot`, reusing cached per-sample
@@ -677,14 +686,14 @@ impl ScanRunner {
                 let (outcome, stats, next) =
                     detector.detect_incremental(&snapshot.graph, &delta, cache);
                 self.cache = Some(next);
-                self.finish(snapshot, outcome, stats, threshold)
+                self.finish(snapshot, outcome, stats, threshold, config)
             }
             Err(reason) => {
                 let (outcome, cache) =
                     detector.detect_with_cache(&snapshot.graph, snapshot.epoch);
                 self.cache = Some(cache);
                 let reuse = ReuseStats::fallback(config.num_samples, reason);
-                self.finish(snapshot, outcome, reuse, threshold)
+                self.finish(snapshot, outcome, reuse, threshold, config)
             }
         }
     }
@@ -702,14 +711,22 @@ impl ScanRunner {
     }
 
     /// Converts an ensemble outcome into a [`ScanOutcome`], updating the
-    /// alert-once set.
+    /// alert-once set. When the config enables hybrid scoring, the
+    /// component passes run here, on the parent snapshot — the one place
+    /// both the full and incremental paths flow through, so the scores
+    /// are identical regardless of how much the ensemble pass reused.
     fn finish(
         &mut self,
         snapshot: &Snapshot,
         outcome: EnsembleOutcome,
         reuse: ReuseStats,
         threshold: u32,
+        config: &EnsemFdetConfig,
     ) -> ScanOutcome {
+        let scoring = config.scoring.enabled.then(|| {
+            let ctx = DetectContext::new(&snapshot.graph);
+            hybrid_scan_scores(&ctx, &outcome.votes, &config.scoring)
+        });
         let flagged = outcome.votes.detected_users(threshold);
         let new_alerts: Vec<UserId> = flagged
             .iter()
@@ -729,6 +746,7 @@ impl ScanRunner {
             worker_times: outcome.worker_times,
             votes: outcome.votes,
             reuse,
+            scoring,
         }
     }
 
@@ -1072,6 +1090,67 @@ mod tests {
         assert_eq!(runner.cached_epoch(), None);
         let out = runner.run_incremental(&snap2, &store, &other, 6, &IncrementalPolicy::default());
         assert_eq!(out.reuse.fallback, Some(FallbackReason::ColdCache));
+    }
+
+    /// Hybrid scoring is computed on the parent snapshot after the
+    /// ensemble pass, so (a) an unchanged scoring config keeps the
+    /// incremental cache valid and the hybrid output bit-identical to a
+    /// full scan's, and (b) any scoring change is a config change and
+    /// takes the documented full-scan fallback.
+    #[test]
+    fn hybrid_scoring_reuses_cache_and_falls_back_on_change() {
+        let b = IngestBuffer::new();
+        ring_and_background(&b);
+        let store = SnapshotStore::new(1);
+        let snap1 = store.compact(&b);
+        let mut cfg = quick_config();
+        cfg.scoring = crate::scoring::ScoringConfig::enabled();
+        let policy = IncrementalPolicy::default();
+
+        let mut runner = ScanRunner::new();
+        let cold = runner.run_incremental(&snap1, &store, &cfg, 6, &policy);
+        assert_eq!(cold.reuse.fallback, Some(FallbackReason::ColdCache));
+        assert!(cold.scoring.is_some());
+
+        // Re-scan of the same epoch with the same scoring config: every
+        // sample replays, and the hybrid output is still produced.
+        let again = runner.run_incremental(&snap1, &store, &cfg, 6, &policy);
+        assert_eq!(again.reuse.samples_reused, cfg.num_samples);
+        let (a, b_scores) = (
+            again.scoring.as_ref().unwrap(),
+            cold.scoring.as_ref().unwrap(),
+        );
+        assert_eq!(a.hybrid, b_scores.hybrid);
+
+        // Grow and rescan with the *same* scoring config: the cache is
+        // still trusted and the hybrid output matches a from-scratch scan.
+        for i in 0..6u32 {
+            b.append(UserId(20 + i), MerchantId(2));
+        }
+        let snap2 = store.compact(&b);
+        let inc = runner.run_incremental(&snap2, &store, &cfg, 6, &policy);
+        assert!(inc.reuse.incremental, "unchanged scoring must keep reuse");
+        let full = ScanRunner::new().run(&snap2, &cfg, 6);
+        let (a, b_scores) = (inc.scoring.unwrap(), full.scoring.unwrap());
+        assert_eq!(a.hybrid, b_scores.hybrid);
+        assert_eq!(a.hybrid_flagged, b_scores.hybrid_flagged);
+        assert_eq!(a.vote, b_scores.vote);
+        assert_eq!(a.spectral, b_scores.spectral);
+        assert_eq!(a.kcore, b_scores.kcore);
+
+        // Any scoring knob change invalidates the cache wholesale.
+        let mut retuned = cfg;
+        retuned.scoring.vote_weight = 0.5;
+        let out = runner.run_incremental(&snap2, &store, &retuned, 6, &policy);
+        assert_eq!(out.reuse.fallback, Some(FallbackReason::ConfigChanged));
+        assert!(out.scoring.is_some());
+
+        // Disabling scoring is also a config change, and drops the field.
+        let mut plain = cfg;
+        plain.scoring = crate::scoring::ScoringConfig::default();
+        let out = runner.run_incremental(&snap2, &store, &plain, 6, &policy);
+        assert_eq!(out.reuse.fallback, Some(FallbackReason::ConfigChanged));
+        assert!(out.scoring.is_none());
     }
 
     #[test]

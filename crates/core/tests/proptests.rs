@@ -221,3 +221,142 @@ fn peel_matches_brute_force_on_known_graph() {
         edges: vec![],
     };
 }
+
+// ---------------------------------------------------------------------------
+// Hybrid-scoring laws (PR 9)
+// ---------------------------------------------------------------------------
+
+mod scoring_laws {
+    use super::*;
+    use ensemfdet::{
+        hybrid_scan_scores, normalize_scores, DetectContext, HybridScorer, ScoreNormalization,
+        ScoringConfig,
+    };
+
+    fn arb_components(max_len: usize) -> impl Strategy<Value = (Vec<f64>, Vec<f64>, Vec<f64>)> {
+        (1..=max_len).prop_flat_map(|len| {
+            let comp = || prop::collection::vec(0.0f64..=1.0, len..=len);
+            (comp(), comp(), comp())
+        })
+    }
+
+    fn arb_norm() -> impl Strategy<Value = ScoreNormalization> {
+        (0usize..2).prop_map(|i| {
+            if i == 0 {
+                ScoreNormalization::MinMax
+            } else {
+                ScoreNormalization::Rank
+            }
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Fused scores stay finite in `[0, 1]` for any valid weights,
+        /// floors, and normalization.
+        #[test]
+        fn fusion_stays_in_unit_interval(
+            (vote, spectral, kcore) in arb_components(40),
+            mut weights in (0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..=1.0),
+            floors in (0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..=1.0),
+            norm in arb_norm(),
+        ) {
+            if weights.0 + weights.1 + weights.2 <= 0.0 {
+                weights.0 = 1.0; // all-zero weights are rejected by validate()
+            }
+            let cfg = ScoringConfig {
+                enabled: true,
+                vote_weight: weights.0,
+                spectral_weight: weights.1,
+                kcore_weight: weights.2,
+                vote_floor: floors.0,
+                spectral_floor: floors.1,
+                kcore_floor: floors.2,
+                normalization: norm,
+                ..ScoringConfig::enabled()
+            };
+            let fused = HybridScorer::new(cfg).fuse(&vote, &spectral, &kcore);
+            prop_assert_eq!(fused.len(), vote.len());
+            for s in fused {
+                prop_assert!(s.is_finite() && (0.0..=1.0).contains(&s), "fused {s}");
+            }
+        }
+
+        /// A degenerate weight vector reproduces exactly its component's
+        /// ranking (compared via rank normalization, which is
+        /// tie-preserving and monotone).
+        #[test]
+        fn degenerate_weights_reproduce_component_ranking(
+            (vote, spectral, kcore) in arb_components(40),
+            norm in arb_norm(),
+        ) {
+            let corners: [([f64; 3], &[f64]); 3] = [
+                ([1.0, 0.0, 0.0], &vote),
+                ([0.0, 1.0, 0.0], &spectral),
+                ([0.0, 0.0, 1.0], &kcore),
+            ];
+            for (w, component) in corners {
+                let cfg = ScoringConfig {
+                    enabled: true,
+                    vote_weight: w[0],
+                    spectral_weight: w[1],
+                    kcore_weight: w[2],
+                    normalization: norm,
+                    ..ScoringConfig::enabled()
+                };
+                let fused = HybridScorer::new(cfg).fuse(&vote, &spectral, &kcore);
+                prop_assert_eq!(
+                    normalize_scores(&fused, ScoreNormalization::Rank),
+                    normalize_scores(component, ScoreNormalization::Rank),
+                );
+            }
+        }
+
+        /// The full hybrid pass never panics and keeps every component and
+        /// the fused vector in `[0, 1]`, whatever the graph.
+        #[test]
+        fn hybrid_scan_is_total_and_bounded(g in arb_graph(10, 40)) {
+            let out = EnsemFdet::new(EnsemFdetConfig {
+                num_samples: 4,
+                sample_ratio: 0.5,
+                seed: 7,
+                ..Default::default()
+            })
+            .detect(&g);
+            let ctx = DetectContext::new(&g);
+            let scores = hybrid_scan_scores(&ctx, &out.votes, &ScoringConfig::enabled());
+            for comp in [&scores.vote, &scores.spectral, &scores.kcore, &scores.hybrid] {
+                prop_assert_eq!(comp.len(), g.num_users());
+                for &s in comp.iter() {
+                    prop_assert!(s.is_finite() && (0.0..=1.0).contains(&s), "{s}");
+                }
+            }
+            for u in &scores.hybrid_flagged {
+                prop_assert!(scores.hybrid[u.index()] >= scores.config.hybrid_threshold);
+            }
+        }
+    }
+
+    /// Degenerate graphs go through the whole pass without panicking.
+    #[test]
+    fn hybrid_scan_survives_empty_and_single_edge_graphs() {
+        for g in [
+            BipartiteGraph::from_edges(0, 0, vec![]).unwrap(),
+            BipartiteGraph::from_edges(3, 2, vec![]).unwrap(),
+            BipartiteGraph::from_edges(1, 1, vec![(0, 0)]).unwrap(),
+        ] {
+            let out = EnsemFdet::new(EnsemFdetConfig {
+                num_samples: 3,
+                sample_ratio: 0.5,
+                seed: 5,
+                ..Default::default()
+            })
+            .detect(&g);
+            let ctx = DetectContext::new(&g);
+            let scores = hybrid_scan_scores(&ctx, &out.votes, &ScoringConfig::enabled());
+            assert_eq!(scores.hybrid.len(), g.num_users());
+            assert!(scores.hybrid.iter().all(|s| (0.0..=1.0).contains(s)));
+        }
+    }
+}

@@ -22,6 +22,7 @@ use crate::jobs::{EnqueueError, JobLookup, JobState, JobStore, JobView, ScanResu
 use ensemfdet::pipeline::{IngestBuffer, ScanRunner, SnapshotStore};
 use ensemfdet::{
     Engine as PeelEngine, EnsemFdet, EnsemFdetConfig, IncrementalPolicy, MonitorConfig, SamplePath,
+    ScoringConfig,
 };
 use ensemfdet_graph::{GraphStats, TransactionInterner};
 use ensemfdet_telemetry::{ServiceMetrics, PROMETHEUS_CONTENT_TYPE};
@@ -232,7 +233,7 @@ impl Api {
                 "workers": c.workers,
                 "scan_overrides": [
                     "num_samples", "sample_ratio", "threshold", "path", "engine", "mode",
-                    "workers",
+                    "workers", "scoring",
                 ],
             }),
         )
@@ -469,6 +470,9 @@ impl Api {
                         }
                     };
                 }
+                "scoring" => {
+                    config.scoring = scoring_override(config.scoring, value)?;
+                }
                 "workers" => {
                     let w = value
                         .as_u64()
@@ -486,7 +490,7 @@ impl Api {
                     return Err(Response::error(
                         400,
                         "invalid_config",
-                        format!("unknown override {other:?} (expected num_samples, sample_ratio, threshold, path, engine, mode, workers)"),
+                        format!("unknown override {other:?} (expected num_samples, sample_ratio, threshold, path, engine, mode, workers, scoring)"),
                     ));
                 }
             }
@@ -626,6 +630,108 @@ impl std::fmt::Debug for Api {
     }
 }
 
+/// Overlays a `"scoring"` override object onto the service's default
+/// scoring configuration. Sending a scoring object implies
+/// `enabled: true` unless the object itself carries
+/// `"enabled": false`; the merged configuration is validated as a whole
+/// (weights finite and not all zero, floors and threshold in `[0, 1]`,
+/// at least one spectral component), so a request can never enqueue a
+/// scan the scorer would reject.
+fn scoring_override(base: ScoringConfig, value: &Value) -> Result<ScoringConfig, Response> {
+    let bad = |msg: String| Response::error(400, "invalid_config", msg);
+    let obj = value
+        .as_object()
+        .ok_or_else(|| bad("scoring must be a JSON object of scoring settings".into()))?;
+    let mut scoring = base;
+    scoring.enabled = true;
+    for (key, v) in obj.iter() {
+        match key.as_str() {
+            "enabled" => {
+                scoring.enabled = v
+                    .as_bool()
+                    .ok_or_else(|| bad("scoring.enabled must be a boolean".into()))?;
+            }
+            "weights" => {
+                let weights = v
+                    .as_object()
+                    .ok_or_else(|| bad("scoring.weights must be an object".into()))?;
+                for (wk, wv) in weights.iter() {
+                    let w = wv.as_f64().ok_or_else(|| {
+                        bad(format!("scoring.weights.{wk} must be a number"))
+                    })?;
+                    match wk.as_str() {
+                        "vote" => scoring.vote_weight = w,
+                        "spectral" => scoring.spectral_weight = w,
+                        "kcore" => scoring.kcore_weight = w,
+                        other => {
+                            return Err(bad(format!(
+                                "unknown scoring weight {other:?} (expected vote, spectral, kcore)"
+                            )))
+                        }
+                    }
+                }
+            }
+            "floors" => {
+                let floors = v
+                    .as_object()
+                    .ok_or_else(|| bad("scoring.floors must be an object".into()))?;
+                for (fk, fv) in floors.iter() {
+                    let f = fv
+                        .as_f64()
+                        .ok_or_else(|| bad(format!("scoring.floors.{fk} must be a number")))?;
+                    match fk.as_str() {
+                        "vote" => scoring.vote_floor = f,
+                        "spectral" => scoring.spectral_floor = f,
+                        "kcore" => scoring.kcore_floor = f,
+                        other => {
+                            return Err(bad(format!(
+                                "unknown scoring floor {other:?} (expected vote, spectral, kcore)"
+                            )))
+                        }
+                    }
+                }
+            }
+            "normalization" => {
+                scoring.normalization = v
+                    .as_str()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| {
+                        bad("scoring.normalization must be \"minmax\" or \"rank\"".into())
+                    })?;
+            }
+            "hybrid_threshold" => {
+                scoring.hybrid_threshold = v
+                    .as_f64()
+                    .ok_or_else(|| bad("scoring.hybrid_threshold must be a number".into()))?;
+            }
+            "components" => {
+                let n = v
+                    .as_u64()
+                    .filter(|&n| (1..=10_000).contains(&n))
+                    .ok_or_else(|| {
+                        bad("scoring.components must be an integer in [1, 10000]".into())
+                    })?;
+                scoring.spectral_components = n as usize;
+            }
+            "seed" => {
+                scoring.spectral_seed = v
+                    .as_u64()
+                    .ok_or_else(|| bad("scoring.seed must be a non-negative integer".into()))?;
+            }
+            other => {
+                return Err(bad(format!(
+                    "unknown scoring key {other:?} (expected enabled, weights, floors, \
+                     normalization, hybrid_threshold, components, seed)"
+                )));
+            }
+        }
+    }
+    scoring
+        .validate()
+        .map_err(|e| bad(format!("invalid scoring: {e}")))?;
+    Ok(scoring)
+}
+
 /// The wire shape of one job record.
 fn job_json(view: &JobView) -> Value {
     let mut body = serde_json::Map::new();
@@ -653,7 +759,7 @@ fn job_json(view: &JobView) -> Value {
 
 /// The wire shape of one published scan result.
 fn result_json(r: &ScanResultView) -> Value {
-    json!({
+    let body = json!({
         "job_id": r.job_id,
         "epoch": r.epoch,
         "transactions": r.transactions,
@@ -671,7 +777,34 @@ fn result_json(r: &ScanResultView) -> Value {
         "samples_repeeled": r.reuse.samples_repeeled,
         "dirty_fraction": r.reuse.dirty_fraction(),
         "delta_touched_nodes": r.reuse.delta_touched_nodes,
-    })
+    });
+    let Value::Object(mut body) = body else {
+        unreachable!("json! object literal");
+    };
+    if let Some(s) = &r.scoring {
+        let scoring = json!({
+            "weights": {
+                "vote": s.config.vote_weight,
+                "spectral": s.config.spectral_weight,
+                "kcore": s.config.kcore_weight,
+            },
+            "normalization": s.config.normalization.name(),
+            "hybrid_threshold": s.config.hybrid_threshold,
+            "hybrid_flagged": s.hybrid_flagged.clone(),
+            "component_millis": s.component_millis.to_vec(),
+            "account_scores": s.account_scores.iter().map(|(key, [vote, spectral, kcore, hybrid])| {
+                json!({
+                    "account": key,
+                    "vote": vote,
+                    "spectral": spectral,
+                    "kcore": kcore,
+                    "hybrid": hybrid,
+                })
+            }).collect::<Vec<Value>>(),
+        });
+        body.insert("scoring".into(), scoring);
+    }
+    Value::Object(body)
 }
 
 /// Parses the legacy JSON-array ingest shape
@@ -1090,11 +1223,14 @@ mod tests {
         assert_eq!(body["alert_threshold"], 15);
         assert_eq!(body["scan_queue_capacity"], 8);
         let overrides = body["scan_overrides"].as_array().unwrap();
-        assert_eq!(overrides.len(), 7);
+        assert_eq!(overrides.len(), 8);
         assert!(overrides.iter().any(|v| v == "path"));
         assert!(overrides.iter().any(|v| v == "engine"));
         assert!(overrides.iter().any(|v| v == "mode"));
         assert!(overrides.iter().any(|v| v == "workers"));
+        assert!(overrides.iter().any(|v| v == "scoring"));
+        // The detector config (scoring included) is serialized verbatim.
+        assert_eq!(body["detector"]["scoring"]["enabled"], false);
         assert_eq!(body["workers"], 0, "default workers is auto (0)");
         assert_eq!(body["follow"], false);
         assert!((body["max_touched_fraction"].as_f64().unwrap() - 0.1).abs() < 1e-12);
@@ -1306,6 +1442,165 @@ mod tests {
         // The latest-result page echoes the worker count too.
         let (_, latest) = get(&api, "/v1/scans/latest");
         assert_eq!(latest["workers"], 4);
+    }
+
+    #[test]
+    fn scoring_override_runs_hybrid_and_echoes_components() {
+        let api = quick_api();
+        post(&api, "/v1/transactions", json!({ "records": ring_records() }));
+        let (status, body) = post(
+            &api,
+            "/v1/scans",
+            json!({ "scoring": {
+                "weights": { "vote": 0.6, "spectral": 0.25, "kcore": 0.15 },
+                "normalization": "minmax",
+                "hybrid_threshold": 0.65,
+                "seed": 7,
+            } }),
+        );
+        assert_eq!(status, 202, "{body}");
+        let done = wait_done(&api, body["job_id"].as_u64().unwrap());
+        assert_eq!(done["status"], "done", "{done}");
+        let scoring = &done["result"]["scoring"];
+        assert!((scoring["weights"]["vote"].as_f64().unwrap() - 0.6).abs() < 1e-12);
+        assert!((scoring["weights"]["spectral"].as_f64().unwrap() - 0.25).abs() < 1e-12);
+        assert_eq!(scoring["normalization"], "minmax");
+        assert!((scoring["hybrid_threshold"].as_f64().unwrap() - 0.65).abs() < 1e-12);
+        assert_eq!(scoring["component_millis"].as_array().unwrap().len(), 3);
+        // The densely-connected bots dominate every component, so the
+        // fused score flags them.
+        let hybrid: Vec<&str> = scoring["hybrid_flagged"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_str().unwrap())
+            .collect();
+        assert!(!hybrid.is_empty(), "{done}");
+        assert!(hybrid.iter().all(|k| k.starts_with("bot-")), "{done}");
+        // Every echoed account breakdown is a full [0, 1] score vector.
+        let accounts = scoring["account_scores"].as_array().unwrap();
+        assert!(!accounts.is_empty());
+        for entry in accounts {
+            for field in ["vote", "spectral", "kcore", "hybrid"] {
+                let s = entry[field].as_f64().unwrap();
+                assert!((0.0..=1.0).contains(&s), "{entry}");
+            }
+        }
+        // A scan without scoring has no scoring echo.
+        let (_, body) = post(&api, "/v1/scans", json!({}));
+        let plain = wait_done(&api, body["job_id"].as_u64().unwrap());
+        assert!(plain["result"]["scoring"].is_null(), "{plain}");
+        // The hybrid scan fed the per-component scoring telemetry.
+        let (_, _) = get(&api, "/v1/health");
+        let resp = api.handle(&Request {
+            method: "GET".into(),
+            path: "/metrics".into(),
+            content_type: String::new(),
+            body: vec![],
+        });
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("ensemfdet_scans_hybrid_total 1"), "{text}");
+        assert!(
+            text.contains(
+                "ensemfdet_scan_scoring_duration_seconds_count{component=\"spectral\"} 1"
+            ),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn scoring_override_is_validated() {
+        let api = quick_api();
+        for bad in [
+            json!({ "scoring": "hybrid" }),
+            json!({ "scoring": { "weights": { "vote": 0.0, "spectral": 0.0, "kcore": 0.0 } } }),
+            json!({ "scoring": { "weights": { "vote": -1.0 } } }),
+            json!({ "scoring": { "weights": { "velocity": 0.5 } } }),
+            json!({ "scoring": { "weights": { "vote": "heavy" } } }),
+            json!({ "scoring": { "normalization": "softmax" } }),
+            json!({ "scoring": { "hybrid_threshold": 1.5 } }),
+            json!({ "scoring": { "hybrid_threshold": -0.1 } }),
+            json!({ "scoring": { "floors": { "vote": 2.0 } } }),
+            json!({ "scoring": { "floors": { "depth": 0.1 } } }),
+            json!({ "scoring": { "components": 0 } }),
+            json!({ "scoring": { "seed": -1 } }),
+            json!({ "scoring": { "enabled": "yes" } }),
+            json!({ "scoring": { "frobnicate": true } }),
+        ] {
+            let (status, body) = post(&api, "/v1/scans", bad.clone());
+            assert_eq!(status, 400, "scoring override {bad} accepted: {body}");
+            assert_eq!(body["error"]["code"], "invalid_config", "{body}");
+        }
+    }
+
+    #[test]
+    fn scoring_scans_are_deterministic() {
+        let api = quick_api();
+        post(&api, "/v1/transactions", json!({ "records": ring_records() }));
+        let overrides = json!({ "scoring": { "seed": 42 }, "num_samples": 6 });
+        let mut runs = Vec::new();
+        for _ in 0..2 {
+            let (_, body) = post(&api, "/v1/scans", overrides.clone());
+            let done = wait_done(&api, body["job_id"].as_u64().unwrap());
+            assert_eq!(done["status"], "done", "{done}");
+            runs.push((
+                done["result"]["scoring"]["hybrid_flagged"].clone(),
+                done["result"]["scoring"]["account_scores"].clone(),
+            ));
+        }
+        assert_eq!(runs[0], runs[1], "same (epoch, seed, weights) must agree exactly");
+    }
+
+    #[test]
+    fn scoring_config_change_falls_back_to_full_scan() {
+        let api = quick_api();
+        post(&api, "/v1/transactions", json!({ "records": ring_records() }));
+        let hybrid = json!({ "vote": 0.6, "spectral": 0.25, "kcore": 0.15 });
+        // Prime the incremental cache under one scoring config.
+        let (_, body) = post(
+            &api,
+            "/v1/scans",
+            json!({ "mode": "incremental", "scoring": { "weights": hybrid.clone() } }),
+        );
+        let cold = wait_done(&api, body["job_id"].as_u64().unwrap());
+        assert_eq!(cold["result"]["fallback"], "cold_cache", "{cold}");
+        assert!(!cold["result"]["scoring"].is_null());
+        // Same scoring config: the cache replays every sample, and the
+        // scoring echo matches the priming scan's exactly.
+        let (_, body) = post(
+            &api,
+            "/v1/scans",
+            json!({ "mode": "incremental", "scoring": { "weights": hybrid.clone() } }),
+        );
+        let warm = wait_done(&api, body["job_id"].as_u64().unwrap());
+        assert_eq!(warm["result"]["mode"], "incremental", "{warm}");
+        assert_eq!(warm["result"]["samples_reused"], 20);
+        // Identical scoring output (component_millis is wall-clock, so
+        // compare the deterministic fields).
+        for field in ["weights", "hybrid_flagged", "account_scores"] {
+            assert_eq!(
+                warm["result"]["scoring"][field], cold["result"]["scoring"][field],
+                "cache replay changed scoring {field}"
+            );
+        }
+        // Different scoring weights: the scoring config is part of the
+        // incremental cache's key, so reuse is refused — a documented
+        // full-scan fallback, not a silent stale-score result.
+        let (_, body) = post(
+            &api,
+            "/v1/scans",
+            json!({ "mode": "incremental",
+                    "scoring": { "weights": { "vote": 1.0, "spectral": 0.0, "kcore": 0.0 } } }),
+        );
+        let retuned = wait_done(&api, body["job_id"].as_u64().unwrap());
+        assert_eq!(retuned["result"]["mode"], "full", "{retuned}");
+        assert_eq!(retuned["result"]["fallback"], "config_changed", "{retuned}");
+        assert!((retuned["result"]["scoring"]["weights"]["vote"].as_f64().unwrap() - 1.0).abs() < 1e-12);
+        // Dropping scoring entirely is a config change too.
+        let (_, body) = post(&api, "/v1/scans", json!({ "mode": "incremental" }));
+        let plain = wait_done(&api, body["job_id"].as_u64().unwrap());
+        assert_eq!(plain["result"]["fallback"], "config_changed", "{plain}");
+        assert!(plain["result"]["scoring"].is_null(), "{plain}");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! caught and recorded as a `failed` job instead of killing the thread.
 
 use crate::api::{lock_recover, Engine};
-use crate::jobs::ScanResultView;
+use crate::jobs::{ScanResultView, ScoringResultView};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -48,14 +48,45 @@ fn executor_loop(engine: &Engine) {
         }));
         match outcome {
             Ok(outcome) => {
-                let (flagged, new_alerts) = {
+                let (flagged, new_alerts, scoring) = {
                     let interner = lock_recover(&engine.interner);
                     let to_keys = |ids: &[ensemfdet_graph::UserId]| {
                         ids.iter()
                             .map(|&u| interner.user_key(u).to_string())
                             .collect::<Vec<String>>()
                     };
-                    (to_keys(&outcome.flagged), to_keys(&outcome.new_alerts))
+                    let scoring = outcome.scoring.as_ref().map(|s| {
+                        // Echo the component breakdown for the union of
+                        // vote-flagged and hybrid-flagged accounts.
+                        let mut union: Vec<ensemfdet_graph::UserId> = outcome
+                            .flagged
+                            .iter()
+                            .chain(&s.hybrid_flagged)
+                            .copied()
+                            .collect();
+                        union.sort_unstable_by_key(|u| u.0);
+                        union.dedup();
+                        let mut account_scores: Vec<(String, [f64; 4])> = union
+                            .into_iter()
+                            .map(|u| {
+                                let i = u.index();
+                                (
+                                    interner.user_key(u).to_string(),
+                                    [s.vote[i], s.spectral[i], s.kcore[i], s.hybrid[i]],
+                                )
+                            })
+                            .collect();
+                        account_scores.sort_by(|a, b| a.0.cmp(&b.0));
+                        ScoringResultView {
+                            config: s.config,
+                            hybrid_flagged: to_keys(&s.hybrid_flagged),
+                            account_scores,
+                            component_millis: s
+                                .component_times
+                                .map(|t| t.as_secs_f64() * 1e3),
+                        }
+                    });
+                    (to_keys(&outcome.flagged), to_keys(&outcome.new_alerts), scoring)
                 };
                 metrics.record_scan(outcome.elapsed, &outcome.sample_times);
                 metrics.record_scan_workers(outcome.workers, &outcome.worker_times);
@@ -72,6 +103,9 @@ fn executor_loop(engine: &Engine) {
                     outcome.reuse.delta_touched_nodes,
                     outcome.elapsed,
                 );
+                if let Some(s) = &outcome.scoring {
+                    metrics.record_scan_scoring(s.component_times);
+                }
                 metrics.alerts.add(new_alerts.len() as u64);
                 metrics.record_snapshot(outcome.epoch, engine.snapshots.lag(&engine.buffer));
                 metrics.scans_in_flight.dec();
@@ -91,6 +125,7 @@ fn executor_loop(engine: &Engine) {
                         scan_millis: outcome.elapsed.as_secs_f64() * 1e3,
                         reuse: outcome.reuse,
                         workers: outcome.workers,
+                        scoring,
                     },
                 );
             }

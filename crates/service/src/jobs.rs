@@ -10,7 +10,7 @@
 //! brief.
 
 use ensemfdet::pipeline::Snapshot;
-use ensemfdet::{EnsemFdetConfig, ReuseStats};
+use ensemfdet::{EnsemFdetConfig, ReuseStats, ScoringConfig};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
@@ -75,6 +75,26 @@ impl JobState {
     }
 }
 
+/// The hybrid-scoring slice of a published scan result: the effective
+/// scoring configuration, the accounts the fused score flagged, and the
+/// per-account component breakdown clients use to explain *why* an
+/// account was flagged.
+#[derive(Clone, Debug)]
+pub struct ScoringResultView {
+    /// The scoring configuration the fusion ran with.
+    pub config: ScoringConfig,
+    /// Account keys whose fused hybrid score crossed
+    /// `hybrid_threshold`.
+    pub hybrid_flagged: Vec<String>,
+    /// Per-account `[vote, spectral, kcore, hybrid]` scores for every
+    /// account flagged by either the vote threshold or the hybrid
+    /// threshold (the union), sorted by key.
+    pub account_scores: Vec<(String, [f64; 4])>,
+    /// Wall-clock of the `[vote, spectral, kcore]` component passes, in
+    /// milliseconds.
+    pub component_millis: [f64; 3],
+}
+
 /// A published scan result, with ids already translated back to the
 /// string keys clients speak.
 #[derive(Clone, Debug)]
@@ -100,6 +120,9 @@ pub struct ScanResultView {
     pub reuse: ReuseStats,
     /// Worker threads the ensemble pass actually ran with.
     pub workers: usize,
+    /// Hybrid-scoring breakdown, present when the scan's config enabled
+    /// the scoring fusion.
+    pub scoring: Option<ScoringResultView>,
 }
 
 /// One job's externally visible record.
@@ -421,6 +444,7 @@ mod tests {
             scan_millis: 1.0,
             reuse: ReuseStats::full(0),
             workers: 1,
+            scoring: None,
         }
     }
 

@@ -338,6 +338,18 @@ pub struct ServiceMetrics {
     /// Ingest-body parse time for NDJSON batches
     /// (`content_type="ndjson"`).
     pub ingest_parse_ndjson: Histogram,
+    /// Scans that ran the hybrid scoring fusion on top of the ensemble.
+    pub scans_hybrid: Counter,
+    /// Hybrid-scoring vote-component time (the `component="vote"` series
+    /// of `ensemfdet_scan_scoring_duration_seconds`; covers only the
+    /// vote-fraction conversion — the ensemble pass itself is timed by
+    /// the stage histograms).
+    pub scoring_vote_duration: Histogram,
+    /// Hybrid-scoring spectral-component time (`component="spectral"`:
+    /// adjacency assembly + randomized SVD).
+    pub scoring_spectral_duration: Histogram,
+    /// Hybrid-scoring k-core-component time (`component="kcore"`).
+    pub scoring_kcore_duration: Histogram,
 }
 
 /// A [`Histogram`] whose default buckets cover a `[0, 1]` fraction
@@ -613,7 +625,41 @@ impl ServiceMetrics {
                 h,
             );
         }
+        write_counter(
+            &mut out,
+            "ensemfdet_scans_hybrid_total",
+            "Scans that ran the hybrid scoring fusion.",
+            self.scans_hybrid.get(),
+        );
+        write_header(
+            &mut out,
+            "ensemfdet_scan_scoring_duration_seconds",
+            "histogram",
+            "Hybrid-scoring component time per hybrid scan, by component.",
+        );
+        for (component, h) in [
+            ("vote", &self.scoring_vote_duration),
+            ("spectral", &self.scoring_spectral_duration),
+            ("kcore", &self.scoring_kcore_duration),
+        ] {
+            write_histogram_samples(
+                &mut out,
+                "ensemfdet_scan_scoring_duration_seconds",
+                &format!("component=\"{component}\","),
+                h,
+            );
+        }
         out
+    }
+
+    /// Records one hybrid-scored scan: the `[vote, spectral, kcore]`
+    /// component wall-clocks (from the scan outcome's
+    /// `HybridScanScores::component_times`) plus the hybrid-scan counter.
+    pub fn record_scan_scoring(&self, component_times: [Duration; 3]) {
+        self.scans_hybrid.inc();
+        self.scoring_vote_duration.observe_duration(component_times[0]);
+        self.scoring_spectral_duration.observe_duration(component_times[1]);
+        self.scoring_kcore_duration.observe_duration(component_times[2]);
     }
 
     /// Records one scan's reuse telemetry: the mode-labelled duration
@@ -945,6 +991,31 @@ mod tests {
         assert!(text.contains(
             "ensemfdet_ingest_parse_duration_seconds_count{content_type=\"ndjson\"} 2"
         ));
+    }
+
+    #[test]
+    fn scoring_metrics_render_per_component() {
+        let m = ServiceMetrics::new();
+        m.record_scan_scoring([
+            Duration::from_micros(50),
+            Duration::from_millis(12),
+            Duration::from_millis(3),
+        ]);
+        m.record_scan_scoring([
+            Duration::from_micros(60),
+            Duration::from_millis(11),
+            Duration::from_millis(2),
+        ]);
+        let text = m.render();
+        assert!(text.contains("ensemfdet_scans_hybrid_total 2"));
+        for component in ["vote", "spectral", "kcore"] {
+            assert!(
+                text.contains(&format!(
+                    "ensemfdet_scan_scoring_duration_seconds_count{{component=\"{component}\"}} 2"
+                )),
+                "{text}"
+            );
+        }
     }
 
     #[test]
