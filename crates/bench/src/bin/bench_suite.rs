@@ -2,9 +2,10 @@
 //! (csr vs naive peeling engines), `BENCH_PR4.json` (sampling data
 //! paths), `BENCH_PR6.json` (bucket-queue peel engines), `BENCH_PR7.json`
 //! (incremental vs full scans under sustained ingest), `BENCH_PR8.json`
-//! (the full-JD-scale sharded build + parallel ensemble), and
+//! (the full-JD-scale sharded build + parallel ensemble),
 //! `BENCH_PR9.json` (single methods vs the calibrated hybrid scorer
-//! under camouflage).
+//! under camouflage), and `BENCH_PR10.json` (arena/sharded interners +
+//! the chunked weighted CSV loader).
 //!
 //! **Engine phase** times the two peeling engines (`csr`, the default hot
 //! path, vs `naive`, the reference implementation) on fixed-seed
@@ -85,8 +86,23 @@
 //! asserts the hybrid's best F1 at-or-above every single method at every
 //! level and exits 1 on any violation.
 //!
+//! **Parallel bulk-ingest phase** renders the full-scale phase's jd3
+//! graph as a `user,merchant,amount` CSV transaction log
+//! (`ensemfdet_datagen::translog`) and times, behind a byte-counting
+//! global allocator: the legacy twin-map `TransactionInterner` vs the
+//! contiguous arena vs the sharded arena (single-threaded and across the
+//! worker pool) on the log's pre-parsed key pairs, and the chunked
+//! weighted loader end to end at 1..N workers. Its gate first checks
+//! every worker count bit-identical to the serial scan — assigned ids,
+//! edge arrays, amount-summed weights as f64 bits, and the ensemble
+//! votes of the loaded graph — and the sharded interner id-identical to
+//! the serial arena. Speedups are measured, not projected: on a
+//! single-core box the parallel loader lands near (or below) 1×, and
+//! that is the number recorded.
+//!
 //! `--smoke` additionally drives the HTTP service's v1 surface over a real
-//! socket (JSON-array and NDJSON ingest → async scan jobs, one with a
+//! socket (JSON-array, NDJSON, and `text/csv` ingest — each with its
+//! per-line error contract — → async scan jobs, one with a
 //! `workers` override, one with a `scoring` override → results) and
 //! aborts if any step misbehaves, so CI catches service regressions
 //! without a separate harness.
@@ -109,8 +125,10 @@
 //! one, `--out-incremental FILE` (default `BENCH_PR7.json`) the
 //! incremental-scan one, `--out-scale FILE` (default `BENCH_PR8.json`)
 //! the full-scale one, `--out-hybrid FILE` (default `BENCH_PR9.json`)
-//! the hybrid-scoring one; `--scale N` resizes the datasets as in every
-//! other experiment binary (the full-scale phase pins its own divisor).
+//! the hybrid-scoring one, `--out-ingest FILE` (default
+//! `BENCH_PR10.json`) the parallel-ingest one; `--scale N` resizes the
+//! datasets as in every other experiment binary (the full-scale phase
+//! pins its own divisor).
 //! Absolute numbers are machine-dependent; the speedup ratios are the
 //! portable signal.
 
@@ -126,15 +144,63 @@ use ensemfdet_baselines::{
 use ensemfdet_bench::{datasets, methods, resolve_scale};
 use ensemfdet_datagen::generate;
 use ensemfdet_datagen::presets::{jd_preset, JdDataset};
-use ensemfdet_datagen::ramp_timeline;
+use ensemfdet_datagen::{ramp_timeline, transaction_log_string, TransactionLogConfig};
+use ensemfdet_graph::loader::parse_csv_record;
 use ensemfdet_graph::{
-    BipartiteGraph, CsrView, MerchantId, SampleMaps, SampleSpec, SpecResolver, UserId,
+    load_transactions, ArenaTransactionInterner, BipartiteGraph, ConcurrentTransactionInterner,
+    CsrView, LoadOptions, MerchantId, SampleMaps, SampleSpec, SpecResolver, TransactionInterner,
+    UserId,
 };
 use ensemfdet_sampling::{seed, Sampler, SamplerScratch, SamplingMethod};
 use ensemfdet_service::api::{parse_json_records, parse_ndjson_records};
 use serde::Serialize;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Byte-counting allocator wrapper: the ingest phase reports
+/// bytes-allocated per interner variant alongside wall time, since the
+/// arena refactor's whole point is collapsing per-key allocations. Two
+/// relaxed atomic adds per allocation — negligible against the work the
+/// other phases time, and every variant pays it equally.
+struct CountingAlloc;
+
+static ALLOC_BYTES: AtomicUsize = AtomicUsize::new(0);
+static ALLOC_CALLS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size(), Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `f`, returning `(allocation calls, bytes requested, result)`.
+fn counted_alloc<R>(f: impl FnOnce() -> R) -> (usize, usize, R) {
+    let calls0 = ALLOC_CALLS.load(Ordering::SeqCst);
+    let bytes0 = ALLOC_BYTES.load(Ordering::SeqCst);
+    let out = f();
+    (
+        ALLOC_CALLS.load(Ordering::SeqCst) - calls0,
+        ALLOC_BYTES.load(Ordering::SeqCst) - bytes0,
+        out,
+    )
+}
 
 const ENSEMBLE_SAMPLES: usize = 20;
 const ENSEMBLE_SEED: u64 = 0x7AB3;
@@ -1168,6 +1234,260 @@ struct HybridArtifact {
     levels: Vec<HybridLevel>,
 }
 
+// ---------------------------------------------------------------------------
+// Parallel bulk-ingest phase (BENCH_PR10.json)
+// ---------------------------------------------------------------------------
+
+/// Loader worker counts swept by the ingest phase: serial, one doubling,
+/// and everything the machine offers.
+fn ingest_worker_counts(workers: usize) -> Vec<usize> {
+    let mut counts = vec![1, 2, workers];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+/// The chunked loader must be bit-identical to its serial scan for every
+/// worker count — assigned ids (both key dictionaries in id order), edge
+/// arrays, amount-summed weights (compared as f64 bits), record/line
+/// accounting, and the ensemble votes a scan of the loaded graph
+/// produces. Returns the serial reference load for the timing stage.
+fn ingest_equivalence_gate(
+    log: &[u8],
+    workers: usize,
+) -> Result<ensemfdet_graph::LoadedLog, String> {
+    let serial = load_transactions(log, &LoadOptions::default())
+        .map_err(|e| format!("serial load failed: {e}"))?;
+    let keys_of = |i: &ArenaTransactionInterner| -> (Vec<String>, Vec<String>) {
+        (
+            i.users().keys().map(str::to_string).collect(),
+            i.merchants().keys().map(str::to_string).collect(),
+        )
+    };
+    let weight_bits = |g: &BipartiteGraph| -> Vec<u64> {
+        (0..g.num_edges()).map(|e| g.edge_weight(e).to_bits()).collect()
+    };
+    let cfg = EnsemFdetConfig {
+        num_samples: ENSEMBLE_SAMPLES,
+        sample_ratio: SCALE_RATIOS[0],
+        seed: ENSEMBLE_SEED,
+        ..Default::default()
+    };
+    let serial_votes = EnsemFdet::new(cfg).detect(&serial.graph).votes;
+    for w in ingest_worker_counts(workers).into_iter().filter(|&w| w > 1) {
+        let par = load_transactions(
+            log,
+            &LoadOptions {
+                workers: w,
+                ..Default::default()
+            },
+        )
+        .map_err(|e| format!("{w}-worker load failed: {e}"))?;
+        if par.records != serial.records || par.lines != serial.lines {
+            return Err(format!("{w}-worker load counts differ from serial"));
+        }
+        if keys_of(&par.interner) != keys_of(&serial.interner) {
+            return Err(format!("{w}-worker interner ids differ from serial"));
+        }
+        if par.graph.edge_pairs() != serial.graph.edge_pairs() {
+            return Err(format!("{w}-worker edge arrays differ from serial"));
+        }
+        if weight_bits(&par.graph) != weight_bits(&serial.graph) {
+            return Err(format!(
+                "{w}-worker amount-summed weights differ from serial (f64 bits)"
+            ));
+        }
+        if EnsemFdet::new(cfg).detect(&par.graph).votes != serial_votes {
+            return Err(format!("{w}-worker load changes ensemble votes"));
+        }
+    }
+
+    // The sharded interner must assign the same dense arrival-order ids
+    // as the serial arena when driven from one thread, and stay
+    // internally consistent when driven from many.
+    let pairs = parse_log_pairs(log)?;
+    let sharded = ConcurrentTransactionInterner::new();
+    for (u, m) in &pairs {
+        sharded.user(u);
+        sharded.merchant(m);
+    }
+    let (users, merchants) = keys_of(&serial.interner);
+    if sharded.num_users() != users.len() || sharded.num_merchants() != merchants.len() {
+        return Err("sharded interner key counts differ from serial arena".into());
+    }
+    for (id, key) in users.iter().enumerate() {
+        if sharded.find_user(key).map(|u| u.0) != Some(id as u32) {
+            return Err(format!("sharded interner id for `{key}` differs from serial"));
+        }
+    }
+    let concurrent = ConcurrentTransactionInterner::new();
+    std::thread::scope(|scope| {
+        for shard in pairs.chunks(pairs.len().div_ceil(workers.max(2))) {
+            let concurrent = &concurrent;
+            scope.spawn(move || {
+                for (u, m) in shard {
+                    concurrent.user(u);
+                    concurrent.merchant(m);
+                }
+            });
+        }
+    });
+    if concurrent.num_users() != users.len() || concurrent.num_merchants() != merchants.len() {
+        return Err("concurrently-driven sharded interner lost or invented keys".into());
+    }
+    for key in &users {
+        let id = concurrent
+            .find_user(key)
+            .ok_or_else(|| format!("concurrently-driven interner lost `{key}`"))?;
+        if concurrent.user_key(id) != *key {
+            return Err(format!("concurrently-driven interner id for `{key}` inconsistent"));
+        }
+    }
+    Ok(serial)
+}
+
+/// Pre-parses the log into `(user, merchant)` key pairs so interner
+/// timing measures interning, not CSV splitting.
+fn parse_log_pairs(log: &[u8]) -> Result<Vec<(String, String)>, String> {
+    let text = std::str::from_utf8(log).map_err(|e| format!("log not UTF-8: {e}"))?;
+    let mut pairs = Vec::new();
+    for line in text.lines() {
+        if let Some((u, m, _)) =
+            parse_csv_record(line, ',').map_err(|e| format!("log line rejected: {e}"))?
+        {
+            pairs.push((u.to_string(), m.to_string()));
+        }
+    }
+    Ok(pairs)
+}
+
+/// `warmup` unmeasured rounds, then `reps` measured ones with all
+/// variants interleaved back-to-back within every rep; each variant's
+/// allocation footprint is captured once, on the first measured rep.
+fn time_ingest_variants(
+    warmup: usize,
+    reps: usize,
+    variants: &mut [&mut dyn FnMut()],
+) -> (Vec<Vec<f64>>, Vec<usize>) {
+    for _ in 0..warmup {
+        for v in variants.iter_mut() {
+            v();
+        }
+    }
+    let mut times = vec![Vec::with_capacity(reps); variants.len()];
+    let mut bytes = vec![0usize; variants.len()];
+    for rep in 0..reps {
+        for (slot, v) in variants.iter_mut().enumerate() {
+            let t = Instant::now();
+            let (_, allocated, ()) = counted_alloc(&mut **v);
+            times[slot].push(t.elapsed().as_secs_f64());
+            if rep == 0 {
+                bytes[slot] = allocated;
+            }
+        }
+    }
+    (times, bytes)
+}
+
+#[derive(Serialize)]
+struct IngestCell {
+    workload: String,
+    variant: String,
+    reps: usize,
+    median_s: f64,
+    p95_s: f64,
+    min_s: f64,
+    /// Throughput at the median wall time.
+    records_per_sec: f64,
+    /// Heap bytes requested during one run of this variant.
+    alloc_bytes: usize,
+}
+
+/// Reduces one timed variant family (slot 0 = baseline) to its
+/// [`IngestCell`]s and per-variant [`ScaleSpeedup`]s, printing console
+/// rows.
+#[allow(clippy::too_many_arguments)]
+fn summarize_ingest_variants(
+    workload: &str,
+    names: &[String],
+    times: &[Vec<f64>],
+    alloc: &[usize],
+    records: usize,
+    reps: usize,
+    cells: &mut Vec<IngestCell>,
+    speedups: &mut Vec<ScaleSpeedup>,
+) {
+    let mut medians = vec![0.0f64; names.len()];
+    for (slot, name) in names.iter().enumerate() {
+        let mut t = times[slot].clone();
+        t.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        medians[slot] = median(&t);
+        cells.push(IngestCell {
+            workload: workload.to_string(),
+            variant: name.clone(),
+            reps,
+            median_s: medians[slot],
+            p95_s: percentile(&t, 0.95),
+            min_s: t[0],
+            records_per_sec: records as f64 / medians[slot].max(1e-12),
+            alloc_bytes: alloc[slot],
+        });
+    }
+    for slot in 0..names.len() {
+        let line = format!(
+            "{:<9} {:<14} {:>9.3} ms  {:>9.0} rec/s  {:>7.1} MiB alloc",
+            workload,
+            names[slot],
+            medians[slot] * 1e3,
+            records as f64 / medians[slot].max(1e-12),
+            alloc[slot] as f64 / (1024.0 * 1024.0),
+        );
+        if slot == 0 {
+            println!("{line}");
+            continue;
+        }
+        let mut ratios: Vec<f64> = times[0]
+            .iter()
+            .zip(&times[slot])
+            .map(|(b, v)| b / v.max(1e-12))
+            .collect();
+        ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+        let speedup = median(&ratios);
+        println!("{line}  speedup {speedup:.2}x");
+        speedups.push(ScaleSpeedup {
+            workload: workload.to_string(),
+            baseline: names[0].clone(),
+            variant: names[slot].clone(),
+            speedup,
+        });
+    }
+}
+
+#[derive(Serialize)]
+struct IngestArtifact {
+    schema: &'static str,
+    smoke: bool,
+    /// Population divisor of the jd3 graph behind the log.
+    scale: u32,
+    warmup: usize,
+    reps: usize,
+    workers: usize,
+    /// What the machine actually offered; with one core the parallel
+    /// loader honestly lands near (or below) 1× and that is the number
+    /// recorded.
+    available_parallelism: usize,
+    /// Data records in the generated transaction log.
+    records: usize,
+    /// Distinct `(user, merchant)` pairs — the weighted edge count after
+    /// amount-summing.
+    distinct_pairs: usize,
+    log_bytes: usize,
+    equivalence: &'static str,
+    dataset: DatasetInfo,
+    cells: Vec<IngestCell>,
+    speedups: Vec<ScaleSpeedup>,
+}
+
 /// Drives the HTTP service's v1 surface over a real socket: ingest a
 /// small ring, submit an async scan job, poll it to completion, read the
 /// latest result. Any deviation is a hard error.
@@ -1304,6 +1624,34 @@ fn service_smoke() -> Result<(), String> {
         return Err(format!("scoring result missing component scores: {resp}"));
     }
 
+    // text/csv bulk path: `user,merchant[,amount]` lines with comments,
+    // duplicates, and the same per-line error contract as NDJSON. Runs
+    // after the scan assertions so the extra accounts cannot perturb the
+    // seeded sample draws those scans are checked against.
+    let csv_body: String = std::iter::once("# csv batch\n".to_string())
+        .chain((0..10).map(|p| format!("pin-csv-{p},store-{},4.25\n", p % 20)))
+        .chain(std::iter::once("pin-csv-0,store-0,1.75\n".to_string()))
+        .collect();
+    let resp = roundtrip(format!(
+        "POST /v1/transactions HTTP/1.1\r\ncontent-type: text/csv\r\n\
+         content-length: {}\r\n\r\n{csv_body}",
+        csv_body.len()
+    ))?;
+    expect(&resp, "200", "POST /v1/transactions (csv)")?;
+    if !resp.contains("\"ingested\":11") {
+        return Err(format!("csv ingest miscounted records: {resp}"));
+    }
+    let bad_csv = "no-merchant-field\n";
+    let resp = roundtrip(format!(
+        "POST /v1/transactions HTTP/1.1\r\ncontent-type: text/csv\r\n\
+         content-length: {}\r\n\r\n{bad_csv}",
+        bad_csv.len()
+    ))?;
+    expect(&resp, "400", "POST bad CSV line")?;
+    if !resp.contains("\"line\":1") {
+        return Err(format!("bad CSV line not pinpointed: {resp}"));
+    }
+
     let resp = roundtrip("GET /v1/scans/latest HTTP/1.1\r\n\r\n".into())?;
     expect(&resp, "200", "GET /v1/scans/latest")?;
     let resp = roundtrip("GET /v1/config HTTP/1.1\r\n\r\n".into())?;
@@ -1318,6 +1666,12 @@ fn service_smoke() -> Result<(), String> {
     }
     if !resp.contains("ensemfdet_scans_hybrid_total 1") {
         return Err(format!("hybrid scan not counted in metrics: {resp}"));
+    }
+    if !resp.contains("ensemfdet_ingest_load_duration_seconds_count{format=\"csv\"} 1") {
+        return Err(format!("csv bulk load not recorded in metrics: {resp}"));
+    }
+    if !resp.contains("ensemfdet_interner_keys_total{side=\"user\"}") {
+        return Err(format!("interner gauges missing from metrics: {resp}"));
     }
     server.shutdown();
     Ok(())
@@ -1356,6 +1710,11 @@ fn main() {
         .position(|a| a == "--out-hybrid")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_PR9.json".to_string());
+    let out_ingest = args
+        .iter()
+        .position(|a| a == "--out-ingest")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_PR10.json".to_string());
     // Smoke mode: tiny datasets, minimal repetitions — a CI-speed check
     // that the harness runs end-to-end and the engines stay equivalent.
     let scale = if smoke { 400 } else { resolve_scale(&args) };
@@ -2074,6 +2433,175 @@ fn main() {
         Ok(()) => println!("\n[saved {out_hybrid}]"),
         Err(e) => {
             eprintln!("cannot write {out_hybrid}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // -- Parallel bulk-ingest phase -----------------------------------------
+    println!(
+        "\n== bench_suite: arena interners + chunked weighted CSV loading \
+         (jd3 at 1/{scale_divisor}, {workers} workers) ==\n"
+    );
+    let log_cfg = TransactionLogConfig {
+        seed: ENSEMBLE_SEED,
+        ..Default::default()
+    };
+    let (log, log_summary) = transaction_log_string(&ds, &log_cfg);
+    let log_bytes = log.into_bytes();
+    println!(
+        "log: {} records over {} distinct (user, merchant) pairs, {:.1} MiB",
+        log_summary.records,
+        log_summary.distinct_pairs,
+        log_bytes.len() as f64 / (1024.0 * 1024.0),
+    );
+    print!("equivalence gate (loader worker counts / interner ids / votes) ... ");
+    let serial_load = match ingest_equivalence_gate(&log_bytes, workers) {
+        Ok(l) => l,
+        Err(e) => {
+            println!("FAILED");
+            eprintln!("ingest equivalence gate failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("ok\n");
+
+    let mut ingest_cells = Vec::new();
+    let mut ingest_speedups = Vec::new();
+
+    // Interner comparison on pre-parsed key pairs: the legacy twin-map
+    // interner vs the contiguous arena vs the sharded arena, the latter
+    // both single-threaded (its routing overhead) and across the worker
+    // pool (the contention-free concurrent path).
+    let pairs = parse_log_pairs(&log_bytes).expect("gated");
+    {
+        let mut legacy = || {
+            let mut i = TransactionInterner::new();
+            for (u, m) in &pairs {
+                i.user(u);
+                i.merchant(m);
+            }
+            std::hint::black_box(i.num_users());
+        };
+        let mut arena = || {
+            let mut i = ArenaTransactionInterner::new();
+            for (u, m) in &pairs {
+                i.user(u);
+                i.merchant(m);
+            }
+            std::hint::black_box(i.num_users());
+        };
+        let mut sharded_one = || {
+            let i = ConcurrentTransactionInterner::new();
+            for (u, m) in &pairs {
+                i.user(u);
+                i.merchant(m);
+            }
+            std::hint::black_box(i.num_users());
+        };
+        let mut sharded_pool = || {
+            let i = ConcurrentTransactionInterner::new();
+            std::thread::scope(|scope| {
+                for shard in pairs.chunks(pairs.len().div_ceil(workers)) {
+                    let i = &i;
+                    scope.spawn(move || {
+                        for (u, m) in shard {
+                            i.user(u);
+                            i.merchant(m);
+                        }
+                    });
+                }
+            });
+            std::hint::black_box(i.num_users());
+        };
+        let (times, alloc) = time_ingest_variants(
+            warmup,
+            reps,
+            &mut [&mut legacy, &mut arena, &mut sharded_one, &mut sharded_pool],
+        );
+        let names = vec![
+            "legacy".to_string(),
+            "arena".to_string(),
+            "sharded_w1".to_string(),
+            format!("sharded_w{workers}"),
+        ];
+        summarize_ingest_variants(
+            "intern",
+            &names,
+            &times,
+            &alloc,
+            pairs.len(),
+            reps,
+            &mut ingest_cells,
+            &mut ingest_speedups,
+        );
+    }
+
+    // The chunked loader end to end (split → parse → merge → weighted
+    // graph), serial vs every swept worker count.
+    {
+        let counts = ingest_worker_counts(workers);
+        let mut fns: Vec<Box<dyn FnMut()>> = counts
+            .iter()
+            .map(|&w| {
+                let log_bytes = &log_bytes;
+                Box::new(move || {
+                    let l = load_transactions(
+                        log_bytes,
+                        &LoadOptions {
+                            workers: w,
+                            ..Default::default()
+                        },
+                    )
+                    .expect("gated");
+                    std::hint::black_box(l.graph.num_edges());
+                }) as Box<dyn FnMut()>
+            })
+            .collect();
+        let mut refs: Vec<&mut dyn FnMut()> =
+            fns.iter_mut().map(|b| b.as_mut() as &mut dyn FnMut()).collect();
+        let (times, alloc) = time_ingest_variants(warmup, reps, &mut refs);
+        let names: Vec<String> = counts
+            .iter()
+            .map(|&w| if w == 1 { "serial".to_string() } else { format!("workers_{w}") })
+            .collect();
+        summarize_ingest_variants(
+            "load_csv",
+            &names,
+            &times,
+            &alloc,
+            log_summary.records,
+            reps,
+            &mut ingest_cells,
+            &mut ingest_speedups,
+        );
+    }
+
+    let ingest_artifact = IngestArtifact {
+        schema: "ensemfdet-parallel-ingest/v1",
+        smoke,
+        scale: scale_divisor,
+        warmup,
+        reps,
+        workers,
+        available_parallelism: available,
+        records: log_summary.records,
+        distinct_pairs: log_summary.distinct_pairs,
+        log_bytes: log_bytes.len(),
+        equivalence: "ids, weights (f64 bits), and votes bit-identical for every \
+                      worker count; sharded interner id-identical to serial",
+        dataset: DatasetInfo {
+            name: "jd3",
+            users: serial_load.graph.num_users(),
+            merchants: serial_load.graph.num_merchants(),
+            edges: serial_load.graph.num_edges(),
+        },
+        cells: ingest_cells,
+        speedups: ingest_speedups,
+    };
+    match ensemfdet_eval::write_json(&ingest_artifact, &out_ingest) {
+        Ok(()) => println!("\n[saved {out_ingest}]"),
+        Err(e) => {
+            eprintln!("cannot write {out_ingest}: {e}");
             std::process::exit(1);
         }
     }

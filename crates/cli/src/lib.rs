@@ -22,6 +22,7 @@ pub mod cmd_detect;
 pub mod cmd_eval;
 pub mod cmd_figures;
 pub mod cmd_generate;
+pub mod cmd_ingest;
 pub mod cmd_monitor;
 pub mod cmd_stats;
 pub mod cmd_sweep;
@@ -40,6 +41,7 @@ COMMANDS:
     generate   Generate a synthetic JD-like dataset (edge list + blacklist)
     timeline   Generate a multi-period campaign with drifting fraud
     monitor    Replay a ramping campaign epoch by epoch (--follow scans incrementally)
+    ingest     Bulk-load a `user,merchant[,amount]` transaction log
     stats      Print statistics of an edge-list graph
     detect     Run a detector and write the flagged user ids
     sweep      Evaluate a detector's full operating curve against labels
@@ -62,6 +64,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "generate" => cmd_generate::run(&args),
         "timeline" => cmd_timeline::run(&args),
         "monitor" => cmd_monitor::run(&args),
+        "ingest" => cmd_ingest::run(&args),
         "stats" => cmd_stats::run(&args),
         "detect" => cmd_detect::run(&args),
         "sweep" => cmd_sweep::run(&args),

@@ -37,6 +37,7 @@ pub mod dataset;
 pub mod generator;
 pub mod presets;
 pub mod timeline;
+pub mod translog;
 pub mod zipf;
 
 pub use config::{CamouflageTargeting, FraudGroupConfig, GeneratorConfig};
@@ -44,4 +45,8 @@ pub use dataset::Dataset;
 pub use generator::generate;
 pub use timeline::{
     generate_timeline, ramp_timeline, BehaviorDrift, IngestTimeline, TimelineConfig,
+};
+pub use translog::{
+    save_transaction_log, transaction_log_string, write_transaction_log, LogSummary,
+    TransactionLogConfig,
 };

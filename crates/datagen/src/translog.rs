@@ -1,0 +1,240 @@
+//! Delimited transaction-log emission.
+//!
+//! The bulk loader and the service's `text/csv` ingest consume raw
+//! `user,merchant[,amount]` logs, not edge lists — this module turns a
+//! generated [`Dataset`] back into that wire format so benchmarks and
+//! smoke tests exercise the real ingestion path end to end.
+//!
+//! Each graph edge becomes one or more log records (duplicates are what
+//! the loader's amount-summing aggregation exists for), with amounts
+//! drawn from separate honest/fraud distributions: fraud rings fire many
+//! small near-identical charges, honest traffic spreads wide. Emission is
+//! deterministic in the seed, and records are written in a shuffled
+//! interleaved order — a real log is not grouped by account.
+
+use crate::dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::io::{self, Write};
+
+/// Knobs for [`write_transaction_log`].
+#[derive(Clone, Copy, Debug)]
+pub struct TransactionLogConfig {
+    /// RNG seed; identical seeds emit byte-identical logs.
+    pub seed: u64,
+    /// Extra duplicate records per edge are drawn as `Geometric(p)` with
+    /// `p = 1 / (1 + mean_repeats)`: `0.0` emits exactly one record per
+    /// edge, `1.0` averages two.
+    pub mean_repeats: f64,
+    /// Honest charge amounts: uniform in this `(low, high)` range.
+    pub honest_amount: (f64, f64),
+    /// Fraud-ring charge amounts: uniform in this `(low, high)` range
+    /// (typically tight and low — card-testing style).
+    pub fraud_amount: (f64, f64),
+    /// Emit every `comment_every`-th line as a `#` comment noise line
+    /// (`0` disables); exercises the loader's skip paths at scale.
+    pub comment_every: usize,
+}
+
+impl Default for TransactionLogConfig {
+    fn default() -> Self {
+        TransactionLogConfig {
+            seed: 42,
+            mean_repeats: 0.5,
+            honest_amount: (1.0, 250.0),
+            fraud_amount: (0.5, 10.0),
+            comment_every: 0,
+        }
+    }
+}
+
+/// What [`write_transaction_log`] emitted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LogSummary {
+    /// Data records written (one per line, comments/blanks excluded).
+    pub records: usize,
+    /// Distinct `(user, merchant)` pairs — the edge count the loader must
+    /// reproduce after amount-summing duplicates.
+    pub distinct_pairs: usize,
+}
+
+/// Stable account key for user `u` — the string id space of the log.
+pub fn user_key(u: u32) -> String {
+    format!("pin-{u:07}")
+}
+
+/// Stable merchant key for merchant `v`.
+pub fn merchant_key(v: u32) -> String {
+    format!("shop-{v:06}")
+}
+
+/// Writes `ds` as a `user,merchant,amount` CSV log to `w`.
+///
+/// # Errors
+///
+/// Propagates write failures.
+pub fn write_transaction_log(
+    ds: &Dataset,
+    cfg: &TransactionLogConfig,
+    w: &mut impl Write,
+) -> io::Result<LogSummary> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut fraud = vec![false; ds.graph.num_users()];
+    for &u in &ds.true_fraud_users {
+        fraud[u as usize] = true;
+    }
+
+    // One index per record, duplicates included, then a Fisher–Yates
+    // shuffle so the log interleaves accounts like a real capture.
+    let pairs: &[(u32, u32)] = ds.graph.edge_pairs();
+    let dup_p = 1.0 / (1.0 + cfg.mean_repeats.max(0.0));
+    let mut order: Vec<u32> = Vec::with_capacity(pairs.len() * 2);
+    for i in 0..pairs.len() as u32 {
+        order.push(i);
+        while cfg.mean_repeats > 0.0 && rng.random::<f64>() >= dup_p {
+            order.push(i);
+        }
+    }
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.random_range(0..i + 1));
+    }
+
+    let mut out = io::BufWriter::new(w);
+    let mut records = 0usize;
+    for &i in &order {
+        if cfg.comment_every > 0 && records.is_multiple_of(cfg.comment_every) {
+            writeln!(out, "# batch marker {records}")?;
+        }
+        let (u, v) = pairs[i as usize];
+        let (low, high) = if fraud[u as usize] {
+            cfg.fraud_amount
+        } else {
+            cfg.honest_amount
+        };
+        // Two decimals, like a currency column.
+        let amount = (low + (high - low) * rng.random::<f64>() * 100.0).round() / 100.0;
+        writeln!(out, "{},{},{amount}", user_key(u), merchant_key(v))?;
+        records += 1;
+    }
+    out.flush()?;
+    Ok(LogSummary {
+        records,
+        distinct_pairs: pairs.len(),
+    })
+}
+
+/// [`write_transaction_log`] into an owned string.
+pub fn transaction_log_string(ds: &Dataset, cfg: &TransactionLogConfig) -> (String, LogSummary) {
+    let mut buf = Vec::new();
+    let summary = write_transaction_log(ds, cfg, &mut buf).expect("infallible Vec write");
+    (String::from_utf8(buf).expect("ascii log"), summary)
+}
+
+/// Writes the log to a file path.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn save_transaction_log(
+    ds: &Dataset,
+    cfg: &TransactionLogConfig,
+    path: impl AsRef<std::path::Path>,
+) -> io::Result<LogSummary> {
+    let mut f = std::fs::File::create(path)?;
+    write_transaction_log(ds, cfg, &mut f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{jd_preset, JdDataset};
+
+    fn small_ds() -> Dataset {
+        crate::generate(&jd_preset(JdDataset::Jd1, 200, 7))
+    }
+
+    #[test]
+    fn log_is_deterministic_in_the_seed() {
+        let ds = small_ds();
+        let cfg = TransactionLogConfig::default();
+        let (a, sa) = transaction_log_string(&ds, &cfg);
+        let (b, sb) = transaction_log_string(&ds, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+        let (c, _) = transaction_log_string(
+            &ds,
+            &TransactionLogConfig {
+                seed: 43,
+                ..cfg
+            },
+        );
+        assert_ne!(a, c, "different seeds must shuffle differently");
+    }
+
+    #[test]
+    fn every_edge_appears_and_duplicates_inflate_records() {
+        let ds = small_ds();
+        let cfg = TransactionLogConfig {
+            mean_repeats: 1.0,
+            comment_every: 50,
+            ..Default::default()
+        };
+        let (log, summary) = transaction_log_string(&ds, &cfg);
+        assert_eq!(summary.distinct_pairs, ds.graph.num_edges());
+        assert!(
+            summary.records > summary.distinct_pairs,
+            "mean_repeats=1.0 should emit duplicates"
+        );
+        let data_lines = log.lines().filter(|l| !l.starts_with('#')).count();
+        let comment_lines = log.lines().filter(|l| l.starts_with('#')).count();
+        assert_eq!(data_lines, summary.records);
+        assert!(comment_lines > 0);
+        // Every record is a well-formed three-field row with a positive
+        // parseable amount.
+        for line in log.lines().filter(|l| !l.starts_with('#')) {
+            let fields: Vec<&str> = line.split(',').collect();
+            assert_eq!(fields.len(), 3, "{line}");
+            assert!(fields[0].starts_with("pin-"), "{line}");
+            assert!(fields[1].starts_with("shop-"), "{line}");
+            let amount: f64 = fields[2].parse().unwrap();
+            assert!(amount > 0.0, "{line}");
+        }
+    }
+
+    #[test]
+    fn loader_round_trips_the_log_to_the_same_graph() {
+        let ds = small_ds();
+        let cfg = TransactionLogConfig {
+            mean_repeats: 0.7,
+            ..Default::default()
+        };
+        let (log, summary) = transaction_log_string(&ds, &cfg);
+        let loaded = ensemfdet_graph::load_transactions(
+            log.as_bytes(),
+            &ensemfdet_graph::LoadOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(loaded.records, summary.records);
+        assert_eq!(loaded.graph.num_edges(), summary.distinct_pairs);
+        // Only nodes with at least one edge can appear in a transaction
+        // log — the generator leaves some Zipf-tail merchants isolated.
+        let active = |degs: Vec<usize>| degs.iter().filter(|&&d| d > 0).count();
+        assert_eq!(loaded.graph.num_users(), active(ds.graph.user_degrees()));
+        assert_eq!(
+            loaded.graph.num_merchants(),
+            active(ds.graph.merchant_degrees())
+        );
+        // Key ids assign in order of first appearance in the shuffled log,
+        // so compare structure via degree multisets rather than raw ids.
+        let mut a: Vec<usize> = ds
+            .graph
+            .user_degrees()
+            .into_iter()
+            .filter(|&d| d > 0)
+            .collect();
+        let mut b: Vec<usize> = loaded.graph.user_degrees();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "log loses or invents edges");
+    }
+}

@@ -13,14 +13,22 @@ use crate::graph::BipartiteGraph;
 use crate::ids::{MerchantId, UserId};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read};
+use std::sync::Arc;
 
 /// Bidirectional mapping between string keys and dense node ids.
+///
+/// Each key is stored once as an `Arc<str>` shared between the lookup map
+/// and the id→key vector — one heap copy per distinct key. (The
+/// arena-backed [`ArenaTransactionInterner`](crate::ArenaTransactionInterner)
+/// and concurrent [`ConcurrentTransactionInterner`](crate::ConcurrentTransactionInterner)
+/// supersede this type on the hot ingest paths; it remains for callers
+/// that want a plain, clonable map.)
 #[derive(Clone, Debug, Default)]
 pub struct TransactionInterner {
-    user_ids: HashMap<String, u32>,
-    merchant_ids: HashMap<String, u32>,
-    user_keys: Vec<String>,
-    merchant_keys: Vec<String>,
+    user_ids: HashMap<Arc<str>, u32>,
+    merchant_ids: HashMap<Arc<str>, u32>,
+    user_keys: Vec<Arc<str>>,
+    merchant_keys: Vec<Arc<str>>,
 }
 
 impl TransactionInterner {
@@ -35,8 +43,9 @@ impl TransactionInterner {
             return UserId(id);
         }
         let id = self.user_keys.len() as u32;
-        self.user_ids.insert(key.to_string(), id);
-        self.user_keys.push(key.to_string());
+        let shared: Arc<str> = Arc::from(key);
+        self.user_ids.insert(shared.clone(), id);
+        self.user_keys.push(shared);
         UserId(id)
     }
 
@@ -46,8 +55,9 @@ impl TransactionInterner {
             return MerchantId(id);
         }
         let id = self.merchant_keys.len() as u32;
-        self.merchant_ids.insert(key.to_string(), id);
-        self.merchant_keys.push(key.to_string());
+        let shared: Arc<str> = Arc::from(key);
+        self.merchant_ids.insert(shared.clone(), id);
+        self.merchant_keys.push(shared);
         MerchantId(id)
     }
 
@@ -100,12 +110,20 @@ pub fn read_transactions_csv<R: Read>(
     r: R,
     delimiter: char,
 ) -> Result<(BipartiteGraph, TransactionInterner), GraphError> {
-    let r = BufReader::new(r);
+    let mut r = BufReader::new(r);
     let mut interner = TransactionInterner::new();
     let mut builder = GraphBuilder::new();
-    for (lineno, line) in r.lines().enumerate() {
-        let line = line?;
-        let line = line.trim();
+    // One line buffer reused across the whole file — `lines()` would
+    // allocate a fresh String per record.
+    let mut buf = String::new();
+    let mut lineno = 0usize;
+    loop {
+        buf.clear();
+        if r.read_line(&mut buf)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let line = buf.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
@@ -114,7 +132,7 @@ pub fn read_transactions_csv<R: Read>(
         let merchant = fields.next().map(str::trim).filter(|s| !s.is_empty());
         let (Some(user), Some(merchant)) = (user, merchant) else {
             return Err(GraphError::Parse {
-                line: lineno + 1,
+                line: lineno,
                 message: format!("expected `user{delimiter}merchant[{delimiter}…]`"),
             });
         };

@@ -32,16 +32,23 @@ pub fn write_edge_list<W: Write>(g: &BipartiteGraph, w: W) -> Result<(), GraphEr
 /// Reads an edge list produced by [`write_edge_list`] (or any headerless
 /// `u<TAB>v` file, in which case node counts are inferred from max indexes).
 pub fn read_edge_list<R: Read>(r: R) -> Result<BipartiteGraph, GraphError> {
-    let r = BufReader::new(r);
+    let mut r = BufReader::new(r);
     let mut declared: Option<(usize, usize)> = None;
     let mut edges: Vec<(u32, u32)> = Vec::new();
     let mut weights: Vec<f64> = Vec::new();
     let mut any_weight = false;
 
-    for (lineno, line) in r.lines().enumerate() {
-        let line = line?;
-        let line = line.trim();
-        let lineno = lineno + 1;
+    // One line buffer reused across the file, trimmed in place — `lines()`
+    // would allocate a fresh String per edge.
+    let mut buf = String::new();
+    let mut lineno = 0usize;
+    loop {
+        buf.clear();
+        if r.read_line(&mut buf)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let line = buf.trim();
         if line.is_empty() {
             continue;
         }
@@ -125,16 +132,22 @@ pub fn write_labels<W: Write>(fraud_users: &[u32], w: W) -> Result<(), GraphErro
 
 /// Reads a blacklist written by [`write_labels`].
 pub fn read_labels<R: Read>(r: R) -> Result<Vec<u32>, GraphError> {
-    let r = BufReader::new(r);
+    let mut r = BufReader::new(r);
     let mut out = Vec::new();
-    for (lineno, line) in r.lines().enumerate() {
-        let line = line?;
-        let line = line.trim();
+    let mut buf = String::new();
+    let mut lineno = 0usize;
+    loop {
+        buf.clear();
+        if r.read_line(&mut buf)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let line = buf.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
         out.push(line.parse().map_err(|e| GraphError::Parse {
-            line: lineno + 1,
+            line: lineno,
             message: format!("bad user id: {e}"),
         })?);
     }

@@ -21,6 +21,11 @@
 //!   [`CsrView::rebuild_from_spec`], with [`SampleMaps`] carrying the
 //!   local↔parent id maps and no intermediate graph copy.
 //! - [`io`]: plain-text edge-list and label-file round-trips.
+//! - [`arena`]: allocation-lean string interning — [`ArenaInterner`] (byte
+//!   arena + spans) and the sharded, lock-striped [`ShardedInterner`] for
+//!   concurrent ingest with dense arrival-order ids.
+//! - [`loader`]: chunked parallel `user,merchant[,amount]` log loading with
+//!   worker-count-invariant ids and amount-summed edge weights.
 //! - [`stats`]: the dataset statistics reported in Table I of the paper.
 //! - [`components`]: connected components, used by tests and diagnostics.
 //!
@@ -40,6 +45,7 @@
 //! assert_eq!(g.user_degree(UserId(0)), 2);
 //! ```
 
+pub mod arena;
 pub mod builder;
 pub mod components;
 pub mod csr;
@@ -50,10 +56,14 @@ pub mod ids;
 pub mod interner;
 pub mod io;
 pub mod kcore;
+pub mod loader;
 pub mod sampled;
 pub mod spec;
 pub mod stats;
 
+pub use arena::{
+    ArenaInterner, ArenaTransactionInterner, ConcurrentTransactionInterner, ShardedInterner,
+};
 pub use builder::GraphBuilder;
 pub use csr::{CsrView, NeighborSlices};
 pub use delta::{GraphDelta, GraphDims};
@@ -62,6 +72,7 @@ pub use graph::{BipartiteGraph, EdgeId, NeighborIter};
 pub use ids::{MerchantId, NodeRef, UserId};
 pub use interner::{read_transactions_csv, TransactionInterner};
 pub use kcore::{core_decomposition, CoreDecomposition};
+pub use loader::{load_transactions, load_transactions_path, LoadOptions, LoadedLog};
 pub use sampled::SampledGraph;
 pub use spec::{SampleMaps, SampleSpec, SpecKind, SpecResolver};
 pub use stats::GraphStats;

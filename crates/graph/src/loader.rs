@@ -1,0 +1,480 @@
+//! Chunked parallel loading of delimited transaction logs.
+//!
+//! Real transaction logs are `user,merchant[,amount]` lines — the shape of
+//! SNIPPETS.md snippet 2's `build_graph_bipartite` input. This module turns
+//! such a log into an **amount-summed weighted** [`BipartiteGraph`] plus an
+//! [`ArenaTransactionInterner`], using all available cores without giving
+//! up determinism:
+//!
+//! 1. **Split** the input at line boundaries into one chunk per worker.
+//! 2. **Parse** chunks in parallel under `std::thread::scope`, each into a
+//!    *local* dictionary (an [`ArenaTransactionInterner`]) and local-id
+//!    records — no shared state, no locks.
+//! 3. **Merge** sequentially: walk each chunk's local keys in
+//!    first-appearance order, chunk 0 first, interning into the final
+//!    dictionary, then remap the records through per-chunk translation
+//!    tables.
+//!
+//! The merge makes ids *bit-identical for every worker count*: within a
+//! chunk, local first-appearance order is file order, so interning chunk
+//! 0's dictionary then chunk 1's replays exactly the key-first-occurrence
+//! sequence a serial scan would see — a key first seen in chunk `c` at
+//! local position `p` is interned before any key first seen later in `c`
+//! or in any later chunk. Amounts are likewise summed in file order
+//! (records are remapped chunk by chunk, in order) so the resulting `f64`
+//! weights are bit-identical too, and edges are canonicalized by sorting
+//! on `(user, merchant)` exactly like
+//! [`DuplicatePolicy::MergeCounting`](crate::builder::DuplicatePolicy).
+//! The same invariance is enforced end-to-end by the bench suite's
+//! equivalence gate before any timing runs.
+
+use crate::arena::ArenaTransactionInterner;
+use crate::error::GraphError;
+use crate::graph::BipartiteGraph;
+use std::collections::HashMap;
+use std::path::Path;
+
+/// Options for [`load_transactions`].
+#[derive(Clone, Debug)]
+pub struct LoadOptions {
+    /// Field delimiter (`,` for CSV, `\t` for TSV logs).
+    pub delimiter: char,
+    /// Parse workers. `1` parses serially on the calling thread; higher
+    /// values split the input into that many line-aligned chunks. Ids,
+    /// weights, and the final graph are identical for every value.
+    pub workers: usize,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        LoadOptions {
+            delimiter: ',',
+            workers: 1,
+        }
+    }
+}
+
+/// A loaded transaction log: the weighted purchase graph and the id maps
+/// to translate detection results back to log keys.
+#[derive(Clone, Debug)]
+pub struct LoadedLog {
+    /// Amount-summed weighted bipartite graph (weight 1.0 per record when
+    /// the log has no amount column).
+    pub graph: BipartiteGraph,
+    /// Key ↔ dense-id maps for both sides.
+    pub interner: ArenaTransactionInterner,
+    /// Number of transaction records parsed (excluding blanks/comments).
+    pub records: usize,
+    /// Total input lines scanned, including blanks and comments.
+    pub lines: usize,
+}
+
+/// One record parsed within a chunk, ids local to the chunk's dictionary.
+struct LocalRecord {
+    user: u32,
+    merchant: u32,
+    amount: f64,
+}
+
+/// Everything a parse worker produces for its chunk.
+struct ParsedChunk {
+    interner: ArenaTransactionInterner,
+    records: Vec<LocalRecord>,
+    /// Lines scanned in this chunk (full count unless `error` is set, in
+    /// which case counting stopped at the failing line).
+    lines: usize,
+    /// First malformed line: (line offset *within the chunk*, message).
+    error: Option<(usize, String)>,
+}
+
+/// Parses one `user<delim>merchant[<delim>amount]` line.
+///
+/// Returns `Ok(None)` for blank lines and `#` comments, `Ok(Some(...))`
+/// for a record (amount defaults to `1.0`), and a message for malformed
+/// input: fewer than two non-empty fields, or an unparseable amount.
+/// Fields beyond the third are ignored (real logs carry timestamps).
+///
+/// This is the single validation authority for the format — the parallel
+/// loader and the service's `text/csv` ingest route both call it, so both
+/// agree on what a malformed record is.
+pub fn parse_csv_record(
+    line: &str,
+    delimiter: char,
+) -> Result<Option<(&str, &str, f64)>, String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let mut fields = line.split(delimiter);
+    let user = fields.next().map(str::trim).filter(|s| !s.is_empty());
+    let merchant = fields.next().map(str::trim).filter(|s| !s.is_empty());
+    let (Some(user), Some(merchant)) = (user, merchant) else {
+        return Err(format!("expected `user{delimiter}merchant[{delimiter}amount]`"));
+    };
+    let amount = match fields.next().map(str::trim) {
+        None | Some("") => 1.0,
+        Some(raw) => raw
+            .parse::<f64>()
+            .map_err(|e| format!("bad amount `{raw}`: {e}"))?,
+    };
+    if !amount.is_finite() {
+        return Err(format!("bad amount `{amount}`: not finite"));
+    }
+    Ok(Some((user, merchant, amount)))
+}
+
+/// Splits `data` into at most `n` chunks on `\n` boundaries. Every byte is
+/// covered exactly once; chunks are non-empty. Public because the
+/// service's `text/csv` ingest route chunks request bodies the same way.
+pub fn split_line_chunks(data: &[u8], n: usize) -> Vec<&[u8]> {
+    let mut chunks = Vec::with_capacity(n);
+    if data.is_empty() {
+        return chunks;
+    }
+    let target = data.len().div_ceil(n.max(1));
+    let mut start = 0usize;
+    while start < data.len() {
+        let mut end = (start + target).min(data.len());
+        // Advance to just past the next newline so no line is split.
+        while end < data.len() && data[end - 1] != b'\n' {
+            end += 1;
+        }
+        chunks.push(&data[start..end]);
+        start = end;
+    }
+    chunks
+}
+
+/// Parses one chunk into local-id records. Never touches shared state.
+fn parse_chunk(chunk: &[u8], delimiter: char) -> ParsedChunk {
+    let mut interner = ArenaTransactionInterner::new();
+    let mut records = Vec::new();
+    let mut lines = 0usize;
+    let mut error = None;
+    for raw in chunk.split(|&b| b == b'\n') {
+        lines += 1;
+        let text = match std::str::from_utf8(raw) {
+            Ok(t) => t,
+            Err(_) => {
+                error = Some((lines, "line is not valid UTF-8".to_string()));
+                break;
+            }
+        };
+        match parse_csv_record(text, delimiter) {
+            Ok(None) => {}
+            Ok(Some((user, merchant, amount))) => {
+                let u = interner.user(user);
+                let v = interner.merchant(merchant);
+                records.push(LocalRecord {
+                    user: u.0,
+                    merchant: v.0,
+                    amount,
+                });
+            }
+            Err(message) => {
+                error = Some((lines, message));
+                break;
+            }
+        }
+    }
+    // `split` on a `\n`-terminated chunk yields one trailing empty piece
+    // that is not a real line; drop it from the count.
+    if error.is_none() && chunk.last() == Some(&b'\n') {
+        lines -= 1;
+    }
+    ParsedChunk {
+        interner,
+        records,
+        lines,
+        error,
+    }
+}
+
+/// Loads a delimited transaction log from memory into an amount-summed
+/// weighted bipartite graph. See the module docs for the determinism
+/// argument; ids and weights are identical for every `options.workers`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] with the 1-based global line number of
+/// the first malformed record (fewer than two fields, bad amount, or
+/// invalid UTF-8), or a graph-construction error.
+pub fn load_transactions(data: &[u8], options: &LoadOptions) -> Result<LoadedLog, GraphError> {
+    let workers = options.workers.max(1);
+    let chunks = split_line_chunks(data, workers);
+
+    let parsed: Vec<ParsedChunk> = if workers <= 1 || chunks.len() <= 1 {
+        chunks.iter().map(|c| parse_chunk(c, options.delimiter)).collect()
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|&chunk| {
+                    let delimiter = options.delimiter;
+                    scope.spawn(move || parse_chunk(chunk, delimiter))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("parse worker panicked")).collect()
+        })
+    };
+
+    // Surface the first (lowest-line) malformed record. Chunks before the
+    // first erring one completed cleanly, so their line counts are exact
+    // and prefix-summing them yields the global line number.
+    let mut line_base = 0usize;
+    for chunk in &parsed {
+        if let Some((local_line, message)) = &chunk.error {
+            return Err(GraphError::Parse {
+                line: line_base + local_line,
+                message: message.clone(),
+            });
+        }
+        line_base += chunk.lines;
+    }
+    let lines = line_base;
+
+    // Sequential merge: intern each chunk's dictionary in first-appearance
+    // order (chunk order = file order), building local→global remaps.
+    let mut interner = ArenaTransactionInterner::new();
+    let mut user_maps: Vec<Vec<u32>> = Vec::with_capacity(parsed.len());
+    let mut merchant_maps: Vec<Vec<u32>> = Vec::with_capacity(parsed.len());
+    for chunk in &parsed {
+        let user_map: Vec<u32> =
+            chunk.interner.users().keys().map(|k| interner.user(k).0).collect();
+        let merchant_map: Vec<u32> =
+            chunk.interner.merchants().keys().map(|k| interner.merchant(k).0).collect();
+        user_maps.push(user_map);
+        merchant_maps.push(merchant_map);
+    }
+
+    // Amount aggregation in strict file order: first-appearance edge slots,
+    // sums accumulated record by record, chunk by chunk — so the f64 sums
+    // are bit-identical no matter how the input was chunked.
+    let mut slot_of: HashMap<(u32, u32), usize> = HashMap::new();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut weights: Vec<f64> = Vec::new();
+    let mut records = 0usize;
+    for (c, chunk) in parsed.iter().enumerate() {
+        records += chunk.records.len();
+        for r in &chunk.records {
+            let pair = (user_maps[c][r.user as usize], merchant_maps[c][r.merchant as usize]);
+            match slot_of.entry(pair) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    weights[*e.get()] += r.amount;
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(edges.len());
+                    edges.push(pair);
+                    weights.push(r.amount);
+                }
+            }
+        }
+    }
+
+    // Canonical edge order, matching the builder's merge policies: sort by
+    // (user, merchant). Pairs are unique, so the order is total.
+    let mut order: Vec<usize> = (0..edges.len()).collect();
+    order.sort_unstable_by_key(|&i| edges[i]);
+    let edges_sorted: Vec<(u32, u32)> = order.iter().map(|&i| edges[i]).collect();
+    let weights_sorted: Vec<f64> = order.iter().map(|&i| weights[i]).collect();
+
+    let graph = BipartiteGraph::from_weighted_edges(
+        interner.num_users(),
+        interner.num_merchants(),
+        edges_sorted,
+        weights_sorted,
+    )?;
+    Ok(LoadedLog {
+        graph,
+        interner,
+        records,
+        lines,
+    })
+}
+
+/// Convenience: load a transaction log from a filesystem path.
+///
+/// # Errors
+///
+/// Propagates I/O failures and [`load_transactions`] errors.
+pub fn load_transactions_path(
+    path: impl AsRef<Path>,
+    options: &LoadOptions,
+) -> Result<LoadedLog, GraphError> {
+    let data = std::fs::read(path)?;
+    load_transactions(&data, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(data: &str, workers: usize) -> LoadedLog {
+        load_transactions(
+            data.as_bytes(),
+            &LoadOptions {
+                delimiter: ',',
+                workers,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn amounts_sum_per_edge() {
+        let log = "alice,storeA,10.5\nbob,storeA,2\nalice,storeA,4.5\n";
+        let loaded = load(log, 1);
+        assert_eq!(loaded.records, 3);
+        assert_eq!(loaded.graph.num_edges(), 2);
+        assert!(loaded.graph.is_weighted());
+        let alice = loaded.interner.find_user("alice").unwrap();
+        let store = loaded.interner.find_merchant("storeA").unwrap();
+        let (eid, _, _, w) = loaded
+            .graph
+            .edges()
+            .find(|&(_, u, v, _)| u == alice && v == store)
+            .unwrap();
+        assert_eq!(w, 15.0);
+        assert_eq!(loaded.graph.edge_weight(eid), 15.0);
+    }
+
+    #[test]
+    fn missing_amount_defaults_to_one() {
+        let log = "a,m\na,m\na,m,\n";
+        let loaded = load(log, 1);
+        assert_eq!(loaded.graph.num_edges(), 1);
+        assert_eq!(loaded.graph.edge_weight(0), 3.0);
+    }
+
+    #[test]
+    fn extra_fields_are_ignored() {
+        let log = "a,m,2.0,2021-01-01T00:00:00Z,extra\n";
+        let loaded = load(log, 1);
+        assert_eq!(loaded.graph.edge_weight(0), 2.0);
+    }
+
+    #[test]
+    fn malformed_line_reports_global_line_number() {
+        let log = "a,m\n# comment\n\nb,m\nonly-one-field\nc,m\n";
+        for workers in [1, 2, 4] {
+            let err = load_transactions(
+                log.as_bytes(),
+                &LoadOptions {
+                    delimiter: ',',
+                    workers,
+                },
+            )
+            .unwrap_err();
+            match err {
+                GraphError::Parse { line, message } => {
+                    assert_eq!(line, 5, "workers={workers}");
+                    assert!(message.contains("expected"), "workers={workers}: {message}");
+                }
+                other => panic!("unexpected: {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bad_amount_is_a_typed_error() {
+        let log = "a,m,12.5\nb,m,not-a-number\n";
+        let err = load_transactions(log.as_bytes(), &LoadOptions::default()).unwrap_err();
+        match err {
+            GraphError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("bad amount"), "{message}");
+            }
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_amount_rejected() {
+        let err = load_transactions(b"a,m,inf\n", &LoadOptions::default()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn worker_counts_are_bit_identical() {
+        // Adversarial log: shared keys across what will become chunk
+        // boundaries, duplicate edges, comments, no trailing newline.
+        let mut log = String::from("# transaction log\n");
+        for i in 0..200 {
+            log.push_str(&format!("u{},m{},{}.25\n", i % 17, (i * 3) % 11, i));
+        }
+        log.push_str("u0,m0,0.125"); // unterminated final line
+        let base = load(&log, 1);
+        for workers in [2, 3, 4, 8] {
+            let other = load(&log, workers);
+            assert_eq!(base.records, other.records, "workers={workers}");
+            assert_eq!(base.lines, other.lines, "workers={workers}");
+            assert_eq!(
+                base.interner.users().keys().collect::<Vec<_>>(),
+                other.interner.users().keys().collect::<Vec<_>>(),
+                "user ids diverged at workers={workers}"
+            );
+            assert_eq!(
+                base.interner.merchants().keys().collect::<Vec<_>>(),
+                other.interner.merchants().keys().collect::<Vec<_>>(),
+                "merchant ids diverged at workers={workers}"
+            );
+            assert_eq!(
+                base.graph.edge_slice(),
+                other.graph.edge_slice(),
+                "edges diverged at workers={workers}"
+            );
+            let base_w: Vec<u64> = (0..base.graph.num_edges())
+                .map(|e| base.graph.edge_weight(e).to_bits())
+                .collect();
+            let other_w: Vec<u64> = (0..other.graph.num_edges())
+                .map(|e| other.graph.edge_weight(e).to_bits())
+                .collect();
+            assert_eq!(base_w, other_w, "weights diverged at workers={workers}");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let loaded = load("", 4);
+        assert_eq!(loaded.records, 0);
+        assert_eq!(loaded.lines, 0);
+        assert_eq!(loaded.graph.num_edges(), 0);
+        assert_eq!(loaded.interner.num_users(), 0);
+    }
+
+    #[test]
+    fn ids_match_legacy_serial_interner() {
+        let log = "carol,s9\nalice,s1\ncarol,s1\nbob,s9\n";
+        let loaded = load(log, 3);
+        let (_, legacy) = crate::interner::read_transactions_csv(log.as_bytes(), ',').unwrap();
+        for key in ["carol", "alice", "bob"] {
+            assert_eq!(
+                loaded.interner.find_user(key).unwrap(),
+                legacy.find_user(key).unwrap(),
+                "{key}"
+            );
+        }
+        for key in ["s9", "s1"] {
+            assert_eq!(
+                loaded.interner.find_merchant(key).unwrap(),
+                legacy.find_merchant(key).unwrap(),
+                "{key}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunk_split_covers_every_byte() {
+        let data = b"aa\nbb\ncc\ndd\nee";
+        for n in 1..8 {
+            let chunks = split_line_chunks(data, n);
+            let total: usize = chunks.iter().map(|c| c.len()).sum();
+            assert_eq!(total, data.len(), "n={n}");
+            let joined: Vec<u8> = chunks.concat();
+            assert_eq!(joined, data, "n={n}");
+            for c in &chunks {
+                assert!(!c.is_empty());
+            }
+        }
+    }
+}

@@ -3,9 +3,11 @@
 //!
 //! The ingest path and the scan path never contend:
 //!
-//! * `POST /v1/transactions` maps keys through the interner (one brief
-//!   mutex) and appends to a sharded [`IngestBuffer`] — it never waits on
-//!   a running scan.
+//! * `POST /v1/transactions` maps keys through a sharded, internally
+//!   synchronized [`ConcurrentTransactionInterner`] (no service-wide
+//!   interner mutex) and appends to a sharded [`IngestBuffer`] — it never
+//!   waits on a running scan, and concurrent ingest requests interning
+//!   disjoint keys never wait on each other.
 //! * `POST /v1/scans` pins the freshest epoch-versioned snapshot
 //!   (compaction builds the graph outside every ingest lock), enqueues a
 //!   job on the bounded [`JobStore`], and returns `202` immediately. One
@@ -24,7 +26,8 @@ use ensemfdet::{
     Engine as PeelEngine, EnsemFdet, EnsemFdetConfig, IncrementalPolicy, MonitorConfig, SamplePath,
     ScoringConfig,
 };
-use ensemfdet_graph::{GraphStats, TransactionInterner};
+use ensemfdet_graph::loader::{parse_csv_record, split_line_chunks};
+use ensemfdet_graph::{ConcurrentTransactionInterner, GraphStats};
 use ensemfdet_telemetry::{ServiceMetrics, PROMETHEUS_CONTENT_TYPE};
 use serde_json::{json, Value};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -67,6 +70,12 @@ pub struct ApiConfig {
     /// identical for every worker count, so it lives outside the
     /// detector config and any scan may override it per request.
     pub workers: usize,
+    /// Worker threads for chunked `text/csv` bulk-ingest parsing (`0` =
+    /// auto-detect). Like `workers`, purely a wall-clock knob: chunks are
+    /// validated in parallel but records are interned in file order, so
+    /// assigned ids and every downstream result are identical for every
+    /// value.
+    pub ingest_workers: usize,
 }
 
 impl Default for ApiConfig {
@@ -88,6 +97,7 @@ impl Default for ApiConfig {
             follow: false,
             incremental_policy: IncrementalPolicy::default(),
             workers: 0,
+            ingest_workers: 0,
         }
     }
 }
@@ -118,13 +128,13 @@ pub fn route_label(_method: &str, path: &str) -> (&'static str, bool) {
 
 /// Everything the request handlers and the scan executor share. No
 /// single big lock: the buffer is sharded, the snapshot store swaps
-/// `Arc`s, and the two remaining mutexes (interner, alert ledger) are
-/// held only for key translation.
+/// `Arc`s, the interner shards its own locks internally, and the one
+/// remaining mutex (the alert ledger) is held only by the executor.
 pub(crate) struct Engine {
     pub(crate) config: ApiConfig,
     pub(crate) buffer: IngestBuffer,
     pub(crate) snapshots: SnapshotStore,
-    pub(crate) interner: Mutex<TransactionInterner>,
+    pub(crate) interner: ConcurrentTransactionInterner,
     pub(crate) runner: Mutex<ScanRunner>,
     pub(crate) jobs: JobStore,
     pub(crate) metrics: Arc<ServiceMetrics>,
@@ -156,7 +166,7 @@ impl Api {
         let engine = Arc::new(Engine {
             buffer: IngestBuffer::new(),
             snapshots: SnapshotStore::new(config.compaction_interval),
-            interner: Mutex::new(TransactionInterner::new()),
+            interner: ConcurrentTransactionInterner::new(),
             runner: Mutex::new(ScanRunner::new()),
             jobs: JobStore::new(config.scan_queue_capacity, config.result_ring),
             metrics: Arc::new(ServiceMetrics::new()),
@@ -231,6 +241,7 @@ impl Api {
                 "follow": c.follow,
                 "max_touched_fraction": c.incremental_policy.max_touched_fraction,
                 "workers": c.workers,
+                "ingest_workers": c.ingest_workers,
                 "scan_overrides": [
                     "num_samples", "sample_ratio", "threshold", "path", "engine", "mode",
                     "workers", "scoring",
@@ -280,10 +291,7 @@ impl Api {
         // compaction never holds ingest locks during the graph build.
         let snapshot = e.snapshots.refresh(&e.buffer, true);
         e.metrics.record_snapshot(snapshot.epoch, e.snapshots.lag(&e.buffer));
-        let (users, merchants) = {
-            let interner = lock_recover(&e.interner);
-            (interner.num_users(), interner.num_merchants())
-        };
+        let (users, merchants) = (e.interner.num_users(), e.interner.num_merchants());
         let s = GraphStats::of(&snapshot.graph);
         Response::json(
             200,
@@ -304,35 +312,87 @@ impl Api {
     /// * `application/x-ndjson` — one `["user", "merchant"]` record per
     ///   line, each line parsed directly into its pair (no JSON value
     ///   tree is ever built for the batch).
+    /// * `text/csv` — a delimited transaction log, one
+    ///   `user,merchant[,amount]` record per line (`#` comments and blank
+    ///   lines skipped). Lines are *validated* in parallel chunks
+    ///   (`ApiConfig::ingest_workers`) but interned in file order, so ids
+    ///   are identical for every worker count. Amounts are validated but
+    ///   the monitoring pipeline deduplicates edges binarily — for
+    ///   amount-summed weighted detection, use the `ensemfdet ingest`
+    ///   CLI's direct-detect path.
     /// * anything else (including no `Content-Type` header) — the
     ///   original `{"records": [[user, merchant], …]}` JSON-array shape.
     ///
-    /// Both paths validate the whole batch before touching any state, so
+    /// All paths validate the whole batch before touching any state, so
     /// a bad batch is rejected whole and ingests nothing.
     fn transactions(&self, request: &Request) -> Response {
-        let ndjson = request.content_type == "application/x-ndjson";
         let started = std::time::Instant::now();
+        if request.content_type == "text/csv" {
+            return self.transactions_csv(&request.body, started);
+        }
+        let ndjson = request.content_type == "application/x-ndjson";
+        let format = if ndjson { "ndjson" } else { "json" };
         let keys = if ndjson {
             parse_ndjson_records(&request.body)
         } else {
             parse_json_records(&request.body)
         };
-        self.engine.metrics.record_ingest_parse(ndjson, started.elapsed());
+        self.engine.metrics.record_ingest_parse(format, started.elapsed());
         let keys = match keys {
             Ok(keys) => keys,
             Err(resp) => return resp,
         };
 
         let e = &self.engine;
-        let ids: Vec<_> = {
-            let mut interner = lock_recover(&e.interner);
-            keys.iter()
-                .map(|(u, v)| (interner.user(u), interner.merchant(v)))
-                .collect()
+        let ids: Vec<_> = keys
+            .iter()
+            .map(|(u, v)| (e.interner.user(u), e.interner.merchant(v)))
+            .collect();
+        self.finish_ingest(ids, format, started)
+    }
+
+    /// The `text/csv` arm of bulk ingest: chunk-parallel validation, then
+    /// sequential file-order interning.
+    fn transactions_csv(&self, body: &[u8], started: std::time::Instant) -> Response {
+        let e = &self.engine;
+        let workers = match e.config.ingest_workers {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
         };
+        let parse_started = std::time::Instant::now();
+        let pairs = parse_csv_pairs(body, workers);
+        e.metrics.record_ingest_parse("csv", parse_started.elapsed());
+        let pairs = match pairs {
+            Ok(pairs) => pairs,
+            Err(resp) => return resp,
+        };
+        // Interning stays strictly in file order: parallel validation must
+        // not perturb id assignment (ids feed sampling downstream).
+        let ids: Vec<_> = pairs
+            .iter()
+            .map(|&(u, v)| (e.interner.user(u), e.interner.merchant(v)))
+            .collect();
+        self.finish_ingest(ids, "csv", started)
+    }
+
+    /// Shared tail of every ingest format: append, count, publish the
+    /// load-duration and interner gauges, maybe autoscan.
+    fn finish_ingest(
+        &self,
+        ids: Vec<(ensemfdet_graph::UserId, ensemfdet_graph::MerchantId)>,
+        format: &str,
+        started: std::time::Instant,
+    ) -> Response {
+        let e = &self.engine;
         let ingested = ids.len();
         e.buffer.append_batch(ids);
         e.metrics.transactions_ingested.add(ingested as u64);
+        e.metrics.record_ingest_load(format, started.elapsed());
+        e.metrics.record_interner(
+            e.interner.num_users(),
+            e.interner.num_merchants(),
+            e.interner.arena_bytes(),
+        );
         e.since_scan.fetch_add(ingested, Ordering::Relaxed);
         let scan_job = self.maybe_autoscan();
         Response::json(
@@ -879,6 +939,101 @@ pub fn parse_ndjson_records(body: &[u8]) -> Result<Vec<(String, String)>, Respon
     Ok(keys)
 }
 
+/// One chunk's validation output for [`parse_csv_pairs`].
+struct CsvChunk<'a> {
+    pairs: Vec<(&'a str, &'a str)>,
+    /// Lines scanned (exact when `error` is `None`).
+    lines: usize,
+    /// First malformed line: (line offset within the chunk, message).
+    error: Option<(usize, String)>,
+}
+
+/// Validates one line-aligned chunk of a `text/csv` ingest body. Amounts
+/// are validated (the format authority is the graph crate's
+/// `parse_csv_record`) but discarded — the monitoring pipeline
+/// deduplicates edges binarily.
+fn scan_csv_chunk(chunk: &[u8]) -> CsvChunk<'_> {
+    let mut pairs = Vec::new();
+    let mut lines = 0usize;
+    let mut error = None;
+    for raw in chunk.split(|&b| b == b'\n') {
+        lines += 1;
+        let text = match std::str::from_utf8(raw) {
+            Ok(t) => t,
+            Err(_) => {
+                error = Some((lines, "line is not valid UTF-8".to_string()));
+                break;
+            }
+        };
+        match parse_csv_record(text, ',') {
+            Ok(None) => {}
+            Ok(Some((user, merchant, _amount))) => pairs.push((user, merchant)),
+            Err(message) => {
+                error = Some((lines, message));
+                break;
+            }
+        }
+    }
+    // The trailing empty piece after a `\n`-terminated chunk is not a line.
+    if error.is_none() && chunk.last() == Some(&b'\n') {
+        lines -= 1;
+    }
+    CsvChunk {
+        pairs,
+        lines,
+        error,
+    }
+}
+
+/// Parses a `text/csv` ingest body: one `user,merchant[,amount]` record
+/// per line, `#` comments and blank lines skipped. Chunks are validated
+/// in parallel (`workers` line-aligned chunks under `std::thread::scope`)
+/// but the returned pairs are in exact file order, so the caller's
+/// sequential interning assigns the same ids for every worker count.
+///
+/// A bad line fails the whole batch with `400 invalid_record` carrying
+/// the 1-based `"line"` number in the error object — the same contract
+/// as the NDJSON path.
+///
+/// Public so the bench suite can exercise the CSV ingest parser directly.
+pub fn parse_csv_pairs(body: &[u8], workers: usize) -> Result<Vec<(&str, &str)>, Response> {
+    let chunks = split_line_chunks(body, workers.max(1));
+    let scanned: Vec<CsvChunk<'_>> = if chunks.len() <= 1 {
+        chunks.into_iter().map(scan_csv_chunk).collect()
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| scope.spawn(move || scan_csv_chunk(chunk)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("csv parse worker panicked"))
+                .collect()
+        })
+    };
+    // Chunks before the first erring one completed cleanly, so their line
+    // counts prefix-sum to the global 1-based line number.
+    let mut line_base = 0usize;
+    for chunk in &scanned {
+        if let Some((local_line, message)) = &chunk.error {
+            let n = line_base + local_line;
+            return Err(Response::json(
+                400,
+                &json!({
+                    "error": {
+                        "code": "invalid_record",
+                        "message": format!("line {n}: {message}"),
+                        "line": n,
+                    }
+                }),
+            ));
+        }
+        line_base += chunk.lines;
+    }
+    Ok(scanned.into_iter().flat_map(|c| c.pairs).collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -900,6 +1055,17 @@ mod tests {
             method: "POST".into(),
             path: path.into(),
             content_type: "application/x-ndjson".into(),
+            body: body.as_bytes().to_vec(),
+        });
+        let parsed = serde_json::from_slice(&resp.body).unwrap_or(Value::Null);
+        (resp.status, parsed)
+    }
+
+    fn post_csv(api: &Api, path: &str, body: &str) -> (u16, Value) {
+        let resp = api.handle(&Request {
+            method: "POST".into(),
+            path: path.into(),
+            content_type: "text/csv".into(),
             body: body.as_bytes().to_vec(),
         });
         let parsed = serde_json::from_slice(&resp.body).unwrap_or(Value::Null);
@@ -1232,6 +1398,7 @@ mod tests {
         // The detector config (scoring included) is serialized verbatim.
         assert_eq!(body["detector"]["scoring"]["enabled"], false);
         assert_eq!(body["workers"], 0, "default workers is auto (0)");
+        assert_eq!(body["ingest_workers"], 0, "default ingest workers is auto (0)");
         assert_eq!(body["follow"], false);
         assert!((body["max_touched_fraction"].as_f64().unwrap() - 0.1).abs() < 1e-12);
     }
@@ -1422,6 +1589,132 @@ mod tests {
         let (status, resp) = post_ndjson(&api, "/transactions", "[\"a\", \"x\"]\n");
         assert_eq!(status, 200, "{resp}");
         assert_eq!(resp["ingested"], 1);
+    }
+
+    #[test]
+    fn csv_ingest_accepts_transaction_logs() {
+        let api = quick_api();
+        let body = "# ts omitted\nalice,storeA,12.50\nbob,storeA\n\nalice,storeB,3\n";
+        let (status, resp) = post_csv(&api, "/v1/transactions", body);
+        assert_eq!(status, 200, "{resp}");
+        assert_eq!(resp["ingested"], 3);
+        let (_, stats) = get(&api, "/v1/stats");
+        assert_eq!(stats["users"], 2);
+        assert_eq!(stats["merchants"], 2);
+        assert_eq!(stats["edges"], 3);
+        // The CSV load fed the format-labelled load histogram and the
+        // interner gauges.
+        let resp = api.handle(&Request {
+            method: "GET".into(),
+            path: "/metrics".into(),
+            content_type: String::new(),
+            body: vec![],
+        });
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(
+            text.contains("ensemfdet_ingest_load_duration_seconds_count{format=\"csv\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ensemfdet_ingest_parse_duration_seconds_count{content_type=\"csv\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("ensemfdet_interner_keys_total{side=\"user\"} 2"), "{text}");
+        assert!(text.contains("ensemfdet_interner_keys_total{side=\"merchant\"} 2"), "{text}");
+        assert!(!text.contains("ensemfdet_interner_arena_bytes 0\n"), "{text}");
+    }
+
+    #[test]
+    fn csv_bad_line_is_400_with_line_number_and_ingests_nothing() {
+        let api = quick_api();
+        // Fewer than two fields.
+        let (status, resp) = post_csv(&api, "/v1/transactions", "a,m\nonly-one-field\nb,m\n");
+        assert_eq!(status, 400, "{resp}");
+        assert_eq!(resp["error"]["code"], "invalid_record");
+        assert_eq!(resp["error"]["line"], 2, "{resp}");
+        // Malformed amount.
+        let (status, resp) = post_csv(&api, "/v1/transactions", "a,m,1.5\nb,m,lots\n");
+        assert_eq!(status, 400, "{resp}");
+        assert_eq!(resp["error"]["line"], 2, "{resp}");
+        assert!(
+            resp["error"]["message"].as_str().unwrap().contains("bad amount"),
+            "{resp}"
+        );
+        // All-or-nothing: nothing was ingested.
+        let (_, health) = get(&api, "/v1/health");
+        assert_eq!(health["transactions"], 0);
+    }
+
+    #[test]
+    fn csv_and_json_ingest_build_the_same_graph() {
+        let csv_api = quick_api();
+        let json_api = quick_api();
+        let records = ring_records();
+        let csv: String = records
+            .iter()
+            .map(|r| {
+                format!(
+                    "{},{},1.0\n",
+                    r[0].as_str().unwrap(),
+                    r[1].as_str().unwrap()
+                )
+            })
+            .collect();
+        let (status, _) = post_csv(&csv_api, "/v1/transactions", &csv);
+        assert_eq!(status, 200);
+        let (status, _) = post(&json_api, "/v1/transactions", json!({ "records": records }));
+        assert_eq!(status, 200);
+        let (_, a) = get(&csv_api, "/v1/stats");
+        let (_, b) = get(&json_api, "/v1/stats");
+        assert_eq!(a["users"], b["users"]);
+        assert_eq!(a["merchants"], b["merchants"]);
+        assert_eq!(a["edges"], b["edges"]);
+    }
+
+    #[test]
+    fn csv_ingest_is_worker_invariant() {
+        // Same log through 1-worker and 4-worker parsing: identical graph
+        // and identical flagged set (ids feed sampling, so this is the
+        // service-level determinism gate).
+        let csv: String = {
+            let mut s = String::new();
+            for r in ring_records() {
+                s.push_str(&format!(
+                    "{},{}\n",
+                    r[0].as_str().unwrap(),
+                    r[1].as_str().unwrap()
+                ));
+            }
+            s
+        };
+        let mut flagged_sets = Vec::new();
+        for ingest_workers in [1usize, 4] {
+            let api = Api::new(ApiConfig {
+                monitor: MonitorConfig {
+                    detector: EnsemFdetConfig {
+                        num_samples: 8,
+                        sample_ratio: 0.5,
+                        seed: 3,
+                        ..Default::default()
+                    },
+                    scan_interval: 1_000_000,
+                    alert_threshold: 6,
+                    min_transactions: 0,
+                },
+                ingest_workers,
+                ..Default::default()
+            });
+            let (status, resp) = post_csv(&api, "/v1/transactions", &csv);
+            assert_eq!(status, 200, "{resp}");
+            let (_, body) = post(&api, "/v1/scans", json!({}));
+            let done = wait_done(&api, body["job_id"].as_u64().unwrap());
+            assert_eq!(done["status"], "done", "{done}");
+            flagged_sets.push(flagged_of(&done));
+        }
+        assert_eq!(
+            flagged_sets[0], flagged_sets[1],
+            "ingest worker count changed detection results"
+        );
     }
 
     #[test]
@@ -1632,17 +1925,17 @@ mod tests {
     fn poisoned_locks_recover_instead_of_wedging() {
         let api = quick_api();
         post(&api, "/v1/transactions", json!({ "records": [["a", "x"]] }));
-        // Poison the interner and alert-ledger mutexes: panic while
-        // holding each.
+        // Poison the alert-ledger mutex: panic while holding it. (The
+        // interner is no longer a service-level mutex — it recovers from
+        // poisoned shard locks internally.)
         let engine = Arc::clone(&api.engine);
         let _ = std::thread::spawn(move || {
-            let _interner = lock_recover(&engine.interner);
             let _runner = lock_recover(&engine.runner);
-            panic!("poison both");
+            panic!("poison the ledger");
         })
         .join();
-        assert!(api.engine.interner.is_poisoned());
-        // Every path that takes those locks still serves.
+        assert!(api.engine.runner.is_poisoned());
+        // Every path that takes that lock still serves.
         let (status, body) = get(&api, "/v1/health");
         assert_eq!(status, 200, "{body}");
         let (status, body) = post(&api, "/v1/transactions", json!({ "records": [["b", "y"]] }));

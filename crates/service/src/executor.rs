@@ -49,10 +49,12 @@ fn executor_loop(engine: &Engine) {
         match outcome {
             Ok(outcome) => {
                 let (flagged, new_alerts, scoring) = {
-                    let interner = lock_recover(&engine.interner);
+                    // The concurrent interner is internally synchronized;
+                    // key translation takes only shard read locks.
+                    let interner = &engine.interner;
                     let to_keys = |ids: &[ensemfdet_graph::UserId]| {
                         ids.iter()
-                            .map(|&u| interner.user_key(u).to_string())
+                            .map(|&u| interner.user_key(u))
                             .collect::<Vec<String>>()
                     };
                     let scoring = outcome.scoring.as_ref().map(|s| {
@@ -71,7 +73,7 @@ fn executor_loop(engine: &Engine) {
                             .map(|u| {
                                 let i = u.index();
                                 (
-                                    interner.user_key(u).to_string(),
+                                    interner.user_key(u),
                                     [s.vote[i], s.spectral[i], s.kcore[i], s.hybrid[i]],
                                 )
                             })

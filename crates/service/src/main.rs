@@ -1,11 +1,14 @@
 //! `ensemfdet-serve` — run the live-monitoring HTTP service.
 //!
 //! ```text
-//! ensemfdet-serve [--follow] [ADDR] [N] [S] [T] [SCAN_INTERVAL] [MIN_TRANSACTIONS] [WORKERS] [QUEUE]
-//! # defaults:                 127.0.0.1:7878  20  0.2  10  5000  2000  8  8
+//! ensemfdet-serve [--follow] [ADDR] [N] [S] [T] [SCAN_INTERVAL] [MIN_TRANSACTIONS] [WORKERS] [QUEUE] [INGEST_WORKERS]
+//! # defaults:                 127.0.0.1:7878  20  0.2  10  5000  2000  8  8  0
 //! ```
 //!
 //! `QUEUE` is the scan-job queue capacity (`429 queue_full` beyond it).
+//! `INGEST_WORKERS` is the thread count for chunked `text/csv` bulk-ingest
+//! parsing (`0` = auto); purely a wall-clock knob — assigned ids and all
+//! downstream results are identical for every value.
 //! `--follow` turns on follow mode: scans default to the incremental
 //! dirty-sample-reuse path and `GET /v1/follow` reports the monitoring
 //! state (see `docs/MONITORING.md`). The full HTTP contract lives in
@@ -34,6 +37,7 @@ fn main() {
             min_transactions: parse(5, 2_000.0) as usize,
         },
         scan_queue_capacity: (parse(7, 8.0) as usize).max(1),
+        ingest_workers: parse(8, 0.0) as usize,
         follow,
         ..Default::default()
     };

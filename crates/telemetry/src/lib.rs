@@ -338,6 +338,26 @@ pub struct ServiceMetrics {
     /// Ingest-body parse time for NDJSON batches
     /// (`content_type="ndjson"`).
     pub ingest_parse_ndjson: Histogram,
+    /// Ingest-body parse time for `text/csv` transaction-log batches
+    /// (`content_type="csv"`).
+    pub ingest_parse_csv: Histogram,
+    /// End-to-end bulk-load time (parse + intern + append) for JSON-array
+    /// ingest (the `format="json"` series of
+    /// `ensemfdet_ingest_load_duration_seconds`).
+    pub ingest_load_json: Histogram,
+    /// End-to-end bulk-load time for NDJSON ingest (`format="ndjson"`).
+    pub ingest_load_ndjson: Histogram,
+    /// End-to-end bulk-load time for `text/csv` ingest (`format="csv"`).
+    pub ingest_load_csv: Histogram,
+    /// Distinct user keys the interner currently holds (the
+    /// `side="user"` series of `ensemfdet_interner_keys_total`).
+    pub interner_user_keys: Gauge,
+    /// Distinct merchant keys the interner currently holds
+    /// (`side="merchant"`).
+    pub interner_merchant_keys: Gauge,
+    /// Bytes held by the interner's key arenas, both sides and all
+    /// shards.
+    pub interner_arena_bytes: Gauge,
     /// Scans that ran the hybrid scoring fusion on top of the ensemble.
     pub scans_hybrid: Counter,
     /// Hybrid-scoring vote-component time (the `component="vote"` series
@@ -617,6 +637,7 @@ impl ServiceMetrics {
         for (ct, h) in [
             ("json", &self.ingest_parse_json),
             ("ndjson", &self.ingest_parse_ndjson),
+            ("csv", &self.ingest_parse_csv),
         ] {
             write_histogram_samples(
                 &mut out,
@@ -625,6 +646,46 @@ impl ServiceMetrics {
                 h,
             );
         }
+        write_header(
+            &mut out,
+            "ensemfdet_ingest_load_duration_seconds",
+            "histogram",
+            "End-to-end bulk-load time (parse + intern + append), by format.",
+        );
+        for (format, h) in [
+            ("json", &self.ingest_load_json),
+            ("ndjson", &self.ingest_load_ndjson),
+            ("csv", &self.ingest_load_csv),
+        ] {
+            write_histogram_samples(
+                &mut out,
+                "ensemfdet_ingest_load_duration_seconds",
+                &format!("format=\"{format}\","),
+                h,
+            );
+        }
+        write_header(
+            &mut out,
+            "ensemfdet_interner_keys_total",
+            "gauge",
+            "Distinct keys the transaction interner holds, by side.",
+        );
+        let _ = writeln!(
+            out,
+            "ensemfdet_interner_keys_total{{side=\"user\"}} {}",
+            self.interner_user_keys.get()
+        );
+        let _ = writeln!(
+            out,
+            "ensemfdet_interner_keys_total{{side=\"merchant\"}} {}",
+            self.interner_merchant_keys.get()
+        );
+        write_gauge(
+            &mut out,
+            "ensemfdet_interner_arena_bytes",
+            "Bytes held by the interner's key arenas (both sides).",
+            self.interner_arena_bytes.get(),
+        );
         write_counter(
             &mut out,
             "ensemfdet_scans_hybrid_total",
@@ -698,15 +759,35 @@ impl ServiceMetrics {
         }
     }
 
-    /// Records one ingest body parse, labelled by content type (NDJSON
-    /// vs the default JSON array).
-    pub fn record_ingest_parse(&self, ndjson: bool, elapsed: Duration) {
-        let h = if ndjson {
-            &self.ingest_parse_ndjson
-        } else {
-            &self.ingest_parse_json
+    /// Records one ingest body parse, labelled by content type:
+    /// `"json"` (the default JSON array), `"ndjson"`, or `"csv"`.
+    /// Unknown labels fall back to the JSON series.
+    pub fn record_ingest_parse(&self, content_type: &str, elapsed: Duration) {
+        let h = match content_type {
+            "ndjson" => &self.ingest_parse_ndjson,
+            "csv" => &self.ingest_parse_csv,
+            _ => &self.ingest_parse_json,
         };
         h.observe_duration(elapsed);
+    }
+
+    /// Records one end-to-end bulk load (parse + intern + append),
+    /// labelled by format (`"json"`, `"ndjson"`, `"csv"`).
+    pub fn record_ingest_load(&self, format: &str, elapsed: Duration) {
+        let h = match format {
+            "ndjson" => &self.ingest_load_ndjson,
+            "csv" => &self.ingest_load_csv,
+            _ => &self.ingest_load_json,
+        };
+        h.observe_duration(elapsed);
+    }
+
+    /// Publishes the interner's size gauges: distinct keys per side and
+    /// total arena bytes.
+    pub fn record_interner(&self, users: usize, merchants: usize, arena_bytes: usize) {
+        self.interner_user_keys.set(users as i64);
+        self.interner_merchant_keys.set(merchants as i64);
+        self.interner_arena_bytes.set(arena_bytes as i64);
     }
 
     /// Records one completed scan job: time spent queued and the
@@ -979,9 +1060,10 @@ mod tests {
             2,
             &[Duration::from_millis(40), Duration::from_millis(35)],
         );
-        m.record_ingest_parse(false, Duration::from_micros(300));
-        m.record_ingest_parse(true, Duration::from_micros(120));
-        m.record_ingest_parse(true, Duration::from_micros(90));
+        m.record_ingest_parse("json", Duration::from_micros(300));
+        m.record_ingest_parse("ndjson", Duration::from_micros(120));
+        m.record_ingest_parse("ndjson", Duration::from_micros(90));
+        m.record_ingest_parse("csv", Duration::from_micros(75));
         let text = m.render();
         assert!(text.contains("ensemfdet_scan_workers 2"));
         assert!(text.contains("ensemfdet_scan_worker_busy_seconds_count 2"));
@@ -991,6 +1073,31 @@ mod tests {
         assert!(text.contains(
             "ensemfdet_ingest_parse_duration_seconds_count{content_type=\"ndjson\"} 2"
         ));
+        assert!(text.contains(
+            "ensemfdet_ingest_parse_duration_seconds_count{content_type=\"csv\"} 1"
+        ));
+    }
+
+    #[test]
+    fn ingest_load_and_interner_metrics_render() {
+        let m = ServiceMetrics::new();
+        m.record_ingest_load("csv", Duration::from_millis(4));
+        m.record_ingest_load("csv", Duration::from_millis(6));
+        m.record_ingest_load("ndjson", Duration::from_millis(2));
+        m.record_interner(1200, 340, 65536);
+        let text = m.render();
+        assert!(text.contains(
+            "ensemfdet_ingest_load_duration_seconds_count{format=\"csv\"} 2"
+        ));
+        assert!(text.contains(
+            "ensemfdet_ingest_load_duration_seconds_count{format=\"ndjson\"} 1"
+        ));
+        assert!(text.contains(
+            "ensemfdet_ingest_load_duration_seconds_count{format=\"json\"} 0"
+        ));
+        assert!(text.contains("ensemfdet_interner_keys_total{side=\"user\"} 1200"));
+        assert!(text.contains("ensemfdet_interner_keys_total{side=\"merchant\"} 340"));
+        assert!(text.contains("ensemfdet_interner_arena_bytes 65536"));
     }
 
     #[test]
